@@ -1,0 +1,147 @@
+//! Terminal charts for the figure-regeneration binaries.
+//!
+//! Unicode block-element renderings good enough to *see* the paper's
+//! shapes in a terminal: an x-y line chart for the concave power curve,
+//! and horizontal bars for the per-CCA comparisons.
+
+/// Render an x-y series as a fixed-size line chart. Points are scaled
+/// into `width x height` character cells; multiple series share axes and
+/// get distinct glyphs.
+pub fn line_chart(
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 8 && height >= 4, "chart too small");
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .collect();
+    if pts.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    const GLYPHS: [char; 4] = ['*', 'o', '+', 'x'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s.iter() {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            // First-drawn series keeps contested cells (legend order wins).
+            if grid[row][cx] == ' ' {
+                grid[row][cx] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>8.2} |")
+        } else if i == height - 1 {
+            format!("{y_min:>8.2} |")
+        } else {
+            format!("{:>8} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n{:>10}{x_min:<.2}{}{x_max:>.2}\n",
+        "",
+        "-".repeat(width),
+        "",
+        " ".repeat(width.saturating_sub(8)),
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out
+}
+
+/// Render labelled values as horizontal bars, scaled to `width` cells.
+pub fn bar_chart(rows: &[(String, f64)], width: usize, unit: &str) -> String {
+    assert!(width >= 8);
+    if rows.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let max = rows.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let cells = if max > 0.0 {
+            ((value / max) * width as f64).round().max(0.0) as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:>label_w$} |{}{} {value:.3} {unit}\n",
+            "#".repeat(cells),
+            " ".repeat(width - cells.min(width)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_scales_and_labels() {
+        let curve: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64, (i as f64).sqrt())).collect();
+        let chord: Vec<(f64, f64)> = vec![(0.0, 0.0), (10.0, 10f64.sqrt())];
+        let s = line_chart(&[("curve", &curve), ("chord", &chord)], 40, 10);
+        assert!(s.contains('*'), "curve glyph present");
+        assert!(s.contains('o'), "chord glyph present");
+        assert!(s.contains("curve"));
+        assert!(s.contains("0.00"));
+        assert_eq!(s.lines().filter(|l| l.contains('|')).count(), 10);
+    }
+
+    #[test]
+    fn line_chart_handles_degenerate_input() {
+        assert!(line_chart(&[("empty", &[])], 20, 5).contains("no data"));
+        let flat = [(1.0, 2.0)];
+        let s = line_chart(&[("one", &flat)], 20, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_is_proportional() {
+        let rows = vec![
+            ("bbr".to_string(), 1.0),
+            ("cubic".to_string(), 2.0),
+        ];
+        let s = bar_chart(&rows, 20, "kJ");
+        let bbr_bar = s.lines().next().unwrap().matches('#').count();
+        let cubic_bar = s.lines().nth(1).unwrap().matches('#').count();
+        assert_eq!(cubic_bar, 20);
+        assert_eq!(bbr_bar, 10);
+        assert!(s.contains("2.000 kJ"));
+    }
+
+    #[test]
+    fn bar_chart_handles_empty_and_zero() {
+        assert!(bar_chart(&[], 20, "J").contains("no data"));
+        let s = bar_chart(&[("z".to_string(), 0.0)], 10, "J");
+        assert!(s.contains("0.000 J"));
+    }
+}

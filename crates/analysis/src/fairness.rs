@@ -1,0 +1,68 @@
+//! Fairness metrics.
+//!
+//! The paper's argument is precisely that optimizing Jain's fairness index
+//! — the classic objective of CC design — pessimizes energy. The index is
+//! therefore a first-class output of the experiments: Figure 1 is, in
+//! effect, energy as a function of (un)fairness.
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`, in `(0, 1]`; 1 iff all
+/// allocations are equal, `1/n` when one user takes everything.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    debug_assert!(xs.iter().all(|&x| x >= 0.0), "allocations are non-negative");
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 1.0; // all-zero allocation: vacuously fair
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+/// The throughput imbalance of a two-flow allocation as the paper's
+/// Figure 1 x-axis: the fraction of aggregate bandwidth taken by flow 1.
+pub fn flow1_fraction(x1: f64, x2: f64) -> f64 {
+    let total = x1 + x2;
+    if total <= 0.0 {
+        return 0.5;
+    }
+    x1 / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monopoly_scores_one_over_n() {
+        assert!((jain_index(&[10.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!((jain_index(&[10.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intermediate_allocations_are_ordered() {
+        let fair = jain_index(&[5.0, 5.0]);
+        let mild = jain_index(&[6.0, 4.0]);
+        let harsh = jain_index(&[9.0, 1.0]);
+        assert!(fair > mild && mild > harsh);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn fraction_helper() {
+        assert_eq!(flow1_fraction(7.5, 2.5), 0.75);
+        assert_eq!(flow1_fraction(0.0, 0.0), 0.5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Descriptive statistics used by the experiment harness.
+//!
+//! The paper repeats every scenario ten times and reports means with
+//! standard deviations (§3), and quotes two correlations: energy vs power
+//! (-0.8, §4.3) and energy vs retransmissions (0.47, §4.5). These are the
+//! estimators behind those numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a sample (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Pearson correlation coefficient. Returns 0 when either variable is
+/// constant (no linear relationship is defined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Ordinary least squares `y = a + b x`; returns `(a, b)`.
+/// Requires at least two points and non-constant `x`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for i in 0..xs.len() {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+    }
+    assert!(sxx > 0.0, "x must not be constant");
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// The `q`-quantile (0..=1) of a sample by the nearest-rank method.
+/// Panics on an empty sample or out-of-range `q`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile order in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// A summarized repeated measurement: mean ± std over n runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Number of runs.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        Summary {
+            mean: mean(xs),
+            std: std_dev(xs),
+            n: xs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        // Sample std of this classic dataset is ~2.138.
+        assert!((std_dev(&xs) - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let pos: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let neg: Vec<f64> = xs.iter().map(|x| -3.0 * x).collect();
+        assert!((pearson(&xs, &pos) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_variable_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        // Symmetric cloud around the origin.
+        let xs = [-1.0, -1.0, 1.0, 1.0];
+        let ys = [-1.0, 1.0, -1.0, 1.0];
+        assert!(pearson(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 - 0.5 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 4.0).abs() < 1e-12);
+        assert!((b + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.99), 5.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert!(format!("{s}").starts_with("2.000 ±"));
+    }
+}

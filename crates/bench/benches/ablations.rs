@@ -1,0 +1,196 @@
+//! Ablation benches for the design choices `DESIGN.md` calls out: each
+//! compares the system with a mechanism enabled vs disabled, reporting
+//! the *simulated* outcome difference through Criterion's timing of the
+//! full runs (the printed assertions are the scientific content; the
+//! timings track the cost of each mechanism).
+
+use cca::CcaKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::prelude::*;
+use std::hint::black_box;
+use transport::prelude::*;
+use workload::prelude::*;
+
+/// Tail-loss probe ablation: without TLP, a lossy transfer pays RTO
+/// stalls; with it, recovery is RTT-scale. Assert the effect once, then
+/// benchmark both paths.
+fn ablation_tlp(c: &mut Criterion) {
+    fn run_once(tlp: bool) -> (f64, u64) {
+        let mut net = Network::new(5);
+        let cfg = DumbbellConfig {
+            bottleneck_queue: BottleneckQueue::DropTail {
+                capacity_bytes: 30_000,
+            },
+            ..DumbbellConfig::default()
+        };
+        let d = Dumbbell::build(&mut net, &cfg);
+        let flow = FlowId::from_raw(0);
+        // A short transfer whose entire window bursts at once into a
+        // 30 KB buffer: the burst's tail — which is also the flow's tail —
+        // is guaranteed to drop, with no later data to trigger SACKs.
+        // That is precisely the loss TLP exists for.
+        let mut scfg = TcpSenderConfig::bulk(flow, d.receiver, 9000, 100_000);
+        if !tlp {
+            scfg = scfg.without_tlp();
+        }
+        let cc = CcaKind::Baseline
+            .build(&cca::CcaConfig::new(8960).with_baseline_cwnd(200_000));
+        net.attach_agent(d.senders[0], Box::new(TcpSender::new(scfg, cc)));
+        net.attach_agent(d.receiver, Box::new(TcpReceiver::new(AckPolicy::delayed_default())));
+        net.run_until(SimTime::from_secs(30));
+        let s = net.agent::<TcpSender>(d.senders[0]).unwrap();
+        assert!(s.is_complete());
+        (s.fct().unwrap().as_secs_f64(), s.stats().rto_count)
+    }
+
+    let (fct_with, _) = run_once(true);
+    let (fct_without, rtos_without) = run_once(false);
+    println!(
+        "[ablation:tlp] fct with TLP {fct_with:.3}s vs without {fct_without:.3}s \
+         (rtos without: {rtos_without})"
+    );
+    assert!(
+        fct_with < fct_without,
+        "TLP must beat RTO-only tail recovery: {fct_with} vs {fct_without}"
+    );
+    assert!(rtos_without > 0, "the no-TLP run must pay RTOs");
+
+    let mut g = c.benchmark_group("ablation_tlp");
+    g.sample_size(10);
+    g.bench_function("with_tlp", |b| b.iter(|| black_box(run_once(true))));
+    g.bench_function("without_tlp", |b| b.iter(|| black_box(run_once(false))));
+    g.finish();
+}
+
+/// Host pps-ceiling ablation: the cap is what separates the MTU-1500
+/// cluster from the jumbo cluster (paper Fig. 7). With the cap, an
+/// MTU-1500 sender cruises *below* the wire rate and never congests;
+/// without it, the flow reaches the queue and pays sawtooth losses.
+fn ablation_pps_cap(c: &mut Criterion) {
+    fn run_once(capped: bool) -> (f64, u64) {
+        let mut s = Scenario::new(1500, vec![FlowSpec::bulk(CcaKind::Cubic, 25 * MB)]);
+        if !capped {
+            s.host_pps_cap = None;
+        }
+        let out = workload::scenario::run(&s).unwrap();
+        (
+            out.reports[0].mean_goodput.gbps(),
+            out.reports[0].retransmits,
+        )
+    }
+    let (capped, retx_capped) = run_once(true);
+    let (uncapped, retx_uncapped) = run_once(false);
+    println!(
+        "[ablation:pps_cap] MTU-1500 goodput capped {capped:.2} ({retx_capped} retx) \
+         vs uncapped {uncapped:.2} ({retx_uncapped} retx)"
+    );
+    assert!(
+        capped < 8.0,
+        "the ceiling must keep the flow below the wire rate"
+    );
+    assert_eq!(retx_capped, 0, "a capped flow never congests the link");
+    assert!(
+        retx_uncapped > 0,
+        "an uncapped MTU-1500 flow reaches the queue and loses"
+    );
+
+    let mut g = c.benchmark_group("ablation_pps_cap");
+    g.sample_size(10);
+    g.bench_function("capped", |b| b.iter(|| black_box(run_once(true).0)));
+    g.bench_function("uncapped", |b| b.iter(|| black_box(run_once(false).0)));
+    g.finish();
+}
+
+/// Bottleneck discipline ablation: DCTCP on its step-marking queue vs
+/// forced onto a plain drop-tail (where it behaves like Reno-with-ECN
+/// disabled and suffers losses).
+fn ablation_ecn_queue(c: &mut Criterion) {
+    fn run_once(ecn: bool) -> (u64, u64) {
+        let mut net = Network::new(9);
+        let queue = if ecn {
+            BottleneckQueue::EcnThreshold {
+                capacity_bytes: 1_000_000,
+                mark_bytes: 100_000,
+            }
+        } else {
+            BottleneckQueue::DropTail {
+                capacity_bytes: 1_000_000,
+            }
+        };
+        let cfg = DumbbellConfig {
+            bottleneck_queue: queue,
+            ..DumbbellConfig::default()
+        };
+        let d = Dumbbell::build(&mut net, &cfg);
+        let flow = FlowId::from_raw(0);
+        let scfg = TcpSenderConfig::bulk(flow, d.receiver, 9000, 25 * MB);
+        let cc = CcaKind::Dctcp.build(&cca::CcaConfig::new(8960));
+        net.attach_agent(d.senders[0], Box::new(TcpSender::new(scfg, cc)));
+        net.attach_agent(
+            d.receiver,
+            Box::new(TcpReceiver::new(AckPolicy::dctcp_default())),
+        );
+        net.run_until(SimTime::from_secs(30));
+        let stats = net.network_stats();
+        (stats.marked_pkts, stats.dropped_pkts)
+    }
+    let (marks_ecn, drops_ecn) = run_once(true);
+    let (marks_dt, drops_dt) = run_once(false);
+    println!(
+        "[ablation:ecn_queue] ECN queue: {marks_ecn} marks/{drops_ecn} drops; \
+         drop-tail: {marks_dt} marks/{drops_dt} drops"
+    );
+    assert!(marks_ecn > 0 && marks_dt == 0);
+
+    let mut g = c.benchmark_group("ablation_ecn_queue");
+    g.sample_size(10);
+    g.bench_function("ecn_threshold", |b| b.iter(|| black_box(run_once(true))));
+    g.bench_function("droptail", |b| b.iter(|| black_box(run_once(false))));
+    g.finish();
+}
+
+/// Load-coupling ablation: with the coupling removed, the loaded-host
+/// savings stay near the idle-host 16% instead of collapsing to ~1%.
+fn ablation_load_coupling(c: &mut Criterion) {
+    use energy::prelude::*;
+    fn savings(coupled: bool, load: f64) -> f64 {
+        let mut model = reference_host_model();
+        if !coupled {
+            model.coupling = LoadCoupling::NONE;
+        }
+        let ctx = HostContext {
+            background_util: load,
+            cc_cost_per_ack_j: cc_cost_per_ack_ref_j(),
+        };
+        let p5 = model.sender_power_at(5.0, 9000, 0.5, ctx);
+        let p10 = model.sender_power_at(10.0, 9000, 0.5, ctx);
+        let p0 = model.sender_power_at(0.0, 9000, 0.5, ctx);
+        let fair = 2.0 * 2.0 * p5;
+        let unfair = 2.0 * (p10 + p0);
+        (fair - unfair) / fair
+    }
+    let coupled = savings(true, 0.25);
+    let uncoupled = savings(false, 0.25);
+    println!(
+        "[ablation:coupling] savings at 25% load: coupled {:.2}% vs uncoupled {:.2}%",
+        coupled * 100.0,
+        uncoupled * 100.0
+    );
+    assert!(coupled < uncoupled / 3.0);
+
+    let mut g = c.benchmark_group("ablation_load_coupling");
+    g.bench_function("coupled", |b| b.iter(|| black_box(savings(true, 0.25))));
+    g.bench_function("uncoupled", |b| b.iter(|| black_box(savings(false, 0.25))));
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets =
+        ablation_tlp,
+        ablation_pps_cap,
+        ablation_ecn_queue,
+        ablation_load_coupling,
+}
+criterion_main!(ablations);

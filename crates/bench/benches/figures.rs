@@ -1,0 +1,117 @@
+//! One Criterion bench per paper figure/table: each runs a miniature but
+//! complete instance of the experiment that regenerates that figure, so
+//! `cargo bench` both exercises every experiment path end-to-end and
+//! tracks the simulator's performance on them over time.
+//!
+//! (Use the `fig1`..`fig8` binaries for full-scale regeneration; these
+//! benches shrink transfers so an iteration takes milliseconds.)
+
+use cca::CcaKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenenvy::{fig1, fig2, fig3, matrix, theorem};
+use netsim::time::SimDuration;
+use netsim::units::MB;
+use std::hint::black_box;
+use workload::prelude::*;
+
+fn bench_fig1_unfairness(c: &mut Criterion) {
+    c.bench_function("fig1_unfairness_sweep", |b| {
+        b.iter(|| {
+            let cfg = fig1::Config {
+                per_flow_bytes: 25 * MB,
+                mtu: 9000,
+                fractions: vec![0.75],
+                seeds: vec![1],
+                background: StressLoad::IDLE,
+            };
+            black_box(fig1::run(&cfg).peak_savings_pct)
+        })
+    });
+}
+
+fn bench_fig2_power_curve(c: &mut Criterion) {
+    c.bench_function("fig2_power_curve", |b| {
+        b.iter(|| {
+            let cfg = fig2::Config {
+                rates_gbps: vec![2.5, 5.0, 10.0],
+                duration_s: 0.02,
+                mtu: 9000,
+                seeds: vec![1],
+                background: StressLoad::IDLE,
+            };
+            black_box(fig2::run(&cfg).line_rate_w)
+        })
+    });
+}
+
+fn bench_fig3_traces(c: &mut Criterion) {
+    c.bench_function("fig3_traces", |b| {
+        b.iter(|| {
+            let cfg = fig3::Config {
+                per_flow_bytes: 25 * MB,
+                mtu: 9000,
+                bin: SimDuration::from_millis(2),
+                seed: 1,
+            };
+            black_box(fig3::run(&cfg).unfair.energy_j)
+        })
+    });
+}
+
+fn bench_fig4_loaded_savings(c: &mut Criterion) {
+    c.bench_function("fig4_loaded_savings", |b| {
+        b.iter(|| {
+            // One loaded fair-vs-serial comparison (the Fig-4 kernel).
+            let cfg = fig1::Config {
+                per_flow_bytes: 25 * MB,
+                mtu: 9000,
+                fractions: vec![],
+                seeds: vec![1],
+                background: StressLoad::fraction(0.25),
+            };
+            black_box(fig1::run(&cfg).peak_savings_pct)
+        })
+    });
+}
+
+fn bench_fig5_to_8_campaign_cell(c: &mut Criterion) {
+    // Figures 5-8 all project the same campaign; the bench covers one
+    // cell of each distinctive kind.
+    let mut g = c.benchmark_group("fig5-8_campaign_cells");
+    for (cca, mtu) in [
+        (CcaKind::Cubic, 9000u32),
+        (CcaKind::Cubic, 1500),
+        (CcaKind::Bbr, 9000),
+        (CcaKind::Baseline, 9000),
+        (CcaKind::Dctcp, 9000),
+        (CcaKind::Bbr2, 9000),
+    ] {
+        g.bench_function(format!("{}_mtu{}", cca.name(), mtu), |b| {
+            b.iter(|| black_box(matrix::run_cell(cca, mtu, 25 * MB, &[1]).energy_j.mean))
+        });
+    }
+    g.finish();
+}
+
+fn bench_theorem1(c: &mut Criterion) {
+    c.bench_function("theorem1_verification", |b| {
+        b.iter(|| {
+            let r = theorem::run(200);
+            assert_eq!(r.violations, 0);
+            black_box(r.rows.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_unfairness,
+        bench_fig2_power_curve,
+        bench_fig3_traces,
+        bench_fig4_loaded_savings,
+        bench_fig5_to_8_campaign_cell,
+        bench_theorem1,
+}
+criterion_main!(figures);

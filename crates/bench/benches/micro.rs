@@ -1,0 +1,130 @@
+//! Micro-benchmarks of the simulator's hot paths: the event loop, the
+//! queue disciplines, the SACK scoreboard, and per-ack CCA processing.
+
+use cca::CcaKind;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::prelude::*;
+use std::hint::black_box;
+use transport::cc::AckEvent;
+use transport::scoreboard::Scoreboard;
+use workload::prelude::*;
+
+/// End-to-end simulator throughput: one bulk CUBIC transfer, measured in
+/// simulated payload bytes per wall second.
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let bytes = 50_000_000u64;
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    g.bench_function("bulk_transfer_50MB", |b| {
+        b.iter(|| {
+            let out = workload::scenario::run(&Scenario::new(
+                9000,
+                vec![FlowSpec::bulk(CcaKind::Cubic, bytes)],
+            ))
+            .unwrap();
+            black_box(out.sender_energy_j)
+        })
+    });
+    g.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues");
+    let pkt = Packet::data(
+        FlowId::from_raw(0),
+        NodeId::from_raw(0),
+        NodeId::from_raw(1),
+        0,
+        1460,
+        EcnCodepoint::Ect0,
+    );
+    g.bench_function("droptail_enq_deq", |b| {
+        let mut q = DropTailQueue::new(1_000_000);
+        b.iter(|| {
+            q.enqueue(black_box(pkt), SimTime::ZERO);
+            black_box(q.dequeue(SimTime::ZERO))
+        })
+    });
+    g.bench_function("ecn_threshold_enq_deq", |b| {
+        let mut q = EcnThresholdQueue::new(1_000_000, 30_000);
+        b.iter(|| {
+            q.enqueue(black_box(pkt), SimTime::ZERO);
+            black_box(q.dequeue(SimTime::ZERO))
+        })
+    });
+    g.bench_function("red_enq_deq", |b| {
+        let mut q = RedQueue::new(1_000_000, 100_000, 500_000, 0.1, 7);
+        b.iter(|| {
+            q.enqueue(black_box(pkt), SimTime::ZERO);
+            black_box(q.dequeue(SimTime::ZERO))
+        })
+    });
+    g.finish();
+}
+
+fn bench_scoreboard(c: &mut Criterion) {
+    c.bench_function("scoreboard_send_ack_cycle", |b| {
+        b.iter(|| {
+            let mut board = Scoreboard::new(1448);
+            let mut seq = 0u64;
+            for i in 0..64 {
+                board.on_send(seq, 1448, SimTime::from_micros(i), 0, false);
+                seq += 1448;
+            }
+            // Cumulative ack half, SACK a band, ack the rest.
+            board.on_ack(seq / 2, std::iter::empty(), SimDuration::from_micros(25));
+            board.on_ack(
+                seq / 2,
+                [(seq / 2 + 4344, seq)].into_iter(),
+                SimDuration::from_micros(25),
+            );
+            let out = board.on_ack(seq, std::iter::empty(), SimDuration::from_micros(25));
+            black_box(out.newly_delivered)
+        })
+    });
+}
+
+fn bench_cca_ack_processing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cca_on_ack");
+    for kind in CcaKind::ALL {
+        g.bench_function(kind.name(), |b| {
+            let mut cc = kind.build(&cca::CcaConfig::new(1448));
+            let ev = AckEvent {
+                now: SimTime::from_millis(3),
+                newly_acked_bytes: 2896,
+                rtt_sample: Some(SimDuration::from_micros(120)),
+                srtt: SimDuration::from_micros(110),
+                min_rtt: SimDuration::from_micros(100),
+                bytes_in_flight: 100_000,
+                delivery_rate: Some(Rate::from_gbps(9.0)),
+                app_limited: false,
+                ce_marked_bytes: 0,
+                ecn_echo: false,
+                cum_acked: 1_000_000,
+                round: 5,
+                in_recovery: false,
+                int: netsim::packet::IntRecord {
+                    queue_bytes: 20_000,
+                    util_x1000: 900,
+                    link_mbps: 10_000,
+                },
+                cwnd_limited: true,
+            };
+            b.iter(|| {
+                cc.on_ack(black_box(&ev));
+                black_box(cc.cwnd())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_simulator_throughput,
+    bench_queues,
+    bench_scoreboard,
+    bench_cca_ack_processing
+);
+criterion_main!(micro);

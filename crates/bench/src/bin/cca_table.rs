@@ -1,0 +1,50 @@
+//! Diagnostic: one-screen behaviour table of every CCA.
+//!
+//! Usage: `cca_table [bytes] [mtu]` (defaults: 500 MB at MTU 9000).
+use cca::CcaKind;
+use workload::prelude::*;
+
+fn main() {
+    let bytes: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000_000);
+    let mtu: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9000);
+    let mut t = analysis::table::Table::new([
+        "cca", "fct (s)", "goodput (Gbps)", "power (W)", "energy (J)", "retx", "rtos", "drops",
+    ]);
+    for kind in CcaKind::ALL {
+        let s = Scenario::new(mtu, vec![FlowSpec::bulk(kind, bytes)]);
+        match workload::scenario::run(&s) {
+            Ok(out) => {
+                let r = &out.reports[0];
+                t.row([
+                    kind.name().to_string(),
+                    format!("{:.3}", r.fct.as_secs_f64()),
+                    format!("{:.3}", r.mean_goodput.gbps()),
+                    format!("{:.2}", out.average_sender_power_w()),
+                    format!("{:.1}", out.sender_energy_j),
+                    r.retransmits.to_string(),
+                    r.rtos.to_string(),
+                    out.dropped_pkts.to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row([
+                    kind.name().to_string(),
+                    format!("FAILED: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    println!("{bytes} bytes at MTU {mtu}\n{t}");
+}

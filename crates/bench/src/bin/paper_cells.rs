@@ -1,0 +1,27 @@
+//! Validate scale-invariance: run selected CCAs at the paper's full 50 GB
+//! and compare per-byte energy with the standard 5 GB campaign.
+use cca::CcaKind;
+use workload::prelude::*;
+
+fn main() {
+    let bytes: u64 = 50_000_000_000;
+    for kind in [CcaKind::Cubic, CcaKind::Bbr, CcaKind::Bbr2, CcaKind::Baseline] {
+        let s = Scenario::new(9000, vec![FlowSpec::bulk(kind, bytes)]);
+        match workload::scenario::run(&s) {
+            Ok(out) => {
+                let r = &out.reports[0];
+                println!(
+                    "{:>10} 50GB: fct={:.2}s gput={:.3}G P={:.2}W E={:.1}J ({:.2} kJ) retx={}",
+                    kind.name(),
+                    r.fct.as_secs_f64(),
+                    r.mean_goodput.gbps(),
+                    out.average_sender_power_w(),
+                    out.sender_energy_j,
+                    out.sender_energy_j / 1000.0,
+                    r.retransmits
+                );
+            }
+            Err(e) => println!("{:>10} FAILED: {e}", kind.name()),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Assemble `results/REPORT.md` from whatever figure JSONs exist under
+//! `results/` — a machine-regenerated companion to the hand-annotated
+//! `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn load(name: &str) -> Option<serde_json::Value> {
+    let body = std::fs::read_to_string(Path::new("results").join(format!("{name}.json"))).ok()?;
+    serde_json::from_str(&body).ok()
+}
+
+fn main() {
+    let mut md = String::from(
+        "# Regenerated results\n\n\
+         Auto-assembled from `results/*.json`. Regenerate the inputs with\n\
+         the `fig1`..`fig8`, `theorem1`, and `extensions` binaries; see\n\
+         `EXPERIMENTS.md` for the paper-vs-measured discussion.\n\n",
+    );
+
+    if let Some(fig1) = load("fig1") {
+        let _ = writeln!(md, "## Figure 1\n");
+        let _ = writeln!(md, "| flow-1 share | savings over fair (%) |");
+        let _ = writeln!(md, "|---|---|");
+        if let Some(points) = fig1["points"].as_array() {
+            for p in points {
+                let _ = writeln!(
+                    md,
+                    "| {:.0}% | {:.2} ± {:.2} |",
+                    p["fraction"].as_f64().unwrap_or(0.0) * 100.0,
+                    p["savings_pct"]["mean"].as_f64().unwrap_or(0.0),
+                    p["savings_pct"]["std"].as_f64().unwrap_or(0.0),
+                );
+            }
+        }
+        let _ = writeln!(
+            md,
+            "\npeak savings: {:.1}%\n",
+            fig1["peak_savings_pct"].as_f64().unwrap_or(0.0)
+        );
+    }
+
+    if let Some(fig2) = load("fig2") {
+        let _ = writeln!(md, "## Figure 2\n");
+        let _ = writeln!(md, "| target (Gb/s) | power (W) | mix (W) |");
+        let _ = writeln!(md, "|---|---|---|");
+        if let Some(points) = fig2["points"].as_array() {
+            for p in points {
+                let _ = writeln!(
+                    md,
+                    "| {:.1} | {:.2} | {:.2} |",
+                    p["target_gbps"].as_f64().unwrap_or(0.0),
+                    p["power_w"]["mean"].as_f64().unwrap_or(0.0),
+                    p["mix_power_w"].as_f64().unwrap_or(0.0),
+                );
+            }
+        }
+        md.push('\n');
+    }
+
+    if let Some(fig4) = load("fig4") {
+        let _ = writeln!(md, "## Figure 4\n");
+        let _ = writeln!(md, "| load | savings (%) |");
+        let _ = writeln!(md, "|---|---|");
+        if let Some(rows) = fig4["rows"].as_array() {
+            for r in rows {
+                let _ = writeln!(
+                    md,
+                    "| {:.0}% | {:.2} |",
+                    r["load"].as_f64().unwrap_or(0.0) * 100.0,
+                    r["savings_pct"]["mean"].as_f64().unwrap_or(0.0),
+                );
+            }
+        }
+        md.push('\n');
+    }
+
+    for (name, title) in [("fig5", "Figure 5"), ("fig6", "Figure 6")] {
+        if let Some(fig) = load(name) {
+            let metric = if name == "fig5" { "energy_j" } else { "power_w" };
+            let unit = if name == "fig5" { "J" } else { "W" };
+            let _ = writeln!(md, "## {title}\n");
+            let _ = writeln!(md, "| cca | mtu | {metric} ({unit}) |");
+            let _ = writeln!(md, "|---|---|---|");
+            if let Some(cells) = fig["matrix"]["cells"].as_array() {
+                for c in cells {
+                    let _ = writeln!(
+                        md,
+                        "| {} | {} | {:.2} |",
+                        c["cca"].as_str().unwrap_or("?"),
+                        c["mtu"].as_u64().unwrap_or(0),
+                        c[metric]["mean"].as_f64().unwrap_or(0.0),
+                    );
+                }
+            }
+            md.push('\n');
+        }
+    }
+
+    for name in ["fig7", "fig8", "theorem1", "ext_multiplexed", "ext_srpt", "ext_incast", "ext_modern", "ext_production"] {
+        if let Some(v) = load(name) {
+            let _ = writeln!(md, "## {name}\n");
+            let _ = writeln!(
+                md,
+                "```json\n{}\n```\n",
+                serde_json::to_string_pretty(&summarize(&v)).unwrap_or_default()
+            );
+        }
+    }
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/REPORT.md", &md).expect("write report");
+    println!("wrote results/REPORT.md ({} bytes)", md.len());
+}
+
+/// Keep reports readable: drop bulky embedded matrices from the summary.
+fn summarize(v: &serde_json::Value) -> serde_json::Value {
+    match v {
+        serde_json::Value::Object(map) => {
+            let filtered: serde_json::Map<String, serde_json::Value> = map
+                .iter()
+                .filter(|(k, _)| k.as_str() != "matrix" && k.as_str() != "points")
+                .map(|(k, val)| (k.clone(), summarize(val)))
+                .collect();
+            serde_json::Value::Object(filtered)
+        }
+        serde_json::Value::Array(items) if items.len() > 12 => serde_json::Value::String(
+            format!("[{} items elided]", items.len()),
+        ),
+        other => other.clone(),
+    }
+}

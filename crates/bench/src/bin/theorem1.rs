@@ -1,0 +1,15 @@
+//! Verify Theorem 1 numerically: fair allocations maximize power.
+use greenenvy::theorem;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let result = theorem::run(trials);
+    println!("{}", theorem::render(&result));
+    assert_eq!(result.violations, 0, "Theorem 1 violated!");
+    if let Some(p) = bench::save_json("theorem1", &result) {
+        println!("json: {}", p.display());
+    }
+}

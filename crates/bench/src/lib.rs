@@ -1,0 +1,87 @@
+//! # bench — figure regeneration and performance benchmarks
+//!
+//! * `src/bin/fig1.rs` … `fig8.rs`, `theorem1.rs`, `all.rs` — binaries
+//!   that rerun each of the paper's figures and print the same
+//!   rows/series the paper reports (`cargo run --release -p bench --bin
+//!   fig1`). `GREENENVY_SCALE=paper|standard|quick` selects the workload
+//!   size. Each binary also writes its typed result as JSON under
+//!   `results/`.
+//! * `src/bin/cca_table.rs` — the one-screen diagnostic table of every
+//!   CCA's behaviour at a chosen transfer size and MTU.
+//! * `benches/` — Criterion benches: one scaled-down run per figure plus
+//!   micro-benchmarks of the simulator's hot paths and ablations of the
+//!   design choices called out in `DESIGN.md`.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Write an experiment result as pretty JSON under `results/`, returning
+/// the path. Failures are reported but non-fatal (the printed tables are
+/// the primary artefact).
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    save_json_in(&PathBuf::from("results"), name, value)
+}
+
+/// [`save_json`] with an explicit directory.
+pub fn save_json_in<T: Serialize>(dir: &std::path::Path, name: &str, value: &T) -> Option<PathBuf> {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: cannot serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+/// Announce the scale a binary is running at.
+pub fn announce(figure: &str, scale: &greenenvy::Scale) {
+    println!(
+        "=== {figure} | scale: {} ({} bytes/transfer, {} reps) ===\n",
+        scale.name, scale.transfer_bytes, scale.repetitions
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_json_roundtrips() {
+        let tmp = std::env::temp_dir().join("greenenvy-bench-test");
+        let path = save_json_in(&tmp, "unit-test", &serde_json::json!({"x": 1}))
+            .expect("write succeeds");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"x\": 1"));
+    }
+}
+
+/// Load a cached campaign matrix for this scale from `results/`, or run
+/// it and cache it. Figures 5-8 all project the same campaign (as in the
+/// paper), so consecutive figure binaries reuse one run.
+pub fn load_or_run_matrix(scale: greenenvy::Scale) -> greenenvy::matrix::Matrix {
+    let path = PathBuf::from("results").join(format!("matrix_{}.json", scale.name));
+    if let Ok(body) = std::fs::read_to_string(&path) {
+        if let Ok(matrix) = serde_json::from_str::<greenenvy::matrix::Matrix>(&body) {
+            if matrix.transfer_bytes == scale.transfer_bytes
+                && matrix.repetitions == scale.repetitions
+            {
+                println!("(reusing cached campaign {})\n", path.display());
+                return matrix;
+            }
+        }
+    }
+    let matrix = greenenvy::matrix::run_matrix(scale);
+    let _ = save_json(&format!("matrix_{}", scale.name), &matrix);
+    matrix
+}

@@ -1,0 +1,576 @@
+//! BBR: congestion-based congestion control (Cardwell et al., CACM 2017),
+//! plus the BBRv2 alpha the paper benchmarked (IETF-104 presentation,
+//! March 2019).
+//!
+//! Both versions share the same skeleton — a windowed-max delivery-rate
+//! filter, a windowed-min RTT filter, and a state machine
+//! STARTUP → DRAIN → PROBE_BW (+ periodic PROBE_RTT) — and differ in
+//! parameters and loss reaction. [`BbrCore`] implements the skeleton;
+//! [`Bbr`] instantiates v1 and [`Bbr2`] the alpha-release v2 with its
+//! conservative cruise gains and loss backoff. The paper found the alpha
+//! ~40% less energy-efficient than v1; in this model that comes from the
+//! alpha's lower average utilization (longer FCT at slightly lower
+//! power), which is exactly the mechanism §4.3 hypothesizes.
+
+use crate::common::MIN_CWND_SEGS;
+use netsim::time::{SimDuration, SimTime};
+use netsim::units::Rate;
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+use std::collections::VecDeque;
+
+/// 2/ln(2): the STARTUP gain that doubles the sending rate per RTT.
+pub const STARTUP_GAIN: f64 = 2.885;
+/// Rounds of <25% bandwidth growth before declaring the pipe full (v1).
+pub const FULL_BW_ROUNDS_V1: u32 = 3;
+/// Max-bandwidth filter window, in round trips.
+pub const BW_WINDOW_ROUNDS: u64 = 10;
+/// Min-RTT filter window.
+pub const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+/// PROBE_RTT duration.
+pub const PROBE_RTT_TIME: SimDuration = SimDuration::from_millis(200);
+/// v1's PROBE_BW pacing-gain cycle.
+pub const CYCLE_V1: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// The alpha v2's cycle: long conservative cruise phases between probes.
+/// This reproduces the alpha's measured under-utilization.
+pub const CYCLE_V2_ALPHA: [f64; 8] = [1.25, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 1.0];
+
+/// Windowed max filter over delivery-rate samples, one slot per round.
+#[derive(Debug, Default)]
+struct MaxBwFilter {
+    window: VecDeque<(u64, f64)>,
+}
+
+impl MaxBwFilter {
+    fn update(&mut self, round: u64, sample_bps: f64) {
+        match self.window.back_mut() {
+            Some(back) if back.0 == round => back.1 = back.1.max(sample_bps),
+            _ => self.window.push_back((round, sample_bps)),
+        }
+        while let Some(&(r, _)) = self.window.front() {
+            if r + BW_WINDOW_ROUNDS <= round {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn get_bps(&self) -> f64 {
+        self.window.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+}
+
+/// The BBR state machine phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Exponential rate search.
+    Startup,
+    /// Deflate the queue built during startup.
+    Drain,
+    /// Steady-state bandwidth probing.
+    ProbeBw,
+    /// Periodic RTT re-measurement at a minimal window.
+    ProbeRtt,
+}
+
+/// Version-specific parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BbrParams {
+    /// PROBE_BW pacing-gain cycle.
+    pub cycle: &'static [f64],
+    /// cwnd gain in PROBE_BW.
+    pub cwnd_gain: f64,
+    /// Rounds without 25% growth before exiting STARTUP.
+    pub full_bw_rounds: u32,
+    /// Growth threshold per round to keep STARTUP alive.
+    pub full_bw_thresh: f64,
+    /// Whether losses shrink the in-flight bound (v2).
+    pub reacts_to_loss: bool,
+    /// Multiplier applied to the in-flight cap after a loss round (v2's
+    /// `inflight_hi` backoff).
+    pub loss_backoff: f64,
+    /// Relative per-ack compute cost for the energy model.
+    pub compute_cost: f64,
+}
+
+/// v1 parameters.
+pub const PARAMS_V1: BbrParams = BbrParams {
+    cycle: &CYCLE_V1,
+    cwnd_gain: 2.0,
+    full_bw_rounds: FULL_BW_ROUNDS_V1,
+    full_bw_thresh: 1.25,
+    reacts_to_loss: false,
+    loss_backoff: 1.0,
+    compute_cost: 0.5,
+};
+
+/// Alpha-release v2 parameters: earlier startup exit, conservative cruise,
+/// loss backoff, heavier per-ack bookkeeping (dual filters and bounds).
+pub const PARAMS_V2_ALPHA: BbrParams = BbrParams {
+    cycle: &CYCLE_V2_ALPHA,
+    cwnd_gain: 2.0,
+    full_bw_rounds: 2,
+    full_bw_thresh: 1.10,
+    reacts_to_loss: true,
+    loss_backoff: 0.85,
+    compute_cost: 1.5,
+};
+
+/// The shared BBR engine.
+#[derive(Debug)]
+pub struct BbrCore {
+    name: &'static str,
+    params: BbrParams,
+    mss: u32,
+    mode: Mode,
+    max_bw: MaxBwFilter,
+    min_rtt: SimDuration,
+    min_rtt_stamp: SimTime,
+    probe_rtt_done: Option<SimTime>,
+    prior_cwnd: u64,
+    full_bw_bps: f64,
+    full_bw_count: u32,
+    cycle_idx: usize,
+    cycle_stamp: SimTime,
+    pacing_gain: f64,
+    cwnd: u64,
+    last_round: u64,
+    /// v2 in-flight upper bound (`u64::MAX` until a loss).
+    inflight_hi: u64,
+}
+
+impl BbrCore {
+    fn new(name: &'static str, params: BbrParams, mss: u32) -> Self {
+        BbrCore {
+            name,
+            params,
+            mss,
+            mode: Mode::Startup,
+            max_bw: MaxBwFilter::default(),
+            min_rtt: SimDuration::MAX,
+            min_rtt_stamp: SimTime::ZERO,
+            probe_rtt_done: None,
+            prior_cwnd: 0,
+            full_bw_bps: 0.0,
+            full_bw_count: 0,
+            cycle_idx: 2,
+            cycle_stamp: SimTime::ZERO,
+            pacing_gain: STARTUP_GAIN,
+            cwnd: 10 * mss as u64,
+            last_round: 0,
+            inflight_hi: u64::MAX,
+        }
+    }
+
+    /// Current phase (tests and traces).
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Current bandwidth estimate.
+    pub fn bw_estimate(&self) -> Rate {
+        Rate::from_bps(self.max_bw.get_bps())
+    }
+
+    /// Estimated bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        let bw = self.max_bw.get_bps();
+        if bw <= 0.0 || self.min_rtt == SimDuration::MAX {
+            return 0;
+        }
+        (bw / 8.0 * self.min_rtt.as_secs_f64()) as u64
+    }
+
+    fn min_cwnd(&self) -> u64 {
+        4 * self.mss as u64
+    }
+
+    fn check_full_pipe(&mut self) {
+        if self.mode != Mode::Startup {
+            return;
+        }
+        let bw = self.max_bw.get_bps();
+        if bw >= self.full_bw_bps * self.params.full_bw_thresh {
+            self.full_bw_bps = bw;
+            self.full_bw_count = 0;
+            return;
+        }
+        self.full_bw_count += 1;
+        if self.full_bw_count >= self.params.full_bw_rounds {
+            self.mode = Mode::Drain;
+            self.pacing_gain = 1.0 / STARTUP_GAIN;
+        }
+    }
+
+    fn advance_cycle(&mut self, now: SimTime) {
+        let rtt = if self.min_rtt == SimDuration::MAX {
+            SimDuration::from_millis(1)
+        } else {
+            self.min_rtt
+        };
+        if now.saturating_since(self.cycle_stamp) >= rtt {
+            self.cycle_idx = (self.cycle_idx + 1) % self.params.cycle.len();
+            self.cycle_stamp = now;
+        }
+        self.pacing_gain = self.params.cycle[self.cycle_idx];
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        // Min-RTT filter. The estimate only moves down — or rebuilds from
+        // scratch during PROBE_RTT, which is entered when it goes stale.
+        if let Some(rtt) = ev.rtt_sample {
+            if rtt <= self.min_rtt {
+                self.min_rtt = rtt;
+                self.min_rtt_stamp = ev.now;
+            }
+        }
+
+        // Max-bandwidth filter; app-limited samples only raise the max.
+        if let Some(rate) = ev.delivery_rate {
+            if !ev.app_limited || rate.bps() > self.max_bw.get_bps() {
+                self.max_bw.update(ev.round, rate.bps());
+            }
+        }
+
+        let new_round = ev.round != self.last_round;
+        self.last_round = ev.round;
+        if new_round {
+            self.check_full_pipe();
+        }
+
+        // Mode transitions.
+        match self.mode {
+            Mode::Startup => {}
+            Mode::Drain => {
+                if ev.bytes_in_flight <= self.bdp_bytes() {
+                    self.mode = Mode::ProbeBw;
+                    self.cycle_idx = 2;
+                    self.cycle_stamp = ev.now;
+                    self.pacing_gain = 1.0;
+                }
+            }
+            Mode::ProbeBw => self.advance_cycle(ev.now),
+            Mode::ProbeRtt => {
+                if let Some(done) = self.probe_rtt_done {
+                    if ev.now >= done {
+                        self.min_rtt_stamp = ev.now;
+                        self.probe_rtt_done = None;
+                        self.mode = Mode::ProbeBw;
+                        self.cycle_idx = 2;
+                        self.cycle_stamp = ev.now;
+                        self.cwnd = self.prior_cwnd.max(self.min_cwnd());
+                    }
+                }
+            }
+        }
+
+        // PROBE_RTT entry: the min-RTT estimate went stale. Drop to a
+        // minimal window and rebuild the estimate from the drained path.
+        if self.mode != Mode::ProbeRtt
+            && self.min_rtt != SimDuration::MAX
+            && ev.now.saturating_since(self.min_rtt_stamp) > MIN_RTT_WINDOW
+        {
+            self.mode = Mode::ProbeRtt;
+            self.prior_cwnd = self.cwnd;
+            self.probe_rtt_done = Some(ev.now + PROBE_RTT_TIME);
+            self.min_rtt = SimDuration::MAX;
+            self.min_rtt_stamp = ev.now;
+        }
+
+        // Window update.
+        match self.mode {
+            Mode::ProbeRtt => {
+                self.cwnd = self.min_cwnd();
+            }
+            Mode::Startup => {
+                // Grow by acked bytes (exponential, paced by the gain),
+                // bounded by the startup gain times the current BDP
+                // estimate — unbounded growth would blow past the
+                // bottleneck buffer long before the plateau detector fires.
+                let bdp = self.bdp_bytes();
+                let grown = self.cwnd + ev.newly_acked_bytes;
+                self.cwnd = if bdp > 0 {
+                    grown.min(((STARTUP_GAIN * bdp as f64) as u64).max(10 * self.mss as u64))
+                } else {
+                    grown
+                };
+            }
+            _ => {
+                let target = ((self.params.cwnd_gain * self.bdp_bytes() as f64) as u64)
+                    .max(self.min_cwnd());
+                self.cwnd = if self.cwnd < target {
+                    (self.cwnd + ev.newly_acked_bytes).min(target)
+                } else {
+                    target
+                };
+            }
+        }
+        if self.params.reacts_to_loss {
+            self.cwnd = self.cwnd.min(self.inflight_hi);
+        }
+        self.cwnd = self.cwnd.max(MIN_CWND_SEGS * self.mss as u64);
+
+        if self.mode == Mode::Startup {
+            self.pacing_gain = STARTUP_GAIN;
+        }
+    }
+
+    fn on_congestion_event(&mut self, ev: &CongestionEvent) {
+        if !self.params.reacts_to_loss {
+            return; // v1 sails through losses
+        }
+        // v2: clamp the in-flight ceiling below the level that just lost.
+        let level = ev.bytes_in_flight.max(self.min_cwnd());
+        self.inflight_hi = ((level as f64 * self.params.loss_backoff) as u64)
+            .max(self.min_cwnd());
+        if self.mode == Mode::Startup {
+            // The alpha exits startup on the first loss round.
+            self.mode = Mode::Drain;
+            self.pacing_gain = 1.0 / STARTUP_GAIN;
+        }
+    }
+
+    fn on_rto(&mut self) {
+        self.prior_cwnd = self.cwnd;
+        self.cwnd = self.mss as u64;
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        let bw = self.max_bw.get_bps();
+        if bw <= 0.0 {
+            return None; // startup before the first sample: unpaced burst
+        }
+        Some(Rate::from_bps(bw * self.pacing_gain))
+    }
+}
+
+macro_rules! bbr_variant {
+    ($(#[$doc:meta])* $name:ident, $label:literal, $params:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            core: BbrCore,
+        }
+
+        impl $name {
+            /// Construct for segments of `mss` bytes.
+            pub fn new(mss: u32) -> Self {
+                $name {
+                    core: BbrCore::new($label, $params, mss),
+                }
+            }
+
+            /// Current state-machine phase.
+            pub fn mode(&self) -> Mode {
+                self.core.mode()
+            }
+
+            /// Current bandwidth estimate.
+            pub fn bw_estimate(&self) -> Rate {
+                self.core.bw_estimate()
+            }
+
+            /// Estimated BDP in bytes.
+            pub fn bdp_bytes(&self) -> u64 {
+                self.core.bdp_bytes()
+            }
+        }
+
+        impl CongestionControl for $name {
+            fn name(&self) -> &'static str {
+                self.core.name
+            }
+            fn on_ack(&mut self, ev: &AckEvent) {
+                self.core.on_ack(ev);
+            }
+            fn on_congestion_event(&mut self, ev: &CongestionEvent) {
+                self.core.on_congestion_event(ev);
+            }
+            fn on_rto(&mut self, _now: SimTime, _mss: u32) {
+                self.core.on_rto();
+            }
+            fn cwnd(&self) -> u64 {
+                self.core.cwnd
+            }
+            fn pacing_rate(&self) -> Option<Rate> {
+                self.core.pacing_rate()
+            }
+            fn uses_pacing(&self) -> bool {
+                true
+            }
+            fn compute_cost_factor(&self) -> f64 {
+                self.core.params.compute_cost
+            }
+        }
+    };
+}
+
+bbr_variant!(
+    /// BBR v1: model-based, loss-agnostic, near-full utilization.
+    Bbr,
+    "bbr",
+    PARAMS_V1
+);
+bbr_variant!(
+    /// The BBRv2 **alpha** (the release the paper measured): earlier
+    /// startup exit, conservative cruise gains, and loss backoff. Its
+    /// lower average utilization is the modeled source of the ~40% energy
+    /// gap the paper reports between the BBR versions.
+    Bbr2,
+    "bbr2",
+    PARAMS_V2_ALPHA
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ack_full;
+    use netsim::time::SimTime;
+
+    const MSS: u32 = 1000;
+
+    /// Feed steady acks at `gbps` delivery rate and `rtt_us` RTT,
+    /// advancing one round per `rtt_us`.
+    fn cruise<T: CongestionControl>(
+        cc: &mut T,
+        start_round: u64,
+        rounds: u64,
+        gbps: f64,
+        rtt_us: u64,
+        start: SimTime,
+    ) -> SimTime {
+        let mut now = start;
+        for r in 0..rounds {
+            // 4 acks per round.
+            for _ in 0..4 {
+                now = now + SimDuration::from_micros(rtt_us / 4);
+                cc.on_ack(&ack_full(
+                    25_000,
+                    now,
+                    start_round + r,
+                    rtt_us,
+                    rtt_us,
+                    Some(gbps),
+                    (gbps * 1e9 / 8.0 * rtt_us as f64 * 1e-6) as u64,
+                ));
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn startup_exits_to_drain_when_bw_plateaus() {
+        let mut cc = Bbr::new(MSS);
+        assert_eq!(cc.mode(), Mode::Startup);
+        // Growing bandwidth: stays in startup.
+        let mut now = SimTime::ZERO;
+        for (r, g) in [1.0, 2.0, 4.0, 8.0].iter().enumerate() {
+            now = cruise(&mut cc, r as u64, 1, *g, 100, now);
+        }
+        assert_eq!(cc.mode(), Mode::Startup);
+        // Plateau at 8 Gbps for several rounds: exits.
+        cruise(&mut cc, 10, 6, 8.0, 100, now);
+        assert_ne!(cc.mode(), Mode::Startup, "must leave startup on plateau");
+    }
+
+    #[test]
+    fn reaches_probe_bw_and_tracks_bdp() {
+        let mut cc = Bbr::new(MSS);
+        let now = cruise(&mut cc, 0, 20, 8.0, 100, SimTime::ZERO);
+        let _ = now;
+        assert_eq!(cc.mode(), Mode::ProbeBw);
+        // BDP = 8 Gb/s * 100 us = 100 KB; cwnd ~ 2 * BDP.
+        let bdp = cc.bdp_bytes();
+        assert!((90_000..110_000).contains(&bdp), "bdp={bdp}");
+        let cwnd = cc.cwnd();
+        assert!(
+            (150_000..250_000).contains(&cwnd),
+            "cwnd={cwnd} should be ~2x BDP"
+        );
+    }
+
+    #[test]
+    fn pacing_rate_follows_estimate() {
+        let mut cc = Bbr::new(MSS);
+        assert!(cc.pacing_rate().is_none(), "unpaced before first sample");
+        cruise(&mut cc, 0, 20, 8.0, 100, SimTime::ZERO);
+        let pr = cc.pacing_rate().unwrap().gbps();
+        // In PROBE_BW gains cycle in [0.75, 1.25].
+        assert!((5.0..11.0).contains(&pr), "pacing={pr}");
+    }
+
+    #[test]
+    fn probe_rtt_dips_after_stale_min_rtt() {
+        let mut cc = Bbr::new(MSS);
+        let now = cruise(&mut cc, 0, 20, 8.0, 100, SimTime::ZERO);
+        assert_eq!(cc.mode(), Mode::ProbeBw);
+        // Keep cruising with *higher* RTT samples for > 10 s so the min
+        // estimate goes stale.
+        let mut t = now + SimDuration::from_secs(11);
+        cc.on_ack(&ack_full(25_000, t, 100, 150, 100, Some(8.0), 100_000));
+        assert_eq!(cc.mode(), Mode::ProbeRtt);
+        assert_eq!(cc.cwnd(), 4 * MSS as u64);
+        // After 200 ms it exits and restores.
+        t = t + SimDuration::from_millis(250);
+        cc.on_ack(&ack_full(25_000, t, 101, 100, 100, Some(8.0), 4_000));
+        assert_eq!(cc.mode(), Mode::ProbeBw);
+        assert!(cc.cwnd() > 4 * MSS as u64);
+    }
+
+    #[test]
+    fn v1_ignores_loss() {
+        let mut cc = Bbr::new(MSS);
+        cruise(&mut cc, 0, 20, 8.0, 100, SimTime::ZERO);
+        let before = cc.cwnd();
+        cc.on_congestion_event(&transport::cc::CongestionEvent {
+            now: SimTime::from_secs(1),
+            bytes_in_flight: before,
+            srtt: SimDuration::from_micros(100),
+        });
+        assert_eq!(cc.cwnd(), before, "v1 sails through losses");
+    }
+
+    #[test]
+    fn v2_alpha_backs_off_on_loss() {
+        let mut cc = Bbr2::new(MSS);
+        cruise(&mut cc, 0, 20, 8.0, 100, SimTime::ZERO);
+        let before = cc.cwnd();
+        cc.on_congestion_event(&transport::cc::CongestionEvent {
+            now: SimTime::from_secs(1),
+            bytes_in_flight: before,
+            srtt: SimDuration::from_micros(100),
+        });
+        // The inflight ceiling now binds the window below the loss level.
+        let mut now = SimTime::from_secs(1);
+        now = now + SimDuration::from_micros(100);
+        cc.on_ack(&ack_full(25_000, now, 30, 100, 100, Some(8.0), 100_000));
+        assert!(
+            cc.cwnd() <= (before as f64 * 0.85) as u64 + MSS as u64,
+            "cwnd={} before={before}",
+            cc.cwnd()
+        );
+    }
+
+    #[test]
+    fn v2_alpha_cruises_below_v1() {
+        // Average pacing gain of the alpha's cycle must be distinctly
+        // below v1's: that is the modeled inefficiency.
+        let avg = |c: &[f64]| c.iter().sum::<f64>() / c.len() as f64;
+        assert!(avg(&CYCLE_V2_ALPHA) < avg(&CYCLE_V1) - 0.1);
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut cc = Bbr::new(MSS);
+        cruise(&mut cc, 0, 20, 8.0, 100, SimTime::ZERO);
+        cc.on_rto(SimTime::from_secs(1), MSS);
+        assert_eq!(cc.cwnd(), MSS as u64);
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(Bbr::new(MSS).name(), "bbr");
+        assert_eq!(Bbr2::new(MSS).name(), "bbr2");
+        assert!(Bbr2::new(MSS).compute_cost_factor() > Bbr::new(MSS).compute_cost_factor());
+    }
+}

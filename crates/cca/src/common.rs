@@ -1,0 +1,178 @@
+//! Shared window arithmetic for the loss-based algorithms.
+//!
+//! Most classic CCAs share the RFC 5681 skeleton — slow start below
+//! `ssthresh`, some additive/multiplicative rule above it, a window
+//! collapse on RTO — and differ only in their increase/decrease rules.
+//! [`WindowCore`] centralizes the shared parts so each algorithm module
+//! contains only what makes it itself.
+
+/// Congestion window + slow-start threshold bookkeeping, in bytes.
+#[derive(Clone, Debug)]
+pub struct WindowCore {
+    cwnd: u64,
+    ssthresh: u64,
+    mss: u32,
+}
+
+/// Minimum congestion window: 2 segments (RFC 5681).
+pub const MIN_CWND_SEGS: u64 = 2;
+
+/// Upper clamp on any congestion window: 16 GiB. No experiment in this
+/// workspace needs more; the clamp turns runaway-growth bugs into visible
+/// plateaus instead of silent u64 overflow.
+pub const MAX_CWND_BYTES: u64 = 1 << 34;
+
+impl WindowCore {
+    /// Start with `init_segs` segments and no threshold.
+    pub fn new(mss: u32, init_segs: u64) -> Self {
+        assert!(mss > 0 && init_segs > 0);
+        WindowCore {
+            cwnd: init_segs * mss as u64,
+            ssthresh: u64::MAX,
+            mss,
+        }
+    }
+
+    /// Current window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// Current window in (fractional) segments.
+    pub fn cwnd_segs(&self) -> f64 {
+        self.cwnd as f64 / self.mss as f64
+    }
+
+    /// Slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    /// Segment size.
+    pub fn mss(&self) -> u32 {
+        self.mss
+    }
+
+    /// True while below the slow-start threshold.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Set the window directly (clamped to the valid range).
+    pub fn set_cwnd(&mut self, bytes: u64) {
+        self.cwnd = bytes
+            .max(MIN_CWND_SEGS * self.mss as u64)
+            .min(MAX_CWND_BYTES);
+    }
+
+    /// Set the window without the two-segment floor (BBR's PROBE_RTT and
+    /// RTO collapse go to one segment).
+    pub fn set_cwnd_min_one(&mut self, bytes: u64) {
+        self.cwnd = bytes.max(self.mss as u64);
+    }
+
+    /// Set the slow-start threshold (clamped to two segments).
+    pub fn set_ssthresh(&mut self, bytes: u64) {
+        self.ssthresh = bytes.max(MIN_CWND_SEGS * self.mss as u64);
+    }
+
+    /// RFC 5681 byte-counted slow start: grow by the acked bytes, capped
+    /// at `ssthresh`. Only meaningful while [`Self::in_slow_start`].
+    pub fn slow_start_increase(&mut self, acked_bytes: u64) {
+        debug_assert!(self.in_slow_start());
+        let grown = self.cwnd.saturating_add(acked_bytes);
+        self.cwnd = if self.ssthresh == u64::MAX {
+            grown.min(MAX_CWND_BYTES)
+        } else {
+            grown.min(self.ssthresh).min(MAX_CWND_BYTES)
+        };
+    }
+
+    /// Classic congestion-avoidance additive increase:
+    /// `cwnd += mss * acked / cwnd` (byte-counted Reno).
+    pub fn reno_ca_increase(&mut self, acked_bytes: u64) {
+        let inc = (self.mss as u128 * acked_bytes as u128 / self.cwnd.max(1) as u128) as u64;
+        self.cwnd += inc.max(1).min(self.mss as u64);
+    }
+
+    /// Multiplicative decrease to `factor * cwnd`, updating ssthresh too.
+    pub fn multiplicative_decrease(&mut self, factor: f64) {
+        debug_assert!((0.0..1.0).contains(&factor));
+        let target = (self.cwnd as f64 * factor) as u64;
+        self.set_ssthresh(target);
+        self.set_cwnd(target);
+    }
+
+    /// RTO collapse: `ssthresh = flight/2`, `cwnd = 1 segment`.
+    pub fn rto_collapse(&mut self) {
+        self.set_ssthresh(self.cwnd / 2);
+        self.cwnd = self.mss as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut w = WindowCore::new(1000, 10);
+        assert!(w.in_slow_start());
+        // Acking a full window doubles it.
+        w.slow_start_increase(10_000);
+        assert_eq!(w.cwnd(), 20_000);
+    }
+
+    #[test]
+    fn slow_start_respects_ssthresh() {
+        let mut w = WindowCore::new(1000, 10);
+        w.set_ssthresh(12_000);
+        w.slow_start_increase(10_000);
+        assert_eq!(w.cwnd(), 12_000, "growth stops at ssthresh");
+        assert!(!w.in_slow_start());
+    }
+
+    #[test]
+    fn reno_ca_adds_one_mss_per_window() {
+        let mut w = WindowCore::new(1000, 10);
+        w.set_ssthresh(10_000); // in CA from the start
+        // Ack a full window in 10 acks.
+        for _ in 0..10 {
+            w.reno_ca_increase(1000);
+        }
+        // cwnd grows ~1 mss per RTT (slightly more as cwnd sits at 10-11k).
+        assert!(w.cwnd() >= 10_900 && w.cwnd() <= 11_100, "cwnd={}", w.cwnd());
+    }
+
+    #[test]
+    fn ca_increase_never_exceeds_one_mss_per_ack() {
+        let mut w = WindowCore::new(1000, 2);
+        w.set_ssthresh(2000);
+        w.reno_ca_increase(100_000); // absurdly large stretch ack
+        assert!(w.cwnd() <= 3000);
+    }
+
+    #[test]
+    fn multiplicative_decrease_halves() {
+        let mut w = WindowCore::new(1000, 100);
+        w.multiplicative_decrease(0.5);
+        assert_eq!(w.cwnd(), 50_000);
+        assert_eq!(w.ssthresh(), 50_000);
+    }
+
+    #[test]
+    fn decrease_clamps_at_two_segments() {
+        let mut w = WindowCore::new(1000, 2);
+        w.multiplicative_decrease(0.5);
+        assert_eq!(w.cwnd(), 2000);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment() {
+        let mut w = WindowCore::new(1000, 100);
+        w.rto_collapse();
+        assert_eq!(w.cwnd(), 1000);
+        assert_eq!(w.ssthresh(), 50_000);
+        assert!(w.in_slow_start());
+    }
+}

@@ -1,0 +1,257 @@
+//! CUBIC (Ha, Rhee, Xu — RFC 8312), the Linux default since 2.6.19 and
+//! the algorithm the paper uses for its headline experiments.
+//!
+//! After a loss at window `W_max`, the window follows the cubic
+//! `W(t) = C (t - K)^3 + W_max` with `K = cbrt(W_max * beta / C)`: a fast
+//! ramp, a plateau at the previous high-water mark, then probing beyond.
+//! A Reno-like "TCP-friendly" estimate floors the window so CUBIC never
+//! underperforms Reno at small BDPs. Fast convergence releases bandwidth
+//! to new flows by remembering a slightly smaller `W_max` when losses
+//! come before the previous plateau is reached.
+
+use crate::common::WindowCore;
+use netsim::time::{SimDuration, SimTime};
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+
+/// CUBIC's scaling constant (segments/sec^3), per RFC 8312.
+pub const C: f64 = 0.4;
+/// Multiplicative decrease factor (RFC 8312 uses 0.7).
+pub const BETA: f64 = 0.7;
+
+/// CUBIC.
+#[derive(Debug)]
+pub struct Cubic {
+    win: WindowCore,
+    /// Window at the last congestion event, in segments.
+    w_max: f64,
+    /// Epoch start (time of the last congestion event).
+    epoch_start: Option<SimTime>,
+    /// Plateau offset `K` in seconds.
+    k: f64,
+    /// Reno-equivalent window estimate for the TCP-friendly region.
+    w_est: f64,
+    /// Smoothed RTT at epoch start, for the friendliness estimate.
+    last_srtt: SimDuration,
+}
+
+impl Cubic {
+    /// A CUBIC controller for segments of `mss` bytes.
+    pub fn new(mss: u32) -> Self {
+        Cubic {
+            win: WindowCore::new(mss, 10),
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            last_srtt: SimDuration::from_millis(1),
+        }
+    }
+
+    /// The cubic window (in segments) at `t` seconds into the epoch.
+    fn w_cubic(&self, t: f64) -> f64 {
+        C * (t - self.k).powi(3) + self.w_max
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if ev.newly_acked_bytes == 0 || ev.in_recovery || !ev.cwnd_limited {
+            return;
+        }
+        self.last_srtt = ev.srtt;
+        if self.win.in_slow_start() {
+            self.win.slow_start_increase(ev.newly_acked_bytes);
+            return;
+        }
+        let mss = self.win.mss() as f64;
+        let epoch_start = *self.epoch_start.get_or_insert_with(|| {
+            // First CA ack without a prior loss: start an epoch at the
+            // current window (w_max = current).
+            self.w_max = self.win.cwnd() as f64 / mss;
+            self.k = 0.0;
+            self.w_est = self.w_max;
+            ev.now
+        });
+
+        let t = ev.now.saturating_since(epoch_start).as_secs_f64();
+        let rtt = ev.srtt.as_secs_f64().max(1e-6);
+
+        // Target: the cubic curve evaluated one RTT ahead (RFC 8312 §4.1).
+        let target = self.w_cubic(t + rtt);
+
+        // TCP-friendly region (RFC 8312 §4.2): Reno's AIMD estimate.
+        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * ev.newly_acked_bytes as f64
+            / (self.win.cwnd() as f64);
+
+        let cwnd_segs = self.win.cwnd() as f64 / mss;
+        let next = if target > cwnd_segs {
+            // Standard cubic growth: close (target - cwnd)/cwnd per ack —
+            // approximated by stepping toward the target proportionally to
+            // the acked bytes.
+            cwnd_segs + (target - cwnd_segs) * (ev.newly_acked_bytes as f64 / self.win.cwnd() as f64)
+        } else {
+            // In the plateau: probe very gently.
+            cwnd_segs + 0.01 * (ev.newly_acked_bytes as f64 / mss) / cwnd_segs
+        };
+        let next = next.max(self.w_est);
+        self.win.set_cwnd((next * mss) as u64);
+    }
+
+    fn on_congestion_event(&mut self, ev: &CongestionEvent) {
+        let mss = self.win.mss() as f64;
+        let cwnd_segs = self.win.cwnd() as f64 / mss;
+        // Fast convergence (RFC 8312 §4.6).
+        self.w_max = if cwnd_segs < self.w_max {
+            cwnd_segs * (1.0 + BETA) / 2.0
+        } else {
+            cwnd_segs
+        };
+        self.k = (self.w_max * (1.0 - BETA) / C).cbrt();
+        self.epoch_start = Some(ev.now);
+        self.w_est = cwnd_segs * BETA;
+        self.win.multiplicative_decrease(BETA);
+    }
+
+    fn on_rto(&mut self, _now: SimTime, _mss: u32) {
+        self.epoch_start = None;
+        self.w_max = 0.0;
+        self.win.rto_collapse();
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.win.ssthresh()
+    }
+
+    /// The reference: a cube root and cubic evaluation per congestion
+    /// event plus per-ack curve stepping. Factor 1.0 *defines* the energy
+    /// model's reference CC cost.
+    fn compute_cost_factor(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack_at, congestion_at};
+    use netsim::time::SimTime;
+
+    const MSS: u32 = 1000;
+
+    /// Drive one RTT's worth of acks at time `now`.
+    fn window_of_acks(cc: &mut Cubic, now: SimTime) {
+        let w = cc.cwnd();
+        let mut acked = 0;
+        while acked < w {
+            cc.on_ack(&ack_at(MSS as u64, now));
+            acked += MSS as u64;
+        }
+    }
+
+    #[test]
+    fn k_formula_matches_rfc() {
+        let mut cc = Cubic::new(MSS);
+        // Get to 100 segments then lose.
+        cc.on_ack(&ack_at(90_000, SimTime::ZERO));
+        assert_eq!(cc.cwnd(), 100_000);
+        cc.on_congestion_event(&congestion_at(100_000, SimTime::from_secs(1)));
+        // W_max = 100, K = cbrt(100 * 0.3 / 0.4) = cbrt(75) ~ 4.217 s.
+        assert!((cc.k - 4.217).abs() < 0.01, "K={}", cc.k);
+        assert_eq!(cc.cwnd(), 70_000);
+    }
+
+    #[test]
+    fn window_recovers_toward_w_max() {
+        let mut cc = Cubic::new(MSS);
+        cc.on_ack(&ack_at(90_000, SimTime::ZERO));
+        cc.on_congestion_event(&congestion_at(100_000, SimTime::from_secs(1)));
+        // Drive acks over the epoch; by t = K the window must be close
+        // to W_max again, and it must grow monotonically.
+        let mut prev = cc.cwnd();
+        for ms in (1100..5300).step_by(100) {
+            window_of_acks(&mut cc, SimTime::from_millis(ms));
+            assert!(cc.cwnd() >= prev, "cubic growth must be monotone");
+            prev = cc.cwnd();
+        }
+        let at_k = cc.cwnd() as f64 / 1000.0;
+        assert!(
+            (at_k - 100.0).abs() < 10.0,
+            "at t~K window should be near W_max: {at_k} segs"
+        );
+    }
+
+    #[test]
+    fn plateau_is_flat_then_probes() {
+        let mut cc = Cubic::new(MSS);
+        cc.on_ack(&ack_at(90_000, SimTime::ZERO));
+        cc.on_congestion_event(&congestion_at(100_000, SimTime::from_secs(1)));
+        // Well past K the curve grows beyond W_max.
+        for ms in (1100..9000).step_by(50) {
+            window_of_acks(&mut cc, SimTime::from_millis(ms));
+        }
+        assert!(
+            cc.cwnd() > 110_000,
+            "past the plateau CUBIC probes beyond W_max: {}",
+            cc.cwnd()
+        );
+    }
+
+    #[test]
+    fn fast_convergence_lowers_w_max_on_back_to_back_losses() {
+        let mut cc = Cubic::new(MSS);
+        cc.on_ack(&ack_at(90_000, SimTime::ZERO));
+        cc.on_congestion_event(&congestion_at(100_000, SimTime::from_secs(1)));
+        let w_max_1 = cc.w_max;
+        // Second loss before recovering to W_max.
+        cc.on_congestion_event(&congestion_at(70_000, SimTime::from_secs(2)));
+        assert!(
+            cc.w_max < w_max_1,
+            "fast convergence: w_max {} -> {}",
+            w_max_1,
+            cc.w_max
+        );
+    }
+
+    #[test]
+    fn tcp_friendly_floor_tracks_reno() {
+        let mut cc = Cubic::new(MSS);
+        cc.on_ack(&ack_at(9_000, SimTime::ZERO)); // small window
+        cc.on_congestion_event(&congestion_at(19_000, SimTime::from_secs(1)));
+        let w0 = cc.cwnd();
+        // At tiny windows the cubic term is glacial; the Reno estimate
+        // should still push the window up about one MSS per RTT.
+        for i in 0..10u64 {
+            window_of_acks(&mut cc, SimTime::from_millis(1000 + i));
+        }
+        assert!(
+            cc.cwnd() >= w0 + 5_000,
+            "friendly region must grow Reno-like: {} from {w0}",
+            cc.cwnd()
+        );
+    }
+
+    #[test]
+    fn rto_resets_epoch() {
+        let mut cc = Cubic::new(MSS);
+        cc.on_ack(&ack_at(90_000, SimTime::ZERO));
+        cc.on_congestion_event(&congestion_at(100_000, SimTime::from_secs(1)));
+        cc.on_rto(SimTime::from_secs(2), MSS);
+        assert_eq!(cc.cwnd(), 1000);
+        assert!(cc.epoch_start.is_none());
+    }
+
+    #[test]
+    fn identity() {
+        let cc = Cubic::new(MSS);
+        assert_eq!(cc.name(), "cubic");
+        assert_eq!(cc.compute_cost_factor(), 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! DCTCP (Alizadeh et al., SIGCOMM 2010).
+//!
+//! The data-center algorithm: switches mark packets past a shallow
+//! threshold K; the receiver echoes the exact sequence of marks; the
+//! sender maintains `alpha`, an EWMA of the *fraction* of marked bytes
+//! per window, and once per window scales the window down by
+//! `alpha / 2` — a reduction proportional to the amount of congestion
+//! rather than Reno's blunt halving.
+
+use crate::common::WindowCore;
+use netsim::time::SimTime;
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+
+/// EWMA gain for alpha (the paper recommends g = 1/16).
+pub const G: f64 = 1.0 / 16.0;
+
+/// DCTCP.
+#[derive(Debug)]
+pub struct Dctcp {
+    win: WindowCore,
+    /// EWMA of the marked-byte fraction.
+    alpha: f64,
+    /// Bytes acked in the current observation window.
+    acked_bytes: u64,
+    /// Of which CE-marked.
+    marked_bytes: u64,
+    /// The window ends when `cum_acked` passes this sequence.
+    window_end: u64,
+}
+
+impl Dctcp {
+    /// A DCTCP controller for segments of `mss` bytes.
+    pub fn new(mss: u32) -> Self {
+        Dctcp {
+            win: WindowCore::new(mss, 10),
+            alpha: 0.0,
+            acked_bytes: 0,
+            marked_bytes: 0,
+            window_end: 0,
+        }
+    }
+
+    /// The current congestion estimate `alpha` in `[0, 1]`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        self.acked_bytes += ev.newly_acked_bytes;
+        self.marked_bytes += ev.ce_marked_bytes;
+
+        if ev.cum_acked >= self.window_end {
+            // One observation window has passed: fold in the fraction.
+            if self.acked_bytes > 0 {
+                let f = (self.marked_bytes as f64 / self.acked_bytes as f64).min(1.0);
+                self.alpha = (1.0 - G) * self.alpha + G * f;
+                if self.marked_bytes > 0 {
+                    // Proportional reduction, once per window.
+                    let cwnd = self.win.cwnd() as f64;
+                    let target = cwnd * (1.0 - self.alpha / 2.0);
+                    self.win.set_ssthresh(target as u64);
+                    self.win.set_cwnd(target as u64);
+                }
+            }
+            self.acked_bytes = 0;
+            self.marked_bytes = 0;
+            self.window_end = ev.cum_acked + self.win.cwnd();
+        }
+
+        if ev.newly_acked_bytes == 0 || ev.in_recovery || !ev.cwnd_limited {
+            return;
+        }
+        if ev.ce_marked_bytes > 0 {
+            return; // no growth on marked acks
+        }
+        if self.win.in_slow_start() {
+            self.win.slow_start_increase(ev.newly_acked_bytes);
+        } else {
+            self.win.reno_ca_increase(ev.newly_acked_bytes);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _ev: &CongestionEvent) {
+        // Actual loss: fall back to a Reno-style halving (DCTCP paper §3).
+        self.win.multiplicative_decrease(0.5);
+    }
+
+    fn on_rto(&mut self, _now: SimTime, _mss: u32) {
+        self.win.rto_collapse();
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.win.ssthresh()
+    }
+
+    fn wants_ecn(&self) -> bool {
+        true
+    }
+
+    /// Per-ack mark accounting plus the EWMA per window — and DCTCP's ack
+    /// policy generates up to twice the acks of a delayed-ack algorithm,
+    /// which the energy model charges separately. Calibrated to Fig. 6,
+    /// where DCTCP draws the most power.
+    fn compute_cost_factor(&self) -> f64 {
+        0.475
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, ack_marked, congestion};
+
+    #[test]
+    fn alpha_stays_zero_without_marks() {
+        let mut cc = Dctcp::new(1000);
+        for i in 0..50 {
+            let mut ev = ack(1000, 0);
+            ev.cum_acked = (i + 1) * 1000;
+            cc.on_ack(&ev);
+        }
+        assert_eq!(cc.alpha(), 0.0);
+        assert!(cc.cwnd() > 10_000, "grows like Reno without marks");
+    }
+
+    #[test]
+    fn alpha_converges_to_mark_fraction() {
+        let mut cc = Dctcp::new(1000);
+        // Every window fully marked: alpha -> 1.
+        let mut cum = 0;
+        for _ in 0..200 {
+            cum += 1000;
+            cc.on_ack(&ack_marked(1000, 1000, cum));
+        }
+        assert!(cc.alpha() > 0.9, "alpha={}", cc.alpha());
+    }
+
+    #[test]
+    fn fully_marked_windows_halve_eventually() {
+        let mut cc = Dctcp::new(1000);
+        // Leave slow start at 100 segs.
+        let mut ev = ack(90_000, 0);
+        ev.cum_acked = 90_000;
+        cc.on_ack(&ev);
+        let w0 = cc.cwnd();
+        // Alpha needs ~16 observation windows (g = 1/16) to saturate, and
+        // each window spans ~cwnd bytes: drive a few MB of marked acks.
+        let mut cum = 90_000;
+        for _ in 0..3000 {
+            cum += 1000;
+            cc.on_ack(&ack_marked(1000, 1000, cum));
+        }
+        // With alpha ~ 1 the reduction approaches cwnd/2 per window.
+        assert!(cc.cwnd() < w0 / 2, "cwnd={} w0={w0}", cc.cwnd());
+    }
+
+    #[test]
+    fn light_marking_gives_gentle_reduction() {
+        let mut cc = Dctcp::new(1000);
+        let mut ev = ack(90_000, 0);
+        ev.cum_acked = 90_000;
+        cc.on_ack(&ev);
+        cc.on_congestion_event(&congestion(cc.cwnd())); // pin into CA
+        let w0 = cc.cwnd();
+        // ~10% of bytes marked for several windows.
+        let mut cum = 90_000u64;
+        for i in 0..300u64 {
+            cum += 1000;
+            let marked = if i % 10 == 0 { 1000 } else { 0 };
+            cc.on_ack(&ack_marked(1000, marked, cum));
+        }
+        let drop_frac = 1.0 - cc.cwnd() as f64 / w0 as f64;
+        // Reduction should be far gentler than halving, and alpha ~ 0.1.
+        assert!(cc.alpha() > 0.02 && cc.alpha() < 0.3, "alpha={}", cc.alpha());
+        assert!(drop_frac < 0.5, "drop={drop_frac}");
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut cc = Dctcp::new(1000);
+        let w0 = cc.cwnd();
+        cc.on_congestion_event(&congestion(w0));
+        assert_eq!(cc.cwnd(), w0 / 2);
+    }
+
+    #[test]
+    fn wants_ecn_and_identity() {
+        let cc = Dctcp::new(1000);
+        assert!(cc.wants_ecn());
+        assert_eq!(cc.name(), "dctcp");
+    }
+
+    #[test]
+    fn rto_collapse() {
+        let mut cc = Dctcp::new(1000);
+        cc.on_rto(SimTime::ZERO, 1000);
+        assert_eq!(cc.cwnd(), 1000);
+    }
+}

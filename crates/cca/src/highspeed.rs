@@ -1,0 +1,181 @@
+//! HighSpeed TCP (RFC 3649).
+//!
+//! Reno whose additive-increase `a(w)` and multiplicative-decrease `b(w)`
+//! depend on the current window: large windows grow faster and back off
+//! less, restoring utilization on high bandwidth-delay-product paths.
+//! Below `W_LOW` segments it is exactly Reno. We use the RFC's analytic
+//! response function rather than the appendix lookup table:
+//!
+//! * `b(w)` interpolates log-linearly from 0.5 at `W_LOW` to `B_HIGH` at
+//!   `W_HIGH`;
+//! * `a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w))` with
+//!   `p(w) = 0.078 / w^1.2` chosen so the response function passes through
+//!   the RFC's reference points.
+
+use crate::common::WindowCore;
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+
+/// Below this window (segments), behave as Reno.
+pub const W_LOW: f64 = 38.0;
+/// Reference high window (segments).
+pub const W_HIGH: f64 = 83_000.0;
+/// Decrease factor parameter at `W_HIGH`.
+pub const B_HIGH: f64 = 0.1;
+
+/// HighSpeed TCP's `b(w)`: the fraction *removed* on loss.
+pub fn b_of_w(w_segs: f64) -> f64 {
+    if w_segs <= W_LOW {
+        return 0.5;
+    }
+    let t = (w_segs.ln() - W_LOW.ln()) / (W_HIGH.ln() - W_LOW.ln());
+    (0.5 + (B_HIGH - 0.5) * t).clamp(B_HIGH, 0.5)
+}
+
+/// HighSpeed TCP's `a(w)`: segments added per congestion-free RTT.
+pub fn a_of_w(w_segs: f64) -> f64 {
+    if w_segs <= W_LOW {
+        return 1.0;
+    }
+    let b = b_of_w(w_segs);
+    let p = 0.078 / w_segs.powf(1.2);
+    (w_segs * w_segs * p * 2.0 * b / (2.0 - b)).max(1.0)
+}
+
+/// HighSpeed TCP.
+#[derive(Debug)]
+pub struct HighSpeed {
+    win: WindowCore,
+}
+
+impl HighSpeed {
+    /// A HighSpeed controller for segments of `mss` bytes.
+    pub fn new(mss: u32) -> Self {
+        HighSpeed {
+            win: WindowCore::new(mss, 10),
+        }
+    }
+}
+
+impl CongestionControl for HighSpeed {
+    fn name(&self) -> &'static str {
+        "highspeed"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if ev.newly_acked_bytes == 0 || ev.in_recovery || !ev.cwnd_limited {
+            return;
+        }
+        if self.win.in_slow_start() {
+            self.win.slow_start_increase(ev.newly_acked_bytes);
+            return;
+        }
+        // cwnd += a(w) * mss * acked / cwnd  (a(w) segments per RTT).
+        let a = a_of_w(self.win.cwnd_segs());
+        let mss = self.win.mss() as f64;
+        let inc = a * mss * ev.newly_acked_bytes as f64 / self.win.cwnd() as f64;
+        self.win.set_cwnd(self.win.cwnd() + inc.round() as u64);
+    }
+
+    fn on_congestion_event(&mut self, _ev: &CongestionEvent) {
+        let b = b_of_w(self.win.cwnd_segs());
+        self.win.multiplicative_decrease(1.0 - b);
+    }
+
+    fn on_rto(&mut self, _now: netsim::time::SimTime, _mss: u32) {
+        self.win.rto_collapse();
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.win.ssthresh()
+    }
+
+    /// A log + two table interpolations per ack; calibrated to the
+    /// measured Fig. 6 ordering.
+    fn compute_cost_factor(&self) -> f64 {
+        0.65
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, congestion};
+
+    #[test]
+    fn response_function_reference_points() {
+        // RFC 3649: at w = 38, a = 1 and b = 0.5 (Reno-compatible).
+        assert!((a_of_w(38.0) - 1.0).abs() < 0.1);
+        assert_eq!(b_of_w(38.0), 0.5);
+        // At w = 83000, b = 0.1 and a ~ 70-73.
+        assert!((b_of_w(83_000.0) - 0.1).abs() < 1e-9);
+        let a = a_of_w(83_000.0);
+        assert!((65.0..80.0).contains(&a), "a(83000)={a}");
+    }
+
+    #[test]
+    fn a_is_monotone_and_b_decreasing() {
+        let mut prev_a = 0.0;
+        let mut prev_b = 1.0;
+        for exp in 1..=10 {
+            let w = 38.0 * 2f64.powi(exp);
+            let a = a_of_w(w);
+            let b = b_of_w(w);
+            assert!(a >= prev_a, "a must not decrease");
+            assert!(b <= prev_b, "b must not increase");
+            prev_a = a;
+            prev_b = b;
+        }
+    }
+
+    #[test]
+    fn small_windows_are_reno() {
+        let mut cc = HighSpeed::new(1000);
+        cc.on_congestion_event(&congestion(20_000)); // cwnd = 10k, CA
+        let w0 = cc.cwnd();
+        for _ in 0..(w0 / 1000) {
+            cc.on_ack(&ack(1000, 0));
+        }
+        let growth = cc.cwnd() - w0;
+        assert!((900..=1100).contains(&growth), "growth={growth}");
+    }
+
+    #[test]
+    fn large_windows_grow_aggressively_and_back_off_gently() {
+        let mut cc = HighSpeed::new(1000);
+        // Inflate to ~1000 segments, then leave slow start.
+        cc.on_ack(&ack(990_000, 0));
+        cc.on_congestion_event(&congestion(cc.cwnd()));
+        let w0 = cc.cwnd();
+        let b = b_of_w(w0 as f64 / 1000.0);
+        assert!(b < 0.5, "large window must back off less: b={b}");
+        // One window of acks: growth of a(w) > 1 segments.
+        let mut acked = 0;
+        while acked < w0 {
+            cc.on_ack(&ack(1000, 0));
+            acked += 1000;
+        }
+        let growth_segs = (cc.cwnd() - w0) as f64 / 1000.0;
+        let expected = a_of_w(w0 as f64 / 1000.0);
+        assert!(
+            growth_segs > 1.5 && (growth_segs - expected).abs() / expected < 0.3,
+            "growth={growth_segs} expected~{expected}"
+        );
+    }
+
+    #[test]
+    fn rto_collapse() {
+        let mut cc = HighSpeed::new(1000);
+        cc.on_ack(&ack(100_000, 0));
+        cc.on_rto(netsim::time::SimTime::ZERO, 1000);
+        assert_eq!(cc.cwnd(), 1000);
+    }
+
+    #[test]
+    fn identity() {
+        assert_eq!(HighSpeed::new(1000).name(), "highspeed");
+    }
+}

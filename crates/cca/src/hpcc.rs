@@ -1,0 +1,187 @@
+//! HPCC — High Precision Congestion Control (Li et al., SIGCOMM 2019),
+//! another of the §5 production algorithms. HPCC steers the window from
+//! **in-band network telemetry**: every INT-capable hop reports its queue
+//! occupancy and link utilization, and the sender holds the most-utilized
+//! hop at a target utilization `ETA` just *below* 1 — near-zero queues at
+//! near-full throughput.
+//!
+//! Control law (single-bottleneck form of the paper's §4.3):
+//!
+//! ```text
+//! U = qlen / (B * T_base) + txRate / B        (from the INT record)
+//! W = W_ref / (U / ETA) + W_AI                (multiplicative-style)
+//! ```
+//!
+//! with `W_ref` synchronized to the current window once per round trip,
+//! and `W_AI` a small additive term for fairness convergence.
+
+use crate::common::WindowCore;
+use netsim::time::SimTime;
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+
+/// Target utilization of the most-loaded hop.
+pub const ETA: f64 = 0.95;
+/// Additive increase per update, in segments.
+pub const W_AI_SEGS: f64 = 0.5;
+/// Bound on the per-update multiplicative change (stability guard).
+pub const MAX_STEP: f64 = 2.0;
+
+/// HPCC.
+#[derive(Debug)]
+pub struct Hpcc {
+    win: WindowCore,
+    /// Reference window, synchronized once per round.
+    w_ref: u64,
+    last_round: u64,
+}
+
+impl Hpcc {
+    /// An HPCC controller for segments of `mss` bytes.
+    pub fn new(mss: u32) -> Self {
+        let win = WindowCore::new(mss, 10);
+        let w_ref = win.cwnd();
+        Hpcc {
+            win,
+            w_ref,
+            last_round: 0,
+        }
+    }
+}
+
+impl CongestionControl for Hpcc {
+    fn name(&self) -> &'static str {
+        "hpcc"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if ev.newly_acked_bytes == 0 || ev.in_recovery {
+            return;
+        }
+        // Reference-window sync once per round trip.
+        if ev.round != self.last_round {
+            self.last_round = ev.round;
+            self.w_ref = self.win.cwnd();
+        }
+        if !ev.int.is_stamped() || ev.min_rtt == netsim::time::SimDuration::MAX {
+            // No telemetry (non-INT path): fall back to slow-start-style
+            // growth so the flow still works.
+            if ev.cwnd_limited {
+                self.win.slow_start_increase(ev.newly_acked_bytes);
+            }
+            return;
+        }
+        let t_base = ev.min_rtt.as_secs_f64();
+        let u = ev.int.normalized_utilization(t_base);
+        let mss = self.win.mss() as f64;
+
+        if u <= 0.0 {
+            return;
+        }
+        let ratio = (u / ETA).clamp(1.0 / MAX_STEP, MAX_STEP);
+        let target = self.w_ref as f64 / ratio + W_AI_SEGS * mss;
+        if target > self.win.cwnd() as f64 && !ev.cwnd_limited {
+            return; // window validation: no untested growth
+        }
+        self.win.set_cwnd(target as u64);
+    }
+
+    fn on_congestion_event(&mut self, _ev: &CongestionEvent) {
+        // Telemetry normally prevents loss entirely; a real loss means the
+        // INT view was stale — back off conservatively.
+        self.win.multiplicative_decrease(0.5);
+        self.w_ref = self.win.cwnd();
+    }
+
+    fn on_rto(&mut self, _now: SimTime, _mss: u32) {
+        self.win.rto_collapse();
+        self.w_ref = self.win.cwnd();
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.win.ssthresh()
+    }
+
+    /// Per-ack INT parsing plus a divide; the heaviest per-ack pipeline
+    /// of the set after the BBR family.
+    fn compute_cost_factor(&self) -> f64 {
+        1.3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ack;
+    use netsim::packet::IntRecord;
+
+    const MSS: u32 = 1000;
+
+    fn int_ack(bytes: u64, round: u64, queue: u32, util_x1000: u16) -> transport::cc::AckEvent {
+        let mut ev = ack(bytes, round);
+        ev.int = IntRecord {
+            queue_bytes: queue,
+            util_x1000,
+            link_mbps: 10_000,
+        };
+        ev
+    }
+
+    #[test]
+    fn underutilized_link_grows_window() {
+        let mut cc = Hpcc::new(MSS);
+        let w0 = cc.cwnd();
+        // 40% utilization, empty queue: U = 0.4 << ETA.
+        for r in 1..6 {
+            cc.on_ack(&int_ack(1000, r, 0, 400));
+        }
+        assert!(cc.cwnd() > w0, "must grow toward ETA: {}", cc.cwnd());
+    }
+
+    #[test]
+    fn overloaded_link_shrinks_window() {
+        let mut cc = Hpcc::new(MSS);
+        let w0 = cc.cwnd();
+        // Fully utilized with a standing queue: U > 1.
+        // queue of 125 KB at 10 Gb/s with T=100us: q/(B*T) = 1.0; U = 2.0.
+        cc.on_ack(&int_ack(1000, 1, 125_000, 1000));
+        assert!(cc.cwnd() < w0, "must shrink above ETA: {}", cc.cwnd());
+    }
+
+    #[test]
+    fn converges_near_eta() {
+        let mut cc = Hpcc::new(MSS);
+        // Simulated closed loop: utilization proportional to cwnd.
+        // capacity ~ 125 segments (10 Gb/s * 100 us).
+        for r in 1..200 {
+            let util = (cc.cwnd() as f64 / (125.0 * MSS as f64)).min(1.0);
+            let queue = ((cc.cwnd() as f64) - 125.0 * MSS as f64).max(0.0) as u32;
+            cc.on_ack(&int_ack(1000, r, queue, (util * 1000.0) as u16));
+        }
+        let util = cc.cwnd() as f64 / (125.0 * MSS as f64);
+        assert!(
+            (0.85..1.05).contains(&util),
+            "steady-state utilization {util:.3} should sit near ETA"
+        );
+    }
+
+    #[test]
+    fn falls_back_without_telemetry() {
+        let mut cc = Hpcc::new(MSS);
+        let w0 = cc.cwnd();
+        cc.on_ack(&ack(5000, 1)); // no INT stamp
+        assert!(cc.cwnd() > w0, "non-INT paths still make progress");
+    }
+
+    #[test]
+    fn loss_halves() {
+        let mut cc = Hpcc::new(MSS);
+        let w0 = cc.cwnd();
+        cc.on_congestion_event(&crate::testutil::congestion(w0));
+        assert_eq!(cc.cwnd(), w0 / 2);
+        assert_eq!(cc.name(), "hpcc");
+    }
+}

@@ -1,0 +1,159 @@
+//! Scalable TCP (Kelly, CCR 2003).
+//!
+//! MIMD rules built for high bandwidth-delay products: in congestion
+//! avoidance the window grows by a fixed 0.01 segments per acked segment
+//! (so recovery time after a loss is invariant in the window size), and a
+//! loss multiplies the window by 0.875.
+
+use crate::common::WindowCore;
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+
+/// Per-acked-segment increase, in segments (Kelly's `a = 0.01`).
+pub const A: f64 = 0.01;
+/// Multiplicative decrease (Kelly's `b = 0.125` -> factor 0.875).
+pub const BETA: f64 = 0.875;
+/// Below this window (segments) Scalable behaves like Reno (the paper's
+/// "legacy window" threshold).
+pub const LEGACY_WINDOW_SEGS: f64 = 16.0;
+
+/// Scalable TCP.
+#[derive(Debug)]
+pub struct Scalable {
+    win: WindowCore,
+    /// Fractional window accumulator in bytes.
+    frac: f64,
+}
+
+impl Scalable {
+    /// A Scalable controller for segments of `mss` bytes.
+    pub fn new(mss: u32) -> Self {
+        Scalable {
+            win: WindowCore::new(mss, 10),
+            frac: 0.0,
+        }
+    }
+}
+
+impl CongestionControl for Scalable {
+    fn name(&self) -> &'static str {
+        "scalable"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if ev.newly_acked_bytes == 0 || ev.in_recovery || !ev.cwnd_limited {
+            return;
+        }
+        if self.win.in_slow_start() {
+            self.win.slow_start_increase(ev.newly_acked_bytes);
+            return;
+        }
+        if self.win.cwnd_segs() < LEGACY_WINDOW_SEGS {
+            self.win.reno_ca_increase(ev.newly_acked_bytes);
+            return;
+        }
+        // MIMD: +A segments per acked segment, accumulated fractionally.
+        self.frac += A * ev.newly_acked_bytes as f64;
+        if self.frac >= 1.0 {
+            let whole = self.frac.floor();
+            self.win.set_cwnd(self.win.cwnd() + whole as u64);
+            self.frac -= whole;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _ev: &CongestionEvent) {
+        self.win.multiplicative_decrease(BETA);
+    }
+
+    fn on_rto(&mut self, _now: netsim::time::SimTime, _mss: u32) {
+        self.win.rto_collapse();
+        self.frac = 0.0;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.win.ssthresh()
+    }
+
+    /// Trivial per-ack arithmetic (one fused multiply-add); calibrated to
+    /// the paper's Fig. 6 ordering, where scalable sits low.
+    fn compute_cost_factor(&self) -> f64 {
+        0.75
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack, congestion};
+
+    fn into_ca(cc: &mut Scalable, cwnd_target_segs: u64) {
+        // Grow in slow start, then fix ssthresh below cwnd via a loss.
+        while cc.cwnd() < cwnd_target_segs * 1000 * 8 / 7 {
+            cc.on_ack(&ack(cc.cwnd(), 0));
+        }
+        cc.on_congestion_event(&congestion(cc.cwnd()));
+    }
+
+    #[test]
+    fn mimd_increase_is_proportional() {
+        let mut cc = Scalable::new(1000);
+        into_ca(&mut cc, 200);
+        let w0 = cc.cwnd();
+        // Ack one full window: growth should be ~1% of the window.
+        let mut acked = 0;
+        while acked < w0 {
+            cc.on_ack(&ack(1000, 0));
+            acked += 1000;
+        }
+        let growth = cc.cwnd() - w0;
+        let expected = (A * w0 as f64) as u64;
+        assert!(
+            (growth as i64 - expected as i64).unsigned_abs() <= 1000,
+            "growth={growth} expected~{expected}"
+        );
+    }
+
+    #[test]
+    fn decrease_is_gentle() {
+        let mut cc = Scalable::new(1000);
+        into_ca(&mut cc, 200);
+        let before = cc.cwnd();
+        cc.on_congestion_event(&congestion(before));
+        let after = cc.cwnd();
+        assert!((after as f64 / before as f64 - BETA).abs() < 0.01);
+    }
+
+    #[test]
+    fn small_windows_fall_back_to_reno() {
+        let mut cc = Scalable::new(1000);
+        // Force a tiny CA window.
+        cc.on_congestion_event(&congestion(10_000));
+        cc.on_congestion_event(&congestion(10_000));
+        let w0 = cc.cwnd();
+        assert!(cc.cwnd() / 1000 < 16);
+        for _ in 0..w0.div_ceil(1000) {
+            cc.on_ack(&ack(1000, 0));
+        }
+        // Reno-style: ~1 MSS per window of acked bytes.
+        let growth = cc.cwnd() - w0;
+        assert!((800..=1200).contains(&growth), "growth={growth} w0={w0}");
+    }
+
+    #[test]
+    fn rto_collapse() {
+        let mut cc = Scalable::new(1000);
+        cc.on_ack(&ack(100_000, 0));
+        cc.on_rto(netsim::time::SimTime::ZERO, 1000);
+        assert_eq!(cc.cwnd(), 1000);
+    }
+
+    #[test]
+    fn identity() {
+        let cc = Scalable::new(1000);
+        assert_eq!(cc.name(), "scalable");
+        assert!(cc.compute_cost_factor() < 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Swift (Kumar et al., SIGCOMM 2020) — Google's production delay-based
+//! datacenter CCA. The paper's §5 names it as a production algorithm the
+//! community should benchmark for energy; this is that benchmarkable
+//! implementation, reduced to Swift's essential control law:
+//!
+//! * a **target delay** with a flow-scaling term (`fs_range / sqrt(cwnd)`)
+//!   so small windows tolerate more queueing than large ones;
+//! * additive increase while measured delay is below target;
+//! * multiplicative decrease proportional to the delay *overshoot*,
+//!   clamped by `MAX_MDF`, at most once per round trip.
+
+use crate::common::WindowCore;
+use netsim::time::{SimDuration, SimTime};
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+
+/// Additive-increase, in segments per round trip.
+pub const AI_SEGS: f64 = 1.0;
+/// Multiplicative-decrease aggressiveness.
+pub const BETA: f64 = 0.8;
+/// Maximum fraction removed by one decrease.
+pub const MAX_MDF: f64 = 0.5;
+/// Base queueing allowance above the propagation floor.
+pub const BASE_TARGET: SimDuration = SimDuration::from_micros(50);
+/// Flow-scaling range: extra target for tiny windows.
+pub const FS_RANGE: SimDuration = SimDuration::from_micros(100);
+
+/// Swift.
+#[derive(Debug)]
+pub struct Swift {
+    win: WindowCore,
+    /// Earliest time the next multiplicative decrease may trigger.
+    next_decrease_after: SimTime,
+}
+
+impl Swift {
+    /// A Swift controller for segments of `mss` bytes.
+    pub fn new(mss: u32) -> Self {
+        Swift {
+            win: WindowCore::new(mss, 10),
+            next_decrease_after: SimTime::ZERO,
+        }
+    }
+
+    /// The current target delay for this window size, given the path's
+    /// propagation floor.
+    pub fn target_delay(&self, min_rtt: SimDuration) -> SimDuration {
+        let fs = FS_RANGE.as_secs_f64() / self.win.cwnd_segs().max(1.0).sqrt();
+        min_rtt + BASE_TARGET + SimDuration::from_secs_f64(fs)
+    }
+}
+
+impl CongestionControl for Swift {
+    fn name(&self) -> &'static str {
+        "swift"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let (Some(rtt), true) = (ev.rtt_sample, ev.min_rtt != SimDuration::MAX) else {
+            return;
+        };
+        if ev.newly_acked_bytes == 0 || ev.in_recovery {
+            return;
+        }
+        let target = self.target_delay(ev.min_rtt);
+        if rtt <= target {
+            if !ev.cwnd_limited {
+                return; // window validation: don't grow an untested window
+            }
+            // Additive increase: AI segments per window of acks.
+            let mss = self.win.mss() as f64;
+            let inc = AI_SEGS * mss * ev.newly_acked_bytes as f64 / self.win.cwnd() as f64;
+            self.win.set_cwnd(self.win.cwnd() + inc.round() as u64);
+        } else if ev.now >= self.next_decrease_after {
+            // Proportional decrease, at most once per RTT.
+            let overshoot = (rtt.as_secs_f64() - target.as_secs_f64()) / rtt.as_secs_f64();
+            let factor = (1.0 - BETA * overshoot).max(1.0 - MAX_MDF);
+            let target_w = (self.win.cwnd() as f64 * factor) as u64;
+            self.win.set_ssthresh(target_w);
+            self.win.set_cwnd(target_w);
+            self.next_decrease_after = ev.now + ev.srtt;
+        }
+    }
+
+    fn on_congestion_event(&mut self, ev: &CongestionEvent) {
+        self.win.multiplicative_decrease(1.0 - MAX_MDF);
+        self.next_decrease_after = ev.now + ev.srtt;
+    }
+
+    fn on_rto(&mut self, _now: SimTime, _mss: u32) {
+        self.win.rto_collapse();
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.win.ssthresh()
+    }
+
+    /// Per-ack delay comparison, a square root for flow scaling, and
+    /// timestamp bookkeeping: comparable to CUBIC's arithmetic.
+    fn compute_cost_factor(&self) -> f64 {
+        0.95
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack_with_rtt, congestion};
+    use netsim::time::SimTime;
+
+    const MSS: u32 = 1000;
+
+    fn ev(bytes: u64, now_us: u64, rtt_us: u64, base_us: u64) -> transport::cc::AckEvent {
+        ack_with_rtt(bytes, SimTime::from_micros(now_us), 0, rtt_us, base_us)
+    }
+
+    #[test]
+    fn grows_below_target() {
+        let mut cc = Swift::new(MSS);
+        let w0 = cc.cwnd();
+        // rtt == base: far below target.
+        for i in 0..10 {
+            cc.on_ack(&ev(1000, i * 10, 100, 100));
+        }
+        assert!(cc.cwnd() > w0, "must grow below target");
+    }
+
+    #[test]
+    fn decreases_proportionally_above_target() {
+        let mut cc = Swift::new(MSS);
+        let w0 = cc.cwnd();
+        // Huge delay: rtt 2000 us vs base 100 us -> max decrease.
+        cc.on_ack(&ev(1000, 0, 2000, 100));
+        assert!((cc.cwnd() as f64 - w0 as f64 * (1.0 - MAX_MDF)).abs() <= 1000.0);
+        // Mild overshoot decreases less.
+        let mut cc2 = Swift::new(MSS);
+        let t = cc2.target_delay(SimDuration::from_micros(100)).as_secs_f64() * 1e6;
+        cc2.on_ack(&ev(1000, 0, (t as u64) + 30, 100));
+        assert!(cc2.cwnd() > cc.cwnd(), "mild overshoot cuts less");
+    }
+
+    #[test]
+    fn decreases_at_most_once_per_rtt() {
+        let mut cc = Swift::new(MSS);
+        cc.on_ack(&ev(1000, 0, 2000, 100));
+        let after_first = cc.cwnd();
+        // Immediately after (within srtt), another bad sample: no cut.
+        cc.on_ack(&ev(1000, 10, 2000, 100));
+        assert_eq!(cc.cwnd(), after_first);
+        // Well after one RTT: cuts again.
+        cc.on_ack(&ev(1000, 10_000, 2000, 100));
+        assert!(cc.cwnd() < after_first);
+    }
+
+    #[test]
+    fn target_shrinks_with_window() {
+        let mut cc = Swift::new(MSS);
+        let small_target = cc.target_delay(SimDuration::from_micros(100));
+        // Inflate the window.
+        for i in 0..200 {
+            cc.on_ack(&ev(10_000, i * 10, 100, 100));
+        }
+        let big_target = cc.target_delay(SimDuration::from_micros(100));
+        assert!(
+            big_target < small_target,
+            "flow scaling: larger windows get tighter targets"
+        );
+    }
+
+    #[test]
+    fn loss_and_rto_behave() {
+        let mut cc = Swift::new(MSS);
+        let w0 = cc.cwnd();
+        cc.on_congestion_event(&congestion(w0));
+        assert_eq!(cc.cwnd(), w0 / 2);
+        cc.on_rto(SimTime::ZERO, MSS);
+        assert_eq!(cc.cwnd(), MSS as u64);
+        assert_eq!(cc.name(), "swift");
+    }
+}

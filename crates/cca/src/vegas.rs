@@ -1,0 +1,209 @@
+//! TCP Vegas (Brakmo & Peterson, SIGCOMM 1994).
+//!
+//! Delay-based congestion avoidance: once per RTT, compare the *expected*
+//! rate `cwnd / baseRTT` with the *actual* rate `cwnd / RTT`. The
+//! difference, expressed in segments queued at the bottleneck,
+//! `diff = cwnd * (RTT - baseRTT) / RTT`, is steered between `ALPHA` and
+//! `BETA` by ±1 segment per RTT. Slow start doubles only every other RTT
+//! and exits once `diff > GAMMA`.
+
+use crate::common::WindowCore;
+use netsim::time::{SimDuration, SimTime};
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+
+/// Lower bound on queued segments (grow below this).
+pub const ALPHA: f64 = 2.0;
+/// Upper bound on queued segments (shrink above this).
+pub const BETA: f64 = 4.0;
+/// Slow-start exit threshold on queued segments.
+pub const GAMMA: f64 = 1.0;
+
+/// TCP Vegas.
+#[derive(Debug)]
+pub struct Vegas {
+    win: WindowCore,
+    /// Minimum RTT sample within the current round.
+    round_min_rtt: SimDuration,
+    rtt_samples_this_round: u32,
+    last_round: u64,
+    /// Doubling parity: Vegas slow start grows every *other* RTT.
+    ss_grow_this_round: bool,
+}
+
+impl Vegas {
+    /// A Vegas controller for segments of `mss` bytes.
+    pub fn new(mss: u32) -> Self {
+        Vegas {
+            win: WindowCore::new(mss, 10),
+            round_min_rtt: SimDuration::MAX,
+            rtt_samples_this_round: 0,
+            last_round: 0,
+            ss_grow_this_round: true,
+        }
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if let Some(rtt) = ev.rtt_sample {
+            self.round_min_rtt = self.round_min_rtt.min(rtt);
+            self.rtt_samples_this_round += 1;
+        }
+        if ev.round == self.last_round {
+            return; // decisions are per-RTT
+        }
+        self.last_round = ev.round;
+
+        let enough_samples = self.rtt_samples_this_round >= 2;
+        let rtt = self.round_min_rtt;
+        self.round_min_rtt = SimDuration::MAX;
+        self.rtt_samples_this_round = 0;
+
+        if !enough_samples || ev.min_rtt == SimDuration::MAX || rtt == SimDuration::MAX {
+            return;
+        }
+        if ev.in_recovery || !ev.cwnd_limited {
+            // Not window-limited: the measured RTT says nothing about this
+            // window's pressure on the path; hold (RFC 2861 spirit).
+            return;
+        }
+
+        let base = ev.min_rtt.as_secs_f64();
+        let cur = rtt.as_secs_f64().max(base);
+        let cwnd = self.win.cwnd() as f64;
+        let mss = self.win.mss() as f64;
+        // Queued segments at the bottleneck.
+        let diff = cwnd * (cur - base) / cur / mss;
+
+        if self.win.in_slow_start() {
+            if diff > GAMMA {
+                // Leave slow start: one queued segment is enough.
+                self.win.set_ssthresh(self.win.cwnd());
+            } else if self.ss_grow_this_round {
+                self.win.slow_start_increase(self.win.cwnd());
+            }
+            self.ss_grow_this_round = !self.ss_grow_this_round;
+            return;
+        }
+
+        if diff < ALPHA {
+            self.win.set_cwnd(self.win.cwnd() + mss as u64);
+        } else if diff > BETA {
+            self.win.set_cwnd(self.win.cwnd().saturating_sub(mss as u64));
+        }
+        // else: within [ALPHA, BETA], hold.
+    }
+
+    fn on_congestion_event(&mut self, _ev: &CongestionEvent) {
+        // Vegas falls back to Reno behaviour on actual loss.
+        self.win.multiplicative_decrease(0.5);
+    }
+
+    fn on_rto(&mut self, _now: SimTime, _mss: u32) {
+        self.win.rto_collapse();
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.win.ssthresh()
+    }
+
+    /// Per-ack min-tracking and one divide per RTT; calibrated to the
+    /// measured Fig. 6 ordering.
+    fn compute_cost_factor(&self) -> f64 {
+        0.9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack_with_rtt, congestion};
+    use netsim::time::SimTime;
+
+    /// One Vegas round: two acks with the given RTTs, then a round roll.
+    fn round(cc: &mut Vegas, round: u64, rtt_us: u64, base_us: u64) {
+        let now = SimTime::from_micros(round * 1000);
+        // Two acks carrying samples inside round `round`...
+        cc.on_ack(&ack_with_rtt(1000, now, round, rtt_us, base_us));
+        cc.on_ack(&ack_with_rtt(1000, now, round, rtt_us, base_us));
+        // ...and the round-crossing ack that triggers the decision.
+        cc.on_ack(&ack_with_rtt(1000, now, round + 1, rtt_us, base_us));
+    }
+
+    #[test]
+    fn grows_when_queue_below_alpha() {
+        let mut cc = Vegas::new(1000);
+        // Leave slow start first.
+        cc.on_congestion_event(&congestion(cc.cwnd()));
+        let w0 = cc.cwnd();
+        // RTT == baseRTT: zero queued packets -> +1 MSS per round.
+        round(&mut cc, 1, 100, 100);
+        round(&mut cc, 2, 100, 100);
+        assert_eq!(cc.cwnd(), w0 + 2000);
+    }
+
+    #[test]
+    fn shrinks_when_queue_above_beta() {
+        let mut cc = Vegas::new(1000);
+        cc.on_congestion_event(&congestion(cc.cwnd()));
+        let w0 = cc.cwnd(); // 5000 bytes = 5 segs
+        // base 100 us, current 1000 us: diff = 5 * 0.9 = 4.5 > BETA.
+        round(&mut cc, 1, 1000, 100);
+        assert_eq!(cc.cwnd(), w0 - 1000);
+    }
+
+    #[test]
+    fn holds_inside_band() {
+        let mut cc = Vegas::new(1000);
+        cc.on_congestion_event(&congestion(cc.cwnd()));
+        let w0 = cc.cwnd(); // 5 segs
+        // diff = 5 * (160-100)/160 ~= 1.9 ... wait, ALPHA=2: grows.
+        // Choose rtt so diff lands in (2, 4): diff = 5*(d)/cur.
+        // rtt=250: diff = 5*150/250 = 3.0 -> hold.
+        round(&mut cc, 1, 250, 100);
+        assert_eq!(cc.cwnd(), w0);
+    }
+
+    #[test]
+    fn slow_start_doubles_every_other_round() {
+        let mut cc = Vegas::new(1000);
+        let w0 = cc.cwnd();
+        // No queueing: stays in slow start; doubling parity alternates.
+        round(&mut cc, 1, 100, 100); // grow round
+        let w1 = cc.cwnd();
+        round(&mut cc, 2, 100, 100); // hold round
+        let w2 = cc.cwnd();
+        assert_eq!(w1, 2 * w0);
+        assert_eq!(w2, w1);
+    }
+
+    #[test]
+    fn slow_start_exits_on_queue_buildup() {
+        let mut cc = Vegas::new(1000);
+        assert!(cc.cwnd() < cc.ssthresh());
+        // 10 segs, rtt 150 vs base 100: diff = 10*50/150 = 3.3 > GAMMA.
+        round(&mut cc, 1, 150, 100);
+        assert_eq!(cc.ssthresh(), cc.cwnd(), "ssthresh pinned to cwnd");
+    }
+
+    #[test]
+    fn loss_halves_window() {
+        let mut cc = Vegas::new(1000);
+        let w0 = cc.cwnd();
+        cc.on_congestion_event(&congestion(w0));
+        assert_eq!(cc.cwnd(), w0 / 2);
+    }
+
+    #[test]
+    fn identity() {
+        assert_eq!(Vegas::new(1000).name(), "vegas");
+    }
+}

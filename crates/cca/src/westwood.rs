@@ -1,0 +1,193 @@
+//! TCP Westwood / Westwood+ (Gerla et al., GLOBECOM 2001).
+//!
+//! Reno-style growth, but on congestion the window is set from an
+//! *end-to-end bandwidth estimate*: `ssthresh = bw_est * rtt_min`, so a
+//! random (non-congestion) loss does not halve an otherwise-full pipe.
+//! The Westwood+ filter is used: acked bytes are accumulated per RTT and
+//! the per-RTT sample is EWMA-smoothed.
+
+use crate::common::WindowCore;
+use netsim::time::{SimDuration, SimTime};
+use netsim::units::Rate;
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
+
+/// EWMA weight of a new per-RTT bandwidth sample (Westwood+ uses 1/8).
+pub const FILTER_GAIN: f64 = 0.125;
+
+/// TCP Westwood+.
+#[derive(Debug)]
+pub struct Westwood {
+    win: WindowCore,
+    /// Smoothed bandwidth estimate in bytes/sec.
+    bw_est: f64,
+    /// Bytes acked in the current measurement round.
+    acked_this_round: u64,
+    round_started_at: SimTime,
+    last_round: u64,
+    min_rtt: SimDuration,
+}
+
+impl Westwood {
+    /// A Westwood+ controller for segments of `mss` bytes.
+    pub fn new(mss: u32) -> Self {
+        Westwood {
+            win: WindowCore::new(mss, 10),
+            bw_est: 0.0,
+            acked_this_round: 0,
+            round_started_at: SimTime::ZERO,
+            last_round: 0,
+            min_rtt: SimDuration::MAX,
+        }
+    }
+
+    /// The current bandwidth estimate.
+    pub fn bw_estimate(&self) -> Rate {
+        Rate::from_bps(self.bw_est * 8.0)
+    }
+
+    fn bdp_bytes(&self) -> u64 {
+        if self.min_rtt == SimDuration::MAX {
+            return 0;
+        }
+        (self.bw_est * self.min_rtt.as_secs_f64()) as u64
+    }
+}
+
+impl CongestionControl for Westwood {
+    fn name(&self) -> &'static str {
+        "westwood"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if ev.min_rtt < self.min_rtt {
+            self.min_rtt = ev.min_rtt;
+        }
+        self.acked_this_round += ev.newly_acked_bytes;
+        if ev.round != self.last_round {
+            // Round boundary: fold the per-RTT sample into the filter.
+            let elapsed = ev.now.saturating_since(self.round_started_at);
+            if !elapsed.is_zero() && self.acked_this_round > 0 {
+                let sample = self.acked_this_round as f64 / elapsed.as_secs_f64();
+                self.bw_est = if self.bw_est == 0.0 {
+                    sample
+                } else {
+                    (1.0 - FILTER_GAIN) * self.bw_est + FILTER_GAIN * sample
+                };
+            }
+            self.acked_this_round = 0;
+            self.round_started_at = ev.now;
+            self.last_round = ev.round;
+        }
+        if ev.newly_acked_bytes == 0 || ev.in_recovery || !ev.cwnd_limited {
+            return;
+        }
+        if self.win.in_slow_start() {
+            self.win.slow_start_increase(ev.newly_acked_bytes);
+        } else {
+            self.win.reno_ca_increase(ev.newly_acked_bytes);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _ev: &CongestionEvent) {
+        let bdp = self.bdp_bytes();
+        if bdp > 0 {
+            // Faster recovery than Reno when the loss wasn't congestive:
+            // sit exactly at the estimated pipe.
+            self.win.set_ssthresh(bdp);
+            self.win.set_cwnd(self.win.cwnd().min(bdp));
+        } else {
+            self.win.multiplicative_decrease(0.5);
+        }
+    }
+
+    fn on_rto(&mut self, _now: SimTime, _mss: u32) {
+        let bdp = self.bdp_bytes();
+        if bdp > 0 {
+            self.win.set_ssthresh(bdp);
+        }
+        self.win.set_cwnd_min_one(self.win.mss() as u64);
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.win.ssthresh()
+    }
+
+    /// A divide + EWMA per round and min-tracking per ack; calibrated to
+    /// the measured Fig. 6 ordering.
+    fn compute_cost_factor(&self) -> f64 {
+        0.55
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ack_at_round, congestion};
+    use netsim::time::SimTime;
+
+    /// Feed `rounds` RTT rounds of `bytes_per_round` at `rtt` spacing.
+    fn feed(cc: &mut Westwood, rounds: u64, bytes_per_round: u64, rtt_us: u64) {
+        for r in 0..rounds {
+            let now = SimTime::from_micros((r + 1) * rtt_us);
+            // Two acks per round, then the round rolls over.
+            cc.on_ack(&ack_at_round(bytes_per_round / 2, now, r + 1, rtt_us));
+            cc.on_ack(&ack_at_round(bytes_per_round / 2, now, r + 1, rtt_us));
+        }
+    }
+
+    #[test]
+    fn bandwidth_estimate_converges() {
+        let mut cc = Westwood::new(1000);
+        // 1 MB per 1 ms round = 8 Gbps.
+        feed(&mut cc, 50, 1_000_000, 1000);
+        let est = cc.bw_estimate().gbps();
+        assert!((est - 8.0).abs() < 1.0, "bw_est={est} Gbps");
+    }
+
+    #[test]
+    fn congestion_sets_window_to_estimated_bdp() {
+        let mut cc = Westwood::new(1000);
+        feed(&mut cc, 50, 1_000_000, 1000);
+        cc.on_congestion_event(&congestion(cc.cwnd()));
+        // BDP = ~1 GB/s * 1 ms = ~1 MB.
+        let cwnd = cc.cwnd();
+        assert!(
+            (800_000..=1_200_000).contains(&cwnd),
+            "cwnd={cwnd} should sit near the 1 MB BDP"
+        );
+    }
+
+    #[test]
+    fn no_estimate_falls_back_to_halving() {
+        let mut cc = Westwood::new(1000);
+        let before = cc.cwnd();
+        cc.on_congestion_event(&congestion(before));
+        assert_eq!(cc.cwnd(), before / 2);
+    }
+
+    #[test]
+    fn rto_collapses_but_keeps_bdp_threshold() {
+        let mut cc = Westwood::new(1000);
+        feed(&mut cc, 50, 1_000_000, 1000);
+        cc.on_rto(SimTime::from_secs(1), 1000);
+        assert_eq!(cc.cwnd(), 1000);
+        assert!(cc.ssthresh() > 500_000, "ssthresh={}", cc.ssthresh());
+    }
+
+    #[test]
+    fn grows_like_reno_between_losses() {
+        let mut cc = Westwood::new(1000);
+        let w0 = cc.cwnd();
+        cc.on_ack(&ack_at_round(w0, SimTime::from_micros(100), 0, 100));
+        assert_eq!(cc.cwnd(), 2 * w0, "slow start doubles");
+    }
+
+    #[test]
+    fn identity() {
+        assert_eq!(Westwood::new(1000).name(), "westwood");
+    }
+}

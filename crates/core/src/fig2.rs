@@ -1,0 +1,249 @@
+//! **Figure 2 / §4.1** — sender power vs. throughput.
+//!
+//! One CUBIC flow is throttled to each target rate ("sending smoothly")
+//! and its average power measured. The curve is strictly concave; the
+//! straight chord between idle and line rate is the power of the "full
+//! speed, then idle" time-sharing, which lies strictly below the curve —
+//! the geometric heart of the paper's argument.
+
+use crate::scale::Scale;
+use analysis::stats::Summary;
+use cca::CcaKind;
+use energy::calibration::P_IDLE_W;
+use netsim::units::Rate;
+use serde::{Deserialize, Serialize};
+use workload::prelude::*;
+
+/// Configuration of the power-curve sweep.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Target throughputs in Gb/s (0 rows are reported analytically as
+    /// idle power; the line-rate row runs unthrottled).
+    pub rates_gbps: Vec<f64>,
+    /// Nominal duration of each throttled transfer; sets the byte count
+    /// as `rate * duration`.
+    pub duration_s: f64,
+    /// MTU.
+    pub mtu: u32,
+    /// Seeds.
+    pub seeds: Vec<u64>,
+    /// Background compute load (Figure 4 reuses this at >0 loads).
+    pub background: StressLoad,
+}
+
+impl Config {
+    /// The paper's sweep at the given scale: 0.5 Gb/s steps.
+    pub fn at_scale(scale: Scale) -> Config {
+        let duration = (scale.two_flow_bytes as f64 * 8.0 / 10e9).max(0.2);
+        Config {
+            rates_gbps: (1..=20).map(|i| i as f64 * 0.5).collect(),
+            duration_s: duration,
+            mtu: 9000,
+            seeds: scale.seeds(),
+            background: StressLoad::IDLE,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Point {
+    /// The throttle target (Gb/s).
+    pub target_gbps: f64,
+    /// Achieved goodput (Gb/s).
+    pub goodput_gbps: Summary,
+    /// Average sender power while active (W).
+    pub power_w: Summary,
+    /// Power of the equivalent "full speed, then idle" mix with the same
+    /// average throughput (the orange tangent line of Figure 2).
+    pub mix_power_w: f64,
+}
+
+/// The sweep result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Result {
+    /// Idle power (the x = 0 point).
+    pub idle_w: f64,
+    /// Line-rate power (the x = 10 point), used for the mix line.
+    pub line_rate_w: f64,
+    /// Points ordered by target rate.
+    pub points: Vec<Point>,
+}
+
+impl Result {
+    /// Verify strict concavity of the measured curve (midpoints above
+    /// chords), allowing `tol` Watts of measurement noise.
+    pub fn is_concave(&self, tol: f64) -> bool {
+        let pts: Vec<(f64, f64)> = std::iter::once((0.0, self.idle_w))
+            .chain(self.points.iter().map(|p| (p.target_gbps, p.power_w.mean)))
+            .collect();
+        for w in pts.windows(3) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let (x2, y2) = w[2];
+            let chord = y0 + (y2 - y0) * (x1 - x0) / (x2 - x0);
+            if y1 + tol < chord {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Run the sweep.
+pub fn run(cfg: &Config) -> Result {
+    let mut points = Vec::with_capacity(cfg.rates_gbps.len());
+    for &rate in &cfg.rates_gbps {
+        assert!(rate > 0.0, "zero rate is the analytic idle point");
+        let bytes = ((rate * 1e9 / 8.0) * cfg.duration_s) as u64;
+        let mut power = Vec::new();
+        let mut goodput = Vec::new();
+        for &seed in &cfg.seeds {
+            // Every point is a *throttled* run — "sending smoothly at a
+            // certain throughput" (§4.1) — including the line-rate one;
+            // an unthrottled CUBIC flow would add loss-recovery noise that
+            // belongs to Figures 5-8, not to this curve.
+            let spec = FlowSpec::bulk(CcaKind::Cubic, bytes.max(10_000_000))
+                .with_rate_limit(Rate::from_gbps(rate));
+            let scenario = Scenario::new(cfg.mtu, vec![spec])
+                .with_seed(seed)
+                .with_background_load(cfg.background);
+            let out = workload::scenario::run(&scenario).expect("throttled flow completes");
+            power.push(out.average_sender_power_w());
+            goodput.push(out.reports[0].mean_goodput.gbps());
+        }
+        points.push(Point {
+            target_gbps: rate,
+            goodput_gbps: Summary::of(&goodput),
+            power_w: Summary::of(&power),
+            mix_power_w: 0.0, // filled below once line-rate power is known
+        });
+    }
+
+    let fan = energy::calibration::reference_fan();
+    let idle_w = P_IDLE_W + fan.watts(cfg.background.utilization());
+    let line_rate_w = points
+        .last()
+        .map(|p| p.power_w.mean)
+        .unwrap_or(idle_w);
+    let max_rate = points.last().map(|p| p.target_gbps).unwrap_or(10.0);
+    for p in &mut points {
+        let duty = (p.target_gbps / max_rate).clamp(0.0, 1.0);
+        p.mix_power_w = duty * line_rate_w + (1.0 - duty) * idle_w;
+    }
+
+    Result {
+        idle_w,
+        line_rate_w,
+        points,
+    }
+}
+
+/// Render the paper-style series.
+pub fn render(result: &Result) -> String {
+    let mut t = analysis::table::Table::new([
+        "target (Gbps)",
+        "achieved (Gbps)",
+        "smooth power (W)",
+        "full-speed-then-idle (W)",
+    ]);
+    t.row([
+        "0.0".to_string(),
+        "0.000".to_string(),
+        format!("{:.2}", result.idle_w),
+        format!("{:.2}", result.idle_w),
+    ]);
+    for p in &result.points {
+        t.row([
+            format!("{:.1}", p.target_gbps),
+            format!("{:.3}", p.goodput_gbps.mean),
+            format!("{}", p.power_w),
+            format!("{:.2}", p.mix_power_w),
+        ]);
+    }
+    let smooth: Vec<(f64, f64)> = std::iter::once((0.0, result.idle_w))
+        .chain(result.points.iter().map(|p| (p.target_gbps, p.power_w.mean)))
+        .collect();
+    let mix: Vec<(f64, f64)> = std::iter::once((0.0, result.idle_w))
+        .chain(result.points.iter().map(|p| (p.target_gbps, p.mix_power_w)))
+        .collect();
+    let chart = analysis::chart::line_chart(
+        &[("sending smoothly", &smooth), ("full speed, then idle", &mix)],
+        60,
+        14,
+    );
+    format!(
+        "Figure 2 — power vs throughput for a CUBIC sender\n\
+         (paper: strictly concave; 21.49 W idle, 34.23 W @5G, 35.82 W @10G;\n\
+         the time-shared mix lies on the chord, below the curve)\n\n{t}\n{chart}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            rates_gbps: vec![2.5, 5.0, 7.5, 10.0],
+            duration_s: 0.1,
+            mtu: 9000,
+            seeds: vec![1],
+            background: StressLoad::IDLE,
+        }
+    }
+
+    #[test]
+    fn hits_the_calibrated_operating_points() {
+        let r = run(&tiny());
+        assert!((r.idle_w - 21.49).abs() < 1e-9);
+        let p5 = &r.points[1];
+        assert!(
+            (p5.power_w.mean - 34.23).abs() < 0.5,
+            "P(5G) = {:?}",
+            p5.power_w
+        );
+        let p10 = &r.points[3];
+        assert!(
+            (p10.power_w.mean - 35.82).abs() < 0.8,
+            "P(10G) = {:?}",
+            p10.power_w
+        );
+    }
+
+    #[test]
+    fn curve_is_concave_and_above_the_mix_line() {
+        let r = run(&tiny());
+        assert!(r.is_concave(0.3), "measured curve must be concave");
+        for p in &r.points[..r.points.len() - 1] {
+            assert!(
+                p.power_w.mean > p.mix_power_w,
+                "smooth {} W must exceed mix {} W at {} Gbps",
+                p.power_w.mean,
+                p.mix_power_w,
+                p.target_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn achieved_tracks_target() {
+        let r = run(&tiny());
+        for p in &r.points {
+            assert!(
+                (p.goodput_gbps.mean - p.target_gbps).abs() / p.target_gbps < 0.1,
+                "target {} vs achieved {:?}",
+                p.target_gbps,
+                p.goodput_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_the_idle_row() {
+        let r = run(&tiny());
+        let s = render(&r);
+        assert!(s.contains("21.49"));
+        assert!(s.contains("Figure 2"));
+    }
+}

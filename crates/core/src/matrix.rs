@@ -1,0 +1,187 @@
+//! The shared CCA × MTU measurement matrix behind Figures 5-8.
+//!
+//! The paper's §4.3-4.5 figures all come from one campaign: transmit a
+//! fixed volume with each of the ten CCAs at each of four MTUs, ten times
+//! each, recording energy, power, completion time, and retransmissions.
+//! [`run_matrix`] executes that campaign once; the figure modules render
+//! different projections of it.
+
+use crate::scale::Scale;
+use analysis::stats::Summary;
+use cca::CcaKind;
+use serde::{Deserialize, Serialize};
+use workload::prelude::*;
+
+/// The paper's MTU sweep (§4.4).
+pub const MTUS: [u32; 4] = [1500, 3000, 6000, 9000];
+
+/// One (CCA, MTU) cell, summarized over repetitions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cell {
+    /// Algorithm name.
+    pub cca: String,
+    /// MTU in bytes.
+    pub mtu: u32,
+    /// Sender energy over the experiment window (J).
+    pub energy_j: Summary,
+    /// Average sender power (W).
+    pub power_w: Summary,
+    /// Flow completion time (s) — the paper's "iperf time".
+    pub fct_s: Summary,
+    /// Retransmitted segments.
+    pub retx: Summary,
+    /// Mean goodput (Gb/s).
+    pub goodput_gbps: Summary,
+}
+
+impl Cell {
+    /// The algorithm of this cell.
+    pub fn kind(&self) -> CcaKind {
+        CcaKind::from_name(&self.cca).expect("cell names come from the registry")
+    }
+}
+
+/// The full campaign result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Bytes per transfer the campaign ran at.
+    pub transfer_bytes: u64,
+    /// Repetitions per cell.
+    pub repetitions: usize,
+    /// All cells, ordered by `MTUS` within the paper's Figure-5 CCA order.
+    pub cells: Vec<Cell>,
+}
+
+impl Matrix {
+    /// The cell for a given algorithm and MTU.
+    pub fn cell(&self, cca: CcaKind, mtu: u32) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.cca == cca.name() && c.mtu == mtu)
+    }
+
+    /// All cells at one MTU, in campaign order.
+    pub fn at_mtu(&self, mtu: u32) -> Vec<&Cell> {
+        self.cells.iter().filter(|c| c.mtu == mtu).collect()
+    }
+}
+
+/// Run one (CCA, MTU) cell.
+pub fn run_cell(cca: CcaKind, mtu: u32, bytes: u64, seeds: &[u64]) -> Cell {
+    let mut energy = Vec::new();
+    let mut power = Vec::new();
+    let mut fct = Vec::new();
+    let mut retx = Vec::new();
+    let mut goodput = Vec::new();
+    for &seed in seeds {
+        let scenario = Scenario::new(mtu, vec![FlowSpec::bulk(cca, bytes)]).with_seed(seed);
+        let out = workload::scenario::run(&scenario)
+            .unwrap_or_else(|e| panic!("{} @ mtu {mtu}: {e}", cca.name()));
+        let r = &out.reports[0];
+        energy.push(out.sender_energy_j);
+        power.push(out.average_sender_power_w());
+        fct.push(r.fct.as_secs_f64());
+        retx.push(r.retransmits as f64);
+        goodput.push(r.mean_goodput.gbps());
+    }
+    Cell {
+        cca: cca.name().to_string(),
+        mtu,
+        energy_j: Summary::of(&energy),
+        power_w: Summary::of(&power),
+        fct_s: Summary::of(&fct),
+        retx: Summary::of(&retx),
+        goodput_gbps: Summary::of(&goodput),
+    }
+}
+
+/// Run the whole campaign at the given scale. Cells are independent
+/// simulations, so they run across all available cores.
+pub fn run_matrix(scale: Scale) -> Matrix {
+    let seeds = scale.seeds();
+    let jobs: Vec<(CcaKind, u32)> = CcaKind::ALL
+        .iter()
+        .flat_map(|&cca| MTUS.iter().map(move |&mtu| (cca, mtu)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len());
+
+    // Strided work split: worker t takes jobs t, t+threads, ... — no
+    // shared mutable state, results re-assembled in campaign order.
+    let mut indexed: Vec<(usize, Cell)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let jobs = &jobs;
+                let seeds = &seeds;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    let mut i = t;
+                    while i < jobs.len() {
+                        let (cca, mtu) = jobs[i];
+                        done.push((i, run_cell(cca, mtu, scale.transfer_bytes, seeds)));
+                        i += threads;
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+
+    Matrix {
+        transfer_bytes: scale.transfer_bytes,
+        repetitions: scale.repetitions,
+        cells: indexed.into_iter().map(|(_, c)| c).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::units::MB;
+
+    #[test]
+    fn cell_summarizes_repetitions() {
+        let cell = run_cell(CcaKind::Cubic, 9000, 100 * MB, &[1, 2]);
+        assert_eq!(cell.energy_j.n, 2);
+        assert!(cell.energy_j.mean > 0.0);
+        assert!(cell.power_w.mean > 21.49, "active sender above idle");
+        assert!(cell.goodput_gbps.mean > 8.0);
+        assert_eq!(cell.kind(), CcaKind::Cubic);
+    }
+
+    #[test]
+    fn matrix_lookup() {
+        let m = Matrix {
+            transfer_bytes: 1,
+            repetitions: 1,
+            cells: vec![
+                run_cell(CcaKind::Reno, 9000, 50 * MB, &[1]),
+                run_cell(CcaKind::Reno, 1500, 50 * MB, &[1]),
+            ],
+        };
+        assert!(m.cell(CcaKind::Reno, 9000).is_some());
+        assert!(m.cell(CcaKind::Cubic, 9000).is_none());
+        assert_eq!(m.at_mtu(1500).len(), 1);
+    }
+
+    #[test]
+    fn mtu_1500_consumes_more_energy_than_9000() {
+        // The §4.4 headline at miniature scale.
+        let seeds = [3u64];
+        let big = run_cell(CcaKind::Cubic, 9000, 200 * MB, &seeds);
+        let small = run_cell(CcaKind::Cubic, 1500, 200 * MB, &seeds);
+        assert!(
+            small.energy_j.mean > 1.1 * big.energy_j.mean,
+            "1500: {} J vs 9000: {} J",
+            small.energy_j.mean,
+            big.energy_j.mean
+        );
+    }
+}

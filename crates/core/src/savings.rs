@@ -1,0 +1,82 @@
+//! **§4.2's dollar extrapolation** — what a small relative saving means
+//! at datacenter scale.
+//!
+//! "The energy to run a typical data center rack is on the order of
+//! $10k/year. With around 100k racks in a typical data center, a 1%
+//! improvement corresponds to a cost savings of on the order of
+//! $10 million/year."
+
+use serde::{Deserialize, Serialize};
+
+/// The datacenter cost model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DatacenterModel {
+    /// Racks in the datacenter (the paper cites ~100k).
+    pub racks: u64,
+    /// Energy cost per rack per year in dollars (the paper cites ~$10k).
+    pub dollars_per_rack_year: f64,
+}
+
+impl DatacenterModel {
+    /// The paper's reference datacenter.
+    pub fn paper() -> Self {
+        DatacenterModel {
+            racks: 100_000,
+            dollars_per_rack_year: 10_000.0,
+        }
+    }
+
+    /// Total annual energy spend.
+    pub fn annual_energy_dollars(&self) -> f64 {
+        self.racks as f64 * self.dollars_per_rack_year
+    }
+
+    /// Annual dollars saved by a fractional energy reduction.
+    pub fn annual_savings_dollars(&self, saving_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&saving_fraction));
+        self.annual_energy_dollars() * saving_fraction
+    }
+}
+
+/// Render the paper's worked example alongside measured savings levels.
+pub fn render(measured_savings: &[(String, f64)]) -> String {
+    let dc = DatacenterModel::paper();
+    let mut t = analysis::table::Table::new(["scenario", "saving", "$/year"]);
+    for (label, frac) in measured_savings {
+        t.row([
+            label.clone(),
+            format!("{:.2}%", frac * 100.0),
+            format!("${:.1}M", dc.annual_savings_dollars(*frac) / 1e6),
+        ]);
+    }
+    format!(
+        "§4.2 extrapolation — {} racks at ${:.0}k/rack/year\n\n{t}\n\
+         (paper: a 1% improvement ~ $10M/year)\n",
+        dc.racks,
+        dc.dollars_per_rack_year / 1000.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        let dc = DatacenterModel::paper();
+        assert_eq!(dc.annual_energy_dollars(), 1e9);
+        assert_eq!(dc.annual_savings_dollars(0.01), 10e6);
+    }
+
+    #[test]
+    fn render_shows_10m_for_one_percent() {
+        let s = render(&[("25% load".to_string(), 0.01)]);
+        assert!(s.contains("$10.0M"), "{s}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn silly_fractions_are_rejected()  {
+        DatacenterModel::paper().annual_savings_dollars(1.5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Experiment scaling.
+//!
+//! The paper's full workload (50 GB per transfer, 10 repetitions) takes
+//! hours to simulate at packet granularity. All figure results are
+//! *rate-based* (power, goodput, savings percentages) or scale linearly
+//! in the transfer size (energy, retransmissions), so smaller transfers
+//! reproduce the same shapes. [`Scale`] picks the operating point; the
+//! `GREENENVY_SCALE` environment variable (`paper`, `standard`, `quick`)
+//! selects one at runtime.
+
+use netsim::units::{GB, MB};
+
+/// How big to run the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Bytes per single-flow bulk transfer (the paper uses 50 GB).
+    pub transfer_bytes: u64,
+    /// Bytes per flow in the two-flow Figure-1/3 experiments (the paper
+    /// uses 10 Gbit = 1.25 GB).
+    pub two_flow_bytes: u64,
+    /// Repetitions per scenario (the paper uses 10).
+    pub repetitions: usize,
+    /// Label for reports.
+    pub name: &'static str,
+}
+
+impl Scale {
+    /// The paper's exact workload: 50 GB, 1.25 GB two-flow, 10 reps.
+    pub fn paper() -> Scale {
+        Scale {
+            transfer_bytes: 50 * GB,
+            two_flow_bytes: 1_250 * MB,
+            repetitions: 10,
+            name: "paper",
+        }
+    }
+
+    /// A 10x-reduced workload whose results match the paper's shapes;
+    /// the default for recorded results.
+    pub fn standard() -> Scale {
+        Scale {
+            transfer_bytes: 5 * GB,
+            two_flow_bytes: 1_250 * MB,
+            repetitions: 3,
+            name: "standard",
+        }
+    }
+
+    /// A fast smoke-test workload for CI and benches.
+    pub fn quick() -> Scale {
+        Scale {
+            transfer_bytes: 250 * MB,
+            two_flow_bytes: 125 * MB,
+            repetitions: 2,
+            name: "quick",
+        }
+    }
+
+    /// Read `GREENENVY_SCALE` (`paper` | `standard` | `quick`), defaulting
+    /// to [`Scale::standard`].
+    pub fn from_env() -> Scale {
+        match std::env::var("GREENENVY_SCALE").as_deref() {
+            Ok("paper") => Scale::paper(),
+            Ok("quick") => Scale::quick(),
+            _ => Scale::standard(),
+        }
+    }
+
+    /// Factor to scale an energy/retransmission count measured at this
+    /// scale up to the paper's 50 GB transfers (approximate: the
+    /// rate-proportional part of energy dominates).
+    pub fn to_paper_factor(&self) -> f64 {
+        (50 * GB) as f64 / self.transfer_bytes as f64
+    }
+
+    /// Deterministic seed list for the repetitions.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.repetitions as u64).map(|i| 1000 + i * 7919).collect()
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(Scale::paper().transfer_bytes, 50 * GB);
+        assert_eq!(Scale::paper().repetitions, 10);
+        assert_eq!(Scale::quick().repetitions, 2);
+        assert_eq!(Scale::default(), Scale::standard());
+    }
+
+    #[test]
+    fn paper_factor() {
+        assert_eq!(Scale::paper().to_paper_factor(), 1.0);
+        assert_eq!(Scale::standard().to_paper_factor(), 10.0);
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let s = Scale::paper().seeds();
+        assert_eq!(s.len(), 10);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert_eq!(s, Scale::paper().seeds());
+    }
+}

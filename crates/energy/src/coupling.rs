@@ -1,0 +1,108 @@
+//! Network/compute power coupling.
+//!
+//! The paper's Figure 4 shows that when a server already runs background
+//! compute, the *marginal* power of pushing network traffic shrinks
+//! dramatically: the "full speed, then idle" strategy saves 16% on an idle
+//! server, ~1% at 25% compute load, and ~0.17% at 75% load. The absolute
+//! network-power increment therefore attenuates with background
+//! utilization (shared voltage/frequency domains and already-powered
+//! uncore make extra packets nearly free on a hot package).
+//!
+//! [`LoadCoupling`] models this as a multiplicative attenuation
+//! `k(u) = exp(-(u/c)^p)` applied to the network power term, with `k(0)=1`
+//! and `k` strictly decreasing. The two parameters are fitted in closed
+//! form to the paper's two published savings figures; see
+//! [`crate::calibration`].
+
+/// Attenuation of network power as a function of background utilization:
+/// `k(u) = exp(-(u/c)^p)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadCoupling {
+    /// Utilization scale.
+    pub c: f64,
+    /// Stretch exponent.
+    pub p: f64,
+}
+
+impl LoadCoupling {
+    /// No attenuation at any load (`k(u) = 1`); useful for ablations.
+    pub const NONE: LoadCoupling = LoadCoupling {
+        c: f64::INFINITY,
+        p: 1.0,
+    };
+
+    /// Construct directly.
+    pub fn new(c: f64, p: f64) -> Self {
+        assert!(c > 0.0 && p > 0.0, "coupling parameters must be positive");
+        LoadCoupling { c, p }
+    }
+
+    /// Fit through two attenuation observations `(u1, k1)` and `(u2, k2)`
+    /// with `0 < u1 < u2` and `1 > k1 > k2 > 0`. Closed form:
+    /// `p = ln(ln(1/k2)/ln(1/k1)) / ln(u2/u1)`, then `c` from either point.
+    pub fn fit(u1: f64, k1: f64, u2: f64, k2: f64) -> Self {
+        assert!(0.0 < u1 && u1 < u2, "need 0 < u1 < u2");
+        assert!(0.0 < k2 && k2 < k1 && k1 < 1.0, "need 1 > k1 > k2 > 0");
+        let l1 = (1.0 / k1).ln();
+        let l2 = (1.0 / k2).ln();
+        let p = (l2 / l1).ln() / (u2 / u1).ln();
+        let c = u1 / l1.powf(1.0 / p);
+        LoadCoupling::new(c, p)
+    }
+
+    /// Attenuation factor at background utilization `u` (clamped at 0).
+    #[inline]
+    pub fn k(&self, u: f64) -> f64 {
+        if u <= 0.0 {
+            return 1.0;
+        }
+        if self.c.is_infinite() {
+            return 1.0;
+        }
+        (-(u / self.c).powf(self.p)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_reproduces_anchor_points() {
+        let c = LoadCoupling::fit(0.25, 0.118562, 0.75, 0.034850);
+        assert!((c.k(0.25) - 0.118562).abs() < 1e-9, "k25={}", c.k(0.25));
+        assert!((c.k(0.75) - 0.034850).abs() < 1e-9, "k75={}", c.k(0.75));
+    }
+
+    #[test]
+    fn zero_load_means_no_attenuation() {
+        let c = LoadCoupling::fit(0.25, 0.1, 0.75, 0.03);
+        assert_eq!(c.k(0.0), 1.0);
+        assert_eq!(c.k(-1.0), 1.0);
+    }
+
+    #[test]
+    fn attenuation_is_strictly_decreasing() {
+        let c = LoadCoupling::fit(0.25, 0.118562, 0.75, 0.034850);
+        let mut prev = 1.0 + 1e-12;
+        for i in 1..=100 {
+            let u = i as f64 / 100.0;
+            let k = c.k(u);
+            assert!(k < prev, "k must strictly decrease: k({u})={k}");
+            assert!(k > 0.0);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn none_is_identity() {
+        assert_eq!(LoadCoupling::NONE.k(0.5), 1.0);
+        assert_eq!(LoadCoupling::NONE.k(1.0), 1.0);
+    }
+
+    #[test]
+    fn fit_rejects_bad_points() {
+        assert!(std::panic::catch_unwind(|| LoadCoupling::fit(0.5, 0.1, 0.25, 0.03)).is_err());
+        assert!(std::panic::catch_unwind(|| LoadCoupling::fit(0.25, 0.03, 0.75, 0.1)).is_err());
+    }
+}

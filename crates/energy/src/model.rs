@@ -1,0 +1,189 @@
+//! Power-vs-throughput and power-vs-utilization curves.
+//!
+//! Two curve families cover the paper's observations:
+//!
+//! * [`ThroughputPowerCurve`]: the *network* component of CPU power as a
+//!   strictly concave, saturating-exponential function of wire throughput,
+//!   `phi(x) = A * (1 - exp(-x / tau))`. The paper's Figure 2 shows this
+//!   shape directly; §4.1 relies only on strict concavity.
+//! * [`FanModel`]: the *compute* component as the classic concave
+//!   utilization curve of Fan, Weber & Barroso (ISCA '07),
+//!   `P(u) = (P_busy - P_idle) * (2u - u^r)`, used for background load.
+
+/// Strictly concave network power curve `phi(x) = A (1 - e^(-x/tau))`,
+/// with `x` in Gb/s of wire throughput and the result in Watts *above
+/// idle* (the caller adds idle power).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThroughputPowerCurve {
+    /// Saturation amplitude in Watts.
+    pub a: f64,
+    /// Curvature scale in Gb/s.
+    pub tau: f64,
+}
+
+impl ThroughputPowerCurve {
+    /// Construct directly from amplitude and curvature.
+    pub fn new(a: f64, tau: f64) -> Self {
+        assert!(a > 0.0 && tau > 0.0, "curve parameters must be positive");
+        ThroughputPowerCurve { a, tau }
+    }
+
+    /// Fit the curve through two measured points `(x, phi)` and
+    /// `(2x, phi2)` — a doubling pair, which admits a closed form:
+    /// with `q = e^(-x/tau)`, `phi/phi2 = (1-q)/(1-q^2) = 1/(1+q)`.
+    ///
+    /// Panics unless `0 < phi < phi2 < 2*phi` (required for a concave
+    /// increasing exponential to pass through both points).
+    pub fn fit_doubling(x: f64, phi: f64, phi2: f64) -> Self {
+        assert!(x > 0.0);
+        assert!(
+            0.0 < phi && phi < phi2 && phi2 < 2.0 * phi,
+            "points not realizable by a saturating exponential: phi={phi}, phi2={phi2}"
+        );
+        let q = phi2 / phi - 1.0; // in (0,1)
+        let tau = x / (1.0 / q).ln();
+        let a = phi / (1.0 - q);
+        ThroughputPowerCurve { a, tau }
+    }
+
+    /// Power above idle at wire throughput `gbps`.
+    #[inline]
+    pub fn watts(&self, gbps: f64) -> f64 {
+        debug_assert!(gbps >= 0.0);
+        self.a * (1.0 - (-gbps / self.tau).exp())
+    }
+
+    /// Marginal power dW/dx at `gbps` — strictly decreasing, which is the
+    /// hypothesis of the paper's Theorem 1.
+    #[inline]
+    pub fn marginal_watts_per_gbps(&self, gbps: f64) -> f64 {
+        (self.a / self.tau) * (-gbps / self.tau).exp()
+    }
+}
+
+/// Fan-et-al. compute power curve: `watts(u) = span * (2u - u^r)` with
+/// `u` in `[0, 1]` clamped, `span = P_busy - P_idle`, `r > 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FanModel {
+    /// `P_busy - P_idle` in Watts.
+    pub span_w: f64,
+    /// Curvature exponent; `r = 2` reproduces the published quadratic fit.
+    pub r: f64,
+}
+
+impl FanModel {
+    /// Construct from the busy-minus-idle power span and exponent.
+    /// `r` must lie in `(1, 2]` so the curve is concave *and* monotone
+    /// increasing on `[0, 1]`.
+    pub fn new(span_w: f64, r: f64) -> Self {
+        assert!(span_w >= 0.0, "power span must be non-negative");
+        assert!(
+            r > 1.0 && r <= 2.0,
+            "Fan exponent must be in (1, 2] for a concave increasing curve"
+        );
+        FanModel { span_w, r }
+    }
+
+    /// Compute power above idle at utilization `u` (clamped to `[0, 1]`).
+    /// `2u - u^r` is 0 at u=0 and 1 at u=1 and increasing for r <= 2.
+    #[inline]
+    pub fn watts(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        self.span_w * (2.0 * u - u.powf(self.r))
+    }
+}
+
+/// Numerically verify strict concavity of `f` on `[lo, hi]` by testing
+/// that midpoint values strictly exceed chord midpoints on a grid.
+/// Used by tests and the Theorem-1 experiment.
+pub fn is_strictly_concave(f: impl Fn(f64) -> f64, lo: f64, hi: f64, steps: usize) -> bool {
+    assert!(hi > lo && steps >= 2);
+    let h = (hi - lo) / steps as f64;
+    for i in 0..steps - 1 {
+        let x0 = lo + i as f64 * h;
+        let x1 = x0 + h;
+        let x2 = x0 + 2.0 * h;
+        let mid = f(x1);
+        let chord = 0.5 * (f(x0) + f(x2));
+        if mid <= chord + 1e-12 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_doubling_reproduces_inputs() {
+        let c = ThroughputPowerCurve::fit_doubling(5.0, 11.465, 11.78);
+        assert!((c.watts(5.0) - 11.465).abs() < 1e-9, "phi(5)={}", c.watts(5.0));
+        assert!((c.watts(10.0) - 11.78).abs() < 1e-9, "phi(10)={}", c.watts(10.0));
+    }
+
+    #[test]
+    fn fit_doubling_rejects_non_concave_points() {
+        // phi2 >= 2*phi would require convexity or linearity.
+        let result = std::panic::catch_unwind(|| ThroughputPowerCurve::fit_doubling(5.0, 5.0, 10.0));
+        assert!(result.is_err());
+        let result = std::panic::catch_unwind(|| ThroughputPowerCurve::fit_doubling(5.0, 5.0, 4.0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn curve_is_zero_at_zero_and_saturates() {
+        let c = ThroughputPowerCurve::new(10.0, 2.0);
+        assert_eq!(c.watts(0.0), 0.0);
+        assert!(c.watts(100.0) > 9.999);
+        assert!(c.watts(100.0) <= 10.0);
+    }
+
+    #[test]
+    fn curve_is_strictly_concave() {
+        let c = ThroughputPowerCurve::new(11.8, 1.39);
+        assert!(is_strictly_concave(|x| c.watts(x), 0.0, 10.0, 100));
+    }
+
+    #[test]
+    fn marginal_power_is_strictly_decreasing() {
+        let c = ThroughputPowerCurve::new(11.8, 1.39);
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let x = i as f64 * 0.1;
+            let m = c.marginal_watts_per_gbps(x);
+            assert!(m < prev, "marginal power must strictly decrease");
+            assert!(m > 0.0);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn fan_model_endpoints() {
+        let f = FanModel::new(98.51, 2.0);
+        assert_eq!(f.watts(0.0), 0.0);
+        assert!((f.watts(1.0) - 98.51).abs() < 1e-9);
+        // Clamping.
+        assert_eq!(f.watts(-0.5), 0.0);
+        assert!((f.watts(1.5) - 98.51).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_model_is_concave_and_above_linear() {
+        let f = FanModel::new(100.0, 2.0);
+        assert!(is_strictly_concave(|u| f.watts(u), 0.0, 1.0, 50));
+        // Concave with f(0)=0 implies superlinearity on [0,1]:
+        for i in 1..10 {
+            let u = i as f64 / 10.0;
+            assert!(f.watts(u) > 100.0 * u);
+        }
+    }
+
+    #[test]
+    fn concavity_checker_rejects_convex() {
+        assert!(!is_strictly_concave(|x| x * x, 0.0, 1.0, 20));
+        assert!(!is_strictly_concave(|x| x, 0.0, 1.0, 20)); // linear is not *strictly* concave
+        assert!(is_strictly_concave(|x| x.sqrt(), 0.01, 1.0, 20));
+    }
+}

@@ -1,0 +1,845 @@
+//! The discrete-event engine.
+//!
+//! [`Network`] owns the topology (nodes, links, routes), the event queue,
+//! the clock, and the attached [`Agent`]s. A run processes events in
+//! timestamp order — ties broken by insertion order, so identical
+//! configurations replay identically — until the queue drains, a stop is
+//! requested, or a time limit is reached.
+//!
+//! Routing is static: each node maps a destination host to one *or more*
+//! outgoing links. Multi-link routes are sprayed round-robin per packet,
+//! modelling the paper's bonded 2×10 Gb/s sender links.
+
+use crate::agent::{Agent, AgentCommand, Ctx};
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::link::{LinkSpec, LinkState, LinkStats};
+use crate::packet::Packet;
+use crate::pktlog::{PacketEventKind, PacketLog};
+use crate::queue::{EnqueueOutcome, QueueStats};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{FlowTrace, HostActivity};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What kind of node this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host: packets addressed to it are delivered to its agent.
+    Host,
+    /// A switch: packets are forwarded according to the route table.
+    Switch,
+}
+
+/// A route entry: one or more parallel links toward a destination.
+#[derive(Debug, Default, Clone)]
+struct Route {
+    links: Vec<LinkId>,
+    /// Round-robin cursor for multi-link (bonded) routes.
+    next: usize,
+}
+
+struct Node {
+    kind: NodeKind,
+    /// Indexed by destination node id.
+    routes: Vec<Route>,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Packet finished propagation and arrives at `node`.
+    Arrive { node: NodeId, pkt: Packet },
+    /// Link finished serializing its in-flight packet.
+    TxDone { link: LinkId },
+    /// Agent timer.
+    Timer { node: NodeId, token: u64 },
+}
+
+struct HeapItem {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Why a run returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No events remain; the system is quiescent.
+    Drained,
+    /// An agent called [`Ctx::request_stop`].
+    Stopped,
+    /// The configured time limit was reached with events still pending.
+    TimeLimit,
+}
+
+/// Aggregate drop/mark statistics across all links.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetworkStats {
+    /// Total packets dropped by all queues.
+    pub dropped_pkts: u64,
+    /// Total packets CE-marked by all queues.
+    pub marked_pkts: u64,
+}
+
+/// The simulated network: topology + clock + event queue + agents.
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<LinkState>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    heap: BinaryHeap<Reverse<HeapItem>>,
+    seq: u64,
+    now: SimTime,
+    rng: SimRng,
+    /// Per-node RNG streams (agents draw from their own stream).
+    node_rngs: Vec<SimRng>,
+    flow_trace: Option<FlowTrace>,
+    activity: Option<HostActivity>,
+    pkt_log: Option<PacketLog>,
+    commands: Vec<AgentCommand>,
+    stop_requested: bool,
+    events_processed: u64,
+}
+
+impl Network {
+    /// Create an empty network with a master seed. Components derive their
+    /// own streams from it so runs are reproducible.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            agents: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            node_rngs: Vec::new(),
+            flow_trace: None,
+            activity: None,
+            pkt_log: None,
+            commands: Vec::new(),
+            stop_requested: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Enable per-flow delivered-throughput tracing with the given bin.
+    pub fn enable_flow_trace(&mut self, bin: SimDuration) {
+        self.flow_trace = Some(FlowTrace::new(bin));
+    }
+
+    /// Enable per-host activity recording with the given bin. Required by
+    /// the energy meter.
+    pub fn enable_activity(&mut self, bin: SimDuration) {
+        self.activity = Some(HostActivity::new(bin));
+    }
+
+    /// The flow trace, if enabled.
+    pub fn flow_trace(&self) -> Option<&FlowTrace> {
+        self.flow_trace.as_ref()
+    }
+
+    /// The host activity record, if enabled.
+    pub fn activity(&self) -> Option<&HostActivity> {
+        self.activity.as_ref()
+    }
+
+    /// Enable packet-level event logging (drops, marks, deliveries),
+    /// keeping the most recent `capacity` events.
+    pub fn enable_packet_log(&mut self, capacity: usize) {
+        self.pkt_log = Some(PacketLog::new(capacity));
+    }
+
+    /// The packet log, if enabled.
+    pub fn packet_log(&self) -> Option<&PacketLog> {
+        self.pkt_log.as_ref()
+    }
+
+    /// Add a host node; returns its id.
+    pub fn add_host(&mut self) -> NodeId {
+        self.add_node(NodeKind::Host)
+    }
+
+    /// Add a switch node; returns its id.
+    pub fn add_switch(&mut self) -> NodeId {
+        self.add_node(NodeKind::Switch)
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId::from_raw(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            routes: Vec::new(),
+        });
+        self.agents.push(None);
+        let stream = self.rng.fork(id.index() as u64);
+        self.node_rngs.push(stream);
+        id
+    }
+
+    /// Add a unidirectional link from `src` to `dst`; returns its id.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, spec: LinkSpec) -> LinkId {
+        assert!(src.index() < self.nodes.len(), "unknown src node");
+        assert!(dst.index() < self.nodes.len(), "unknown dst node");
+        let id = LinkId::from_raw(self.links.len() as u32);
+        self.links.push(LinkState::new(src, dst, spec));
+        id
+    }
+
+    /// Install a route at `node`: packets for `dst` leave via `link`.
+    /// Calling repeatedly for the same `(node, dst)` *adds* parallel links,
+    /// which the engine sprays round-robin (link bonding).
+    pub fn add_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
+        assert_eq!(
+            self.links[link.index()].src,
+            node,
+            "route must use a link leaving the node"
+        );
+        let routes = &mut self.nodes[node.index()].routes;
+        if routes.len() <= dst.index() {
+            routes.resize(dst.index() + 1, Route::default());
+        }
+        routes[dst.index()].links.push(link);
+    }
+
+    /// Attach an agent to a host node. Panics if the node is a switch or
+    /// already has an agent.
+    pub fn attach_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) {
+        assert_eq!(
+            self.nodes[node.index()].kind,
+            NodeKind::Host,
+            "agents attach to hosts"
+        );
+        let slot = &mut self.agents[node.index()];
+        assert!(slot.is_none(), "node already has an agent");
+        *slot = Some(agent);
+    }
+
+    /// Borrow an attached agent, downcast to its concrete type.
+    pub fn agent<T: Agent>(&self, node: NodeId) -> Option<&T> {
+        let agent = self.agents.get(node.index())?.as_deref()?;
+        (agent as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrow an attached agent, downcast to its concrete type.
+    pub fn agent_mut<T: Agent>(&mut self, node: NodeId) -> Option<&mut T> {
+        let agent = self.agents.get_mut(node.index())?.as_deref_mut()?;
+        (agent as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Queue statistics of a link's qdisc.
+    pub fn queue_stats(&self, link: LinkId) -> QueueStats {
+        self.links[link.index()].qdisc.stats()
+    }
+
+    /// Current queue occupancy of a link in bytes.
+    pub fn queue_bytes(&self, link: LinkId) -> u64 {
+        self.links[link.index()].qdisc.len_bytes()
+    }
+
+    /// Transmit statistics of a link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.links[link.index()].stats
+    }
+
+    /// Aggregate drop/mark counters across all links.
+    pub fn network_stats(&self) -> NetworkStats {
+        let mut s = NetworkStats::default();
+        for l in &self.links {
+            let q = l.qdisc.stats();
+            s.dropped_pkts += q.dropped_pkts;
+            s.marked_pkts += q.marked_pkts;
+        }
+        s
+    }
+
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        self.seq += 1;
+        self.heap.push(Reverse(HeapItem {
+            at,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    /// Route `pkt` out of `node` and enqueue it on the chosen link.
+    fn route_and_transmit(&mut self, node: NodeId, pkt: Packet) {
+        let dst = pkt.dst;
+        let route = self.nodes[node.index()]
+            .routes
+            .get_mut(dst.index())
+            .filter(|r| !r.links.is_empty())
+            .unwrap_or_else(|| panic!("no route from {node} to {dst}"));
+        let link = route.links[route.next % route.links.len()];
+        route.next = route.next.wrapping_add(1);
+        self.transmit_on(link, pkt);
+    }
+
+    fn transmit_on(&mut self, link_id: LinkId, pkt: Packet) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        match link.qdisc.enqueue(pkt, now) {
+            EnqueueOutcome::Dropped => {
+                if let Some(log) = self.pkt_log.as_mut() {
+                    log.record(now, PacketEventKind::Dropped, &pkt, Some(link_id), None);
+                }
+            }
+            outcome @ (EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked) => {
+                if outcome == EnqueueOutcome::EnqueuedMarked {
+                    if let Some(log) = self.pkt_log.as_mut() {
+                        log.record(now, PacketEventKind::Marked, &pkt, Some(link_id), None);
+                    }
+                }
+                if !self.links[link_id.index()].is_busy() {
+                    self.start_tx(link_id);
+                }
+            }
+        }
+    }
+
+    /// Begin serializing the next queued packet on an idle link.
+    fn start_tx(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        debug_assert!(!link.is_busy());
+        let Some(mut pkt) = link.qdisc.dequeue(now) else {
+            return;
+        };
+        let occupancy = link.occupancy_time(&pkt);
+        link.update_util(now, occupancy);
+        // In-band telemetry: every hop is INT-capable (as the paper's
+        // Tofino is); the record keeps the most-utilized hop's state.
+        if pkt.is_data() {
+            let util_x1000 = (link.util_ewma * 1000.0).round() as u16;
+            if !pkt.int.is_stamped() || util_x1000 >= pkt.int.util_x1000 {
+                pkt.int = crate::packet::IntRecord {
+                    queue_bytes: link.qdisc.len_bytes().min(u32::MAX as u64) as u32,
+                    util_x1000,
+                    link_mbps: (link.rate.bps() / 1e6).round().max(1.0) as u32,
+                };
+            }
+        }
+        // Record the host's transmit work when the packet hits the wire.
+        let src = link.src;
+        let is_host = self.nodes[src.index()].kind == NodeKind::Host;
+        let (wire, retx) = (pkt.wire_bytes as u64, pkt.is_retx && pkt.is_data());
+        let link = &mut self.links[link_id.index()];
+        link.in_flight = Some(pkt);
+        link.tx_started = now;
+        if is_host {
+            if let Some(act) = self.activity.as_mut() {
+                act.record_tx(src, now, wire, retx);
+            }
+        }
+        self.schedule(now + occupancy, Event::TxDone { link: link_id });
+    }
+
+    fn on_tx_done(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        let pkt = link
+            .in_flight
+            .take()
+            .expect("TxDone with no in-flight packet");
+        link.stats.tx_pkts += 1;
+        link.stats.tx_bytes += pkt.wire_bytes as u64;
+        link.stats.busy_time += now - link.tx_started;
+        let prop = link.prop_delay;
+        let dst = link.dst;
+        self.schedule(now + prop, Event::Arrive { node: dst, pkt });
+        // Keep the transmitter going.
+        if self.links[link_id.index()].qdisc.len_pkts() > 0 {
+            self.start_tx(link_id);
+        }
+    }
+
+    fn on_arrive(&mut self, node: NodeId, pkt: Packet) {
+        match self.nodes[node.index()].kind {
+            NodeKind::Switch => {
+                self.route_and_transmit(node, pkt);
+            }
+            NodeKind::Host => {
+                debug_assert_eq!(pkt.dst, node, "host received mis-routed packet");
+                if let Some(act) = self.activity.as_mut() {
+                    act.record_rx(node, self.now, pkt.wire_bytes as u64, !pkt.is_data());
+                }
+                if pkt.is_data() {
+                    if let Some(trace) = self.flow_trace.as_mut() {
+                        trace.record(pkt.flow, self.now, pkt.payload_bytes as u64);
+                    }
+                }
+                if let Some(log) = self.pkt_log.as_mut() {
+                    log.record(self.now, PacketEventKind::Delivered, &pkt, None, Some(node));
+                }
+                self.dispatch_packet(node, pkt);
+            }
+        }
+    }
+
+    /// Run an agent callback and apply the commands it issued.
+    fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
+        let Some(mut agent) = self.agents[node.index()].take() else {
+            // No agent: packets/timers for this host are silently dropped.
+            return;
+        };
+        debug_assert!(self.commands.is_empty());
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                rng: &mut self.node_rngs[node.index()],
+                commands: &mut self.commands,
+                token_ns: 0,
+            };
+            f(agent.as_mut(), &mut ctx);
+        }
+        self.agents[node.index()] = Some(agent);
+        let commands = std::mem::take(&mut self.commands);
+        for cmd in commands {
+            match cmd {
+                AgentCommand::Send(pkt) => self.route_and_transmit(node, pkt),
+                AgentCommand::SetTimer { at, token } => {
+                    self.schedule(at.max(self.now), Event::Timer { node, token })
+                }
+                AgentCommand::Stop => self.stop_requested = true,
+            }
+        }
+    }
+
+    fn dispatch_packet(&mut self, node: NodeId, pkt: Packet) {
+        self.with_agent(node, |agent, ctx| agent.on_packet(pkt, ctx));
+    }
+
+    /// Invoke every agent's `on_start`. Called automatically by the run
+    /// methods on their first use.
+    fn start_agents(&mut self) {
+        if self.events_processed > 0 || self.now > SimTime::ZERO {
+            return;
+        }
+        let nodes: Vec<NodeId> = (0..self.nodes.len() as u32).map(NodeId::from_raw).collect();
+        for node in nodes {
+            if self.agents[node.index()].is_some() {
+                self.with_agent(node, |agent, ctx| agent.on_start(ctx));
+            }
+        }
+    }
+
+    /// Run until the event queue drains, a stop is requested, or `limit`
+    /// simulated time is reached.
+    pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
+        self.start_agents();
+        loop {
+            if self.stop_requested {
+                return RunOutcome::Stopped;
+            }
+            let Some(Reverse(peek)) = self.heap.peek() else {
+                return RunOutcome::Drained;
+            };
+            if peek.at > limit {
+                return RunOutcome::TimeLimit;
+            }
+            let Reverse(item) = self.heap.pop().expect("peeked item vanished");
+            debug_assert!(item.at >= self.now, "time went backwards");
+            self.now = item.at;
+            self.events_processed += 1;
+            match item.event {
+                Event::Arrive { node, pkt } => self.on_arrive(node, pkt),
+                Event::TxDone { link } => self.on_tx_done(link),
+                Event::Timer { node, token } => {
+                    self.with_agent(node, |agent, ctx| agent.on_timer(token, ctx))
+                }
+            }
+        }
+    }
+
+    /// Run until quiescent or stopped (no time limit).
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+/// Convenience: the flow a packet belongs to, used by trace assertions.
+pub fn packet_flow(pkt: &Packet) -> FlowId {
+    pkt.flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{AckInfo, EcnCodepoint, Packet, PacketKind};
+    use crate::units::Rate;
+
+    /// Test agent: sends `count` data packets to `peer` at start, records
+    /// everything it receives, echoes an ack per data packet.
+    struct Echo {
+        peer: NodeId,
+        count: u32,
+        received: Vec<Packet>,
+        acks_received: u32,
+        timer_fired: Vec<u64>,
+    }
+
+    impl Echo {
+        fn new(peer: NodeId) -> Self {
+            Echo {
+                peer,
+                count: 0,
+                received: Vec::new(),
+                acks_received: 0,
+                timer_fired: Vec::new(),
+            }
+        }
+
+        fn sending(peer: NodeId, count: u32) -> Self {
+            Echo {
+                count,
+                ..Echo::new(peer)
+            }
+        }
+    }
+
+    impl Agent for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..self.count {
+                ctx.send(Packet::data(
+                    FlowId::from_raw(0),
+                    ctx.node(),
+                    self.peer,
+                    i as u64 * 1000,
+                    1000,
+                    EcnCodepoint::NotEct,
+                ));
+            }
+        }
+
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            match pkt.kind {
+                PacketKind::Data => {
+                    let ack = Packet::ack(
+                        pkt.flow,
+                        ctx.node(),
+                        pkt.src,
+                        AckInfo {
+                            cum_ack: pkt.seq_end(),
+                            ..AckInfo::default()
+                        },
+                    );
+                    ctx.send(ack);
+                    self.received.push(pkt);
+                }
+                PacketKind::Ack(_) => self.acks_received += 1,
+            }
+        }
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+            self.timer_fired.push(token);
+        }
+    }
+
+    fn two_hosts_direct() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(1);
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(
+            a,
+            b,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(5), 1_000_000),
+        );
+        let ba = net.add_link(
+            b,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(5), 1_000_000),
+        );
+        net.add_route(a, b, ab);
+        net.add_route(b, a, ba);
+        (net, a, b)
+    }
+
+    #[test]
+    fn packets_flow_and_acks_return() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.attach_agent(a, Box::new(Echo::sending(b, 5)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        let recv = net.agent::<Echo>(b).unwrap();
+        assert_eq!(recv.received.len(), 5);
+        let send = net.agent::<Echo>(a).unwrap();
+        assert_eq!(send.acks_received, 5);
+    }
+
+    #[test]
+    fn serialization_and_prop_delay_add_up() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.attach_agent(a, Box::new(Echo::sending(b, 1)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        net.run();
+        let recv = net.agent::<Echo>(b).unwrap();
+        // 1040 wire bytes at 10 Gbps = 832 ns serialization + 5 us prop.
+        let arrival = recv.received[0];
+        assert_eq!(arrival.sent_at, SimTime::ZERO);
+        // Arrive time is recorded in network time; check via link stats.
+        assert_eq!(net.link_stats(LinkId::from_raw(0)).tx_pkts, 1);
+        assert_eq!(net.link_stats(LinkId::from_raw(0)).tx_bytes, 1040);
+    }
+
+    #[test]
+    fn switch_forwards_between_hosts() {
+        let mut net = Network::new(2);
+        let a = net.add_host();
+        let s = net.add_switch();
+        let b = net.add_host();
+        let a_s = net.add_link(
+            a,
+            s,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        let s_b = net.add_link(
+            s,
+            b,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        let b_s = net.add_link(
+            b,
+            s,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        let s_a = net.add_link(
+            s,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        net.add_route(a, b, a_s);
+        net.add_route(s, b, s_b);
+        net.add_route(b, a, b_s);
+        net.add_route(s, a, s_a);
+        net.attach_agent(a, Box::new(Echo::sending(b, 3)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 3);
+        assert_eq!(net.agent::<Echo>(a).unwrap().acks_received, 3);
+    }
+
+    #[test]
+    fn bonded_route_sprays_round_robin() {
+        let mut net = Network::new(3);
+        let a = net.add_host();
+        let b = net.add_host();
+        let l1 = net.add_link(
+            a,
+            b,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        let l2 = net.add_link(
+            a,
+            b,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        let back = net.add_link(
+            b,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        net.add_route(a, b, l1);
+        net.add_route(a, b, l2); // second parallel link -> bonding
+        net.add_route(b, a, back);
+        net.attach_agent(a, Box::new(Echo::sending(b, 10)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        net.run();
+        assert_eq!(net.link_stats(l1).tx_pkts, 5);
+        assert_eq!(net.link_stats(l2).tx_pkts, 5);
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 10);
+    }
+
+    #[test]
+    fn droptail_overflow_loses_packets() {
+        let mut net = Network::new(4);
+        let a = net.add_host();
+        let b = net.add_host();
+        // Tiny buffer: 2 packets of 1040 wire bytes fit.
+        let ab = net.add_link(
+            a,
+            b,
+            LinkSpec::droptail(Rate::from_mbps(1.0), SimDuration::from_micros(1), 2_500),
+        );
+        let ba = net.add_link(
+            b,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        net.add_route(a, b, ab);
+        net.add_route(b, a, ba);
+        net.attach_agent(a, Box::new(Echo::sending(b, 10)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        net.run();
+        let received = net.agent::<Echo>(b).unwrap().received.len();
+        assert!(received < 10, "expected drops, got all {received}");
+        let drops = net.queue_stats(ab).dropped_pkts;
+        assert_eq!(drops as usize + received, 10);
+        assert_eq!(net.network_stats().dropped_pkts, drops);
+    }
+
+    #[test]
+    fn min_pkt_gap_caps_packet_rate() {
+        let mut net = Network::new(5);
+        let a = net.add_host();
+        let b = net.add_host();
+        // 10 Gbps link but 10 us per-packet gap -> 100k pps cap.
+        let spec = LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::ZERO, 10_000_000)
+            .with_min_pkt_gap(SimDuration::from_micros(10));
+        let ab = net.add_link(a, b, spec);
+        let ba = net.add_link(
+            b,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::ZERO, 10_000_000),
+        );
+        net.add_route(a, b, ab);
+        net.add_route(b, a, ba);
+        net.attach_agent(a, Box::new(Echo::sending(b, 100)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        net.run();
+        // 100 packets at 10 us spacing -> at least 990 us of simulated time.
+        assert!(net.now() >= SimTime::from_micros(990), "now={}", net.now());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerAgent;
+        impl Agent for TimerAgent {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer_after(SimDuration::from_millis(2), 2);
+                ctx.set_timer_after(SimDuration::from_millis(1), 1);
+                ctx.set_timer_after(SimDuration::from_millis(3), 3);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+                // Record order via a static-free trick: re-arm nothing,
+                // assert monotone tokens using time.
+                assert_eq!(ctx.now(), SimTime::from_millis(token));
+            }
+        }
+        let mut net = Network::new(6);
+        let a = net.add_host();
+        net.attach_agent(a, Box::new(TimerAgent));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        assert_eq!(net.events_processed(), 3);
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        struct Stopper;
+        impl Agent for Stopper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer_after(SimDuration::from_millis(1), 0);
+                ctx.set_timer_after(SimDuration::from_millis(10), 1);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+                if token == 0 {
+                    ctx.request_stop();
+                }
+            }
+        }
+        let mut net = Network::new(7);
+        let a = net.add_host();
+        net.attach_agent(a, Box::new(Stopper));
+        assert_eq!(net.run(), RunOutcome::Stopped);
+        assert_eq!(net.now(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn time_limit_is_respected() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.attach_agent(a, Box::new(Echo::sending(b, 5)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        // Limit shorter than the 5 us propagation: nothing arrives.
+        assert_eq!(
+            net.run_until(SimTime::from_micros(1)),
+            RunOutcome::TimeLimit
+        );
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 0);
+        // Resume to completion.
+        assert_eq!(net.run(), RunOutcome::Drained);
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 5);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let a = net.add_host();
+            let b = net.add_host();
+            let ab = net.add_link(
+                a,
+                b,
+                LinkSpec::droptail(Rate::from_gbps(1.0), SimDuration::from_micros(3), 10_000),
+            );
+            let ba = net.add_link(
+                b,
+                a,
+                LinkSpec::droptail(Rate::from_gbps(1.0), SimDuration::from_micros(3), 10_000),
+            );
+            net.add_route(a, b, ab);
+            net.add_route(b, a, ba);
+            net.attach_agent(a, Box::new(Echo::sending(b, 50)));
+            net.attach_agent(b, Box::new(Echo::new(a)));
+            net.run();
+            (net.now(), net.events_processed())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn flow_trace_records_deliveries() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.enable_flow_trace(SimDuration::from_millis(1));
+        net.attach_agent(a, Box::new(Echo::sending(b, 4)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        net.run();
+        let trace = net.flow_trace().unwrap();
+        assert_eq!(trace.total_bytes(FlowId::from_raw(0)), 4000);
+    }
+
+    #[test]
+    fn activity_records_host_work() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.enable_activity(SimDuration::from_millis(1));
+        net.attach_agent(a, Box::new(Echo::sending(b, 4)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        net.run();
+        let act = net.activity().unwrap();
+        let a_tot = act.totals(a);
+        assert_eq!(a_tot.tx_pkts, 4);
+        assert_eq!(a_tot.acks_rx, 4);
+        let b_tot = act.totals(b);
+        assert_eq!(b_tot.rx_pkts, 4);
+        assert_eq!(b_tot.tx_pkts, 4); // the acks
+    }
+}

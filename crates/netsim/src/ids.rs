@@ -1,0 +1,80 @@
+//! Typed identifiers for simulation objects.
+//!
+//! Using newtypes (rather than bare integers) prevents a node index from
+//! being passed where a link index is expected — a classic simulator bug
+//! class the compiler can eliminate for free.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Construct from a raw index. Exposed for tests and for
+            /// compact storage in downstream tables.
+            #[inline]
+            pub const fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index backing this id.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a node (host or switch) in the simulated network.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifies a unidirectional link in the simulated network.
+    LinkId,
+    "l"
+);
+id_type!(
+    /// Identifies a transport flow (one direction of a connection).
+    FlowId,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_format() {
+        let n = NodeId::from_raw(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(format!("{n}"), "n3");
+        let l = LinkId::from_raw(1);
+        assert_eq!(format!("{l:?}"), "l1");
+        let f = FlowId::from_raw(9);
+        assert_eq!(format!("{f}"), "f9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::from_raw(1) < NodeId::from_raw(2));
+        assert_eq!(FlowId::from_raw(4), FlowId::from_raw(4));
+    }
+}

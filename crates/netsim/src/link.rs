@@ -1,0 +1,135 @@
+//! Unidirectional links.
+//!
+//! A link ([`LinkSpec`] + engine-internal state) connects a source node
+//! to a destination node and models the
+//! two delays that matter for congestion control: *serialization* (packet
+//! size over link rate) and *propagation* (constant). Packets waiting for
+//! the transmitter sit in the link's queue discipline.
+//!
+//! Links can also model a host-side packet-processing ceiling via
+//! `min_pkt_gap`: the transmitter will not start packets closer together
+//! than this gap even if serialization is faster. This reproduces the
+//! paper's observation that small MTUs cannot reach 10 Gb/s line rate —
+//! the per-packet CPU/interrupt cost, not the wire, becomes the bottleneck.
+
+use crate::ids::NodeId;
+use crate::packet::Packet;
+use crate::queue::{DropTailQueue, Qdisc};
+use crate::time::{SimDuration, SimTime};
+use crate::units::Rate;
+
+/// Configuration for one unidirectional link.
+pub struct LinkSpec {
+    /// Wire rate.
+    pub rate: Rate,
+    /// Propagation delay (distance / signal speed).
+    pub prop_delay: SimDuration,
+    /// Egress buffer discipline.
+    pub qdisc: Box<dyn Qdisc>,
+    /// Minimum spacing between packet transmissions; `ZERO` disables the
+    /// processing cap. See the module docs.
+    pub min_pkt_gap: SimDuration,
+}
+
+impl LinkSpec {
+    /// A link with a plain drop-tail buffer and no processing cap.
+    pub fn droptail(rate: Rate, prop_delay: SimDuration, buffer_bytes: u64) -> Self {
+        LinkSpec {
+            rate,
+            prop_delay,
+            qdisc: Box::new(DropTailQueue::new(buffer_bytes)),
+            min_pkt_gap: SimDuration::ZERO,
+        }
+    }
+
+    /// Add a per-packet processing gap (a pps ceiling of `1/gap`).
+    pub fn with_min_pkt_gap(mut self, gap: SimDuration) -> Self {
+        self.min_pkt_gap = gap;
+        self
+    }
+}
+
+/// Lifetime transmit counters for a link.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Packets fully serialized onto the wire.
+    pub tx_pkts: u64,
+    /// Wire bytes fully serialized.
+    pub tx_bytes: u64,
+    /// Cumulative time the transmitter spent busy.
+    pub busy_time: SimDuration,
+}
+
+impl LinkStats {
+    /// Fraction of `elapsed` the transmitter was busy.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.busy_time.as_secs_f64() / elapsed.as_secs_f64()
+    }
+}
+
+/// Runtime state of a link inside the engine.
+pub(crate) struct LinkState {
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    pub(crate) rate: Rate,
+    pub(crate) prop_delay: SimDuration,
+    pub(crate) qdisc: Box<dyn Qdisc>,
+    pub(crate) min_pkt_gap: SimDuration,
+    /// Packet currently being serialized, if any.
+    pub(crate) in_flight: Option<Packet>,
+    /// When the current serialization began (valid while `in_flight`).
+    pub(crate) tx_started: SimTime,
+    /// EWMA of recent utilization (busy fraction between transmission
+    /// starts), exported through in-band telemetry.
+    pub(crate) util_ewma: f64,
+    /// Start of the previous transmission, for the utilization estimate.
+    pub(crate) prev_tx_started: Option<SimTime>,
+    pub(crate) stats: LinkStats,
+}
+
+impl LinkState {
+    pub(crate) fn new(src: NodeId, dst: NodeId, spec: LinkSpec) -> Self {
+        LinkState {
+            src,
+            dst,
+            rate: spec.rate,
+            prop_delay: spec.prop_delay,
+            qdisc: spec.qdisc,
+            min_pkt_gap: spec.min_pkt_gap,
+            in_flight: None,
+            tx_started: SimTime::ZERO,
+            util_ewma: 0.0,
+            prev_tx_started: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Update the utilization EWMA for a transmission starting at `now`
+    /// that will occupy the transmitter for `occupancy`.
+    pub(crate) fn update_util(&mut self, now: SimTime, occupancy: crate::time::SimDuration) {
+        if let Some(prev) = self.prev_tx_started {
+            let gap = now.saturating_since(prev).as_secs_f64();
+            if gap > 0.0 {
+                let inst = (occupancy.as_secs_f64() / gap).min(1.0);
+                self.util_ewma = 0.875 * self.util_ewma + 0.125 * inst;
+            }
+        } else {
+            self.util_ewma = 1.0; // first packet: transmitter fully busy
+        }
+        self.prev_tx_started = Some(now);
+    }
+
+    /// Time the transmitter occupies for `pkt`: serialization, but never
+    /// less than the processing gap.
+    pub(crate) fn occupancy_time(&self, pkt: &Packet) -> SimDuration {
+        let ser = self.rate.serialization_time(pkt.wire_bytes as u64);
+        ser.max(self.min_pkt_gap)
+    }
+
+    pub(crate) fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+}

@@ -1,0 +1,351 @@
+//! Canonical topologies.
+//!
+//! [`Dumbbell`] builds the paper's testbed: sender host(s) connected to a
+//! switch (optionally over bonded links, as the paper's sender uses
+//! 2×10 Gb/s round-robin bonding), and a single bottleneck link from the
+//! switch to the receiver host. All experiments in the paper run on this
+//! shape; examples can of course wire arbitrary topologies by hand.
+
+use crate::engine::Network;
+use crate::ids::{LinkId, NodeId};
+use crate::link::LinkSpec;
+use crate::queue::{DropTailQueue, EcnThresholdQueue, Qdisc};
+use crate::time::SimDuration;
+use crate::units::Rate;
+
+/// Which discipline the bottleneck queue runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BottleneckQueue {
+    /// Plain tail-drop with the given capacity in bytes.
+    DropTail {
+        /// Buffer capacity in bytes.
+        capacity_bytes: u64,
+    },
+    /// DCTCP-style step marking: tail-drop capacity plus a CE threshold.
+    EcnThreshold {
+        /// Buffer capacity in bytes.
+        capacity_bytes: u64,
+        /// Marking threshold K in bytes.
+        mark_bytes: u64,
+    },
+}
+
+impl BottleneckQueue {
+    fn build(self) -> Box<dyn Qdisc> {
+        match self {
+            BottleneckQueue::DropTail { capacity_bytes } => {
+                Box::new(DropTailQueue::new(capacity_bytes))
+            }
+            BottleneckQueue::EcnThreshold {
+                capacity_bytes,
+                mark_bytes,
+            } => Box::new(EcnThresholdQueue::new(capacity_bytes, mark_bytes)),
+        }
+    }
+}
+
+/// Parameters of the dumbbell testbed.
+#[derive(Clone, Debug)]
+pub struct DumbbellConfig {
+    /// Bottleneck (switch -> receiver) rate. The paper's is 10 Gb/s.
+    pub bottleneck_rate: Rate,
+    /// Rate of each sender -> switch link.
+    pub edge_rate: Rate,
+    /// Number of parallel sender -> switch links (2 in the paper's bonded
+    /// setup, so the sender NIC is never the bottleneck).
+    pub sender_bond_links: usize,
+    /// One-way propagation delay per hop (sender->switch and
+    /// switch->receiver each get this).
+    pub hop_delay: SimDuration,
+    /// Bottleneck queue discipline.
+    pub bottleneck_queue: BottleneckQueue,
+    /// Buffer on non-bottleneck links, in bytes.
+    pub edge_buffer_bytes: u64,
+    /// Host packet-processing ceiling: minimum spacing between packets a
+    /// host can emit. `ZERO` disables. Models the per-packet CPU cost that
+    /// keeps small-MTU senders below line rate.
+    pub host_min_pkt_gap: SimDuration,
+    /// Number of sender hosts (each gets its own edge link set).
+    pub senders: usize,
+}
+
+impl Default for DumbbellConfig {
+    /// The paper's testbed: 10 Gb/s bottleneck, bonded 2×10 Gb/s sender
+    /// uplinks, ~25 us per-hop delay (a few switch hops' worth of fiber +
+    /// forwarding), 1 MB drop-tail bottleneck buffer.
+    fn default() -> Self {
+        DumbbellConfig {
+            bottleneck_rate: Rate::from_gbps(10.0),
+            edge_rate: Rate::from_gbps(10.0),
+            sender_bond_links: 2,
+            hop_delay: SimDuration::from_micros(25),
+            bottleneck_queue: BottleneckQueue::DropTail {
+                capacity_bytes: 1_000_000,
+            },
+            edge_buffer_bytes: 4_000_000,
+            host_min_pkt_gap: SimDuration::ZERO,
+            senders: 1,
+        }
+    }
+}
+
+/// A built dumbbell: node and link handles for experiments to poke at.
+#[derive(Debug)]
+pub struct Dumbbell {
+    /// Sender host ids, one per configured sender.
+    pub senders: Vec<NodeId>,
+    /// The switch.
+    pub switch: NodeId,
+    /// The receiver host.
+    pub receiver: NodeId,
+    /// The bottleneck link (switch -> receiver).
+    pub bottleneck: LinkId,
+    /// Per-sender uplink ids (bonded groups flattened).
+    pub uplinks: Vec<Vec<LinkId>>,
+}
+
+impl Dumbbell {
+    /// Build the dumbbell inside `net` according to `cfg`.
+    pub fn build(net: &mut Network, cfg: &DumbbellConfig) -> Dumbbell {
+        assert!(cfg.senders >= 1, "need at least one sender");
+        assert!(cfg.sender_bond_links >= 1, "need at least one uplink");
+
+        let switch = net.add_switch();
+        let receiver = net.add_host();
+
+        // Bottleneck: switch -> receiver.
+        let bottleneck = net.add_link(
+            switch,
+            receiver,
+            LinkSpec {
+                rate: cfg.bottleneck_rate,
+                prop_delay: cfg.hop_delay,
+                qdisc: cfg.bottleneck_queue.build(),
+                min_pkt_gap: SimDuration::ZERO,
+            },
+        );
+
+        // Reverse path: receiver -> switch (acks), generously buffered.
+        let rx_up = net.add_link(
+            receiver,
+            switch,
+            LinkSpec::droptail(cfg.edge_rate, cfg.hop_delay, cfg.edge_buffer_bytes)
+                .with_min_pkt_gap(cfg.host_min_pkt_gap),
+        );
+        net.add_route(receiver, switch, rx_up);
+
+        let mut senders = Vec::with_capacity(cfg.senders);
+        let mut uplinks = Vec::with_capacity(cfg.senders);
+        for _ in 0..cfg.senders {
+            let host = net.add_host();
+            let mut bond = Vec::with_capacity(cfg.sender_bond_links);
+            for _ in 0..cfg.sender_bond_links {
+                let l = net.add_link(
+                    host,
+                    switch,
+                    LinkSpec::droptail(cfg.edge_rate, cfg.hop_delay, cfg.edge_buffer_bytes)
+                        .with_min_pkt_gap(cfg.host_min_pkt_gap),
+                );
+                net.add_route(host, receiver, l);
+                bond.push(l);
+            }
+            // Switch routes: to this sender via a downlink.
+            let down = net.add_link(
+                switch,
+                host,
+                LinkSpec::droptail(cfg.edge_rate, cfg.hop_delay, cfg.edge_buffer_bytes),
+            );
+            net.add_route(switch, host, down);
+            // Receiver reaches this sender through the switch.
+            net.add_route(receiver, host, rx_up);
+            senders.push(host);
+            uplinks.push(bond);
+        }
+        // Switch routes everything destined to the receiver over the
+        // bottleneck.
+        net.add_route(switch, receiver, bottleneck);
+
+        Dumbbell {
+            senders,
+            switch,
+            receiver,
+            bottleneck,
+            uplinks,
+        }
+    }
+
+    /// Round-trip propagation+forwarding delay for this topology, ignoring
+    /// serialization and queueing: four hop delays (two out, two back).
+    pub fn base_rtt(cfg: &DumbbellConfig) -> SimDuration {
+        cfg.hop_delay * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, Ctx};
+    use crate::ids::FlowId;
+    use crate::packet::{AckInfo, EcnCodepoint, Packet, PacketKind};
+
+    struct Blaster {
+        dst: NodeId,
+        n: u32,
+        acked: u32,
+    }
+    impl Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..self.n {
+                ctx.send(Packet::data(
+                    FlowId::from_raw(7),
+                    ctx.node(),
+                    self.dst,
+                    (i as u64) * 1448,
+                    1448,
+                    EcnCodepoint::NotEct,
+                ));
+            }
+        }
+        fn on_packet(&mut self, pkt: Packet, _ctx: &mut Ctx<'_>) {
+            if matches!(pkt.kind, PacketKind::Ack(_)) {
+                self.acked += 1;
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    struct Sink;
+    impl Agent for Sink {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            if pkt.is_data() {
+                ctx.send(Packet::ack(
+                    pkt.flow,
+                    ctx.node(),
+                    pkt.src,
+                    AckInfo {
+                        cum_ack: pkt.seq_end(),
+                        ..AckInfo::default()
+                    },
+                ));
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    #[test]
+    fn dumbbell_carries_traffic_end_to_end() {
+        let mut net = Network::new(11);
+        let cfg = DumbbellConfig::default();
+        let d = Dumbbell::build(&mut net, &cfg);
+        net.attach_agent(
+            d.senders[0],
+            Box::new(Blaster {
+                dst: d.receiver,
+                n: 20,
+                acked: 0,
+            }),
+        );
+        net.attach_agent(d.receiver, Box::new(Sink));
+        net.run();
+        assert_eq!(net.agent::<Blaster>(d.senders[0]).unwrap().acked, 20);
+        assert_eq!(net.link_stats(d.bottleneck).tx_pkts, 20);
+    }
+
+    #[test]
+    fn bonded_uplinks_share_packets() {
+        let mut net = Network::new(12);
+        let cfg = DumbbellConfig::default();
+        let d = Dumbbell::build(&mut net, &cfg);
+        assert_eq!(d.uplinks[0].len(), 2);
+        net.attach_agent(
+            d.senders[0],
+            Box::new(Blaster {
+                dst: d.receiver,
+                n: 10,
+                acked: 0,
+            }),
+        );
+        net.attach_agent(d.receiver, Box::new(Sink));
+        net.run();
+        assert_eq!(net.link_stats(d.uplinks[0][0]).tx_pkts, 5);
+        assert_eq!(net.link_stats(d.uplinks[0][1]).tx_pkts, 5);
+    }
+
+    #[test]
+    fn two_senders_get_distinct_hosts() {
+        let mut net = Network::new(13);
+        let cfg = DumbbellConfig {
+            senders: 2,
+            ..DumbbellConfig::default()
+        };
+        let d = Dumbbell::build(&mut net, &cfg);
+        assert_eq!(d.senders.len(), 2);
+        assert_ne!(d.senders[0], d.senders[1]);
+        net.attach_agent(
+            d.senders[0],
+            Box::new(Blaster {
+                dst: d.receiver,
+                n: 5,
+                acked: 0,
+            }),
+        );
+        net.attach_agent(
+            d.senders[1],
+            Box::new(Blaster {
+                dst: d.receiver,
+                n: 5,
+                acked: 0,
+            }),
+        );
+        net.attach_agent(d.receiver, Box::new(Sink));
+        net.run();
+        assert_eq!(net.agent::<Blaster>(d.senders[0]).unwrap().acked, 5);
+        assert_eq!(net.agent::<Blaster>(d.senders[1]).unwrap().acked, 5);
+    }
+
+    #[test]
+    fn ecn_bottleneck_marks_capable_traffic() {
+        let mut net = Network::new(14);
+        let cfg = DumbbellConfig {
+            bottleneck_queue: BottleneckQueue::EcnThreshold {
+                capacity_bytes: 1_000_000,
+                mark_bytes: 3_000,
+            },
+            ..DumbbellConfig::default()
+        };
+        let d = Dumbbell::build(&mut net, &cfg);
+
+        struct EcnBlaster {
+            dst: NodeId,
+        }
+        impl Agent for EcnBlaster {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // Burst enough to exceed the 3 KB threshold at the
+                // bottleneck queue.
+                for i in 0..50u64 {
+                    ctx.send(Packet::data(
+                        FlowId::from_raw(1),
+                        ctx.node(),
+                        self.dst,
+                        i * 1448,
+                        1448,
+                        EcnCodepoint::Ect0,
+                    ));
+                }
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+        }
+
+        net.attach_agent(d.senders[0], Box::new(EcnBlaster { dst: d.receiver }));
+        net.attach_agent(d.receiver, Box::new(Sink));
+        net.run();
+        assert!(net.queue_stats(d.bottleneck).marked_pkts > 0);
+    }
+
+    #[test]
+    fn base_rtt_is_four_hops() {
+        let cfg = DumbbellConfig::default();
+        assert_eq!(Dumbbell::base_rtt(&cfg), SimDuration::from_micros(100));
+    }
+}

@@ -1,0 +1,286 @@
+//! Measurement instrumentation.
+//!
+//! Two recorders feed the experiments:
+//!
+//! * [`FlowTrace`] — per-flow delivered-payload time series, binned at a
+//!   configurable interval. This regenerates the paper's throughput-vs-time
+//!   plots (Fig. 3) and per-flow average throughputs.
+//! * [`HostActivity`] — per-host transmit/receive work time series (bytes
+//!   and packets, binned). The energy model integrates power over these
+//!   bins, exactly as RAPL integrates over the experiment interval.
+
+use crate::ids::{FlowId, NodeId};
+use crate::time::{SimDuration, SimTime};
+use crate::units::Rate;
+use std::collections::HashMap;
+
+/// Per-flow delivered-bytes recorder.
+#[derive(Debug)]
+pub struct FlowTrace {
+    bin: SimDuration,
+    /// flow -> per-bin delivered payload bytes
+    bins: HashMap<FlowId, Vec<u64>>,
+    /// flow -> (first delivery time, last delivery time, total payload)
+    totals: HashMap<FlowId, (SimTime, SimTime, u64)>,
+}
+
+impl FlowTrace {
+    /// Create a trace with the given bin width.
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "trace bin must be positive");
+        FlowTrace {
+            bin,
+            bins: HashMap::new(),
+            totals: HashMap::new(),
+        }
+    }
+
+    /// Bin width.
+    pub fn bin(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Record `payload` bytes of flow `flow` delivered at `now`.
+    pub fn record(&mut self, flow: FlowId, now: SimTime, payload: u64) {
+        let idx = (now.as_nanos() / self.bin.as_nanos()) as usize;
+        let bins = self.bins.entry(flow).or_default();
+        if bins.len() <= idx {
+            bins.resize(idx + 1, 0);
+        }
+        bins[idx] += payload;
+        let entry = self.totals.entry(flow).or_insert((now, now, 0));
+        entry.1 = now;
+        entry.2 += payload;
+    }
+
+    /// The delivered-bytes series for a flow (empty if never seen).
+    pub fn series(&self, flow: FlowId) -> &[u64] {
+        self.bins.get(&flow).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The throughput series for a flow in Gbps, one point per bin.
+    pub fn throughput_gbps(&self, flow: FlowId) -> Vec<f64> {
+        let secs = self.bin.as_secs_f64();
+        self.series(flow)
+            .iter()
+            .map(|&b| b as f64 * 8.0 / secs / 1e9)
+            .collect()
+    }
+
+    /// Total payload bytes delivered for a flow.
+    pub fn total_bytes(&self, flow: FlowId) -> u64 {
+        self.totals.get(&flow).map(|t| t.2).unwrap_or(0)
+    }
+
+    /// Average delivery rate of a flow between its first and last delivery.
+    pub fn average_rate(&self, flow: FlowId) -> Rate {
+        match self.totals.get(&flow) {
+            Some(&(first, last, bytes)) if last > first => {
+                crate::units::average_rate(bytes, last - first)
+            }
+            _ => Rate::ZERO,
+        }
+    }
+
+    /// All flows that delivered at least one byte.
+    pub fn flows(&self) -> Vec<FlowId> {
+        let mut v: Vec<_> = self.bins.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// One bin of a host's network work.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ActivityBin {
+    /// Wire bytes transmitted by the host in this bin.
+    pub tx_bytes: u64,
+    /// Packets transmitted.
+    pub tx_pkts: u64,
+    /// Wire bytes received.
+    pub rx_bytes: u64,
+    /// Packets received.
+    pub rx_pkts: u64,
+    /// Pure acknowledgements received.
+    pub acks_rx: u64,
+    /// Retransmitted data packets transmitted.
+    pub retx_pkts: u64,
+}
+
+/// Lifetime totals of a host's network work.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ActivityTotals {
+    /// Wire bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets transmitted.
+    pub tx_pkts: u64,
+    /// Retransmitted data packets transmitted.
+    pub retx_pkts: u64,
+    /// Wire bytes received.
+    pub rx_bytes: u64,
+    /// Packets received.
+    pub rx_pkts: u64,
+    /// Pure acknowledgements received (the ack-processing cost driver).
+    pub acks_rx: u64,
+}
+
+/// Per-host binned transmit/receive activity.
+#[derive(Debug)]
+pub struct HostActivity {
+    bin: SimDuration,
+    /// host -> bins
+    bins: HashMap<NodeId, Vec<ActivityBin>>,
+    totals: HashMap<NodeId, ActivityTotals>,
+}
+
+impl HostActivity {
+    /// Create a recorder with the given bin width.
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "activity bin must be positive");
+        HostActivity {
+            bin,
+            bins: HashMap::new(),
+            totals: HashMap::new(),
+        }
+    }
+
+    /// Bin width.
+    pub fn bin(&self) -> SimDuration {
+        self.bin
+    }
+
+    fn bin_mut(&mut self, host: NodeId, now: SimTime) -> &mut ActivityBin {
+        let idx = (now.as_nanos() / self.bin.as_nanos()) as usize;
+        let bins = self.bins.entry(host).or_default();
+        if bins.len() <= idx {
+            bins.resize(idx + 1, ActivityBin::default());
+        }
+        &mut bins[idx]
+    }
+
+    /// Record a transmission starting at `now` from `host`.
+    pub fn record_tx(&mut self, host: NodeId, now: SimTime, wire_bytes: u64, is_retx: bool) {
+        let b = self.bin_mut(host, now);
+        b.tx_bytes += wire_bytes;
+        b.tx_pkts += 1;
+        if is_retx {
+            b.retx_pkts += 1;
+        }
+        let t = self.totals.entry(host).or_default();
+        t.tx_bytes += wire_bytes;
+        t.tx_pkts += 1;
+        if is_retx {
+            t.retx_pkts += 1;
+        }
+    }
+
+    /// Record a packet received by `host` at `now`.
+    pub fn record_rx(&mut self, host: NodeId, now: SimTime, wire_bytes: u64, is_ack: bool) {
+        let b = self.bin_mut(host, now);
+        b.rx_bytes += wire_bytes;
+        b.rx_pkts += 1;
+        if is_ack {
+            b.acks_rx += 1;
+        }
+        let t = self.totals.entry(host).or_default();
+        t.rx_bytes += wire_bytes;
+        t.rx_pkts += 1;
+        if is_ack {
+            t.acks_rx += 1;
+        }
+    }
+
+    /// The activity series for a host (empty if it never moved a packet).
+    pub fn series(&self, host: NodeId) -> &[ActivityBin] {
+        self.bins.get(&host).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Lifetime totals for a host.
+    pub fn totals(&self, host: NodeId) -> ActivityTotals {
+        self.totals.get(&host).copied().unwrap_or_default()
+    }
+
+    /// All hosts with recorded activity.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        let mut v: Vec<_> = self.bins.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FlowId = FlowId::from_raw(1);
+    const H: NodeId = NodeId::from_raw(0);
+
+    #[test]
+    fn flow_trace_bins_bytes() {
+        let mut t = FlowTrace::new(SimDuration::from_millis(10));
+        t.record(F, SimTime::from_millis(1), 100);
+        t.record(F, SimTime::from_millis(9), 200);
+        t.record(F, SimTime::from_millis(15), 300);
+        assert_eq!(t.series(F), &[300, 300]);
+        assert_eq!(t.total_bytes(F), 600);
+    }
+
+    #[test]
+    fn flow_trace_throughput_conversion() {
+        let mut t = FlowTrace::new(SimDuration::from_millis(10));
+        // 12.5 MB in one 10 ms bin = 10 Gbps.
+        t.record(F, SimTime::from_millis(5), 12_500_000);
+        let series = t.throughput_gbps(F);
+        assert_eq!(series.len(), 1);
+        assert!((series[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_trace_average_rate() {
+        let mut t = FlowTrace::new(SimDuration::from_millis(1));
+        t.record(F, SimTime::from_secs(0), 0);
+        t.record(F, SimTime::from_secs(1), 1_250_000_000);
+        // 1.25 GB over 1 s = 10 Gbps.
+        assert!((t.average_rate(F).gbps() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_trace_unknown_flow_is_empty() {
+        let t = FlowTrace::new(SimDuration::from_millis(10));
+        assert!(t.series(F).is_empty());
+        assert_eq!(t.total_bytes(F), 0);
+        assert!(t.average_rate(F).is_zero());
+        assert!(t.flows().is_empty());
+    }
+
+    #[test]
+    fn host_activity_accumulates() {
+        let mut a = HostActivity::new(SimDuration::from_millis(1));
+        a.record_tx(H, SimTime::from_micros(100), 1500, false);
+        a.record_tx(H, SimTime::from_micros(200), 1500, true);
+        a.record_rx(H, SimTime::from_micros(300), 64, true);
+        let bins = a.series(H);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].tx_bytes, 3000);
+        assert_eq!(bins[0].tx_pkts, 2);
+        assert_eq!(bins[0].rx_pkts, 1);
+        assert_eq!(bins[0].retx_pkts, 1);
+        assert_eq!(bins[0].acks_rx, 1);
+        let t = a.totals(H);
+        assert_eq!(t.retx_pkts, 1);
+        assert_eq!(t.acks_rx, 1);
+        assert_eq!(a.hosts(), vec![H]);
+    }
+
+    #[test]
+    fn host_activity_bins_by_time() {
+        let mut a = HostActivity::new(SimDuration::from_millis(1));
+        a.record_tx(H, SimTime::from_micros(500), 100, false);
+        a.record_tx(H, SimTime::from_millis(3), 200, false);
+        let bins = a.series(H);
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[0].tx_bytes, 100);
+        assert_eq!(bins[1], ActivityBin::default());
+        assert_eq!(bins[3].tx_bytes, 200);
+    }
+}

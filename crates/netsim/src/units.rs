@@ -1,0 +1,243 @@
+//! Rate and size units.
+//!
+//! Link speeds and throughputs are expressed as [`Rate`] (bits per second,
+//! stored as `f64`). Byte counts are plain `u64`; this module provides the
+//! conversion helpers the rest of the workspace uses so that Gbit/GByte
+//! confusion cannot creep in silently.
+
+use crate::time::SimDuration;
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+/// A data rate in bits per second.
+///
+/// Rates are non-negative; construction from a negative value is a logic
+/// error and panics in debug builds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// Zero rate (an idle sender).
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// Construct from bits per second.
+    #[inline]
+    pub fn from_bps(bps: f64) -> Self {
+        debug_assert!(bps >= 0.0, "rates are non-negative");
+        Rate(bps)
+    }
+
+    /// Construct from kilobits per second (10^3 bits).
+    #[inline]
+    pub fn from_kbps(kbps: f64) -> Self {
+        Rate::from_bps(kbps * 1e3)
+    }
+
+    /// Construct from megabits per second (10^6 bits).
+    #[inline]
+    pub fn from_mbps(mbps: f64) -> Self {
+        Rate::from_bps(mbps * 1e6)
+    }
+
+    /// Construct from gigabits per second (10^9 bits).
+    #[inline]
+    pub fn from_gbps(gbps: f64) -> Self {
+        Rate::from_bps(gbps * 1e9)
+    }
+
+    /// The rate in bits per second.
+    #[inline]
+    pub fn bps(self) -> f64 {
+        self.0
+    }
+
+    /// The rate in gigabits per second.
+    #[inline]
+    pub fn gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The rate in bytes per second.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 / 8.0
+    }
+
+    /// Time to serialize `bytes` at this rate.
+    ///
+    /// Returns [`SimDuration::MAX`] for a zero rate: nothing ever finishes
+    /// on a zero-speed link.
+    #[inline]
+    pub fn serialization_time(self, bytes: u64) -> SimDuration {
+        if self.0 <= 0.0 {
+            return SimDuration::MAX;
+        }
+        let secs = (bytes as f64 * 8.0) / self.0;
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// How many bytes are transferred at this rate during `d`.
+    #[inline]
+    pub fn bytes_in(self, d: SimDuration) -> f64 {
+        self.bytes_per_sec() * d.as_secs_f64()
+    }
+
+    /// True if this rate is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 <= 0.0
+    }
+
+    /// The smaller of two rates.
+    #[inline]
+    pub fn min(self, other: Rate) -> Rate {
+        Rate(self.0.min(other.0))
+    }
+
+    /// The larger of two rates.
+    #[inline]
+    pub fn max(self, other: Rate) -> Rate {
+        Rate(self.0.max(other.0))
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    #[inline]
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    #[inline]
+    fn sub(self, rhs: Rate) -> Rate {
+        Rate((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Rate {
+    type Output = Rate;
+    #[inline]
+    fn mul(self, rhs: f64) -> Rate {
+        debug_assert!(rhs >= 0.0);
+        Rate(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Rate {
+    type Output = Rate;
+    #[inline]
+    fn div(self, rhs: f64) -> Rate {
+        debug_assert!(rhs > 0.0);
+        Rate(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.3}Gbps", self.0 / 1e9)
+        } else if self.0 >= 1e6 {
+            write!(f, "{:.3}Mbps", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3}Kbps", self.0 / 1e3)
+        } else {
+            write!(f, "{:.1}bps", self.0)
+        }
+    }
+}
+
+/// Bytes in one kibibyte-free, paper-style "KB" (10^3). The paper reports
+/// data volumes in decimal units (50 GB = 50 * 10^9 bytes), so we follow it.
+pub const KB: u64 = 1_000;
+/// Decimal megabyte (10^6 bytes).
+pub const MB: u64 = 1_000_000;
+/// Decimal gigabyte (10^9 bytes), as used for the paper's 50 GB transfers.
+pub const GB: u64 = 1_000_000_000;
+
+/// Compute an average rate from a byte count over a span.
+///
+/// Returns [`Rate::ZERO`] for a zero-length span.
+#[inline]
+pub fn average_rate(bytes: u64, over: SimDuration) -> Rate {
+    let secs = over.as_secs_f64();
+    if secs <= 0.0 {
+        return Rate::ZERO;
+    }
+    Rate::from_bps(bytes as f64 * 8.0 / secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn rate_conversions() {
+        let r = Rate::from_gbps(10.0);
+        assert_eq!(r.bps(), 10e9);
+        assert_eq!(r.gbps(), 10.0);
+        assert_eq!(r.bytes_per_sec(), 1.25e9);
+        assert_eq!(Rate::from_mbps(1.0).bps(), 1e6);
+        assert_eq!(Rate::from_kbps(1.0).bps(), 1e3);
+    }
+
+    #[test]
+    fn serialization_time_is_exact_for_common_cases() {
+        // 1500 bytes at 10 Gbps = 1.2 us.
+        let d = Rate::from_gbps(10.0).serialization_time(1500);
+        assert_eq!(d.as_nanos(), 1_200);
+        // 9000 bytes at 10 Gbps = 7.2 us.
+        let d = Rate::from_gbps(10.0).serialization_time(9000);
+        assert_eq!(d.as_nanos(), 7_200);
+    }
+
+    #[test]
+    fn zero_rate_never_finishes() {
+        assert_eq!(Rate::ZERO.serialization_time(1), SimDuration::MAX);
+        assert!(Rate::ZERO.is_zero());
+    }
+
+    #[test]
+    fn bytes_in_duration() {
+        let r = Rate::from_gbps(8.0); // 1 GB/s
+        let b = r.bytes_in(SimDuration::from_millis(10));
+        assert!((b - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn average_rate_inverts_serialization() {
+        let r = average_rate(1_250_000_000, SimDuration::from_secs(1));
+        assert!((r.gbps() - 10.0).abs() < 1e-9);
+        assert_eq!(average_rate(10, SimDuration::ZERO), Rate::ZERO);
+    }
+
+    #[test]
+    fn rate_arithmetic_saturates_at_zero() {
+        let a = Rate::from_gbps(1.0);
+        let b = Rate::from_gbps(2.0);
+        assert_eq!((a - b), Rate::ZERO);
+        assert!((b - a).gbps() > 0.99);
+        assert_eq!((a + a).gbps(), 2.0);
+        assert_eq!((b * 0.5).gbps(), 1.0);
+        assert_eq!((b / 2.0).gbps(), 1.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", Rate::from_gbps(10.0)), "10.000Gbps");
+        assert_eq!(format!("{}", Rate::from_mbps(10.0)), "10.000Mbps");
+        assert_eq!(format!("{}", Rate::from_kbps(10.0)), "10.000Kbps");
+        assert_eq!(format!("{}", Rate::from_bps(10.0)), "10.0bps");
+    }
+}

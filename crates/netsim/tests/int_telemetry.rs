@@ -1,0 +1,167 @@
+//! In-band telemetry substrate tests: hops stamp data packets with queue
+//! occupancy and utilization, and the most-utilized hop's record wins.
+
+use netsim::prelude::*;
+
+/// Sends `n` packets at start; records every data packet's INT on arrival.
+struct Blast {
+    dst: NodeId,
+    n: u32,
+}
+impl Agent for Blast {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.n {
+            ctx.send(Packet::data(
+                FlowId::from_raw(1),
+                ctx.node(),
+                self.dst,
+                i as u64 * 1460,
+                1460,
+                EcnCodepoint::NotEct,
+            ));
+        }
+    }
+    fn on_packet(&mut self, _p: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {}
+}
+
+struct IntSink {
+    records: Vec<IntRecord>,
+}
+impl Agent for IntSink {
+    fn on_packet(&mut self, p: Packet, _ctx: &mut Ctx<'_>) {
+        if p.is_data() {
+            self.records.push(p.int);
+        }
+    }
+    fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {}
+}
+
+fn run_blast(n: u32) -> Vec<IntRecord> {
+    let mut net = Network::new(17);
+    let d = Dumbbell::build(&mut net, &DumbbellConfig::default());
+    net.attach_agent(d.senders[0], Box::new(Blast { dst: d.receiver, n }));
+    net.attach_agent(d.receiver, Box::new(IntSink { records: Vec::new() }));
+    net.run();
+    net.agent::<IntSink>(d.receiver).unwrap().records.clone()
+}
+
+#[test]
+fn every_delivered_packet_is_stamped() {
+    let records = run_blast(50);
+    assert_eq!(records.len(), 50);
+    for r in &records {
+        assert!(r.is_stamped(), "all hops are INT-capable");
+        assert_eq!(r.link_mbps, 10_000, "the winning hop runs at 10 Gb/s");
+        assert!(r.util_x1000 <= 1000);
+    }
+}
+
+#[test]
+fn queue_buildup_appears_in_telemetry() {
+    // A 200-packet burst into the 10 Gb/s bottleneck behind bonded
+    // 2x10 Gb/s uplinks: the bottleneck queue must grow and later packets
+    // must report deeper occupancy than the first.
+    let records = run_blast(200);
+    let first = &records[0];
+    let deepest = records.iter().map(|r| r.queue_bytes).max().unwrap();
+    assert!(
+        deepest > first.queue_bytes + 50_000,
+        "queue must visibly build: first {} deepest {deepest}",
+        first.queue_bytes
+    );
+}
+
+#[test]
+fn normalized_utilization_is_plausible() {
+    let records = run_blast(200);
+    // Near the end of the burst the bottleneck is saturated with a
+    // standing queue: U should exceed the DCQCN/HPCC target band.
+    let last = records.last().unwrap();
+    let u = last.normalized_utilization(100e-6);
+    assert!(u > 0.9, "saturated hop must report high utilization: {u:.2}");
+    // And an unstamped record reports zero.
+    assert_eq!(IntRecord::default().normalized_utilization(100e-6), 0.0);
+}
+
+#[test]
+fn acks_are_not_stamped() {
+    // Acks are control traffic; the INT hook only touches data packets.
+    struct AckProbe {
+        peer: NodeId,
+        stamped_acks: u32,
+        acks: u32,
+    }
+    impl Agent for AckProbe {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..10u64 {
+                ctx.send(Packet::data(
+                    FlowId::from_raw(2),
+                    ctx.node(),
+                    self.peer,
+                    i * 1000,
+                    1000,
+                    EcnCodepoint::NotEct,
+                ));
+            }
+        }
+        fn on_packet(&mut self, p: Packet, _ctx: &mut Ctx<'_>) {
+            if !p.is_data() {
+                self.acks += 1;
+                if p.int.is_stamped() {
+                    self.stamped_acks += 1;
+                }
+            }
+        }
+        fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {}
+    }
+    struct Echo;
+    impl Agent for Echo {
+        fn on_packet(&mut self, p: Packet, ctx: &mut Ctx<'_>) {
+            if p.is_data() {
+                ctx.send(Packet::ack(p.flow, ctx.node(), p.src, AckInfo::default()));
+            }
+        }
+        fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    let mut net = Network::new(23);
+    let d = Dumbbell::build(&mut net, &DumbbellConfig::default());
+    net.attach_agent(
+        d.senders[0],
+        Box::new(AckProbe {
+            peer: d.receiver,
+            stamped_acks: 0,
+            acks: 0,
+        }),
+    );
+    net.attach_agent(d.receiver, Box::new(Echo));
+    net.run();
+    let probe = net.agent::<AckProbe>(d.senders[0]).unwrap();
+    assert_eq!(probe.acks, 10);
+    assert_eq!(probe.stamped_acks, 0);
+}
+
+#[test]
+fn packet_log_captures_drops_and_deliveries() {
+    let mut net = Network::new(31);
+    let cfg = DumbbellConfig {
+        bottleneck_queue: BottleneckQueue::DropTail {
+            capacity_bytes: 20_000,
+        },
+        ..DumbbellConfig::default()
+    };
+    let d = Dumbbell::build(&mut net, &cfg);
+    net.enable_packet_log(10_000);
+    net.attach_agent(d.senders[0], Box::new(Blast { dst: d.receiver, n: 100 }));
+    net.attach_agent(d.receiver, Box::new(IntSink { records: Vec::new() }));
+    net.run();
+    let log = net.packet_log().unwrap();
+    let drops = log.of_kind(PacketEventKind::Dropped).len() as u64;
+    let delivered = log.of_kind(PacketEventKind::Delivered).len() as u64;
+    assert_eq!(drops, net.network_stats().dropped_pkts);
+    assert_eq!(drops + delivered, 100);
+    assert!(log.render().contains("dropped"));
+    // Every logged event belongs to the one flow we sent.
+    assert_eq!(log.for_flow(FlowId::from_raw(1)).len(), log.len());
+}

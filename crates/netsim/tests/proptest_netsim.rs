@@ -1,0 +1,170 @@
+//! Property-based tests of the simulator substrate: queue conservation,
+//! SACK-block bookkeeping, and end-to-end packet conservation through a
+//! random dumbbell.
+
+use netsim::prelude::*;
+use proptest::prelude::*;
+
+fn data_packet(seq: u64, payload: u32) -> Packet {
+    Packet::data(
+        FlowId::from_raw(0),
+        NodeId::from_raw(0),
+        NodeId::from_raw(1),
+        seq,
+        payload,
+        EcnCodepoint::NotEct,
+    )
+}
+
+proptest! {
+    /// Drop-tail queues conserve packets: everything enqueued is either
+    /// dequeued or counted dropped, and byte accounting matches.
+    #[test]
+    fn droptail_conserves_packets(
+        capacity in 2_000u64..100_000,
+        sizes in proptest::collection::vec(100u32..9_000, 1..200),
+        drain_every in 1usize..8,
+    ) {
+        let mut q = DropTailQueue::new(capacity);
+        let mut accepted = 0u64;
+        let mut dequeued = 0u64;
+        for (i, &payload) in sizes.iter().enumerate() {
+            match q.enqueue(data_packet(i as u64, payload), SimTime::ZERO) {
+                EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked => accepted += 1,
+                EnqueueOutcome::Dropped => {}
+            }
+            if i % drain_every == 0 {
+                if q.dequeue(SimTime::ZERO).is_some() {
+                    dequeued += 1;
+                }
+            }
+            prop_assert!(q.len_bytes() <= capacity, "capacity respected");
+        }
+        while q.dequeue(SimTime::ZERO).is_some() {
+            dequeued += 1;
+        }
+        let stats = q.stats();
+        prop_assert_eq!(accepted, dequeued);
+        prop_assert_eq!(stats.enqueued_pkts + stats.dropped_pkts, sizes.len() as u64);
+        prop_assert_eq!(q.len_bytes(), 0);
+    }
+
+    /// ECN threshold queues never drop an ECN-capable packet unless the
+    /// buffer is genuinely full, and never mark below the threshold.
+    #[test]
+    fn ecn_queue_marks_instead_of_dropping(
+        sizes in proptest::collection::vec(100u32..1_400, 1..150),
+    ) {
+        let capacity = 1_000_000u64;
+        let threshold = 10_000u64;
+        let mut q = EcnThresholdQueue::new(capacity, threshold);
+        for (i, &payload) in sizes.iter().enumerate() {
+            let mut pkt = data_packet(i as u64, payload);
+            pkt.ecn = EcnCodepoint::Ect0;
+            let below = q.len_bytes() + pkt.wire_bytes as u64 <= threshold;
+            match q.enqueue(pkt, SimTime::ZERO) {
+                EnqueueOutcome::Dropped => prop_assert!(false, "capacity is ample"),
+                EnqueueOutcome::EnqueuedMarked => prop_assert!(!below, "marked below K"),
+                EnqueueOutcome::Enqueued => prop_assert!(below, "unmarked above K"),
+            }
+        }
+    }
+
+    /// SACK block containers preserve insertion order, cap their length,
+    /// evict oldest-first, and never hold empty ranges.
+    #[test]
+    fn sack_blocks_are_well_formed(
+        ranges in proptest::collection::vec((0u64..10_000, 1u64..500), 0..12),
+    ) {
+        let mut blocks = SackBlocks::EMPTY;
+        for &(start, len) in &ranges {
+            blocks.push(start, start + len);
+        }
+        prop_assert!(blocks.len() <= netsim::packet::MAX_SACK_BLOCKS);
+        for (s, e) in blocks.iter() {
+            prop_assert!(e > s, "no empty ranges");
+        }
+        // The kept blocks are exactly the most recently inserted ones, in
+        // insertion order.
+        let expected: Vec<(u64, u64)> = ranges
+            .iter()
+            .map(|&(s, l)| (s, s + l))
+            .rev()
+            .take(netsim::packet::MAX_SACK_BLOCKS)
+            .rev()
+            .collect();
+        let got: Vec<(u64, u64)> = blocks.iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// End-to-end conservation: N packets blasted through a dumbbell are
+    /// either delivered or dropped at a queue — none vanish, none
+    /// duplicate.
+    #[test]
+    fn dumbbell_conserves_packets(
+        n in 1u32..300,
+        buffer in 20_000u64..2_000_000,
+        seed in 0u64..50,
+    ) {
+        struct Blast {
+            dst: NodeId,
+            n: u32,
+        }
+        impl Agent for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for i in 0..self.n {
+                    ctx.send(Packet::data(
+                        FlowId::from_raw(1),
+                        ctx.node(),
+                        self.dst,
+                        i as u64 * 1460,
+                        1460,
+                        EcnCodepoint::NotEct,
+                    ));
+                }
+            }
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {}
+        }
+        struct Count {
+            seen: u64,
+        }
+        impl Agent for Count {
+            fn on_packet(&mut self, p: Packet, _ctx: &mut Ctx<'_>) {
+                if p.is_data() {
+                    self.seen += 1;
+                }
+            }
+            fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {}
+        }
+
+        let mut net = Network::new(seed);
+        let cfg = DumbbellConfig {
+            bottleneck_queue: BottleneckQueue::DropTail { capacity_bytes: buffer },
+            ..DumbbellConfig::default()
+        };
+        let d = Dumbbell::build(&mut net, &cfg);
+        net.attach_agent(d.senders[0], Box::new(Blast { dst: d.receiver, n }));
+        net.attach_agent(d.receiver, Box::new(Count { seen: 0 }));
+        net.run();
+        let delivered = net.agent::<Count>(d.receiver).unwrap().seen;
+        let dropped = net.network_stats().dropped_pkts;
+        prop_assert_eq!(delivered + dropped, n as u64);
+    }
+
+    /// The deterministic RNG's doubles stay within [0,1) and pass a crude
+    /// uniformity check per seed.
+    #[test]
+    fn rng_uniformity(seed in 0u64..1000) {
+        let mut rng = SimRng::new(seed);
+        let n = 4096;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        prop_assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Multiplexing several flows onto one host.
+//!
+//! The paper's future-work list (§5) asks what happens to the unfairness
+//! savings when multiple flows share *the same sender* — per-socket power
+//! then depends on the aggregate, not on per-flow rates. [`MuxSender`]
+//! hosts any number of [`TcpSender`] state machines behind a single agent
+//! (one kernel, many sockets), dispatching packets by flow id and timers
+//! by token namespace.
+
+use crate::sender::TcpSender;
+use netsim::agent::{Agent, Ctx, TOKEN_BITS, TOKEN_MASK};
+use netsim::packet::Packet;
+
+/// Several TCP senders sharing one host.
+pub struct MuxSender {
+    subs: Vec<TcpSender>,
+}
+
+impl MuxSender {
+    /// Multiplex the given senders (at most `u16::MAX - 1`).
+    pub fn new(subs: Vec<TcpSender>) -> Self {
+        assert!(!subs.is_empty(), "a mux needs at least one sender");
+        assert!(subs.len() < u16::MAX as usize, "too many sub-senders");
+        MuxSender { subs }
+    }
+
+    /// Access a sub-sender by index.
+    pub fn sub(&self, i: usize) -> &TcpSender {
+        &self.subs[i]
+    }
+
+    /// Number of multiplexed senders.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True if no sub-senders exist (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// True once every sub-flow has completed.
+    pub fn all_complete(&self) -> bool {
+        self.subs.iter().all(TcpSender::is_complete)
+    }
+
+    fn with_namespace<R>(
+        &mut self,
+        idx: usize,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut TcpSender, &mut Ctx<'_>) -> R,
+    ) -> R {
+        ctx.set_token_namespace((idx + 1) as u16);
+        let r = f(&mut self.subs[idx], ctx);
+        ctx.set_token_namespace(0);
+        r
+    }
+}
+
+impl Agent for MuxSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.subs.len() {
+            self.with_namespace(i, ctx, |sub, ctx| sub.on_start(ctx));
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let Some(idx) = self.subs.iter().position(|s| s.flow() == pkt.flow) else {
+            return; // not ours
+        };
+        self.with_namespace(idx, ctx, |sub, ctx| sub.on_packet(pkt, ctx));
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        let ns = (token >> TOKEN_BITS) as usize;
+        if ns == 0 || ns > self.subs.len() {
+            return; // not a sub-sender token
+        }
+        self.with_namespace(ns - 1, ctx, |sub, ctx| {
+            sub.on_timer(token & TOKEN_MASK, ctx)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::FixedCwnd;
+    use crate::receiver::{AckPolicy, TcpReceiver};
+    use crate::sender::TcpSenderConfig;
+    use netsim::engine::Network;
+    use netsim::ids::FlowId;
+    use netsim::link::LinkSpec;
+    use netsim::time::{SimDuration, SimTime};
+    use netsim::units::Rate;
+
+    fn mux_net(flows: usize, bytes: u64) -> (Network, netsim::ids::NodeId, netsim::ids::NodeId) {
+        let mut net = Network::new(3);
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(
+            a,
+            b,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(25), 1_000_000),
+        );
+        let ba = net.add_link(
+            b,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(25), 4_000_000),
+        );
+        net.add_route(a, b, ab);
+        net.add_route(b, a, ba);
+        let subs: Vec<TcpSender> = (0..flows)
+            .map(|i| {
+                TcpSender::new(
+                    TcpSenderConfig::bulk(FlowId::from_raw(i as u32), b, 9000, bytes),
+                    Box::new(FixedCwnd::new(200_000)),
+                )
+            })
+            .collect();
+        net.attach_agent(a, Box::new(MuxSender::new(subs)));
+        net.attach_agent(b, Box::new(TcpReceiver::new(AckPolicy::delayed_default())));
+        (net, a, b)
+    }
+
+    #[test]
+    fn three_multiplexed_flows_all_complete() {
+        let (mut net, a, b) = mux_net(3, 5_000_000);
+        net.run_until(SimTime::from_secs(10));
+        let mux = net.agent::<MuxSender>(a).unwrap();
+        assert_eq!(mux.len(), 3);
+        assert!(mux.all_complete(), "all sub-flows must finish");
+        for i in 0..3 {
+            assert_eq!(mux.sub(i).stats().bytes_acked, 5_000_000);
+        }
+        let recv = net.agent::<TcpReceiver>(b).unwrap();
+        for i in 0..3 {
+            assert_eq!(recv.bytes_received(FlowId::from_raw(i as u32)), 5_000_000);
+        }
+    }
+
+    #[test]
+    fn timers_route_to_the_right_subflow() {
+        // Give the flows very different sizes so their timer lifetimes
+        // differ; cross-delivery of a timer would stall or panic.
+        let (mut net, a, _) = mux_net(2, 1_000_000);
+        net.run_until(SimTime::from_secs(10));
+        let mux = net.agent::<MuxSender>(a).unwrap();
+        assert!(mux.all_complete());
+        // Deterministic FCTs and distinct flows stayed independent.
+        assert!(mux.sub(0).fct().is_some());
+        assert!(mux.sub(1).fct().is_some());
+    }
+
+    #[test]
+    fn mux_aggregate_matches_link_rate() {
+        let (mut net, a, _) = mux_net(4, 25_000_000);
+        net.run_until(SimTime::from_secs(10));
+        let mux = net.agent::<MuxSender>(a).unwrap();
+        assert!(mux.all_complete());
+        let last = (0..4)
+            .map(|i| mux.sub(i).stats().completed_at.unwrap())
+            .max()
+            .unwrap();
+        // 100 MB over a 10 Gb/s link: >= 80 ms, <= 150 ms.
+        let secs = last.as_secs_f64();
+        assert!((0.08..0.15).contains(&secs), "aggregate window {secs}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Round-trip time estimation and retransmission timeout (RFC 6298).
+
+use netsim::time::SimDuration;
+
+/// RFC 6298 smoothed RTT estimator with Karn-filtered samples.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: SimDuration,
+    latest: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    /// Exponential backoff multiplier applied after RTOs.
+    backoff: u32,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// Default clamps: Linux-like 200 ms minimum RTO, 120 s maximum.
+    pub fn new() -> Self {
+        Self::with_bounds(SimDuration::from_millis(200), SimDuration::from_secs(120))
+    }
+
+    /// Custom RTO clamps (the testbed kernel's `TCP_RTO_MIN` analogue).
+    pub fn with_bounds(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        assert!(min_rto <= max_rto);
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rtt: SimDuration::MAX,
+            latest: SimDuration::ZERO,
+            min_rto,
+            max_rto,
+            backoff: 0,
+            samples: 0,
+        }
+    }
+
+    /// Incorporate a fresh RTT sample (never from a retransmitted
+    /// segment — the caller enforces Karn's rule).
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.samples += 1;
+        self.latest = rtt;
+        self.min_rtt = self.min_rtt.min(rtt);
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = SimDuration::from_nanos(
+                    (3 * self.rttvar.as_nanos() + err.as_nanos()) / 4,
+                );
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some(SimDuration::from_nanos(
+                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+        // A valid sample resets the backoff (RFC 6298 §5.7).
+        self.backoff = 0;
+    }
+
+    /// Smoothed RTT; falls back to a conservative default before the
+    /// first sample.
+    pub fn srtt(&self) -> SimDuration {
+        self.srtt.unwrap_or(SimDuration::from_millis(1))
+    }
+
+    /// Latest raw sample.
+    pub fn latest(&self) -> SimDuration {
+        self.latest
+    }
+
+    /// Minimum RTT seen so far ([`SimDuration::MAX`] before any sample).
+    pub fn min_rtt(&self) -> SimDuration {
+        self.min_rtt
+    }
+
+    /// RTT variance estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        self.rttvar
+    }
+
+    /// True once at least one sample has been taken.
+    pub fn has_sample(&self) -> bool {
+        self.samples > 0
+    }
+
+    /// Number of samples incorporated.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Current retransmission timeout: `srtt + 4*rttvar`, clamped, with
+    /// exponential backoff applied.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => SimDuration::from_secs(1), // RFC 6298 initial RTO
+            Some(srtt) => srtt + self.rttvar.saturating_mul(4),
+        };
+        let clamped = base.max(self.min_rto).min(self.max_rto);
+        clamped
+            .saturating_mul(1u64 << self.backoff.min(16))
+            .min(self.max_rto)
+    }
+
+    /// Apply exponential backoff after a timeout.
+    pub fn backoff(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_srtt() {
+        let mut est = RttEstimator::new();
+        assert!(!est.has_sample());
+        est.on_sample(SimDuration::from_micros(100));
+        assert_eq!(est.srtt(), SimDuration::from_micros(100));
+        assert_eq!(est.rttvar(), SimDuration::from_micros(50));
+        assert_eq!(est.min_rtt(), SimDuration::from_micros(100));
+        assert!(est.has_sample());
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_rtt() {
+        let mut est = RttEstimator::new();
+        for _ in 0..100 {
+            est.on_sample(SimDuration::from_micros(200));
+        }
+        assert_eq!(est.srtt(), SimDuration::from_micros(200));
+        assert_eq!(est.rttvar(), SimDuration::ZERO);
+        assert_eq!(est.samples(), 100);
+    }
+
+    #[test]
+    fn min_rtt_tracks_minimum() {
+        let mut est = RttEstimator::new();
+        est.on_sample(SimDuration::from_micros(300));
+        est.on_sample(SimDuration::from_micros(100));
+        est.on_sample(SimDuration::from_micros(500));
+        assert_eq!(est.min_rtt(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn rto_is_clamped_below() {
+        let mut est = RttEstimator::new();
+        est.on_sample(SimDuration::from_micros(100));
+        // srtt + 4*rttvar = 300 us, far below the 200 ms floor.
+        assert_eq!(est.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn custom_floor_allows_small_rto() {
+        let mut est =
+            RttEstimator::with_bounds(SimDuration::from_micros(100), SimDuration::from_secs(1));
+        est.on_sample(SimDuration::from_micros(100));
+        assert_eq!(est.rto(), SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let est = RttEstimator::new();
+        assert_eq!(est.rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut est = RttEstimator::new();
+        est.on_sample(SimDuration::from_micros(100));
+        let base = est.rto();
+        est.backoff();
+        assert_eq!(est.rto(), base * 2);
+        est.backoff();
+        assert_eq!(est.rto(), base * 4);
+        est.on_sample(SimDuration::from_micros(100));
+        assert_eq!(est.rto(), base);
+    }
+
+    #[test]
+    fn rto_is_capped_above() {
+        let mut est = RttEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(2));
+        est.on_sample(SimDuration::from_millis(100));
+        for _ in 0..20 {
+            est.backoff();
+        }
+        assert_eq!(est.rto(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn variance_reflects_jitter() {
+        let mut est = RttEstimator::new();
+        for i in 0..50 {
+            let us = if i % 2 == 0 { 100 } else { 300 };
+            est.on_sample(SimDuration::from_micros(us));
+        }
+        assert!(est.rttvar() > SimDuration::from_micros(50));
+    }
+}

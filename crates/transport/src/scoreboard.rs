@@ -1,0 +1,567 @@
+//! Sender-side segment scoreboard: SACK state, loss marking, and the
+//! bookkeeping behind delivery-rate samples.
+//!
+//! Each transmitted segment is tracked from first send until cumulative
+//! acknowledgement. A segment is in one of three states:
+//!
+//! * **Outstanding** — on the wire (or believed to be), counted in flight;
+//! * **Sacked** — selectively acknowledged, delivered but not yet
+//!   cumulatively acked;
+//! * **Lost** — declared lost (RFC 6675-style SACK threshold or RTO),
+//!   awaiting retransmission, not counted in flight.
+//!
+//! Loss rules (RFC 6675 + RFC 8985 RACK):
+//!
+//! * **Threshold**: a segment is lost once the receiver has SACKed at
+//!   least `DUPTHRESH` segments' worth of bytes *above* it — the
+//!   byte-based analogue of three duplicate acks;
+//! * **Time (RACK)**: a segment is lost once some segment transmitted at
+//!   least `reorder_window` *later* has been SACKed, regardless of how
+//!   few bytes sit above it — this is what recovers short tails quickly
+//!   when combined with the sender's tail-loss probe.
+//!
+//! Both rules require the SACKed evidence to have been *sent no earlier*
+//! than the candidate segment; that time condition keeps retransmissions
+//! from being re-declared lost by stale SACK information the instant they
+//! are sent (without it a deep loss episode degenerates into a
+//! retransmission storm).
+
+use netsim::time::SimTime;
+use std::collections::VecDeque;
+
+/// Classic dup-ack threshold, in segments.
+pub const DUPTHRESH: u64 = 3;
+
+/// Segment delivery state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegState {
+    /// Sent and presumed in flight.
+    Outstanding,
+    /// Selectively acknowledged.
+    Sacked,
+    /// Declared lost, awaiting retransmission.
+    Lost,
+}
+
+/// One transmitted segment's record.
+#[derive(Clone, Copy, Debug)]
+pub struct SentSegment {
+    /// First payload byte.
+    pub seq: u64,
+    /// Payload length.
+    pub len: u32,
+    /// Time of the most recent (re)transmission.
+    pub sent_at: SimTime,
+    /// How many times this segment has been retransmitted.
+    pub retx_count: u32,
+    /// Delivery state.
+    pub state: SegState,
+    /// Connection-level delivered-bytes counter captured at (re)send time,
+    /// for BBR-style rate samples.
+    pub delivered_at_send: u64,
+    /// Whether the sender was application-limited at (re)send time.
+    pub app_limited: bool,
+}
+
+impl SentSegment {
+    /// One past the last byte.
+    pub fn seq_end(&self) -> u64 {
+        self.seq + self.len as u64
+    }
+}
+
+/// Anchor data for a delivery-rate sample, captured from the segment a
+/// cumulative ack just covered.
+#[derive(Clone, Copy, Debug)]
+pub struct RateAnchor {
+    /// When the anchoring segment was (last) sent.
+    pub sent_at: SimTime,
+    /// Delivered-bytes counter at that send.
+    pub delivered_at_send: u64,
+    /// Whether that send was application-limited.
+    pub app_limited: bool,
+}
+
+/// What an ack did to the scoreboard.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AckOutcome {
+    /// Bytes newly delivered by this ack: cumulative advancement over
+    /// not-previously-sacked bytes, plus newly SACKed bytes.
+    pub newly_delivered: u64,
+    /// Bytes the cumulative ack advanced over.
+    pub cum_advanced: u64,
+    /// Bytes newly declared lost by the SACK threshold rule.
+    pub newly_lost: u64,
+    /// Rate-sample anchor, present when the cumulative ack advanced.
+    pub rate_anchor: Option<RateAnchor>,
+}
+
+/// The scoreboard proper.
+#[derive(Debug)]
+pub struct Scoreboard {
+    segs: VecDeque<SentSegment>,
+    /// First unacknowledged byte.
+    snd_una: u64,
+    /// Highest SACKed byte end seen.
+    high_sacked: u64,
+    /// Bytes currently Outstanding.
+    in_flight: u64,
+    /// Seqs of segments to retransmit (may contain stale entries; state
+    /// is re-checked on pop).
+    retx_queue: VecDeque<u64>,
+    /// Maximum segment size, for the byte-based dupthresh.
+    mss: u32,
+    /// Latest (re)transmission time among segments that have been SACKed:
+    /// the RACK reference point. Only segments sent at or before it may be
+    /// declared lost.
+    newest_sacked_send: SimTime,
+    /// Sequence below which no Outstanding segment exists, letting the
+    /// per-ack loss scan skip the settled prefix (amortized O(1)).
+    scan_floor: u64,
+}
+
+impl Scoreboard {
+    /// An empty scoreboard for a flow starting at sequence 0.
+    pub fn new(mss: u32) -> Self {
+        assert!(mss > 0);
+        Scoreboard {
+            segs: VecDeque::new(),
+            snd_una: 0,
+            high_sacked: 0,
+            in_flight: 0,
+            retx_queue: VecDeque::new(),
+            mss,
+            newest_sacked_send: SimTime::ZERO,
+            scan_floor: 0,
+        }
+    }
+
+    /// First unacknowledged byte.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Bytes currently in flight (Outstanding).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// True if nothing is outstanding, lost, or sacked-pending.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Number of tracked segments.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Record a brand new segment transmission.
+    pub fn on_send(
+        &mut self,
+        seq: u64,
+        len: u32,
+        now: SimTime,
+        delivered: u64,
+        app_limited: bool,
+    ) {
+        debug_assert!(len > 0);
+        debug_assert!(
+            self.segs.back().map_or(self.snd_una, |s| s.seq_end()) == seq,
+            "segments must be sent in order"
+        );
+        self.segs.push_back(SentSegment {
+            seq,
+            len,
+            sent_at: now,
+            retx_count: 0,
+            state: SegState::Outstanding,
+            delivered_at_send: delivered,
+            app_limited,
+        });
+        self.in_flight += len as u64;
+    }
+
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        self.segs
+            .binary_search_by(|s| s.seq.cmp(&seq))
+            .ok()
+    }
+
+    /// Pop the next segment due for retransmission, marking it
+    /// Outstanding again. Returns `(seq, len, retx_count)`.
+    pub fn take_retransmit(
+        &mut self,
+        now: SimTime,
+        delivered: u64,
+        app_limited: bool,
+    ) -> Option<(u64, u32)> {
+        while let Some(seq) = self.retx_queue.pop_front() {
+            let Some(idx) = self.index_of(seq) else {
+                continue; // already cumulatively acked
+            };
+            let seg = &mut self.segs[idx];
+            if seg.state != SegState::Lost {
+                continue; // stale entry (e.g. got sacked meanwhile)
+            }
+            seg.state = SegState::Outstanding;
+            seg.retx_count += 1;
+            seg.sent_at = now;
+            seg.delivered_at_send = delivered;
+            seg.app_limited = app_limited;
+            let len = seg.len;
+            self.in_flight += len as u64;
+            // The segment is live again below the settled prefix: reopen
+            // the loss scan down to it.
+            self.scan_floor = self.scan_floor.min(seq);
+            return Some((seq, len));
+        }
+        None
+    }
+
+    /// True if a retransmission is pending.
+    pub fn has_retransmit(&self) -> bool {
+        self.retx_queue
+            .iter()
+            .any(|&seq| self.index_of(seq).is_some_and(|i| self.segs[i].state == SegState::Lost))
+    }
+
+    /// Process an acknowledgement: cumulative ack plus SACK ranges.
+    /// `reorder_window` is the RACK tolerance: SACKed evidence must have
+    /// been sent at least this much after a segment before the time rule
+    /// declares it lost (use ~`srtt/4`).
+    pub fn on_ack(
+        &mut self,
+        cum_ack: u64,
+        sacks: impl Iterator<Item = (u64, u64)>,
+        reorder_window: netsim::time::SimDuration,
+    ) -> AckOutcome {
+        let mut out = AckOutcome::default();
+
+        // 1. Cumulative advancement.
+        if cum_ack > self.snd_una {
+            out.cum_advanced = cum_ack - self.snd_una;
+            while let Some(front) = self.segs.front() {
+                if front.seq_end() > cum_ack {
+                    break;
+                }
+                let seg = self.segs.pop_front().expect("peeked front vanished");
+                match seg.state {
+                    SegState::Outstanding => {
+                        self.in_flight -= seg.len as u64;
+                        out.newly_delivered += seg.len as u64;
+                    }
+                    SegState::Lost => {
+                        // Was declared lost but the original arrived after
+                        // all (spurious loss marking).
+                        out.newly_delivered += seg.len as u64;
+                    }
+                    SegState::Sacked => {} // already counted delivered
+                }
+                out.rate_anchor = Some(RateAnchor {
+                    sent_at: seg.sent_at,
+                    delivered_at_send: seg.delivered_at_send,
+                    app_limited: seg.app_limited,
+                });
+            }
+            debug_assert!(
+                self.segs.front().is_none_or(|s| s.seq >= cum_ack),
+                "partial segment ack is not modeled"
+            );
+            self.snd_una = cum_ack;
+        }
+
+        // 2. SACK marking.
+        for (start, end) in sacks {
+            if end <= self.snd_una {
+                continue;
+            }
+            self.high_sacked = self.high_sacked.max(end);
+            // Find the first segment at or after `start`.
+            let mut idx = self.segs.partition_point(|s| s.seq_end() <= start);
+            while idx < self.segs.len() {
+                let seg = &mut self.segs[idx];
+                if seg.seq >= end {
+                    break;
+                }
+                // Only fully covered segments flip to Sacked; the receiver
+                // SACKs whole segments, so partial coverage means a block
+                // boundary, not a partial segment.
+                if seg.seq >= start && seg.seq_end() <= end {
+                    match seg.state {
+                        SegState::Outstanding => {
+                            let sent_at = seg.sent_at;
+                            seg.state = SegState::Sacked;
+                            self.in_flight -= seg.len as u64;
+                            out.newly_delivered += seg.len as u64;
+                            self.newest_sacked_send = self.newest_sacked_send.max(sent_at);
+                        }
+                        SegState::Lost => {
+                            // Arrived after all.
+                            let sent_at = seg.sent_at;
+                            seg.state = SegState::Sacked;
+                            out.newly_delivered += seg.len as u64;
+                            self.newest_sacked_send = self.newest_sacked_send.max(sent_at);
+                        }
+                        SegState::Sacked => {}
+                    }
+                }
+                idx += 1;
+            }
+        }
+
+        // 3. Loss detection. A segment qualifies when either
+        //    (a) >= DUPTHRESH*mss bytes are SACKed above it, or
+        //    (b) RACK: SACKed evidence was sent >= reorder_window later.
+        //    In both cases the evidence must be no older than the
+        //    segment's own (re)transmission. The scan starts at the
+        //    settled prefix boundary and advances it, so repeated acks
+        //    don't rescan decided segments.
+        if self.high_sacked > self.snd_una {
+            self.scan_floor = self.scan_floor.max(self.snd_una);
+            let threshold = DUPTHRESH * self.mss as u64;
+            let mut newly_lost = 0u64;
+            let start = self.segs.partition_point(|s| s.seq < self.scan_floor);
+            let mut prefix_settled = true;
+            for i in start..self.segs.len() {
+                let seg = &self.segs[i];
+                if seg.seq_end() > self.high_sacked {
+                    break; // segments are ordered; no SACKed data above
+                }
+                if seg.state == SegState::Outstanding {
+                    let dup_rule = seg.seq_end() + threshold <= self.high_sacked
+                        && seg.sent_at <= self.newest_sacked_send;
+                    let rack_rule = seg
+                        .sent_at
+                        .checked_add(reorder_window)
+                        .is_some_and(|t| t <= self.newest_sacked_send);
+                    if dup_rule || rack_rule {
+                        let seg = &mut self.segs[i];
+                        seg.state = SegState::Lost;
+                        newly_lost += seg.len as u64;
+                        self.in_flight -= seg.len as u64;
+                        self.retx_queue.push_back(seg.seq);
+                    } else {
+                        // A live (re)transmission we must revisit later.
+                        prefix_settled = false;
+                    }
+                }
+                if prefix_settled {
+                    self.scan_floor = self.segs[i].seq_end();
+                }
+            }
+            out.newly_lost = newly_lost;
+        }
+
+        out
+    }
+
+    /// Tail-loss probe support: re-send the highest Outstanding segment
+    /// without changing its delivery state (it is still presumed in
+    /// flight; this transmission merely solicits fresh SACK evidence).
+    /// Returns `(seq, len)` if a probe target exists.
+    pub fn probe_last(&mut self, now: SimTime) -> Option<(u64, u32)> {
+        let seg = self
+            .segs
+            .iter_mut()
+            .rev()
+            .find(|s| s.state == SegState::Outstanding)?;
+        seg.retx_count += 1;
+        seg.sent_at = now;
+        Some((seg.seq, seg.len))
+    }
+
+    /// RTO collapse: declare every non-SACKed tracked segment lost.
+    /// Returns the number of bytes newly marked lost.
+    pub fn mark_all_lost(&mut self) -> u64 {
+        let mut newly_lost = 0;
+        for seg in self.segs.iter_mut() {
+            if seg.state == SegState::Outstanding {
+                seg.state = SegState::Lost;
+                newly_lost += seg.len as u64;
+                self.in_flight -= seg.len as u64;
+                self.retx_queue.push_back(seg.seq);
+            }
+        }
+        newly_lost
+    }
+
+    /// Iterate tracked segments (tests and diagnostics).
+    pub fn segments(&self) -> impl Iterator<Item = &SentSegment> {
+        self.segs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimDuration;
+
+    /// Reorder window used by these tests: large enough that only the
+    /// dup-threshold rule fires for sub-10 us send spacings.
+    const REO: SimDuration = SimDuration::from_micros(50);
+
+    const MSS: u32 = 1000;
+
+    fn board_with(n: u64) -> Scoreboard {
+        let mut b = Scoreboard::new(MSS);
+        for i in 0..n {
+            b.on_send(i * MSS as u64, MSS, SimTime::from_micros(i), 0, false);
+        }
+        b
+    }
+
+    #[test]
+    fn send_tracks_flight() {
+        let b = board_with(5);
+        assert_eq!(b.in_flight(), 5000);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.snd_una(), 0);
+    }
+
+    #[test]
+    fn cumulative_ack_pops_and_counts() {
+        let mut b = board_with(5);
+        let out = b.on_ack(3000, std::iter::empty(), REO);
+        assert_eq!(out.cum_advanced, 3000);
+        assert_eq!(out.newly_delivered, 3000);
+        assert_eq!(b.in_flight(), 2000);
+        assert_eq!(b.snd_una(), 3000);
+        assert_eq!(b.len(), 2);
+        let anchor = out.rate_anchor.expect("cum advance produces an anchor");
+        assert_eq!(anchor.sent_at, SimTime::from_micros(2)); // seg #2 was last popped
+    }
+
+    #[test]
+    fn duplicate_ack_changes_nothing() {
+        let mut b = board_with(3);
+        b.on_ack(2000, std::iter::empty(), REO);
+        let out = b.on_ack(2000, std::iter::empty(), REO);
+        assert_eq!(out.cum_advanced, 0);
+        assert_eq!(out.newly_delivered, 0);
+        assert!(out.rate_anchor.is_none());
+    }
+
+    #[test]
+    fn sack_marks_and_counts_once() {
+        let mut b = board_with(6);
+        let out = b.on_ack(0, [(2000u64, 4000u64)].into_iter(), REO);
+        assert_eq!(out.newly_delivered, 2000);
+        // 2000 B sacked; segment 0 has exactly DUPTHRESH*mss sacked above
+        // it and is declared lost, so flight = 6000 - 2000 - 1000.
+        assert_eq!(out.newly_lost, 1000);
+        assert_eq!(b.in_flight(), 3000);
+        // Re-delivered SACK is idempotent.
+        let out2 = b.on_ack(0, [(2000u64, 4000u64)].into_iter(), REO);
+        assert_eq!(out2.newly_delivered, 0);
+        assert_eq!(out2.newly_lost, 0);
+        assert_eq!(b.in_flight(), 3000);
+    }
+
+    #[test]
+    fn loss_declared_after_dupthresh_worth_of_sack() {
+        let mut b = board_with(8);
+        // SACK segments 1..=3 (bytes 1000..4000): exactly 3*MSS above
+        // segment 0, which must now be lost.
+        let out = b.on_ack(0, [(1000u64, 4000u64)].into_iter(), REO);
+        assert_eq!(out.newly_lost, 1000);
+        assert_eq!(b.in_flight(), 8000 - 3000 - 1000);
+        let states: Vec<_> = b.segments().map(|s| s.state).collect();
+        assert_eq!(states[0], SegState::Lost);
+        assert_eq!(states[1], SegState::Sacked);
+    }
+
+    #[test]
+    fn insufficient_sack_does_not_declare_loss() {
+        let mut b = board_with(8);
+        let out = b.on_ack(0, [(1000u64, 3000u64)].into_iter(), REO);
+        assert_eq!(out.newly_lost, 0);
+        assert_eq!(b.segments().next().unwrap().state, SegState::Outstanding);
+    }
+
+    #[test]
+    fn retransmit_cycle() {
+        let mut b = board_with(8);
+        b.on_ack(0, [(1000u64, 4000u64)].into_iter(), REO);
+        assert!(b.has_retransmit());
+        let (seq, len) = b
+            .take_retransmit(SimTime::from_millis(5), 3000, false)
+            .expect("retransmission pending");
+        assert_eq!((seq, len), (0, 1000));
+        assert!(!b.has_retransmit());
+        // Retransmitted segment is back in flight with an updated clock.
+        let seg = b.segments().next().unwrap();
+        assert_eq!(seg.state, SegState::Outstanding);
+        assert_eq!(seg.retx_count, 1);
+        assert_eq!(seg.sent_at, SimTime::from_millis(5));
+        // Its arrival is then cumulatively acked.
+        let out = b.on_ack(4000, std::iter::empty(), REO);
+        // Segment 0 newly delivered (1000); 1..3 were already sacked.
+        assert_eq!(out.newly_delivered, 1000);
+        assert_eq!(b.snd_una(), 4000);
+    }
+
+    #[test]
+    fn stale_retx_queue_entries_are_skipped() {
+        let mut b = board_with(8);
+        b.on_ack(0, [(1000u64, 4000u64)].into_iter(), REO);
+        // Segment 0 is queued for retx but then arrives (spurious loss):
+        // cumulative ack covers it.
+        b.on_ack(4000, std::iter::empty(), REO);
+        assert!(b.take_retransmit(SimTime::ZERO, 0, false).is_none());
+    }
+
+    #[test]
+    fn sacked_while_queued_is_skipped() {
+        let mut b = board_with(10);
+        // Lose segment 0 via the threshold.
+        b.on_ack(0, [(1000u64, 4000u64)].into_iter(), REO);
+        // The "lost" segment gets SACKed before we retransmit (it was
+        // merely reordered).
+        let out = b.on_ack(0, [(0u64, 1000u64)].into_iter(), REO);
+        assert_eq!(out.newly_delivered, 1000);
+        assert!(b.take_retransmit(SimTime::ZERO, 0, false).is_none());
+    }
+
+    #[test]
+    fn rto_marks_everything_outstanding_lost() {
+        let mut b = board_with(5);
+        b.on_ack(0, [(1000u64, 2000u64)].into_iter(), REO);
+        let lost = b.mark_all_lost();
+        assert_eq!(lost, 4000); // all but the sacked segment
+        assert_eq!(b.in_flight(), 0);
+        let mut retx = Vec::new();
+        while let Some((seq, _)) = b.take_retransmit(SimTime::ZERO, 0, false) {
+            retx.push(seq);
+        }
+        assert_eq!(retx, vec![0, 2000, 3000, 4000]);
+    }
+
+    #[test]
+    fn delivered_counts_cum_plus_sack_exactly_once_per_byte() {
+        let mut b = board_with(10);
+        let mut delivered = 0;
+        delivered += b
+            .on_ack(2000, [(4000u64, 6000u64)].into_iter(), REO)
+            .newly_delivered;
+        delivered += b
+            .on_ack(8000, std::iter::empty(), REO)
+            .newly_delivered;
+        delivered += b.on_ack(10_000, std::iter::empty(), REO).newly_delivered;
+        assert_eq!(delivered, 10_000);
+        assert!(b.is_empty());
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn rate_anchor_reflects_retransmission_time() {
+        let mut b = board_with(5);
+        b.on_ack(0, [(1000u64, 4000u64)].into_iter(), REO);
+        b.take_retransmit(SimTime::from_millis(9), 3000, true).unwrap();
+        let out = b.on_ack(1000, std::iter::empty(), REO);
+        let anchor = out.rate_anchor.unwrap();
+        assert_eq!(anchor.sent_at, SimTime::from_millis(9));
+        assert_eq!(anchor.delivered_at_send, 3000);
+        assert!(anchor.app_limited);
+    }
+}

@@ -1,0 +1,108 @@
+//! Transport-level statistics, mirroring what `iperf3`/`ss` report on the
+//! testbed: completion time, retransmissions, timeouts.
+
+use netsim::time::{SimDuration, SimTime};
+use netsim::units::Rate;
+
+/// Sender-side lifetime counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SenderStats {
+    /// Data segments transmitted, including retransmissions.
+    pub segs_sent: u64,
+    /// Retransmitted segments (the paper's Fig. 8 x-axis).
+    pub retx_segs: u64,
+    /// Retransmission timeouts fired.
+    pub rto_count: u64,
+    /// Tail-loss probes sent.
+    pub tlp_probes: u64,
+    /// Fast-recovery episodes entered.
+    pub fast_recoveries: u64,
+    /// Acknowledgements processed (drives CC compute energy).
+    pub acks_processed: u64,
+    /// Bytes cumulatively acknowledged.
+    pub bytes_acked: u64,
+    /// When the first segment was sent.
+    pub started_at: Option<SimTime>,
+    /// When the last byte was acknowledged.
+    pub completed_at: Option<SimTime>,
+}
+
+impl SenderStats {
+    /// Flow completion time, if the transfer finished.
+    pub fn fct(&self) -> Option<SimDuration> {
+        match (self.started_at, self.completed_at) {
+            (Some(s), Some(e)) => Some(e.saturating_since(s)),
+            _ => None,
+        }
+    }
+
+    /// Average goodput over the flow's lifetime, if it finished.
+    pub fn goodput(&self) -> Option<Rate> {
+        let fct = self.fct()?;
+        if fct.is_zero() {
+            return None;
+        }
+        Some(netsim::units::average_rate(self.bytes_acked, fct))
+    }
+
+    /// Retransmission ratio: retransmitted / all data segments sent.
+    pub fn retx_ratio(&self) -> f64 {
+        if self.segs_sent == 0 {
+            return 0.0;
+        }
+        self.retx_segs as f64 / self.segs_sent as f64
+    }
+}
+
+/// Receiver-side per-flow counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReceiverFlowStats {
+    /// Data segments received (any order).
+    pub data_segs: u64,
+    /// Fully-duplicate segments (spurious retransmissions).
+    pub dup_segs: u64,
+    /// Out-of-order arrivals buffered.
+    pub ooo_segs: u64,
+    /// Acks emitted.
+    pub acks_sent: u64,
+    /// CE-marked segments seen.
+    pub ce_segs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_requires_both_endpoints() {
+        let mut s = SenderStats::default();
+        assert!(s.fct().is_none());
+        s.started_at = Some(SimTime::from_secs(1));
+        assert!(s.fct().is_none());
+        s.completed_at = Some(SimTime::from_secs(3));
+        assert_eq!(s.fct(), Some(SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn goodput_is_bytes_over_fct() {
+        let s = SenderStats {
+            bytes_acked: 1_250_000_000,
+            started_at: Some(SimTime::ZERO),
+            completed_at: Some(SimTime::from_secs(1)),
+            ..SenderStats::default()
+        };
+        assert!((s.goodput().unwrap().gbps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retx_ratio_handles_zero() {
+        let s = SenderStats::default();
+        assert_eq!(s.retx_ratio(), 0.0);
+        let s = SenderStats {
+            segs_sent: 100,
+            retx_segs: 7,
+            ..SenderStats::default()
+        };
+        assert!((s.retx_ratio() - 0.07).abs() < 1e-12);
+    }
+}

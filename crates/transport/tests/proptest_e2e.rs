@@ -1,0 +1,191 @@
+//! End-to-end property tests of the transport stack:
+//!
+//! * the receiver reassembles any arrival permutation exactly;
+//! * transfers complete under arbitrary periodic loss patterns.
+
+use netsim::prelude::*;
+use netsim::queue::{EnqueueOutcome, Qdisc, QueueStats};
+use proptest::prelude::*;
+use transport::prelude::*;
+
+const FLOW: FlowId = FlowId::from_raw(0);
+
+/// Agent that transmits a fixed set of segments in a given order.
+struct Scrambler {
+    dst: NodeId,
+    order: Vec<u32>,
+    seg_len: u32,
+}
+impl Agent for Scrambler {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (k, &i) in self.order.iter().enumerate() {
+            // Space transmissions so arrival order == send order.
+            ctx.set_timer_after(SimDuration::from_micros(10 * k as u64), i as u64);
+        }
+    }
+    fn on_packet(&mut self, _p: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        ctx.send(Packet::data(
+            FLOW,
+            ctx.node(),
+            self.dst,
+            token * self.seg_len as u64,
+            self.seg_len,
+            EcnCodepoint::NotEct,
+        ));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever order segments arrive in — including duplicates — the
+    /// receiver reassembles the exact byte stream.
+    #[test]
+    fn receiver_reassembles_any_permutation(
+        n in 1usize..40,
+        seed in 0u64..1000,
+        dup in proptest::option::of(0u32..40),
+    ) {
+        // A deterministic shuffle of 0..n (+ optional duplicate).
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut rng = SimRng::new(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        if let Some(d) = dup {
+            order.push(d % n as u32);
+        }
+
+        let mut net = Network::new(seed);
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(
+            a,
+            b,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(5), 10_000_000),
+        );
+        let ba = net.add_link(
+            b,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(5), 10_000_000),
+        );
+        net.add_route(a, b, ab);
+        net.add_route(b, a, ba);
+        net.attach_agent(
+            a,
+            Box::new(Scrambler {
+                dst: b,
+                order,
+                seg_len: 1000,
+            }),
+        );
+        net.attach_agent(b, Box::new(TcpReceiver::new(AckPolicy::delayed_default())));
+        net.run();
+        let recv = net.agent::<TcpReceiver>(b).unwrap();
+        prop_assert_eq!(recv.bytes_received(FLOW), n as u64 * 1000);
+    }
+}
+
+/// A qdisc that deterministically drops every `k`-th offered data packet
+/// (acks pass), layered over a drop-tail buffer — an adversarial but
+/// reproducible loss process.
+#[derive(Debug)]
+struct PeriodicLoss {
+    inner: DropTailQueue,
+    k: u64,
+    count: u64,
+    stats_dropped: u64,
+}
+
+impl PeriodicLoss {
+    fn new(k: u64) -> Self {
+        PeriodicLoss {
+            inner: DropTailQueue::new(10_000_000),
+            k,
+            count: 0,
+            stats_dropped: 0,
+        }
+    }
+}
+
+impl Qdisc for PeriodicLoss {
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        if pkt.is_data() {
+            self.count += 1;
+            if self.count % self.k == 0 {
+                self.stats_dropped += 1;
+                return EnqueueOutcome::Dropped;
+            }
+        }
+        self.inner.enqueue(pkt, now)
+    }
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+    fn len_pkts(&self) -> usize {
+        self.inner.len_pkts()
+    }
+    fn stats(&self) -> QueueStats {
+        let mut s = self.inner.stats();
+        s.dropped_pkts += self.stats_dropped;
+        s
+    }
+    fn name(&self) -> &'static str {
+        "periodic-loss"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A transfer over a link that deterministically kills every k-th
+    /// data packet still completes, for any period k >= 2 and any of the
+    /// paper's multi-flow-safe algorithms' transport machinery (we use
+    /// the fixed-window controller: the pure transport recovery path).
+    #[test]
+    fn transfers_survive_periodic_loss(
+        k in 2u64..20,
+        segs in 10u64..200,
+    ) {
+        let total = segs * 1460;
+        let mut net = Network::new(k ^ segs);
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(
+            a,
+            b,
+            LinkSpec {
+                rate: Rate::from_gbps(10.0),
+                prop_delay: SimDuration::from_micros(25),
+                qdisc: Box::new(PeriodicLoss::new(k)),
+                min_pkt_gap: SimDuration::ZERO,
+            },
+        );
+        let ba = net.add_link(
+            b,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(25), 10_000_000),
+        );
+        net.add_route(a, b, ab);
+        net.add_route(b, a, ba);
+        let cfg = TcpSenderConfig::bulk(FLOW, b, 1500, total)
+            .with_rtt_hint(SimDuration::from_micros(100))
+            .with_rto_bounds(SimDuration::from_millis(20), SimDuration::from_secs(2));
+        net.attach_agent(a, Box::new(TcpSender::new(cfg, Box::new(FixedCwnd::new(60_000)))));
+        net.attach_agent(b, Box::new(TcpReceiver::new(AckPolicy::delayed_default())));
+        net.run_until(SimTime::from_secs(120));
+        let s = net.agent::<TcpSender>(a).unwrap();
+        prop_assert!(
+            s.is_complete(),
+            "k={k} segs={segs}: transfer stuck at {:?}",
+            s.stats()
+        );
+        let recv = net.agent::<TcpReceiver>(b).unwrap();
+        prop_assert_eq!(recv.bytes_received(FLOW), total);
+    }
+}

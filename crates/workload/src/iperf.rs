@@ -1,0 +1,135 @@
+//! iperf3-style flow specifications and reports.
+//!
+//! The paper generates all traffic with `iperf3` (§3): bulk transfers of a
+//! fixed byte count, optionally throttled to a target bitrate. A
+//! [`FlowSpec`] describes one such client; a [`FlowReport`] is the
+//! simulated analogue of `iperf3 --json` output plus the kernel counters
+//! (`ss -i`) the paper reads.
+
+use cca::CcaKind;
+use netsim::ids::FlowId;
+use netsim::time::{SimDuration, SimTime};
+use netsim::units::Rate;
+
+/// A timed rate-limit change (absolute time, new limit; `None` lifts it).
+pub type RateChange = (SimTime, Option<Rate>);
+
+/// One iperf3 client: a bulk transfer driven by a chosen CCA.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Congestion control algorithm.
+    pub cca: CcaKind,
+    /// Application bytes to transfer.
+    pub bytes: u64,
+    /// Optional throttle (`iperf3 -b`), in wire bits/sec.
+    pub rate_limit: Option<Rate>,
+    /// Start offset from simulation start.
+    pub start_delay: SimDuration,
+    /// Timed rate-limit changes (mid-experiment re-allocation).
+    pub rate_schedule: Vec<RateChange>,
+}
+
+impl FlowSpec {
+    /// An unthrottled bulk transfer.
+    pub fn bulk(cca: CcaKind, bytes: u64) -> Self {
+        FlowSpec {
+            cca,
+            bytes,
+            rate_limit: None,
+            start_delay: SimDuration::ZERO,
+            rate_schedule: Vec::new(),
+        }
+    }
+
+    /// Throttle to `rate`.
+    pub fn with_rate_limit(mut self, rate: Rate) -> Self {
+        self.rate_limit = Some(rate);
+        self
+    }
+
+    /// Delay the start.
+    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
+        self.start_delay = delay;
+        self
+    }
+
+    /// Schedule a rate-limit change at an absolute time.
+    pub fn with_rate_change(mut self, at: SimTime, rate: Option<Rate>) -> Self {
+        self.rate_schedule.push((at, rate));
+        self
+    }
+}
+
+/// What one flow did, in iperf3-report terms.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowReport {
+    /// Flow id inside the scenario.
+    pub flow: FlowId,
+    /// Algorithm name.
+    pub cca: CcaKind,
+    /// Application bytes transferred.
+    pub bytes: u64,
+    /// When the first segment left the host.
+    pub started_at: SimTime,
+    /// When the last byte was acknowledged.
+    pub completed_at: SimTime,
+    /// Flow completion time (iperf3's wall time).
+    pub fct: SimDuration,
+    /// Mean goodput over the FCT.
+    pub mean_goodput: Rate,
+    /// Retransmitted segments (the paper's Fig. 8 metric).
+    pub retransmits: u64,
+    /// Retransmission timeouts.
+    pub rtos: u64,
+    /// Data segments sent in total.
+    pub segs_sent: u64,
+    /// Acks the sender processed (CC energy driver).
+    pub acks_processed: u64,
+    /// The algorithm's relative per-ack compute cost.
+    pub compute_cost_factor: f64,
+}
+
+impl FlowReport {
+    /// Retransmission ratio over all sent segments.
+    pub fn retx_ratio(&self) -> f64 {
+        if self.segs_sent == 0 {
+            return 0.0;
+        }
+        self.retransmits as f64 / self.segs_sent as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders_compose() {
+        let s = FlowSpec::bulk(CcaKind::Cubic, 1_000_000)
+            .with_rate_limit(Rate::from_gbps(5.0))
+            .with_start_delay(SimDuration::from_millis(10));
+        assert_eq!(s.cca, CcaKind::Cubic);
+        assert_eq!(s.bytes, 1_000_000);
+        assert_eq!(s.rate_limit.unwrap().gbps(), 5.0);
+        assert_eq!(s.start_delay, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn retx_ratio_safe_on_empty() {
+        let r = FlowReport {
+            flow: FlowId::from_raw(0),
+            cca: CcaKind::Reno,
+            bytes: 0,
+            started_at: SimTime::ZERO,
+            completed_at: SimTime::ZERO,
+            fct: SimDuration::ZERO,
+            mean_goodput: Rate::ZERO,
+            retransmits: 0,
+            rtos: 0,
+            segs_sent: 0,
+            acks_processed: 0,
+            compute_cost_factor: 1.0,
+        };
+        assert_eq!(r.retx_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # workload — traffic generation and the testbed-in-a-box
+//!
+//! The simulated analogue of the paper's §3 methodology: iperf3-style
+//! bulk flows ([`iperf::FlowSpec`]), background compute load from the
+//! `stress` tool ([`stress::StressLoad`]), and a one-call scenario runner
+//! ([`scenario::run`]) that builds the dumbbell testbed, runs the flows to
+//! completion, and measures per-host energy over the experiment window
+//! with the calibrated RAPL model.
+//!
+//! ```
+//! use workload::prelude::*;
+//! use cca::CcaKind;
+//!
+//! // One CUBIC flow pushing 100 MB over the 10 Gb/s testbed.
+//! let scenario = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 100_000_000)]);
+//! let out = workload::scenario::run(&scenario).unwrap();
+//! assert!(out.reports[0].mean_goodput.gbps() > 8.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod iperf;
+pub mod scenario;
+pub mod stress;
+
+/// The commonly-used names, re-exported in one place.
+pub mod prelude {
+    pub use crate::arrivals::{PoissonWorkload, SizeMix};
+    pub use crate::iperf::{FlowReport, FlowSpec};
+    pub use crate::scenario::{run, Scenario, ScenarioError, ScenarioOutcome};
+    pub use crate::stress::StressLoad;
+}

@@ -1,0 +1,646 @@
+//! Scenario construction and execution: the paper's testbed in a box.
+//!
+//! A [`Scenario`] is one run of the experiment machinery: the dumbbell
+//! topology (10 Gb/s bottleneck, bonded sender uplinks), one sender host
+//! **per flow** — matching the paper's per-socket energy accounting, where
+//! each iperf3 flow's power is attributable to its own CPU package — a
+//! shared receiver host, the flows themselves, optional background
+//! compute load, and the energy measurement window ("from when the
+//! experiment began until both flows successfully completed", §1).
+
+use crate::iperf::{FlowReport, FlowSpec};
+use crate::stress::StressLoad;
+use cca::{CcaConfig, CcaKind};
+use energy::calibration::{self, MAX_HOST_PPS, PACING_PPS_BONUS};
+use energy::host::HostContext;
+use energy::meter::{EnergyMeter, EnergyReading};
+use netsim::engine::Network;
+use netsim::ids::FlowId;
+use netsim::packet::HEADER_BYTES;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topology::{BottleneckQueue, Dumbbell, DumbbellConfig};
+use netsim::units::Rate;
+use transport::mux::MuxSender;
+use transport::receiver::TcpReceiver;
+use transport::sender::{TcpSender, TcpSenderConfig};
+
+/// Constant-cwnd sizing for the baseline module, relative to path
+/// capacity (BDP + bottleneck buffer). 1.4x keeps the sender permanently
+/// overshooting — bursty and lossy (~11% retransmissions) but still
+/// progressing through SACK/RACK recovery — which lands its energy
+/// penalty in the paper's 8.2-14.2% band (§4.3) — bursty, lossy, but still making progress through SACK
+/// recovery, like the paper's §4.3 runs.
+pub const BASELINE_CWND_FACTOR: f64 = 1.40;
+
+/// One experiment run.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// MTU in bytes (wire size of a full segment).
+    pub mtu: u32,
+    /// Bottleneck rate in Gb/s (the paper's is 10).
+    pub link_gbps: f64,
+    /// Per-hop propagation delay.
+    pub hop_delay: SimDuration,
+    /// Bottleneck buffer in bytes.
+    pub buffer_bytes: u64,
+    /// The flows; each gets its own sender host.
+    pub flows: Vec<FlowSpec>,
+    /// Background compute load on every sender host.
+    pub background_load: StressLoad,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Bin width for per-flow throughput traces (`None` = no traces).
+    pub trace_bin: Option<SimDuration>,
+    /// Bin width for energy activity integration.
+    pub activity_bin: SimDuration,
+    /// Host packet-processing ceiling in packets/sec (`None` disables).
+    pub host_pps_cap: Option<f64>,
+    /// Hard simulated-time limit (safety net against livelock).
+    pub time_limit: Option<SimTime>,
+    /// Put every flow on ONE sender host (kernel multiplexing) instead of
+    /// one host per flow. The paper's §5 asks how the unfairness savings
+    /// behave in this regime: per-socket power then depends on the
+    /// aggregate rate only.
+    pub colocate_senders: bool,
+    /// Upper bound on the per-flow random start jitter drawn from the
+    /// scenario seed. Real iperf3 processes never start nanosecond-
+    /// synchronized; the jitter de-phases loss patterns across seeds so
+    /// repetitions produce genuine spread (the simulator is otherwise a
+    /// pure function of its inputs). `ZERO` disables.
+    pub start_jitter: SimDuration,
+}
+
+impl Scenario {
+    /// The paper's testbed defaults: 10 Gb/s, ~100 µs base RTT, 1 MB
+    /// drop-tail bottleneck buffer, calibrated host pps ceiling.
+    pub fn new(mtu: u32, flows: Vec<FlowSpec>) -> Self {
+        assert!(mtu > HEADER_BYTES, "MTU must exceed header size");
+        assert!(!flows.is_empty(), "need at least one flow");
+        Scenario {
+            mtu,
+            link_gbps: 10.0,
+            hop_delay: SimDuration::from_micros(25),
+            buffer_bytes: 1_000_000,
+            flows,
+            background_load: StressLoad::IDLE,
+            seed: 1,
+            trace_bin: None,
+            activity_bin: SimDuration::from_millis(1),
+            host_pps_cap: Some(MAX_HOST_PPS),
+            time_limit: None,
+            colocate_senders: false,
+            start_jitter: SimDuration::from_micros(200),
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the background compute load.
+    pub fn with_background_load(mut self, load: StressLoad) -> Self {
+        self.background_load = load;
+        self
+    }
+
+    /// Enable per-flow throughput tracing.
+    pub fn with_trace(mut self, bin: SimDuration) -> Self {
+        self.trace_bin = Some(bin);
+        self
+    }
+
+    /// Multiplex all flows onto a single sender host.
+    pub fn with_colocated_senders(mut self) -> Self {
+        self.colocate_senders = true;
+        self
+    }
+
+    /// Path bandwidth-delay product in bytes (excluding queueing).
+    pub fn bdp_bytes(&self) -> u64 {
+        let rtt = self.hop_delay.as_secs_f64() * 4.0;
+        (self.link_gbps * 1e9 / 8.0 * rtt) as u64
+    }
+
+    fn uses_dctcp(&self) -> bool {
+        self.flows.iter().any(|f| f.cca == CcaKind::Dctcp)
+    }
+
+    /// DCTCP's marking threshold K: the classic guidance is ~65 packets
+    /// at 10 Gb/s with 1500-byte frames; we scale by MTU with a floor.
+    fn dctcp_k_bytes(&self) -> u64 {
+        (65 * self.mtu as u64).min(self.buffer_bytes / 2).max(30_000)
+    }
+
+    fn default_time_limit(&self) -> SimTime {
+        let total_bytes: u64 = self.flows.iter().map(|f| f.bytes).sum();
+        let slowest = self
+            .flows
+            .iter()
+            .map(|f| {
+                let rate = f
+                    .rate_limit
+                    .map(|r| r.bps())
+                    .unwrap_or(self.link_gbps * 1e9)
+                    .max(1.0);
+                f.bytes as f64 * 8.0 / rate + f.start_delay.as_secs_f64()
+            })
+            .fold(0.0, f64::max);
+        let aggregate = total_bytes as f64 * 8.0 / (self.link_gbps * 1e9);
+        // Generous: 20x the ideal plus a constant for RTO-heavy runs.
+        SimTime::from_secs_f64(20.0 * slowest.max(aggregate) + 30.0)
+    }
+}
+
+/// Why a scenario failed.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A flow did not complete within the time limit.
+    Incomplete {
+        /// The stuck flow.
+        flow: FlowId,
+        /// The limit that was hit.
+        limit: SimTime,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Incomplete { flow, limit } => {
+                write!(f, "flow {flow} incomplete at time limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Everything one run produced.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Per-flow iperf-style reports, in flow order.
+    pub reports: Vec<FlowReport>,
+    /// The measurement window: experiment start until the last flow
+    /// completed.
+    pub window: SimDuration,
+    /// Total sender-side energy over the window (the paper's headline
+    /// quantity; see `DESIGN.md` on per-socket accounting).
+    pub sender_energy_j: f64,
+    /// Per-sender-host energy readings, in flow order.
+    pub sender_readings: Vec<EnergyReading>,
+    /// The receiver host's energy over the same window (reported
+    /// separately; the paper's per-flow arithmetic covers senders).
+    pub receiver_energy_j: f64,
+    /// Packets dropped at queues.
+    pub dropped_pkts: u64,
+    /// Packets CE-marked at queues.
+    pub marked_pkts: u64,
+    /// Per-flow throughput series in Gb/s (if tracing was enabled),
+    /// in flow order.
+    pub throughput_traces: Option<Vec<Vec<f64>>>,
+    /// Per-sender-host instantaneous power series (W per activity bin),
+    /// aligned with [`Self::power_bin`]. One series per sender host.
+    pub sender_power_series_w: Vec<Vec<f64>>,
+    /// Bin width of the power series.
+    pub power_bin: SimDuration,
+}
+
+impl ScenarioOutcome {
+    /// Total energy including the receiver.
+    pub fn total_energy_with_receiver_j(&self) -> f64 {
+        self.sender_energy_j + self.receiver_energy_j
+    }
+
+    /// Average sender power over the window (per the paper's Fig. 6:
+    /// energy over iperf time).
+    pub fn average_sender_power_w(&self) -> f64 {
+        if self.window.is_zero() {
+            return 0.0;
+        }
+        self.sender_energy_j / self.window.as_secs_f64()
+    }
+}
+
+/// Run a scenario to completion and measure it.
+pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
+    let mss = scenario.mtu - HEADER_BYTES;
+    let mut net = Network::new(scenario.seed);
+    net.enable_activity(scenario.activity_bin);
+    if let Some(bin) = scenario.trace_bin {
+        net.enable_flow_trace(bin);
+    }
+
+    let queue = if scenario.uses_dctcp() {
+        BottleneckQueue::EcnThreshold {
+            capacity_bytes: scenario.buffer_bytes,
+            mark_bytes: scenario.dctcp_k_bytes(),
+        }
+    } else {
+        BottleneckQueue::DropTail {
+            capacity_bytes: scenario.buffer_bytes,
+        }
+    };
+    let cfg = DumbbellConfig {
+        bottleneck_rate: Rate::from_gbps(scenario.link_gbps),
+        edge_rate: Rate::from_gbps(scenario.link_gbps),
+        sender_bond_links: 2,
+        hop_delay: scenario.hop_delay,
+        bottleneck_queue: queue,
+        edge_buffer_bytes: 4_000_000,
+        host_min_pkt_gap: SimDuration::ZERO,
+        senders: if scenario.colocate_senders {
+            1
+        } else {
+            scenario.flows.len()
+        },
+    };
+    let dumbbell = Dumbbell::build(&mut net, &cfg);
+
+    let baseline_cwnd =
+        ((scenario.bdp_bytes() + scenario.buffer_bytes) as f64 * BASELINE_CWND_FACTOR) as u64;
+    let cca_cfg = CcaConfig::new(mss).with_baseline_cwnd(baseline_cwnd);
+
+    let mut jitter_rng = netsim::rng::SimRng::new(scenario.seed ^ 0x6a75_7474);
+    let mut jitters = Vec::with_capacity(scenario.flows.len());
+    for _ in &scenario.flows {
+        let ns = if scenario.start_jitter.is_zero() {
+            0
+        } else {
+            jitter_rng.next_below(scenario.start_jitter.as_nanos())
+        };
+        jitters.push(SimDuration::from_nanos(ns));
+    }
+    let build_sender = |i: usize, spec: &FlowSpec| -> TcpSender {
+        let flow = FlowId::from_raw(i as u32);
+        let cc = spec.cca.build(&cca_cfg);
+        let min_gap = scenario
+            .host_pps_cap
+            .map(|pps| {
+                let pps = if cc.uses_pacing() { pps * PACING_PPS_BONUS } else { pps };
+                SimDuration::from_secs_f64(1.0 / pps)
+            })
+            .unwrap_or(SimDuration::ZERO);
+        // Seed the RTT estimator with the path's base RTT, standing in
+        // for the handshake sample (see TcpSenderConfig::initial_rtt_hint).
+        let base_rtt = scenario.hop_delay * 4;
+        let mut cfg = TcpSenderConfig::bulk(flow, dumbbell.receiver, scenario.mtu, spec.bytes)
+            .with_min_pkt_gap(min_gap)
+            .with_rtt_hint(base_rtt)
+            .with_start_delay(spec.start_delay + jitters[i]);
+        if let Some(rate) = spec.rate_limit {
+            cfg = cfg.with_rate_limit(rate);
+        }
+        for &(at, rate) in &spec.rate_schedule {
+            cfg = cfg.with_rate_change(at, rate);
+        }
+        TcpSender::new(cfg, cc)
+    };
+    if scenario.colocate_senders {
+        let subs: Vec<TcpSender> = scenario
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| build_sender(i, spec))
+            .collect();
+        net.attach_agent(dumbbell.senders[0], Box::new(MuxSender::new(subs)));
+    } else {
+        for (i, spec) in scenario.flows.iter().enumerate() {
+            net.attach_agent(dumbbell.senders[i], Box::new(build_sender(i, spec)));
+        }
+    }
+
+    // The receiver's ack policy follows the (single) algorithm family in
+    // use; the paper never mixes DCTCP with non-ECN algorithms.
+    let policy = if scenario.uses_dctcp() {
+        CcaKind::Dctcp.ack_policy()
+    } else {
+        CcaKind::Cubic.ack_policy()
+    };
+    net.attach_agent(dumbbell.receiver, Box::new(TcpReceiver::new(policy)));
+
+    let limit = scenario.time_limit.unwrap_or_else(|| scenario.default_time_limit());
+    net.run_until(limit);
+
+    // Collect per-flow reports; all flows must have completed.
+    let mut reports = Vec::with_capacity(scenario.flows.len());
+    for (i, spec) in scenario.flows.iter().enumerate() {
+        let flow = FlowId::from_raw(i as u32);
+        let (stats, cost_factor) = if scenario.colocate_senders {
+            let mux = net
+                .agent::<MuxSender>(dumbbell.senders[0])
+                .expect("mux agent present");
+            (mux.sub(i).stats(), mux.sub(i).compute_cost_factor())
+        } else {
+            let sender = net
+                .agent::<TcpSender>(dumbbell.senders[i])
+                .expect("sender agent present");
+            (sender.stats(), sender.compute_cost_factor())
+        };
+        let (Some(started_at), Some(completed_at)) = (stats.started_at, stats.completed_at)
+        else {
+            return Err(ScenarioError::Incomplete { flow, limit });
+        };
+        let fct = completed_at.saturating_since(started_at);
+        reports.push(FlowReport {
+            flow,
+            cca: spec.cca,
+            bytes: spec.bytes,
+            started_at,
+            completed_at,
+            fct,
+            mean_goodput: netsim::units::average_rate(spec.bytes, fct),
+            retransmits: stats.retx_segs,
+            rtos: stats.rto_count,
+            segs_sent: stats.segs_sent,
+            acks_processed: stats.acks_processed,
+            compute_cost_factor: cost_factor,
+        });
+    }
+
+    // Energy: RAPL-style reads over [0, last completion].
+    let window_end = reports
+        .iter()
+        .map(|r| r.completed_at)
+        .max()
+        .expect("at least one flow");
+    let window = window_end.saturating_since(SimTime::ZERO);
+
+    let meter = EnergyMeter::new(calibration::reference_host_model());
+    let activity = net.activity().expect("activity recording enabled");
+    let ref_cost = calibration::cc_cost_per_ack_ref_j();
+    let mut sender_power_series_w = Vec::new();
+    let mut sender_readings = Vec::new();
+    if scenario.colocate_senders {
+        // One host serves every flow: weight the CC cost by each flow's
+        // share of the processed acks.
+        let total_acks: u64 = reports.iter().map(|r| r.acks_processed).sum();
+        let weighted_factor = if total_acks == 0 {
+            0.0
+        } else {
+            reports
+                .iter()
+                .map(|r| r.compute_cost_factor * r.acks_processed as f64)
+                .sum::<f64>()
+                / total_acks as f64
+        };
+        let ctx = HostContext {
+            background_util: scenario.background_load.utilization(),
+            cc_cost_per_ack_j: ref_cost * weighted_factor,
+        };
+        sender_readings.push(meter.measure_host(activity, dumbbell.senders[0], window, ctx));
+        sender_power_series_w.push(meter.model().power_series(
+            activity.series(dumbbell.senders[0]),
+            activity.bin(),
+            ctx,
+        ));
+    } else {
+        for (i, report) in reports.iter().enumerate() {
+            let ctx = HostContext {
+                background_util: scenario.background_load.utilization(),
+                cc_cost_per_ack_j: ref_cost * report.compute_cost_factor,
+            };
+            sender_readings.push(meter.measure_host(activity, dumbbell.senders[i], window, ctx));
+            sender_power_series_w.push(meter.model().power_series(
+                activity.series(dumbbell.senders[i]),
+                activity.bin(),
+                ctx,
+            ));
+        }
+    }
+    let sender_energy_j = sender_readings.iter().map(|r| r.joules).sum();
+    let receiver_reading = meter.measure_host(
+        activity,
+        dumbbell.receiver,
+        window,
+        HostContext::default(),
+    );
+
+    let net_stats = net.network_stats();
+    let throughput_traces = net.flow_trace().map(|trace| {
+        (0..scenario.flows.len())
+            .map(|i| trace.throughput_gbps(FlowId::from_raw(i as u32)))
+            .collect()
+    });
+
+    Ok(ScenarioOutcome {
+        reports,
+        window,
+        sender_energy_j,
+        sender_readings,
+        receiver_energy_j: receiver_reading.joules,
+        dropped_pkts: net_stats.dropped_pkts,
+        marked_pkts: net_stats.marked_pkts,
+        throughput_traces,
+        sender_power_series_w,
+        power_bin: scenario.activity_bin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::units::{GB, MB};
+
+    fn quick(mtu: u32, cca: CcaKind, bytes: u64) -> ScenarioOutcome {
+        run(&Scenario::new(mtu, vec![FlowSpec::bulk(cca, bytes)])).expect("scenario completes")
+    }
+
+    #[test]
+    fn single_cubic_flow_fills_the_link() {
+        let out = quick(9000, CcaKind::Cubic, 500 * MB);
+        let goodput = out.reports[0].mean_goodput.gbps();
+        assert!(goodput > 8.0, "cubic goodput {goodput} Gbps");
+        assert!(out.window >= out.reports[0].fct);
+    }
+
+    #[test]
+    fn sender_power_sits_near_the_calibrated_point() {
+        let out = quick(9000, CcaKind::Cubic, 500 * MB);
+        let p = out.average_sender_power_w();
+        // A cubic sender at ~line rate, MTU 9000: ~35.8 W (paper Fig. 2).
+        assert!((33.0..37.5).contains(&p), "power={p} W");
+    }
+
+    #[test]
+    fn mtu_1500_is_pps_capped() {
+        let out = quick(1500, CcaKind::Cubic, 200 * MB);
+        let goodput = out.reports[0].mean_goodput.gbps();
+        // 650 kpps * 1460 B payload = ~7.6 Gb/s.
+        assert!(goodput < 8.2, "goodput {goodput} should be pps-capped");
+        assert!(goodput > 6.5, "goodput {goodput} suspiciously low");
+    }
+
+    #[test]
+    fn rate_limited_flow_matches_target() {
+        let spec = FlowSpec::bulk(CcaKind::Cubic, 125 * MB).with_rate_limit(Rate::from_gbps(2.0));
+        let out = run(&Scenario::new(9000, vec![spec])).unwrap();
+        let fct = out.reports[0].fct.as_secs_f64();
+        // 125 MB ~ 1 Gbit of payload at ~2 Gb/s wire => ~0.5 s.
+        assert!((0.45..0.6).contains(&fct), "fct={fct}");
+    }
+
+    #[test]
+    fn two_cubic_flows_share_fairly() {
+        let out = run(&Scenario::new(
+            9000,
+            vec![
+                FlowSpec::bulk(CcaKind::Cubic, 500 * MB),
+                FlowSpec::bulk(CcaKind::Cubic, 500 * MB),
+            ],
+        ))
+        .unwrap();
+        let g0 = out.reports[0].mean_goodput.gbps();
+        let g1 = out.reports[1].mean_goodput.gbps();
+        // Jain-fair enough: both in 3.5..6.5 Gbps.
+        assert!((3.5..6.5).contains(&g0), "g0={g0}");
+        assert!((3.5..6.5).contains(&g1), "g1={g1}");
+    }
+
+    #[test]
+    fn dctcp_gets_ecn_marks_not_drops() {
+        let out = quick(9000, CcaKind::Dctcp, 250 * MB);
+        assert!(out.marked_pkts > 0, "DCTCP must see CE marks");
+        // Slow-start overshoot may drop a handful of packets before alpha
+        // converges; steady state must be mark-governed, not drop-governed.
+        assert!(
+            out.dropped_pkts * 20 < out.marked_pkts,
+            "drops ({}) should be rare next to marks ({})",
+            out.dropped_pkts,
+            out.marked_pkts
+        );
+        assert!(out.reports[0].mean_goodput.gbps() > 7.5);
+    }
+
+    #[test]
+    fn baseline_is_bursty_and_lossy() {
+        let out = quick(9000, CcaKind::Baseline, 250 * MB);
+        assert!(out.dropped_pkts > 0, "constant cwnd must overflow");
+        assert!(out.reports[0].retransmits > 0);
+    }
+
+    #[test]
+    fn traces_cover_the_transfer() {
+        let scenario = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 100 * MB)])
+            .with_trace(SimDuration::from_millis(10));
+        let out = run(&scenario).unwrap();
+        let traces = out.throughput_traces.unwrap();
+        assert_eq!(traces.len(), 1);
+        let peak = traces[0].iter().cloned().fold(0.0, f64::max);
+        assert!(peak > 7.0, "peak throughput {peak}");
+    }
+
+    #[test]
+    fn deterministic_across_identical_seeds() {
+        let s = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)]).with_seed(7);
+        let a = run(&s).unwrap();
+        let b = run(&s).unwrap();
+        assert_eq!(a.reports[0].fct, b.reports[0].fct);
+        assert_eq!(a.sender_energy_j, b.sender_energy_j);
+    }
+
+    #[test]
+    fn background_load_raises_energy() {
+        let base = quick(9000, CcaKind::Cubic, 100 * MB);
+        let loaded = run(
+            &Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 100 * MB)])
+                .with_background_load(StressLoad::fraction(0.5)),
+        )
+        .unwrap();
+        assert!(loaded.sender_energy_j > 1.5 * base.sender_energy_j);
+    }
+
+    #[test]
+    fn power_series_tracks_the_calibrated_levels() {
+        let out = quick(9000, CcaKind::Cubic, 250 * MB);
+        assert_eq!(out.sender_power_series_w.len(), 1);
+        let series = &out.sender_power_series_w[0];
+        assert!(!series.is_empty());
+        // Steady-state bins sit near the 10 Gb/s operating point.
+        let mid = series[series.len() / 2];
+        assert!((34.0..38.0).contains(&mid), "mid-run power {mid}");
+        // And integrating the series reproduces the measured energy over
+        // the active part of the window.
+        let integral: f64 = series.iter().sum::<f64>() * out.power_bin.as_secs_f64();
+        assert!(
+            (integral - out.sender_energy_j).abs() / out.sender_energy_j < 0.05,
+            "series integral {integral} vs energy {}",
+            out.sender_energy_j
+        );
+    }
+
+    #[test]
+    fn swift_holds_line_rate_with_tiny_queues() {
+        let out = quick(9000, CcaKind::Swift, 200 * MB);
+        assert!(out.reports[0].mean_goodput.gbps() > 9.0);
+        assert_eq!(out.dropped_pkts, 0, "delay-based swift avoids drops");
+    }
+
+    #[test]
+    fn hpcc_runs_off_telemetry_without_losses() {
+        let out = quick(9000, CcaKind::Hpcc, 200 * MB);
+        assert!(out.reports[0].mean_goodput.gbps() > 8.0);
+        assert_eq!(out.reports[0].retransmits, 0);
+    }
+
+    #[test]
+    fn two_swift_flows_share_fairly() {
+        let out = run(&Scenario::new(
+            9000,
+            vec![
+                FlowSpec::bulk(CcaKind::Swift, 200 * MB),
+                FlowSpec::bulk(CcaKind::Swift, 200 * MB),
+            ],
+        ))
+        .unwrap();
+        let g: Vec<f64> = out.reports.iter().map(|r| r.mean_goodput.gbps()).collect();
+        let jain = analysis_jain(&g);
+        assert!(jain > 0.85, "swift-vs-swift Jain {jain:.3} ({g:?})");
+    }
+
+    /// Local Jain helper (workload doesn't depend on the analysis crate).
+    fn analysis_jain(xs: &[f64]) -> f64 {
+        let sum: f64 = xs.iter().sum();
+        let sq: f64 = xs.iter().map(|x| x * x).sum();
+        (sum * sum) / (xs.len() as f64 * sq)
+    }
+
+    #[test]
+    fn colocated_flows_share_one_host_budget() {
+        let separate = run(&Scenario::new(
+            9000,
+            vec![
+                FlowSpec::bulk(CcaKind::Cubic, 100 * MB),
+                FlowSpec::bulk(CcaKind::Cubic, 100 * MB),
+            ],
+        ))
+        .unwrap();
+        let colocated = run(&Scenario::new(
+            9000,
+            vec![
+                FlowSpec::bulk(CcaKind::Cubic, 100 * MB),
+                FlowSpec::bulk(CcaKind::Cubic, 100 * MB),
+            ],
+        )
+        .with_colocated_senders())
+        .unwrap();
+        assert_eq!(separate.sender_readings.len(), 2);
+        assert_eq!(colocated.sender_readings.len(), 1);
+        // One busy host draws less than two half-busy ones (concavity!).
+        assert!(colocated.sender_energy_j < separate.sender_energy_j);
+        // Both move all the data.
+        for out in [&separate, &colocated] {
+            assert!(out.reports.iter().all(|r| r.bytes == 100 * MB));
+        }
+    }
+
+    #[test]
+    fn time_limit_produces_incomplete_error() {
+        let mut s = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, GB)]);
+        s.time_limit = Some(SimTime::from_millis(1));
+        let err = run(&s).unwrap_err();
+        assert!(matches!(err, ScenarioError::Incomplete { .. }));
+        assert!(err.to_string().contains("incomplete"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Background compute load, the simulated analogue of the paper's use of
+//! the Linux `stress` tool (§4.2): "generate load on a certain number of
+//! cores at the end-host in addition to the CUBIC traffic".
+
+/// A host's background compute load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StressLoad {
+    /// Total cores on the host (the testbed's dual E5-2630v3 exposes 32
+    /// hyper-threads per socket pair; 16 per socket).
+    pub cores_total: u32,
+    /// Cores kept busy by `stress`.
+    pub cores_loaded: u32,
+}
+
+impl StressLoad {
+    /// No background load.
+    pub const IDLE: StressLoad = StressLoad {
+        cores_total: 16,
+        cores_loaded: 0,
+    };
+
+    /// Load a fraction of a 16-core socket (rounded to whole cores).
+    pub fn fraction(f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "load fraction in [0,1]");
+        StressLoad {
+            cores_total: 16,
+            cores_loaded: (f * 16.0).round() as u32,
+        }
+    }
+
+    /// Background utilization in `[0, 1]`, as the energy model consumes it.
+    pub fn utilization(self) -> f64 {
+        if self.cores_total == 0 {
+            return 0.0;
+        }
+        (self.cores_loaded as f64 / self.cores_total as f64).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for StressLoad {
+    fn default() -> Self {
+        StressLoad::IDLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_rounds_to_cores() {
+        assert_eq!(StressLoad::fraction(0.25).cores_loaded, 4);
+        assert_eq!(StressLoad::fraction(0.5).cores_loaded, 8);
+        assert_eq!(StressLoad::fraction(0.75).cores_loaded, 12);
+        assert_eq!(StressLoad::fraction(0.0).cores_loaded, 0);
+        assert_eq!(StressLoad::fraction(1.0).cores_loaded, 16);
+    }
+
+    #[test]
+    fn utilization_roundtrips() {
+        assert_eq!(StressLoad::IDLE.utilization(), 0.0);
+        assert!((StressLoad::fraction(0.25).utilization() - 0.25).abs() < 1e-12);
+        assert!((StressLoad::fraction(0.75).utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_core_count_is_safe() {
+        let s = StressLoad {
+            cores_total: 0,
+            cores_loaded: 0,
+        };
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Compare the energy footprint of chosen congestion control algorithms,
+//! iperf3-style (the paper's §4.3 experiment on your own terms).
+//!
+//! Usage:
+//! `cargo run --release --example cca_energy_comparison -- [bytes] [mtu] [cca ...]`
+//! e.g. `... -- 1000000000 9000 cubic bbr dctcp baseline`
+//! Defaults: 500 MB at MTU 9000 across all ten algorithms.
+
+use green_envy_repro::analysis::table::Table;
+use green_envy_repro::cca::CcaKind;
+use green_envy_repro::workload::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bytes: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000_000);
+    let mtu: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(9000);
+    let kinds: Vec<CcaKind> = {
+        let named: Vec<CcaKind> = args
+            .filter_map(|name| {
+                let parsed = CcaKind::from_name(&name);
+                if parsed.is_none() {
+                    eprintln!("unknown algorithm '{name}' (skipped)");
+                }
+                parsed
+            })
+            .collect();
+        if named.is_empty() {
+            CcaKind::ALL.to_vec()
+        } else {
+            named
+        }
+    };
+
+    println!("Transmitting {bytes} bytes at MTU {mtu} with each algorithm:\n");
+    let mut t = Table::new([
+        "cca",
+        "fct (s)",
+        "goodput (Gbps)",
+        "power (W)",
+        "energy (J)",
+        "retx",
+        "energy/GB (J)",
+    ]);
+    let mut results: Vec<(CcaKind, f64)> = Vec::new();
+    for kind in kinds {
+        let scenario = Scenario::new(mtu, vec![FlowSpec::bulk(kind, bytes)]);
+        let out = workload::scenario::run(&scenario).expect("scenario completes");
+        let r = &out.reports[0];
+        results.push((kind, out.sender_energy_j));
+        t.row([
+            kind.name().to_string(),
+            format!("{:.3}", r.fct.as_secs_f64()),
+            format!("{:.3}", r.mean_goodput.gbps()),
+            format!("{:.2}", out.average_sender_power_w()),
+            format!("{:.1}", out.sender_energy_j),
+            r.retransmits.to_string(),
+            format!("{:.1}", out.sender_energy_j / (bytes as f64 / 1e9)),
+        ]);
+    }
+    println!("{t}");
+
+    results.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (best, best_e) = results.first().expect("at least one algorithm");
+    let (worst, worst_e) = results.last().expect("at least one algorithm");
+    println!(
+        "greenest: {} ({best_e:.1} J); hungriest: {} ({worst_e:.1} J, +{:.1}%)",
+        best.name(),
+        worst.name(),
+        100.0 * (worst_e - best_e) / best_e
+    );
+}

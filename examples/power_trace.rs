@@ -1,0 +1,47 @@
+//! Watch a sender's instantaneous power as a flow runs — the time-domain
+//! view behind the paper's RAPL measurements: slow-start ramp, steady
+//! line-rate plateau, and the drop back to idle at completion.
+//!
+//! Usage: `cargo run --release --example power_trace -- [cca] [MB]`
+//! Defaults: cubic, 500 MB.
+
+use green_envy_repro::analysis::chart::line_chart;
+use green_envy_repro::cca::CcaKind;
+use green_envy_repro::workload::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cca = args
+        .next()
+        .and_then(|s| CcaKind::from_name(&s))
+        .unwrap_or(CcaKind::Cubic);
+    let mb: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    let out = workload::scenario::run(&Scenario::new(
+        9000,
+        vec![FlowSpec::bulk(cca, mb * 1_000_000)],
+    ))
+    .expect("scenario completes");
+
+    let series = &out.sender_power_series_w[0];
+    let bin_s = out.power_bin.as_secs_f64();
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| ((i as f64 + 0.5) * bin_s * 1000.0, w))
+        .collect();
+
+    println!(
+        "{} moving {mb} MB: fct {:.3} s, avg power {:.2} W, energy {:.1} J\n",
+        cca.name(),
+        out.reports[0].fct.as_secs_f64(),
+        out.average_sender_power_w(),
+        out.sender_energy_j
+    );
+    println!("sender power (W) vs time (ms):\n");
+    println!("{}", line_chart(&[("power", &points)], 70, 14));
+    println!(
+        "idle reference: {:.2} W | line-rate reference: 35.82 W",
+        green_envy_repro::energy::calibration::P_IDLE_W
+    );
+}

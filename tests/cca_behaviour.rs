@@ -1,0 +1,138 @@
+//! Every congestion control algorithm, end-to-end through the simulated
+//! testbed: completion, sane utilization, and each algorithm's signature
+//! behaviour.
+
+use green_envy_repro::cca::CcaKind;
+use green_envy_repro::workload::prelude::*;
+
+const MB: u64 = 1_000_000;
+
+fn run_one(cca: CcaKind, mtu: u32, bytes: u64) -> ScenarioOutcome {
+    workload::scenario::run(&Scenario::new(mtu, vec![FlowSpec::bulk(cca, bytes)]))
+        .unwrap_or_else(|e| panic!("{} at mtu {mtu}: {e}", cca.name()))
+}
+
+#[test]
+fn every_cca_completes_at_jumbo_mtu() {
+    for cca in CcaKind::ALL {
+        let out = run_one(cca, 9000, 100 * MB);
+        let goodput = out.reports[0].mean_goodput.gbps();
+        assert!(
+            goodput > 5.0,
+            "{} goodput {goodput:.2} suspiciously low",
+            cca.name()
+        );
+        assert!(out.reports[0].rtos <= 2, "{}: rto storm", cca.name());
+    }
+}
+
+#[test]
+fn every_cca_completes_at_standard_mtu() {
+    for cca in CcaKind::ALL {
+        let out = run_one(cca, 1500, 50 * MB);
+        let goodput = out.reports[0].mean_goodput.gbps();
+        // The host pps ceiling binds here: nobody exceeds ~8.5 Gb/s.
+        assert!(
+            (3.0..8.7).contains(&goodput),
+            "{} goodput {goodput:.2} outside the pps-capped band",
+            cca.name()
+        );
+    }
+}
+
+#[test]
+fn dctcp_is_mark_governed() {
+    let out = run_one(CcaKind::Dctcp, 9000, 100 * MB);
+    assert!(out.marked_pkts > 0, "DCTCP needs CE marks");
+    assert!(
+        out.dropped_pkts * 10 < out.marked_pkts,
+        "DCTCP should be governed by marks ({}) not drops ({})",
+        out.marked_pkts,
+        out.dropped_pkts
+    );
+}
+
+#[test]
+fn loss_based_ccas_do_not_get_marks() {
+    let out = run_one(CcaKind::Cubic, 9000, 100 * MB);
+    assert_eq!(out.marked_pkts, 0, "cubic runs on a drop-tail bottleneck");
+}
+
+#[test]
+fn baseline_is_the_loss_outlier() {
+    let base = run_one(CcaKind::Baseline, 9000, 100 * MB);
+    let cubic = run_one(CcaKind::Cubic, 9000, 100 * MB);
+    assert!(
+        base.reports[0].retransmits > 3 * cubic.reports[0].retransmits.max(1),
+        "baseline retx {} should dwarf cubic's {}",
+        base.reports[0].retransmits,
+        cubic.reports[0].retransmits
+    );
+    assert!(
+        base.sender_energy_j > 1.05 * cubic.sender_energy_j,
+        "no-CC baseline must cost more energy: {} vs {}",
+        base.sender_energy_j,
+        cubic.sender_energy_j
+    );
+}
+
+#[test]
+fn bbr2_alpha_underutilizes_and_costs_more_than_bbr() {
+    let v1 = run_one(CcaKind::Bbr, 9000, 100 * MB);
+    let v2 = run_one(CcaKind::Bbr2, 9000, 100 * MB);
+    assert!(
+        v2.reports[0].mean_goodput.gbps() < 0.9 * v1.reports[0].mean_goodput.gbps(),
+        "the alpha cruises below v1"
+    );
+    let ratio = v2.sender_energy_j / v1.sender_energy_j;
+    assert!(
+        (1.1..1.6).contains(&ratio),
+        "bbr2/bbr energy ratio {ratio:.2} (paper: ~1.4)"
+    );
+}
+
+#[test]
+fn bbr_avoids_queue_losses() {
+    let out = run_one(CcaKind::Bbr, 9000, 100 * MB);
+    assert_eq!(
+        out.reports[0].retransmits, 0,
+        "BBR's pacing should avoid drops entirely on a solo path"
+    );
+}
+
+#[test]
+fn vegas_keeps_the_queue_small() {
+    let vegas = run_one(CcaKind::Vegas, 9000, 100 * MB);
+    let cubic = run_one(CcaKind::Cubic, 9000, 100 * MB);
+    assert!(
+        vegas.reports[0].retransmits <= cubic.reports[0].retransmits,
+        "delay-based vegas should lose no more than cubic"
+    );
+    assert!(vegas.reports[0].mean_goodput.gbps() > 9.0);
+}
+
+#[test]
+fn two_competing_cubic_flows_split_fairly() {
+    let out = workload::scenario::run(&Scenario::new(
+        9000,
+        vec![
+            FlowSpec::bulk(CcaKind::Cubic, 200 * MB),
+            FlowSpec::bulk(CcaKind::Cubic, 200 * MB),
+        ],
+    ))
+    .unwrap();
+    let g: Vec<f64> = out.reports.iter().map(|r| r.mean_goodput.gbps()).collect();
+    let jain = green_envy_repro::analysis::fairness::jain_index(&g);
+    assert!(jain > 0.9, "cubic-vs-cubic Jain index {jain:.3}");
+}
+
+#[test]
+fn ten_flows_share_and_complete() {
+    let flows: Vec<FlowSpec> = (0..10)
+        .map(|_| FlowSpec::bulk(CcaKind::Cubic, 20 * MB))
+        .collect();
+    let out = workload::scenario::run(&Scenario::new(9000, flows)).unwrap();
+    assert_eq!(out.reports.len(), 10);
+    let total_gbps: f64 = 10.0 * 20.0 * 8.0 / 1000.0 / out.window.as_secs_f64();
+    assert!(total_gbps > 8.0, "aggregate {total_gbps:.2} Gb/s");
+}

@@ -1,0 +1,59 @@
+//! Reproducibility: a run is a pure function of its configuration.
+
+use green_envy_repro::cca::CcaKind;
+use green_envy_repro::workload::prelude::*;
+
+const MB: u64 = 1_000_000;
+
+fn fingerprint(seed: u64, cca: CcaKind) -> (u64, u64, String) {
+    let out = workload::scenario::run(
+        &Scenario::new(9000, vec![FlowSpec::bulk(cca, 50 * MB)]).with_seed(seed),
+    )
+    .unwrap();
+    let r = &out.reports[0];
+    (
+        r.fct.as_nanos(),
+        r.retransmits,
+        format!("{:.9}", out.sender_energy_j),
+    )
+}
+
+#[test]
+fn identical_configurations_replay_bit_for_bit() {
+    for cca in [CcaKind::Cubic, CcaKind::Bbr, CcaKind::Baseline] {
+        assert_eq!(
+            fingerprint(42, cca),
+            fingerprint(42, cca),
+            "{} must replay identically",
+            cca.name()
+        );
+    }
+}
+
+#[test]
+fn the_fingerprint_depends_on_the_algorithm() {
+    assert_ne!(fingerprint(42, CcaKind::Cubic), fingerprint(42, CcaKind::Bbr));
+}
+
+#[test]
+fn two_flow_scenarios_replay_identically() {
+    let run = || {
+        let out = workload::scenario::run(
+            &Scenario::new(
+                9000,
+                vec![
+                    FlowSpec::bulk(CcaKind::Cubic, 50 * MB),
+                    FlowSpec::bulk(CcaKind::Cubic, 50 * MB),
+                ],
+            )
+            .with_seed(7),
+        )
+        .unwrap();
+        (
+            out.window.as_nanos(),
+            out.dropped_pkts,
+            format!("{:.9}", out.sender_energy_j),
+        )
+    };
+    assert_eq!(run(), run());
+}

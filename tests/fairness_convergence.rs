@@ -1,0 +1,88 @@
+//! Intra-algorithm fairness: two identical flows of each multi-flow-safe
+//! CCA must converge to a reasonable share of the bottleneck. This guards
+//! the competitive dynamics the two-flow experiments (Figs. 1, 3) rely
+//! on, per algorithm.
+
+use green_envy_repro::analysis::fairness::jain_index;
+use green_envy_repro::cca::CcaKind;
+use green_envy_repro::workload::prelude::*;
+
+const MB: u64 = 1_000_000;
+
+fn two_flow_jain(cca: CcaKind, bytes: u64) -> (f64, f64) {
+    let out = workload::scenario::run(&Scenario::new(
+        9000,
+        vec![FlowSpec::bulk(cca, bytes), FlowSpec::bulk(cca, bytes)],
+    ))
+    .unwrap_or_else(|e| panic!("{}: {e}", cca.name()));
+    let g: Vec<f64> = out.reports.iter().map(|r| r.mean_goodput.gbps()).collect();
+    let aggregate = g.iter().sum();
+    (jain_index(&g), aggregate)
+}
+
+/// Loss-based algorithms converge tightly.
+#[test]
+fn loss_based_ccas_share_fairly() {
+    for cca in [
+        CcaKind::Reno,
+        CcaKind::Cubic,
+        CcaKind::Highspeed,
+        CcaKind::Westwood,
+    ] {
+        let (jain, aggregate) = two_flow_jain(cca, 200 * MB);
+        assert!(jain > 0.85, "{}: Jain {jain:.3}", cca.name());
+        assert!(
+            aggregate > 8.5,
+            "{}: aggregate {aggregate:.2} Gb/s",
+            cca.name()
+        );
+    }
+}
+
+/// Scalable's MIMD is known not to converge to exact fairness (Kelly's
+/// own analysis); require full utilization and only loose sharing.
+#[test]
+fn scalable_shares_loosely_but_fills_the_link() {
+    let (jain, aggregate) = two_flow_jain(CcaKind::Scalable, 200 * MB);
+    assert!(aggregate > 8.5, "aggregate {aggregate:.2}");
+    assert!(jain > 0.55, "Jain {jain:.3} (MIMD tolerates imbalance)");
+}
+
+/// Delay-based algorithms against themselves.
+#[test]
+fn delay_based_ccas_share() {
+    for cca in [CcaKind::Vegas, CcaKind::Swift] {
+        let (jain, aggregate) = two_flow_jain(cca, 200 * MB);
+        assert!(jain > 0.8, "{}: Jain {jain:.3}", cca.name());
+        assert!(
+            aggregate > 8.0,
+            "{}: aggregate {aggregate:.2} Gb/s",
+            cca.name()
+        );
+    }
+}
+
+/// DCTCP's proportional marking response is designed for convergence.
+#[test]
+fn dctcp_shares_fairly_on_its_marking_queue() {
+    let (jain, aggregate) = two_flow_jain(CcaKind::Dctcp, 200 * MB);
+    assert!(jain > 0.9, "Jain {jain:.3}");
+    assert!(aggregate > 8.5, "aggregate {aggregate:.2}");
+}
+
+/// HPCC flows converge through shared telemetry.
+#[test]
+fn hpcc_shares_through_telemetry() {
+    let (jain, aggregate) = two_flow_jain(CcaKind::Hpcc, 200 * MB);
+    assert!(jain > 0.8, "Jain {jain:.3}");
+    assert!(aggregate > 7.0, "aggregate {aggregate:.2}");
+}
+
+/// BBR v1's intra-fairness is famously loose; just require that both
+/// flows finish and the link stays utilized.
+#[test]
+fn bbr_coexists_with_itself() {
+    let (jain, aggregate) = two_flow_jain(CcaKind::Bbr, 200 * MB);
+    assert!(aggregate > 7.5, "aggregate {aggregate:.2}");
+    assert!(jain > 0.5, "Jain {jain:.3}");
+}

@@ -1,0 +1,150 @@
+//! Property-based tests over the workspace's core invariants.
+
+use green_envy_repro::analysis::fairness::jain_index;
+use green_envy_repro::analysis::stats::{mean, pearson, std_dev};
+use green_envy_repro::energy::prelude::*;
+use green_envy_repro::greenenvy::theorem;
+use green_envy_repro::netsim::time::{SimDuration, SimTime};
+use green_envy_repro::netsim::units::{average_rate, Rate};
+use proptest::prelude::*;
+
+proptest! {
+    /// Theorem 1, adversarially: any non-fair allocation of any capacity
+    /// across 2..8 flows draws strictly less power than the fair one,
+    /// for any of our randomly-assembled strictly concave functions.
+    #[test]
+    fn fair_allocation_maximizes_power(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        cap in 1.0f64..100.0,
+        weights in proptest::collection::vec(0.01f64..1.0, 8),
+    ) {
+        let p = theorem::random_concave(seed);
+        let mut alloc: Vec<f64> = weights[..n].to_vec();
+        let sum: f64 = alloc.iter().sum();
+        for a in &mut alloc {
+            *a *= cap / sum;
+        }
+        let fair_share = cap / n as f64;
+        // Skip near-fair draws: strictness needs a genuine difference.
+        prop_assume!(alloc.iter().any(|&a| (a - fair_share).abs() > 1e-3 * cap));
+        let gap = theorem::power_gap(p, cap, &alloc);
+        prop_assert!(gap > 0.0, "fair must dominate: gap={gap}");
+    }
+
+    /// The calibrated host power model is monotone increasing and
+    /// strictly concave in throughput at any MTU.
+    #[test]
+    fn host_power_is_monotone_and_concave(mtu in 1500u32..9001) {
+        let model = reference_host_model();
+        let ctx = HostContext {
+            background_util: 0.0,
+            cc_cost_per_ack_j: cc_cost_per_ack_ref_j(),
+        };
+        let f = |x: f64| model.sender_power_at(x, mtu, 0.5, ctx);
+        let mut prev = f(0.0);
+        for i in 1..=40 {
+            let x = i as f64 * 0.25;
+            let cur = f(x);
+            prop_assert!(cur > prev, "power must increase with rate");
+            prev = cur;
+        }
+        prop_assert!(is_strictly_concave(f, 0.0, 10.0, 50));
+    }
+
+    /// Load coupling: more background load never increases the network
+    /// power increment.
+    #[test]
+    fn coupling_is_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let c = reference_coupling();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(c.k(hi) <= c.k(lo) + 1e-12);
+        prop_assert!(c.k(lo) <= 1.0 && c.k(hi) > 0.0);
+    }
+
+    /// Jain's index is always in (0, 1], is 1 for equal shares, and never
+    /// increases when one user's share is transferred to a richer user.
+    #[test]
+    fn jain_bounds_and_transfers(
+        shares in proptest::collection::vec(0.1f64..100.0, 2..10),
+        delta in 0.0f64..0.09,
+    ) {
+        let j = jain_index(&shares);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12);
+
+        // Robin Hood in reverse: move `delta` from the poorest to the
+        // richest; fairness must not improve.
+        let mut unfairer = shares.clone();
+        let (mut rich, mut poor) = (0, 0);
+        for (i, &s) in shares.iter().enumerate() {
+            if s > shares[rich] { rich = i; }
+            if s < shares[poor] { poor = i; }
+        }
+        prop_assume!(rich != poor);
+        let d = delta * unfairer[poor];
+        unfairer[poor] -= d;
+        unfairer[rich] += d;
+        prop_assert!(jain_index(&unfairer) <= j + 1e-12);
+    }
+
+    /// RAPL counters: any sequence of deposits is conserved to within one
+    /// quantization unit, including across 32-bit wraps.
+    #[test]
+    fn rapl_conserves_energy(deposits in proptest::collection::vec(0.0f64..50.0, 1..100)) {
+        let mut c = RaplCounter::new();
+        let before = c.read_raw();
+        let mut exact = 0.0;
+        let mut measured = 0.0;
+        let mut last = before;
+        for d in &deposits {
+            c.deposit(*d);
+            exact += d;
+            // Read in steps so wraparound handling is exercised.
+            let now = c.read_raw();
+            measured += c.delta_j(last, now);
+            last = now;
+        }
+        prop_assert!((measured - exact).abs() <= DEFAULT_UNIT_J * 1.01);
+    }
+
+    /// Rate arithmetic: serialization time and average rate invert each
+    /// other.
+    #[test]
+    fn rate_roundtrips(gbps in 0.001f64..100.0, bytes in 1u64..100_000_000) {
+        let rate = Rate::from_gbps(gbps);
+        let t = rate.serialization_time(bytes);
+        prop_assume!(t.as_nanos() > 100); // below that, rounding dominates
+        let back = average_rate(bytes, t);
+        let err = (back.bps() - rate.bps()).abs() / rate.bps();
+        prop_assert!(err < 0.01, "roundtrip error {err}");
+    }
+
+    /// Time arithmetic is associative and ordered.
+    #[test]
+    fn time_arithmetic(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_nanos(a);
+        let d = SimDuration::from_nanos(b);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    /// Statistics sanity: correlation is symmetric, bounded, and
+    /// invariant under positive affine maps.
+    #[test]
+    fn pearson_properties(
+        xs in proptest::collection::vec(-100.0f64..100.0, 3..30),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
+        let r = pearson(&xs, &ys);
+        prop_assume!(std_dev(&xs) > 1e-9);
+        prop_assert!((r - 1.0).abs() < 1e-9);
+
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let r2 = pearson(&xs, &scaled);
+        prop_assert!((r2 - 1.0).abs() < 1e-9);
+        prop_assert!((mean(&scaled) - (mean(&xs) * scale + shift)).abs() < 1e-6);
+    }
+}
