@@ -1,0 +1,145 @@
+//! Tracked simulator performance baseline.
+//!
+//! Runs a fixed scenario suite with wall-clock timing and writes
+//! `BENCH_netsim.json` at the repo root: events/second through the event
+//! engine, per-scenario wall seconds, and the scheduler's wheel-vs-heap
+//! hit rate. Commit the refreshed file when engine performance changes so
+//! regressions show up in review rather than in campaign runtimes.
+//!
+//! Usage: `cargo run --release -p bench --bin perf_baseline`
+
+use cca::CcaKind;
+use netsim::units::MB;
+use serde::Serialize;
+use std::time::Instant;
+use workload::prelude::*;
+
+/// Timing runs per scenario; the minimum is reported (least scheduler
+/// noise from the host).
+const RUNS: u32 = 3;
+
+#[derive(Serialize)]
+struct ScenarioPerf {
+    name: String,
+    /// Best-of-RUNS wall-clock seconds.
+    wall_s: f64,
+    /// Events through the engine in one run.
+    events: u64,
+    /// Events per wall second (events / wall_s).
+    events_per_sec: f64,
+    /// Simulated seconds covered by one run.
+    sim_s: f64,
+    /// Fraction of scheduler pushes served by the O(1) wheel path.
+    wheel_hit_rate: f64,
+    /// Scheduler pushes that landed in the wheel.
+    wheel_pushes: u64,
+    /// Scheduler pushes that overflowed to the far-future heap.
+    heap_pushes: u64,
+    /// Heap entries later migrated into the wheel.
+    migrations: u64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    /// What produced this file.
+    tool: String,
+    /// Scenario results, in suite order.
+    scenarios: Vec<ScenarioPerf>,
+    /// Total wall seconds across the suite (best-of-RUNS per scenario).
+    total_wall_s: f64,
+    /// Suite-wide events per wall second.
+    total_events_per_sec: f64,
+}
+
+fn measure(name: &str, scenario: &Scenario) -> ScenarioPerf {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let o = workload::scenario::run(scenario)
+            .unwrap_or_else(|e| panic!("perf scenario {name}: {e}"));
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(o);
+    }
+    let out = out.expect("RUNS >= 1");
+    let events = out.engine.events_processed;
+    let perf = ScenarioPerf {
+        name: name.to_string(),
+        wall_s: best,
+        events,
+        events_per_sec: events as f64 / best,
+        sim_s: out.sim_end.as_secs_f64(),
+        wheel_hit_rate: out.engine.wheel_hit_rate(),
+        wheel_pushes: out.engine.sched.wheel_pushes,
+        heap_pushes: out.engine.sched.heap_pushes,
+        migrations: out.engine.sched.migrations,
+    };
+    println!(
+        "{:<38} {:>8.3} s wall  {:>11} events  {:>6.2} M events/s  wheel {:.1}%",
+        perf.name,
+        perf.wall_s,
+        perf.events,
+        perf.events_per_sec / 1e6,
+        perf.wheel_hit_rate * 100.0
+    );
+    perf
+}
+
+fn main() {
+    println!("=== simulator perf baseline ({RUNS} runs per scenario, best reported) ===\n");
+    let suite = [
+        (
+            "bulk_cubic_50MB_mtu9000",
+            Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)]),
+        ),
+        (
+            "bulk_cubic_50MB_mtu1500",
+            Scenario::new(1500, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)]),
+        ),
+        (
+            "two_flow_cubic_reno_40MB_mtu3000",
+            Scenario::new(
+                3000,
+                vec![
+                    FlowSpec::bulk(CcaKind::Cubic, 40 * MB),
+                    FlowSpec::bulk(CcaKind::Reno, 40 * MB),
+                ],
+            )
+            .with_seed(7),
+        ),
+        (
+            "bulk_dctcp_50MB_mtu9000",
+            Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Dctcp, 50 * MB)]),
+        ),
+    ];
+
+    let scenarios: Vec<ScenarioPerf> = suite
+        .iter()
+        .map(|(name, scenario)| measure(name, scenario))
+        .collect();
+
+    let total_wall_s: f64 = scenarios.iter().map(|s| s.wall_s).sum();
+    let total_events: u64 = scenarios.iter().map(|s| s.events).sum();
+    let baseline = Baseline {
+        tool: "cargo run --release -p bench --bin perf_baseline".to_string(),
+        total_wall_s,
+        total_events_per_sec: total_events as f64 / total_wall_s,
+        scenarios,
+    };
+    println!(
+        "\ntotal: {:.3} s wall, {:.2} M events/s",
+        baseline.total_wall_s,
+        baseline.total_events_per_sec / 1e6
+    );
+
+    // Anchor at the repo root (two levels up from this crate), not the
+    // cwd, so the tracked file is refreshed wherever the bin runs from.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_netsim.json");
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: cannot serialize baseline: {e}"),
+    }
+}

@@ -73,8 +73,13 @@ pub fn load_or_run_matrix(scale: greenenvy::Scale) -> greenenvy::matrix::Matrix 
     let path = PathBuf::from("results").join(format!("matrix_{}.json", scale.name));
     if let Ok(body) = std::fs::read_to_string(&path) {
         if let Ok(matrix) = serde_json::from_str::<greenenvy::matrix::Matrix>(&body) {
+            // The seed list is part of the cache key: two scales can share
+            // transfer size and repetition count yet run different seed
+            // schedules, and a stale cache would silently change every
+            // figure downstream.
             if matrix.transfer_bytes == scale.transfer_bytes
                 && matrix.repetitions == scale.repetitions
+                && matrix.seeds == scale.seeds()
             {
                 println!("(reusing cached campaign {})\n", path.display());
                 return matrix;

@@ -95,6 +95,7 @@ mod tests {
         Matrix {
             transfer_bytes: bytes,
             repetitions: 1,
+            seeds: seeds.to_vec(),
             cells,
         }
     }

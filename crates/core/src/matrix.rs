@@ -10,6 +10,7 @@ use crate::scale::Scale;
 use analysis::stats::Summary;
 use cca::CcaKind;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use workload::prelude::*;
 
 /// The paper's MTU sweep (§4.4).
@@ -48,6 +49,10 @@ pub struct Matrix {
     pub transfer_bytes: u64,
     /// Repetitions per cell.
     pub repetitions: usize,
+    /// The exact seed list every cell ran with. Stored so cached results
+    /// are invalidated when the seed schedule changes, not only when the
+    /// scale's size parameters do.
+    pub seeds: Vec<u64>,
     /// All cells, ordered by `MTUS` within the paper's Figure-5 CCA order.
     pub cells: Vec<Cell>,
 }
@@ -76,7 +81,7 @@ pub fn run_cell(cca: CcaKind, mtu: u32, bytes: u64, seeds: &[u64]) -> Cell {
     for &seed in seeds {
         let scenario = Scenario::new(mtu, vec![FlowSpec::bulk(cca, bytes)]).with_seed(seed);
         let out = workload::scenario::run(&scenario)
-            .unwrap_or_else(|e| panic!("{} @ mtu {mtu}: {e}", cca.name()));
+            .unwrap_or_else(|e| panic!("{} @ mtu {mtu} seed {seed}: {e}", cca.name()));
         let r = &out.reports[0];
         energy.push(out.sender_energy_j);
         power.push(out.average_sender_power_w());
@@ -98,30 +103,58 @@ pub fn run_cell(cca: CcaKind, mtu: u32, bytes: u64, seeds: &[u64]) -> Cell {
 /// Run the whole campaign at the given scale. Cells are independent
 /// simulations, so they run across all available cores.
 pub fn run_matrix(scale: Scale) -> Matrix {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_matrix_with_threads(scale, threads)
+}
+
+/// [`run_matrix`] with an explicit worker count (determinism tests pin
+/// it; the campaign result must not depend on the thread schedule).
+///
+/// Workers pull the next unclaimed cell off a shared atomic counter
+/// (work stealing) rather than taking a fixed stride: cell costs vary by
+/// ~6× across MTUs (a 1500-byte-MTU transfer pushes six times the
+/// packets of a 9000-byte one), so a static split leaves workers idle
+/// behind whoever drew the expensive cells.
+pub fn run_matrix_with_threads(scale: Scale, threads: usize) -> Matrix {
     let seeds = scale.seeds();
     let jobs: Vec<(CcaKind, u32)> = CcaKind::ALL
         .iter()
         .flat_map(|&cca| MTUS.iter().map(move |&mtu| (cca, mtu)))
         .collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(jobs.len());
+    let threads = threads.max(1).min(jobs.len());
+    let next = AtomicUsize::new(0);
 
-    // Strided work split: worker t takes jobs t, t+threads, ... — no
-    // shared mutable state, results re-assembled in campaign order.
     let mut indexed: Vec<(usize, Cell)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|t| {
+            .map(|_| {
                 let jobs = &jobs;
                 let seeds = &seeds;
+                let next = &next;
                 scope.spawn(move || {
                     let mut done = Vec::new();
-                    let mut i = t;
-                    while i < jobs.len() {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
                         let (cca, mtu) = jobs[i];
-                        done.push((i, run_cell(cca, mtu, scale.transfer_bytes, seeds)));
-                        i += threads;
+                        // Name the cell on any panic (including asserts
+                        // deep inside the simulator) so a failed campaign
+                        // says which configuration died, not just that a
+                        // worker did.
+                        let cell = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || run_cell(cca, mtu, scale.transfer_bytes, seeds),
+                        ))
+                        .unwrap_or_else(|payload| {
+                            panic!(
+                                "campaign cell {} @ mtu {mtu} (seeds {seeds:?}) failed: {}",
+                                cca.name(),
+                                panic_message(payload.as_ref())
+                            )
+                        });
+                        done.push((i, cell));
                     }
                     done
                 })
@@ -137,8 +170,18 @@ pub fn run_matrix(scale: Scale) -> Matrix {
     Matrix {
         transfer_bytes: scale.transfer_bytes,
         repetitions: scale.repetitions,
+        seeds,
         cells: indexed.into_iter().map(|(_, c)| c).collect(),
     }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 #[cfg(test)]
@@ -161,6 +204,7 @@ mod tests {
         let m = Matrix {
             transfer_bytes: 1,
             repetitions: 1,
+            seeds: vec![1],
             cells: vec![
                 run_cell(CcaKind::Reno, 9000, 50 * MB, &[1]),
                 run_cell(CcaKind::Reno, 1500, 50 * MB, &[1]),

@@ -1,0 +1,88 @@
+//! Golden determinism regression tests.
+//!
+//! The engine promises bit-for-bit reproducibility: same scenario, same
+//! seed, same results — regardless of scheduler internals (wheel vs
+//! heap placement) or how many campaign threads raced over the matrix.
+//! These tests pin an exact fingerprint of a mid-size two-flow run so
+//! any change that perturbs event order, RNG draws, or float summation
+//! order fails loudly instead of silently shifting figures.
+//!
+//! If a deliberate behaviour change moves these numbers, re-capture them
+//! with `cargo test -p greenenvy --test golden_determinism -- --nocapture`
+//! (the failure message prints the observed fingerprint) and say so in
+//! the commit message.
+
+use cca::CcaKind;
+use greenenvy::matrix::run_matrix_with_threads;
+use greenenvy::scale::Scale;
+use netsim::units::MB;
+use workload::prelude::*;
+
+/// Exact fingerprint of the mid-size two-flow scenario below, captured
+/// on the hybrid-scheduler engine. `sender_energy_j` is compared with
+/// `==`: the energy pipeline is pure IEEE-754 arithmetic in a
+/// deterministic order, so the float is exactly reproducible.
+const GOLDEN_EVENTS_PROCESSED: u64 = 204_899;
+const GOLDEN_SIM_END_NS: u64 = 200_164_047;
+const GOLDEN_SENDER_ENERGY_J: f64 = 4.594573974609375;
+const GOLDEN_TOTAL_RETX: u64 = 195;
+
+fn two_flow_scenario() -> Scenario {
+    Scenario::new(
+        3000,
+        vec![
+            FlowSpec::bulk(CcaKind::Cubic, 40 * MB),
+            FlowSpec::bulk(CcaKind::Reno, 40 * MB),
+        ],
+    )
+    .with_seed(7)
+}
+
+#[test]
+fn two_flow_fingerprint_is_stable() {
+    let out = workload::scenario::run(&two_flow_scenario()).expect("scenario runs");
+    let retx: u64 = out.reports.iter().map(|r| r.retransmits).sum();
+    let observed = (
+        out.engine.events_processed,
+        out.sim_end.as_nanos(),
+        out.sender_energy_j,
+        retx,
+    );
+    println!("observed fingerprint: {observed:?}");
+    assert_eq!(
+        observed,
+        (
+            GOLDEN_EVENTS_PROCESSED,
+            GOLDEN_SIM_END_NS,
+            GOLDEN_SENDER_ENERGY_J,
+            GOLDEN_TOTAL_RETX
+        ),
+        "golden fingerprint moved — event order, RNG, or float summation changed"
+    );
+}
+
+/// The work-stealing campaign runner hands cells to whichever thread
+/// asks next, so the *assignment* of cells to threads is racy — but the
+/// cells themselves are pure functions of `(cca, mtu, seeds)`. The
+/// serialized matrix must therefore be byte-identical at any thread
+/// count. (`{:?}`/serde_json print f64 shortest-roundtrip, so equal
+/// strings ⇔ bit-equal floats.)
+#[test]
+fn matrix_is_thread_count_invariant() {
+    let scale = Scale {
+        transfer_bytes: 10 * MB,
+        two_flow_bytes: 10 * MB,
+        repetitions: 1,
+        name: "golden-tiny",
+    };
+    let reference = serde_json::to_string(&run_matrix_with_threads(scale, 1))
+        .expect("matrix serializes");
+    for threads in [2, 8] {
+        let got = serde_json::to_string(&run_matrix_with_threads(scale, threads))
+            .expect("matrix serializes");
+        assert_eq!(
+            got, reference,
+            "matrix output differs between 1 and {threads} campaign threads"
+        );
+    }
+}

@@ -14,7 +14,10 @@ proptest! {
         let curve = ThroughputPowerCurve::fit_doubling(x, phi, phi2);
         prop_assert!((curve.watts(x) - phi).abs() < 1e-6 * phi);
         prop_assert!((curve.watts(2.0 * x) - phi2).abs() < 1e-6 * phi2);
-        prop_assert!(is_strictly_concave(|v| curve.watts(v), 0.0, 4.0 * x, 64));
+        // Check concavity over the fitted range [0, 2x]: past it the curve
+        // saturates and, for ratios near 1, the second difference decays
+        // like phi * e^(-v/tau) below what f64 subtraction can resolve.
+        prop_assert!(is_strictly_concave(|v| curve.watts(v), 0.0, 2.0 * x, 64));
     }
 
     /// The Fan model is monotone increasing and superlinear on [0,1].

@@ -17,11 +17,10 @@ use crate::packet::Packet;
 use crate::pktlog::{PacketEventKind, PacketLog};
 use crate::queue::{EnqueueOutcome, QueueStats};
 use crate::rng::SimRng;
+use crate::sched::{SchedStats, Scheduler};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FlowTrace, HostActivity};
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// What kind of node this is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,29 +55,6 @@ enum Event {
     Timer { node: NodeId, token: u64 },
 }
 
-struct HeapItem {
-    at: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for HeapItem {}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Why a run returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -99,13 +75,30 @@ pub struct NetworkStats {
     pub marked_pkts: u64,
 }
 
+/// Engine performance counters: event totals plus the scheduler's
+/// wheel/heap operation counts. Cheap to copy; sample before and after a
+/// run to attribute costs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineCounters {
+    /// Events popped and dispatched by the run loop.
+    pub events_processed: u64,
+    /// Scheduler operation counters (wheel vs heap pushes, migrations).
+    pub sched: SchedStats,
+}
+
+impl EngineCounters {
+    /// Fraction of event pushes served by the O(1) wheel path.
+    pub fn wheel_hit_rate(&self) -> f64 {
+        self.sched.wheel_hit_rate()
+    }
+}
+
 /// The simulated network: topology + clock + event queue + agents.
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<LinkState>,
     agents: Vec<Option<Box<dyn Agent>>>,
-    heap: BinaryHeap<Reverse<HeapItem>>,
-    seq: u64,
+    sched: Scheduler<Event>,
     now: SimTime,
     rng: SimRng,
     /// Per-node RNG streams (agents draw from their own stream).
@@ -126,8 +119,7 @@ impl Network {
             nodes: Vec::new(),
             links: Vec::new(),
             agents: Vec::new(),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            sched: Scheduler::new(),
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
             node_rngs: Vec::new(),
@@ -148,6 +140,14 @@ impl Network {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Snapshot of the engine's performance counters.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            events_processed: self.events_processed,
+            sched: self.sched.stats(),
+        }
     }
 
     /// Enable per-flow delivered-throughput tracing with the given bin.
@@ -282,12 +282,25 @@ impl Network {
 
     fn schedule(&mut self, at: SimTime, event: Event) {
         debug_assert!(at >= self.now, "event scheduled in the past");
-        self.seq += 1;
-        self.heap.push(Reverse(HeapItem {
-            at,
-            seq: self.seq,
-            event,
-        }));
+        self.sched.push(at, event);
+    }
+
+    /// Size the scheduler's wheel buckets from the topology: one bucket
+    /// per fastest-link serialization time (a 1500-byte frame, or the
+    /// per-packet gap when a pps cap dominates), so back-to-back packets
+    /// land in adjacent buckets instead of piling into one.
+    fn autosize_scheduler(&mut self) {
+        if !self.sched.is_empty() {
+            return;
+        }
+        let width = self
+            .links
+            .iter()
+            .map(|l| l.rate.serialization_time(1500).max(l.min_pkt_gap).as_nanos())
+            .min();
+        if let Some(width) = width {
+            self.sched.set_bucket_width(width);
+        }
     }
 
     /// Route `pkt` out of `node` and enqueue it on the chosen link.
@@ -422,8 +435,11 @@ impl Network {
             f(agent.as_mut(), &mut ctx);
         }
         self.agents[node.index()] = Some(agent);
-        let commands = std::mem::take(&mut self.commands);
-        for cmd in commands {
+        // Drain in place and put the buffer back so its capacity is
+        // reused across callbacks: this loop runs once per event, and a
+        // fresh allocation per agent callback dominates the dispatch cost.
+        let mut commands = std::mem::take(&mut self.commands);
+        for cmd in commands.drain(..) {
             match cmd {
                 AgentCommand::Send(pkt) => self.route_and_transmit(node, pkt),
                 AgentCommand::SetTimer { at, token } => {
@@ -432,6 +448,7 @@ impl Network {
                 AgentCommand::Stop => self.stop_requested = true,
             }
         }
+        self.commands = commands;
     }
 
     fn dispatch_packet(&mut self, node: NodeId, pkt: Packet) {
@@ -444,9 +461,10 @@ impl Network {
         if self.events_processed > 0 || self.now > SimTime::ZERO {
             return;
         }
-        let nodes: Vec<NodeId> = (0..self.nodes.len() as u32).map(NodeId::from_raw).collect();
-        for node in nodes {
-            if self.agents[node.index()].is_some() {
+        self.autosize_scheduler();
+        for i in 0..self.nodes.len() {
+            let node = NodeId::from_raw(i as u32);
+            if self.agents[i].is_some() {
                 self.with_agent(node, |agent, ctx| agent.on_start(ctx));
             }
         }
@@ -460,17 +478,18 @@ impl Network {
             if self.stop_requested {
                 return RunOutcome::Stopped;
             }
-            let Some(Reverse(peek)) = self.heap.peek() else {
+            let Some(next_at) = self.sched.next_at() else {
                 return RunOutcome::Drained;
             };
-            if peek.at > limit {
+            if next_at > limit {
+                // Leave the event queued so a later run resumes it.
                 return RunOutcome::TimeLimit;
             }
-            let Reverse(item) = self.heap.pop().expect("peeked item vanished");
-            debug_assert!(item.at >= self.now, "time went backwards");
-            self.now = item.at;
+            let (at, event) = self.sched.pop().expect("peeked event vanished");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
             self.events_processed += 1;
-            match item.event {
+            match event {
                 Event::Arrive { node, pkt } => self.on_arrive(node, pkt),
                 Event::TxDone { link } => self.on_tx_done(link),
                 Event::Timer { node, token } => {

@@ -34,6 +34,7 @@ pub mod packet;
 pub mod pktlog;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -42,7 +43,8 @@ pub mod units;
 /// The commonly-used names, re-exported in one place.
 pub mod prelude {
     pub use crate::agent::{Agent, Ctx, TOKEN_BITS, TOKEN_MASK};
-    pub use crate::engine::{Network, NetworkStats, RunOutcome};
+    pub use crate::engine::{EngineCounters, Network, NetworkStats, RunOutcome};
+    pub use crate::sched::{SchedStats, Scheduler};
     pub use crate::ids::{FlowId, LinkId, NodeId};
     pub use crate::link::{LinkSpec, LinkStats};
     pub use crate::packet::{

@@ -8,7 +8,6 @@
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::packet::Packet;
 use crate::time::SimTime;
-use std::collections::VecDeque;
 
 /// What happened to a packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,10 +42,16 @@ pub struct PacketEvent {
 }
 
 /// A bounded ring buffer of packet events.
+///
+/// The buffer is a flat `Vec` that fills once and then wraps: recording
+/// an event on the engine's hot path is a slot overwrite, never an
+/// allocation or a shift.
 #[derive(Debug)]
 pub struct PacketLog {
-    events: VecDeque<PacketEvent>,
+    buf: Vec<PacketEvent>,
     capacity: usize,
+    /// Index of the oldest retained event once the buffer has wrapped.
+    head: usize,
     /// Events seen in total (including evicted ones).
     seen: u64,
 }
@@ -56,8 +61,9 @@ impl PacketLog {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         PacketLog {
-            events: VecDeque::with_capacity(capacity.min(4096)),
+            buf: Vec::with_capacity(capacity.min(4096)),
             capacity,
+            head: 0,
             seen: 0,
         }
     }
@@ -71,10 +77,7 @@ impl PacketLog {
         host: Option<NodeId>,
     ) {
         self.seen += 1;
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-        }
-        self.events.push_back(PacketEvent {
+        let event = PacketEvent {
             at,
             kind,
             flow: pkt.flow,
@@ -83,28 +86,37 @@ impl PacketLog {
             is_retx: pkt.is_retx,
             link,
             host,
-        });
+        };
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        }
     }
 
     /// All retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &PacketEvent> {
-        self.events.iter()
+        let (tail, front) = self.buf.split_at(self.head);
+        front.iter().chain(tail.iter())
     }
 
     /// Retained events for one flow.
     pub fn for_flow(&self, flow: FlowId) -> Vec<&PacketEvent> {
-        self.events.iter().filter(|e| e.flow == flow).collect()
+        self.events().filter(|e| e.flow == flow).collect()
     }
 
     /// Retained events of one kind.
     pub fn of_kind(&self, kind: PacketEventKind) -> Vec<&PacketEvent> {
-        self.events.iter().filter(|e| e.kind == kind).collect()
+        self.events().filter(|e| e.kind == kind).collect()
     }
 
     /// Retained events inside `[from, to)`.
     pub fn between(&self, from: SimTime, to: SimTime) -> Vec<&PacketEvent> {
-        self.events
-            .iter()
+        self.events()
             .filter(|e| e.at >= from && e.at < to)
             .collect()
     }
@@ -116,18 +128,18 @@ impl PacketLog {
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.buf.len()
     }
 
     /// True if nothing was retained.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.buf.is_empty()
     }
 
     /// Render retained events as a tcpdump-style text block.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.events {
+        for e in self.events() {
             out.push_str(&format!(
                 "{} {:9} {} seq={}{}{}{}\n",
                 e.at,

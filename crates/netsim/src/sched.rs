@@ -1,0 +1,454 @@
+//! The event scheduler: a calendar-queue wheel backed by a heap.
+//!
+//! The engine's hot loop pops the globally earliest `(at, seq)` pair
+//! millions of times per simulated second. Almost every event it schedules
+//! lands within a few serialization times of `now` (TxDone, Arrive, pacing
+//! and RACK timers); only RTO-class timers sit hundreds of milliseconds
+//! out. A binary heap pays `O(log n)` sift costs on every operation for a
+//! workload that is nearly sorted already.
+//!
+//! [`Scheduler`] exploits that shape:
+//!
+//! * a **near-future wheel** of `NUM_BUCKETS` buckets, each covering one
+//!   power-of-two-sized *tick* of simulated time (the bucket width is
+//!   auto-sized from link serialization times — see
+//!   [`Scheduler::set_bucket_width`]). Pushing an event whose tick is
+//!   within the wheel horizon is (in the common, time-ordered case) an
+//!   O(1) `Vec` append; a bucket is reversed once when it becomes
+//!   current so pops come off the back.
+//! * an **overflow heap** for events beyond the horizon. When the wheel
+//!   advances, heap entries that have come within the horizon migrate to
+//!   their bucket. Far-future timers are usually cancelled/rescheduled
+//!   before they migrate (RTO rearms on every ack), so most heap entries
+//!   die without ever being sorted into the wheel.
+//!
+//! # Determinism
+//!
+//! Pop order is the exact total order `(at, seq)` with `seq` assigned in
+//! push order — identical to the `BinaryHeap<Reverse<..>>` it replaced:
+//!
+//! * the current bucket holds exactly the entries of tick `base_tick`
+//!   (inserts require `at >= now`, and the horizon is one wheel length, so
+//!   each slot maps to a single tick); it is kept sorted descending by
+//!   `(at, seq)`, so popping from the back yields the global minimum;
+//! * every other wheel bucket holds strictly later ticks, and after
+//!   migration the heap holds only entries strictly beyond the horizon;
+//! * `seq` survives wheel/heap placement and migration untouched, so ties
+//!   on `at` preserve FIFO insertion order no matter which side an entry
+//!   lived on.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of wheel buckets. Power of two so slot = tick & mask. 1024
+/// buckets at the default 1 µs tick give a ~1 ms horizon: several RTTs of
+/// the paper's testbed, which keeps all data-path events on the wheel.
+const NUM_BUCKETS: usize = 1024;
+const MASK: u64 = NUM_BUCKETS as u64 - 1;
+
+/// Default bucket width: 2^10 ns ≈ 1 µs, the serialization time of a
+/// 1500-byte frame at 10 Gb/s (the paper's testbed NIC).
+const DEFAULT_SHIFT: u32 = 10;
+
+/// Smallest allowed bucket width (ns, power of two). Below 128 ns the
+/// wheel horizon gets shorter than an RTT.
+pub const MIN_BUCKET_NS: u64 = 128;
+/// Largest allowed bucket width (ns, power of two). Above 32 µs the
+/// current bucket holds so many events that lazy sorting approaches heap
+/// cost.
+pub const MAX_BUCKET_NS: u64 = 32_768;
+
+/// One scheduled entry. Ordering is on `(at, seq)` only — the payload
+/// does not participate.
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Bucket<T> {
+    /// Entries, always sorted by `(at, seq)`. Staging buckets are kept
+    /// *ascending* so the engine's usual push — an event later than
+    /// everything already in its bucket — is a plain `Vec` append. When a
+    /// bucket becomes current it is reversed once to *descending*, so
+    /// popping the minimum is `Vec::pop` from the back.
+    items: Vec<Entry<T>>,
+    /// True while this bucket is (or was) current and reversed.
+    descending: bool,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket { items: Vec::new(), descending: false }
+    }
+}
+
+/// Operation counters, exported through the engine's perf counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// Pushes that landed directly in a wheel bucket.
+    pub wheel_pushes: u64,
+    /// Pushes that went to the overflow heap (beyond the horizon).
+    pub heap_pushes: u64,
+    /// Heap entries later migrated into the wheel.
+    pub migrations: u64,
+    /// Entries popped.
+    pub pops: u64,
+}
+
+impl SchedStats {
+    /// Fraction of pushes served by the O(1) wheel path.
+    pub fn wheel_hit_rate(&self) -> f64 {
+        let total = self.wheel_pushes + self.heap_pushes;
+        if total == 0 {
+            return 1.0;
+        }
+        self.wheel_pushes as f64 / total as f64
+    }
+}
+
+/// Hybrid calendar-wheel + heap priority queue over `(SimTime, insertion
+/// seq)`. See the module docs for the design and determinism argument.
+pub struct Scheduler<T> {
+    buckets: Vec<Bucket<T>>,
+    /// Tick of the current bucket; the wheel covers
+    /// `[base_tick, base_tick + NUM_BUCKETS)`.
+    base_tick: u64,
+    /// Entries currently in wheel buckets.
+    wheel_len: usize,
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// log2 of the bucket width in nanoseconds.
+    shift: u32,
+    seq: u64,
+    stats: SchedStats,
+}
+
+impl<T> Scheduler<T> {
+    /// An empty scheduler with the default ~1 µs bucket width.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, Bucket::default);
+        Scheduler {
+            buckets,
+            base_tick: 0,
+            wheel_len: 0,
+            heap: BinaryHeap::new(),
+            shift: DEFAULT_SHIFT,
+            seq: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Set the bucket width, rounded down to a power of two and clamped to
+    /// `[MIN_BUCKET_NS, MAX_BUCKET_NS]`. Only allowed while empty (the
+    /// engine sizes the wheel from link serialization times right before
+    /// the first event is scheduled).
+    pub fn set_bucket_width(&mut self, width_ns: u64) {
+        assert!(self.is_empty(), "cannot resize a non-empty scheduler");
+        let clamped = width_ns.clamp(MIN_BUCKET_NS, MAX_BUCKET_NS);
+        self.shift = 63 - clamped.leading_zeros();
+        // Keep the wheel position consistent with any time already elapsed.
+        self.base_tick = 0;
+    }
+
+    /// Current bucket width in nanoseconds.
+    pub fn bucket_width_ns(&self) -> u64 {
+        1 << self.shift
+    }
+
+    /// Number of pending entries (wheel + heap).
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.heap.len()
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    #[inline]
+    fn tick_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() >> self.shift
+    }
+
+    /// Insert an item at time `at`. Later inserts at the same `at` pop
+    /// later (FIFO within a timestamp).
+    pub fn push(&mut self, at: SimTime, item: T) {
+        self.seq += 1;
+        let entry = Entry { at, seq: self.seq, item };
+        // Clamp: an `at` in the past (engine callers never produce one,
+        // timers are clamped to `now`) still lands in the current bucket
+        // rather than corrupting a wrapped slot.
+        let tick = self.tick_of(at).max(self.base_tick);
+        if tick < self.base_tick + NUM_BUCKETS as u64 {
+            self.stats.wheel_pushes += 1;
+            self.wheel_insert(tick, entry);
+        } else {
+            self.stats.heap_pushes += 1;
+            self.heap.push(Reverse(entry));
+        }
+    }
+
+    /// Binary-insert into the bucket for `tick`, preserving its sort
+    /// order. The overwhelmingly common case — an entry later than
+    /// everything in an ascending staging bucket — resolves to an append.
+    fn wheel_insert(&mut self, tick: u64, entry: Entry<T>) {
+        let bucket = &mut self.buckets[(tick & MASK) as usize];
+        if bucket.items.is_empty() {
+            bucket.descending = false;
+            bucket.items.push(entry);
+        } else {
+            let key = (entry.at, entry.seq);
+            let pos = if bucket.descending {
+                bucket.items.partition_point(|e| (e.at, e.seq) > key)
+            } else {
+                bucket.items.partition_point(|e| (e.at, e.seq) < key)
+            };
+            bucket.items.insert(pos, entry);
+        }
+        self.wheel_len += 1;
+    }
+
+    /// Advance the wheel to the next non-empty bucket, migrating heap
+    /// entries as they come within the horizon. Returns `false` iff the
+    /// scheduler is empty. On `true`, the current bucket is non-empty and
+    /// sorted, with the global minimum at its back.
+    fn normalize(&mut self) -> bool {
+        loop {
+            // Migrate heap entries now within the horizon. They come off
+            // the heap in ascending order, so per-bucket these are
+            // appends too.
+            while let Some(Reverse(top)) = self.heap.peek() {
+                let tick = self.tick_of(top.at);
+                if tick >= self.base_tick + NUM_BUCKETS as u64 {
+                    break;
+                }
+                let Some(Reverse(entry)) = self.heap.pop() else { unreachable!() };
+                self.wheel_insert(tick, entry);
+                self.stats.migrations += 1;
+            }
+            if self.wheel_len == 0 {
+                let Some(Reverse(top)) = self.heap.peek() else {
+                    return false;
+                };
+                // Nothing within a full horizon: jump straight to the
+                // heap's earliest tick instead of stepping through empties.
+                self.base_tick = self.tick_of(top.at);
+                continue;
+            }
+            let bucket = &mut self.buckets[(self.base_tick & MASK) as usize];
+            if bucket.items.is_empty() {
+                bucket.descending = false;
+                self.base_tick += 1;
+                continue;
+            }
+            if !bucket.descending {
+                bucket.items.reverse();
+                bucket.descending = true;
+            }
+            return true;
+        }
+    }
+
+    /// Timestamp of the earliest entry without removing it.
+    pub fn next_at(&mut self) -> Option<SimTime> {
+        if !self.normalize() {
+            return None;
+        }
+        let bucket = &self.buckets[(self.base_tick & MASK) as usize];
+        bucket.items.last().map(|e| e.at)
+    }
+
+    /// Remove and return the earliest `(at, item)`.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        if !self.normalize() {
+            return None;
+        }
+        let bucket = &mut self.buckets[(self.base_tick & MASK) as usize];
+        let entry = bucket.items.pop().expect("normalize returned a non-empty bucket");
+        self.wheel_len -= 1;
+        self.stats.pops += 1;
+        Some((entry.at, entry.item))
+    }
+}
+
+impl<T> Default for Scheduler<T> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Reference implementation: the heap the scheduler replaced.
+    struct RefSched<T> {
+        heap: BinaryHeap<Reverse<Entry<T>>>,
+        seq: u64,
+    }
+
+    impl<T> RefSched<T> {
+        fn new() -> Self {
+            RefSched { heap: BinaryHeap::new(), seq: 0 }
+        }
+        fn push(&mut self, at: SimTime, item: T) {
+            self.seq += 1;
+            self.heap.push(Reverse(Entry { at, seq: self.seq, item }));
+        }
+        fn pop(&mut self) -> Option<(SimTime, T)> {
+            self.heap.pop().map(|Reverse(e)| (e.at, e.item))
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_nanos(500), "b");
+        s.push(SimTime::from_nanos(100), "a");
+        s.push(SimTime::from_nanos(500), "c"); // same time as b: FIFO
+        assert_eq!(s.pop(), Some((SimTime::from_nanos(100), "a")));
+        assert_eq!(s.pop(), Some((SimTime::from_nanos(500), "b")));
+        assert_eq!(s.pop(), Some((SimTime::from_nanos(500), "c")));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn far_future_goes_through_heap_and_back() {
+        let mut s = Scheduler::new();
+        // Far beyond the wheel horizon (1024 µs at default width).
+        s.push(SimTime::from_millis(250), "rto");
+        s.push(SimTime::from_nanos(10), "now");
+        assert_eq!(s.stats().heap_pushes, 1);
+        assert_eq!(s.pop().unwrap().1, "now");
+        assert_eq!(s.pop().unwrap().1, "rto");
+        assert_eq!(s.stats().migrations, 1);
+    }
+
+    #[test]
+    fn ties_across_wheel_and_heap_preserve_fifo() {
+        let mut s = Scheduler::new();
+        let far = SimTime::from_millis(50);
+        s.push(far, 1); // beyond horizon -> heap
+        s.push(SimTime::from_nanos(1), 0);
+        assert_eq!(s.pop().unwrap().1, 0);
+        // Now the wheel jumps to the far tick; a push at the identical
+        // time goes to the wheel while 1 migrates from the heap. Seq
+        // order must still break the tie.
+        s.push(far, 2);
+        assert_eq!(s.pop(), Some((far, 1)));
+        assert_eq!(s.pop(), Some((far, 2)));
+    }
+
+    #[test]
+    fn insert_into_current_bucket_while_draining() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_nanos(100);
+        s.push(t, "first");
+        assert_eq!(s.next_at(), Some(t)); // sorts the current bucket
+        // Same-bucket, later time and same-bucket same-time inserts.
+        s.push(SimTime::from_nanos(90).max(t), "tie");
+        s.push(SimTime::from_nanos(900), "later");
+        assert_eq!(s.pop().unwrap().1, "first");
+        assert_eq!(s.pop().unwrap().1, "tie");
+        assert_eq!(s.pop().unwrap().1, "later");
+    }
+
+    #[test]
+    fn matches_reference_heap_on_random_workload() {
+        // Deterministic xorshift; mixes near-future (serialization-scale),
+        // mid-future (RTT-scale), and far-future (RTO-scale) pushes the
+        // way the engine does, interleaved with pops.
+        let mut rng: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut s = Scheduler::new();
+        let mut r = RefSched::new();
+        let mut now = SimTime::ZERO;
+        let mut id = 0u32;
+        for _ in 0..50_000 {
+            let roll = next() % 100;
+            if roll < 60 {
+                let dt = match next() % 10 {
+                    0..=6 => SimDuration::from_nanos(next() % 5_000),
+                    7 | 8 => SimDuration::from_nanos(next() % 200_000),
+                    _ => SimDuration::from_millis(200 + next() % 100),
+                };
+                // A burst of same-timestamp pushes ~10% of the time.
+                let copies = if next() % 10 == 0 { 3 } else { 1 };
+                for _ in 0..copies {
+                    s.push(now + dt, id);
+                    r.push(now + dt, id);
+                    id += 1;
+                }
+            } else {
+                let a = s.pop();
+                let b = r.pop();
+                assert_eq!(a, b, "divergence after {id} pushes");
+                if let Some((at, _)) = a {
+                    now = at;
+                }
+            }
+        }
+        loop {
+            let a = s.pop();
+            let b = r.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_width_clamps_and_rounds() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.set_bucket_width(1_200); // 10 Gb/s * 1500 B
+        assert_eq!(s.bucket_width_ns(), 1024);
+        s.set_bucket_width(1);
+        assert_eq!(s.bucket_width_ns(), MIN_BUCKET_NS);
+        s.set_bucket_width(u64::MAX);
+        assert_eq!(s.bucket_width_ns(), MAX_BUCKET_NS);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_nanos(10), ());
+        s.push(SimTime::from_secs_f64(1.0), ());
+        let st = s.stats();
+        assert_eq!(st.wheel_pushes, 1);
+        assert_eq!(st.heap_pushes, 1);
+        assert_eq!(st.wheel_hit_rate(), 0.5);
+        while s.pop().is_some() {}
+        assert_eq!(s.stats().pops, 2);
+    }
+}

@@ -118,6 +118,11 @@ pub struct Scoreboard {
     /// Sequence below which no Outstanding segment exists, letting the
     /// per-ack loss scan skip the settled prefix (amortized O(1)).
     scan_floor: u64,
+    /// Bytes currently in the Lost state, maintained across every state
+    /// transition so [`Scoreboard::has_retransmit`] is O(1) instead of a
+    /// scan of the retransmission queue (it sits on the sender's
+    /// per-ack/per-timer hot path).
+    lost_bytes: u64,
 }
 
 impl Scoreboard {
@@ -133,6 +138,7 @@ impl Scoreboard {
             mss,
             newest_sacked_send: SimTime::ZERO,
             scan_floor: 0,
+            lost_bytes: 0,
         }
     }
 
@@ -211,6 +217,7 @@ impl Scoreboard {
             seg.app_limited = app_limited;
             let len = seg.len;
             self.in_flight += len as u64;
+            self.lost_bytes -= len as u64;
             // The segment is live again below the settled prefix: reopen
             // the loss scan down to it.
             self.scan_floor = self.scan_floor.min(seq);
@@ -221,9 +228,7 @@ impl Scoreboard {
 
     /// True if a retransmission is pending.
     pub fn has_retransmit(&self) -> bool {
-        self.retx_queue
-            .iter()
-            .any(|&seq| self.index_of(seq).is_some_and(|i| self.segs[i].state == SegState::Lost))
+        self.lost_bytes > 0
     }
 
     /// Process an acknowledgement: cumulative ack plus SACK ranges.
@@ -255,6 +260,7 @@ impl Scoreboard {
                         // Was declared lost but the original arrived after
                         // all (spurious loss marking).
                         out.newly_delivered += seg.len as u64;
+                        self.lost_bytes -= seg.len as u64;
                     }
                     SegState::Sacked => {} // already counted delivered
                 }
@@ -299,8 +305,10 @@ impl Scoreboard {
                         SegState::Lost => {
                             // Arrived after all.
                             let sent_at = seg.sent_at;
+                            let len = seg.len;
                             seg.state = SegState::Sacked;
-                            out.newly_delivered += seg.len as u64;
+                            out.newly_delivered += len as u64;
+                            self.lost_bytes -= len as u64;
                             self.newest_sacked_send = self.newest_sacked_send.max(sent_at);
                         }
                         SegState::Sacked => {}
@@ -340,6 +348,7 @@ impl Scoreboard {
                         seg.state = SegState::Lost;
                         newly_lost += seg.len as u64;
                         self.in_flight -= seg.len as u64;
+                        self.lost_bytes += seg.len as u64;
                         self.retx_queue.push_back(seg.seq);
                     } else {
                         // A live (re)transmission we must revisit later.
@@ -380,6 +389,7 @@ impl Scoreboard {
                 seg.state = SegState::Lost;
                 newly_lost += seg.len as u64;
                 self.in_flight -= seg.len as u64;
+                self.lost_bytes += seg.len as u64;
                 self.retx_queue.push_back(seg.seq);
             }
         }

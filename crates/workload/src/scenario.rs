@@ -14,7 +14,7 @@ use cca::{CcaConfig, CcaKind};
 use energy::calibration::{self, MAX_HOST_PPS, PACING_PPS_BONUS};
 use energy::host::HostContext;
 use energy::meter::{EnergyMeter, EnergyReading};
-use netsim::engine::Network;
+use netsim::engine::{EngineCounters, Network};
 use netsim::ids::FlowId;
 use netsim::packet::HEADER_BYTES;
 use netsim::time::{SimDuration, SimTime};
@@ -205,6 +205,12 @@ pub struct ScenarioOutcome {
     pub sender_power_series_w: Vec<Vec<f64>>,
     /// Bin width of the power series.
     pub power_bin: SimDuration,
+    /// Simulation time when the run loop returned (quiescent or limit).
+    pub sim_end: SimTime,
+    /// Engine performance counters: events processed and scheduler
+    /// wheel/heap operation counts. Exact, so they double as a
+    /// determinism fingerprint in the golden regression tests.
+    pub engine: EngineCounters,
 }
 
 impl ScenarioOutcome {
@@ -435,6 +441,8 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         throughput_traces,
         sender_power_series_w,
         power_bin: scenario.activity_bin,
+        sim_end: net.now(),
+        engine: net.counters(),
     })
 }
 

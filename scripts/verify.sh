@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full offline verification: release build, the whole test suite, and a
+# quick-scale smoke run of every figure binary. This is what CI (and a
+# reviewer) should run before merging engine or experiment changes.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== figure smoke run (GREENENVY_SCALE=quick) =="
+# Run from a scratch directory: the figure binaries write results/*.json
+# relative to the cwd, and the quick-scale smoke must not clobber the
+# tracked standard-scale results at the repo root.
+repo=$PWD
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+(cd "$smoke" && GREENENVY_SCALE=quick \
+    cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin all)
+
+echo "verify.sh: all green"

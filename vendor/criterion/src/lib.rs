@@ -1,0 +1,286 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no reachable crates registry, so the workspace
+//! vendors the criterion surface its benches use: `criterion_group!` (both
+//! list and `name/config/targets` struct syntax), `criterion_main!`,
+//! `Criterion::default().sample_size(..)`, `benchmark_group` with
+//! `throughput` / `sample_size` / `bench_function` / `finish`, and
+//! `Bencher::iter`.
+//!
+//! Measurement model: per benchmark, one untimed warm-up sample, then
+//! `sample_size` timed samples. Fast bodies are batched until a sample
+//! takes ≥1 ms so timer resolution doesn't dominate. Reports min / mean /
+//! max per-iteration time and optional throughput. No statistical
+//! analysis, baselines, or HTML reports — the numbers print to stdout.
+//!
+//! CLI: a single positional argument filters benchmarks by substring
+//! (matching `cargo bench -- <filter>`); `--test` runs each benchmark body
+//! once, untimed (what `cargo test --benches` passes); other flags are
+//! ignored.
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting throughput alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level harness state: configuration plus parsed CLI arguments.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {} // ignore --bench and friends
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { sample_size: 100, filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (consuming, for
+    /// `Criterion::default().sample_size(10)` in `criterion_group!`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        self.run_one(&name, None, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, full_name: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples,
+            test_mode: self.test_mode,
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {full_name} ... ok");
+            return;
+        }
+        bencher.report(full_name, throughput);
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, name.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full_name, throughput, samples, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` does the measuring.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate a batch size so one sample is at least ~1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            // Aim straight for the threshold with 2x headroom.
+            let scale = (1_000_000f64 / elapsed.as_nanos().max(1) as f64).ceil() * 2.0;
+            batch = (batch as f64 * scale.clamp(2.0, 1024.0)) as u64;
+        }
+        self.per_iter_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.per_iter_ns.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let min = self.per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+        let mean = self.per_iter_ns.iter().sum::<f64>() / self.per_iter_ns.len() as f64;
+        let mut line = format!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        if let Some(t) = throughput {
+            let per_sec = match t {
+                Throughput::Bytes(n) => format!("{}/s", fmt_bytes(n as f64 / (mean / 1e9))),
+                Throughput::Elements(n) => {
+                    format!("{:.3} Melem/s", n as f64 / (mean / 1e9) / 1e6)
+                }
+            };
+            line.push_str(&format!("  thrpt: [{per_sec}]"));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_bytes(bytes_per_sec: f64) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    const GIB: f64 = 1024.0 * MIB;
+    if bytes_per_sec >= GIB {
+        format!("{:.3} GiB", bytes_per_sec / GIB)
+    } else {
+        format!("{:.3} MiB", bytes_per_sec / MIB)
+    }
+}
+
+/// Group benchmark functions; supports both the list form and the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+            test_mode: false,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(8));
+            g.sample_size(2);
+            g.bench_function("fast", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0, "benchmark body must run");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("nomatch".into()),
+            test_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no reachable crates registry, so the workspace
+//! vendors a minimal serde implementation (see `vendor/serde`). This crate
+//! provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the only
+//! shape the repository uses: non-generic structs with named fields and no
+//! `#[serde(...)]` attributes. The derive parses the raw token stream by
+//! hand (no `syn`/`quote`, which would need the registry) and emits impls of
+//! the `serde::Serialize` / `serde::Deserialize` traits defined in
+//! `vendor/serde`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extract `(struct_name, field_names)` from a derive input token stream.
+///
+/// Accepts: outer attributes (incl. doc comments), a visibility modifier,
+/// `struct Name { fields }`. Field types may contain angle-bracketed
+/// generics and parenthesised tuples; commas inside either do not split
+/// fields (parens/brackets/braces arrive as single `Group` tokens, and `<`
+/// / `>` depth is tracked explicitly).
+fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility, find `struct`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "struct" => break,
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, got {other:?}")),
+    };
+    let body = tokens[i + 2..].iter().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+        _ => None,
+    });
+    let body = match body {
+        Some(b) => b,
+        None => return Err(format!("derive on `{name}`: only named-field structs are supported")),
+    };
+
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip field attributes (doc comments) and visibility.
+        loop {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = toks.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("struct `{name}`: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("struct `{name}`: tuple structs are not supported")),
+        }
+        // Skip the type: consume until a top-level `,` (angle depth 0).
+        let mut angle_depth = 0i32;
+        while let Some(tok) = toks.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok((name, fields))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_named_struct(input) {
+        Ok(ok) => ok,
+        Err(e) => panic!("#[derive(Serialize)]: {e}"),
+    };
+    let mut body = String::new();
+    for f in &fields {
+        body.push_str(&format!(
+            "__map.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __map = ::serde::Map::new();\n\
+                 {body}\
+                 ::serde::Value::Object(__map)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_named_struct(input) {
+        Ok(ok) => ok,
+        Err(e) => panic!("#[derive(Deserialize)]: {e}"),
+    };
+    let mut body = String::new();
+    for f in &fields {
+        body.push_str(&format!("{f}: ::serde::from_field(__map, {f:?})?,\n"));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let __map = match __v {{\n\
+                     ::serde::Value::Object(m) => m,\n\
+                     _ => return Err(::serde::Error::custom(concat!(\"expected object for \", stringify!({name})))),\n\
+                 }};\n\
+                 Ok({name} {{\n\
+                     {body}\
+                 }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
