@@ -1,0 +1,13 @@
+//! Regenerate the chaos experiment: the Figure-1 energy ordering under
+//! injected random loss on the bottleneck.
+use greenenvy::{chaos, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    bench::announce("Chaos", &scale);
+    let result = chaos::run(&chaos::Config::at_scale(scale));
+    println!("{}", chaos::render(&result));
+    if let Some(p) = bench::save_json("chaos", &result) {
+        println!("json: {}", p.display());
+    }
+}

@@ -9,6 +9,7 @@
 //! Usage: `cargo run --release -p bench --bin perf_baseline`
 
 use cca::CcaKind;
+use netsim::fault::FaultSpec;
 use netsim::units::MB;
 use serde::Serialize;
 use std::time::Instant;
@@ -39,6 +40,20 @@ struct ScenarioPerf {
     migrations: u64,
 }
 
+/// Cost of the fault-injection hooks when no faults fire: the same
+/// scenario with and without a zero-rate `FaultSpec` on the bottleneck.
+/// The spec keeps `FaultState` installed, so every serialized frame pays
+/// the full hook path (fate draw included) without any fault biting.
+#[derive(Serialize)]
+struct ChaosOverhead {
+    /// Reference scenario (no fault state on any link).
+    plain_wall_s: f64,
+    /// Same scenario with a zero-rate fault spec installed.
+    faulted_wall_s: f64,
+    /// (faulted - plain) / plain. The budget is 2%.
+    overhead_frac: f64,
+}
+
 #[derive(Serialize)]
 struct Baseline {
     /// What produced this file.
@@ -49,6 +64,8 @@ struct Baseline {
     total_wall_s: f64,
     /// Suite-wide events per wall second.
     total_events_per_sec: f64,
+    /// Fault-hook cost on the fault-free hot path.
+    chaos_overhead: ChaosOverhead,
 }
 
 fn measure(name: &str, scenario: &Scenario) -> ScenarioPerf {
@@ -83,6 +100,45 @@ fn measure(name: &str, scenario: &Scenario) -> ScenarioPerf {
         perf.wheel_hit_rate * 100.0
     );
     perf
+}
+
+/// Best-of-N wall time for one scenario (results discarded).
+fn best_wall(scenario: &Scenario, runs: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        workload::scenario::run(scenario).unwrap_or_else(|e| panic!("overhead probe: {e}"));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure_chaos_overhead() -> ChaosOverhead {
+    // The hottest single-flow scenario in the suite; short enough to
+    // afford many repetitions, hot enough that per-frame overhead shows.
+    let plain = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)]);
+    let faulted = plain.clone().with_fault(FaultSpec::random_loss(0.0));
+    // Interleave the variants so host-frequency drift hits both equally.
+    const OVERHEAD_RUNS: u32 = 4;
+    let mut plain_wall = f64::INFINITY;
+    let mut faulted_wall = f64::INFINITY;
+    for _ in 0..OVERHEAD_RUNS {
+        plain_wall = plain_wall.min(best_wall(&plain, 1));
+        faulted_wall = faulted_wall.min(best_wall(&faulted, 1));
+    }
+    let overhead = ChaosOverhead {
+        plain_wall_s: plain_wall,
+        faulted_wall_s: faulted_wall,
+        overhead_frac: (faulted_wall - plain_wall) / plain_wall,
+    };
+    println!(
+        "\nchaos overhead (no-op fault spec on the hot path): \
+         plain {:.4} s, faulted {:.4} s, {:+.2}% (budget 2%)",
+        overhead.plain_wall_s,
+        overhead.faulted_wall_s,
+        overhead.overhead_frac * 100.0
+    );
+    overhead
 }
 
 fn main() {
@@ -125,6 +181,7 @@ fn main() {
         total_wall_s,
         total_events_per_sec: total_events as f64 / total_wall_s,
         scenarios,
+        chaos_overhead: measure_chaos_overhead(),
     };
     println!(
         "\ntotal: {:.3} s wall, {:.2} M events/s",

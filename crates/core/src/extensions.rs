@@ -421,8 +421,8 @@ pub mod modern {
             .ccas
             .iter()
             .map(|&cca| {
-                let cell =
-                    crate::matrix::run_cell(cca, cfg.mtu, cfg.bytes, &cfg.seeds);
+                let cell = crate::matrix::run_cell(cca, cfg.mtu, cfg.bytes, &cfg.seeds)
+                    .unwrap_or_else(|e| panic!("extension cell failed: {e}"));
                 Row {
                     cca: cell.cca,
                     energy_j: cell.energy_j,

@@ -138,7 +138,7 @@ mod tests {
         let mut cells = Vec::new();
         for cca in [CcaKind::Bbr, CcaKind::Cubic, CcaKind::Baseline, CcaKind::Bbr2] {
             for mtu in MTUS {
-                cells.push(run_cell(cca, mtu, bytes, &seeds));
+                cells.push(run_cell(cca, mtu, bytes, &seeds).expect("cell completes"));
             }
         }
         Matrix {
@@ -146,6 +146,7 @@ mod tests {
             repetitions: 1,
             seeds: seeds.to_vec(),
             cells,
+            failed: Vec::new(),
         }
     }
 

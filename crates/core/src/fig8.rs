@@ -90,13 +90,14 @@ mod tests {
         let mut cells = Vec::new();
         // At MTU 9000 retransmission differences are sharpest.
         for cca in [CcaKind::Bbr, CcaKind::Vegas, CcaKind::Cubic, CcaKind::Baseline] {
-            cells.push(run_cell(cca, 9000, bytes, &seeds));
+            cells.push(run_cell(cca, 9000, bytes, &seeds).expect("cell completes"));
         }
         Matrix {
             transfer_bytes: bytes,
             repetitions: 1,
             seeds: seeds.to_vec(),
             cells,
+            failed: Vec::new(),
         }
     }
 

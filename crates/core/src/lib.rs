@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod extensions;
 pub mod fig1;
 pub mod fig2;
@@ -51,7 +52,7 @@ pub use scale::Scale;
 
 /// The commonly-used names, re-exported in one place.
 pub mod prelude {
-    pub use crate::matrix::{run_matrix, Cell, Matrix, MTUS};
+    pub use crate::matrix::{run_matrix, Cell, CellError, CellFailure, Matrix, MTUS};
     pub use crate::scale::Scale;
     pub use crate::{extensions, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, savings, theorem};
 }

@@ -16,6 +16,54 @@ use workload::prelude::*;
 /// The paper's MTU sweep (§4.4).
 pub const MTUS: [u32; 4] = [1500, 3000, 6000, 9000];
 
+/// Seed perturbation for the one automatic retry a failed cell gets.
+/// XORed into every seed so the retry explores a different random
+/// trajectory while staying a pure function of the original schedule.
+const RETRY_SEED_SALT: u64 = 0x5EED_CAFE_0B57_AC1E;
+
+/// One repetition of one cell failed, with enough context to re-run it.
+#[derive(Clone, Debug)]
+pub struct CellError {
+    /// The algorithm the cell was measuring.
+    pub cca: CcaKind,
+    /// The MTU the cell was measuring.
+    pub mtu: u32,
+    /// The seed of the repetition that failed.
+    pub seed: u64,
+    /// What went wrong (scenario error or panic text).
+    pub message: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ mtu {} seed {}: {}",
+            self.cca.name(),
+            self.mtu,
+            self.seed,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// A cell that failed even after its retry, as recorded in the emitted
+/// (partial) matrix. A plain struct because the vendored serde derive
+/// only handles structs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Algorithm name.
+    pub cca: String,
+    /// MTU in bytes.
+    pub mtu: u32,
+    /// The first failure's description (includes the seed).
+    pub error: String,
+    /// The retry failure's description.
+    pub retry_error: String,
+}
+
 /// One (CCA, MTU) cell, summarized over repetitions.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Cell {
@@ -54,7 +102,11 @@ pub struct Matrix {
     /// scale's size parameters do.
     pub seeds: Vec<u64>,
     /// All cells, ordered by `MTUS` within the paper's Figure-5 CCA order.
+    /// Cells that failed (after a retry) are absent; see `failed`.
     pub cells: Vec<Cell>,
+    /// Cells that failed their run *and* the automatic retry. A non-empty
+    /// list means the matrix is partial: present cells are still valid.
+    pub failed: Vec<CellFailure>,
 }
 
 impl Matrix {
@@ -69,10 +121,19 @@ impl Matrix {
     pub fn at_mtu(&self, mtu: u32) -> Vec<&Cell> {
         self.cells.iter().filter(|c| c.mtu == mtu).collect()
     }
+
+    /// True when every cell of the campaign produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
 }
 
 /// Run one (CCA, MTU) cell.
-pub fn run_cell(cca: CcaKind, mtu: u32, bytes: u64, seeds: &[u64]) -> Cell {
+///
+/// A repetition that fails — whether the scenario returns an error or
+/// the simulator panics outright — surfaces as a [`CellError`] naming
+/// the exact `(cca, mtu, seed)` instead of killing the campaign.
+pub fn run_cell(cca: CcaKind, mtu: u32, bytes: u64, seeds: &[u64]) -> Result<Cell, CellError> {
     let mut energy = Vec::new();
     let mut power = Vec::new();
     let mut fct = Vec::new();
@@ -80,16 +141,23 @@ pub fn run_cell(cca: CcaKind, mtu: u32, bytes: u64, seeds: &[u64]) -> Cell {
     let mut goodput = Vec::new();
     for &seed in seeds {
         let scenario = Scenario::new(mtu, vec![FlowSpec::bulk(cca, bytes)]).with_seed(seed);
-        let out = workload::scenario::run(&scenario)
-            .unwrap_or_else(|e| panic!("{} @ mtu {mtu} seed {seed}: {e}", cca.name()));
+        let cell_err = |message: String| CellError { cca, mtu, seed, message };
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            workload::scenario::run(&scenario)
+        }))
+        .map_err(|payload| cell_err(panic_message(payload.as_ref()).to_string()))?
+        .map_err(|e| cell_err(e.to_string()))?;
         let r = &out.reports[0];
+        if !r.outcome.is_completed() {
+            return Err(cell_err(format!("flow {}", r.outcome)));
+        }
         energy.push(out.sender_energy_j);
         power.push(out.average_sender_power_w());
         fct.push(r.fct.as_secs_f64());
         retx.push(r.retransmits as f64);
         goodput.push(r.mean_goodput.gbps());
     }
-    Cell {
+    Ok(Cell {
         cca: cca.name().to_string(),
         mtu,
         energy_j: Summary::of(&energy),
@@ -97,7 +165,7 @@ pub fn run_cell(cca: CcaKind, mtu: u32, bytes: u64, seeds: &[u64]) -> Cell {
         fct_s: Summary::of(&fct),
         retx: Summary::of(&retx),
         goodput_gbps: Summary::of(&goodput),
-    }
+    })
 }
 
 /// Run the whole campaign at the given scale. Cells are independent
@@ -118,6 +186,23 @@ pub fn run_matrix(scale: Scale) -> Matrix {
 /// packets of a 9000-byte one), so a static split leaves workers idle
 /// behind whoever drew the expensive cells.
 pub fn run_matrix_with_threads(scale: Scale, threads: usize) -> Matrix {
+    run_matrix_with_runner(scale, threads, |cca, mtu, bytes, seeds| {
+        run_cell(cca, mtu, bytes, seeds)
+    })
+}
+
+/// [`run_matrix_with_threads`] with a pluggable cell runner — the
+/// testing seam the failure-handling tests poison individual cells
+/// through. Production paths always pass [`run_cell`].
+///
+/// A cell whose run fails is retried ONCE on a perturbed seed schedule
+/// (`seed ^ RETRY_SEED_SALT`); if the retry also fails, the campaign
+/// carries on and the cell is recorded in [`Matrix::failed`], so one
+/// poisoned configuration costs its own cell and nothing else.
+pub fn run_matrix_with_runner<F>(scale: Scale, threads: usize, runner: F) -> Matrix
+where
+    F: Fn(CcaKind, u32, u64, &[u64]) -> Result<Cell, CellError> + Sync,
+{
     let seeds = scale.seeds();
     let jobs: Vec<(CcaKind, u32)> = CcaKind::ALL
         .iter()
@@ -126,12 +211,13 @@ pub fn run_matrix_with_threads(scale: Scale, threads: usize) -> Matrix {
     let threads = threads.max(1).min(jobs.len());
     let next = AtomicUsize::new(0);
 
-    let mut indexed: Vec<(usize, Cell)> = std::thread::scope(|scope| {
+    let mut indexed: Vec<(usize, Result<Cell, CellFailure>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let jobs = &jobs;
                 let seeds = &seeds;
                 let next = &next;
+                let runner = &runner;
                 scope.spawn(move || {
                     let mut done = Vec::new();
                     loop {
@@ -140,38 +226,65 @@ pub fn run_matrix_with_threads(scale: Scale, threads: usize) -> Matrix {
                             break;
                         }
                         let (cca, mtu) = jobs[i];
-                        // Name the cell on any panic (including asserts
-                        // deep inside the simulator) so a failed campaign
-                        // says which configuration died, not just that a
-                        // worker did.
-                        let cell = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || run_cell(cca, mtu, scale.transfer_bytes, seeds),
-                        ))
-                        .unwrap_or_else(|payload| {
-                            panic!(
-                                "campaign cell {} @ mtu {mtu} (seeds {seeds:?}) failed: {}",
-                                cca.name(),
-                                panic_message(payload.as_ref())
-                            )
-                        });
-                        done.push((i, cell));
+                        let outcome = match runner(cca, mtu, scale.transfer_bytes, seeds) {
+                            Ok(cell) => Ok(cell),
+                            Err(first) => {
+                                let retry_seeds: Vec<u64> =
+                                    seeds.iter().map(|&s| s ^ RETRY_SEED_SALT).collect();
+                                match runner(cca, mtu, scale.transfer_bytes, &retry_seeds) {
+                                    Ok(cell) => Ok(cell),
+                                    Err(second) => Err(CellFailure {
+                                        cca: cca.name().to_string(),
+                                        mtu,
+                                        error: first.to_string(),
+                                        retry_error: second.to_string(),
+                                    }),
+                                }
+                            }
+                        };
+                        done.push((i, outcome));
                     }
                     done
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("campaign worker panicked"))
-            .collect()
+        // Drain every worker before deciding the campaign's fate: a panic
+        // in one must not hide the results (or failures) of the others.
+        let mut collected = Vec::new();
+        let mut worker_panics = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => collected.extend(part),
+                Err(payload) => {
+                    worker_panics.push(panic_message(payload.as_ref()).to_string())
+                }
+            }
+        }
+        if !worker_panics.is_empty() {
+            panic!(
+                "{} campaign worker(s) panicked: {}",
+                worker_panics.len(),
+                worker_panics.join(" | ")
+            );
+        }
+        collected
     });
     indexed.sort_by_key(|(i, _)| *i);
 
+    let mut cells = Vec::new();
+    let mut failed = Vec::new();
+    for (_, outcome) in indexed {
+        match outcome {
+            Ok(cell) => cells.push(cell),
+            Err(failure) => failed.push(failure),
+        }
+    }
     Matrix {
         transfer_bytes: scale.transfer_bytes,
         repetitions: scale.repetitions,
         seeds,
-        cells: indexed.into_iter().map(|(_, c)| c).collect(),
+        cells,
+        failed,
     }
 }
 
@@ -191,7 +304,7 @@ mod tests {
 
     #[test]
     fn cell_summarizes_repetitions() {
-        let cell = run_cell(CcaKind::Cubic, 9000, 100 * MB, &[1, 2]);
+        let cell = run_cell(CcaKind::Cubic, 9000, 100 * MB, &[1, 2]).unwrap();
         assert_eq!(cell.energy_j.n, 2);
         assert!(cell.energy_j.mean > 0.0);
         assert!(cell.power_w.mean > 21.49, "active sender above idle");
@@ -206,21 +319,93 @@ mod tests {
             repetitions: 1,
             seeds: vec![1],
             cells: vec![
-                run_cell(CcaKind::Reno, 9000, 50 * MB, &[1]),
-                run_cell(CcaKind::Reno, 1500, 50 * MB, &[1]),
+                run_cell(CcaKind::Reno, 9000, 50 * MB, &[1]).unwrap(),
+                run_cell(CcaKind::Reno, 1500, 50 * MB, &[1]).unwrap(),
             ],
+            failed: Vec::new(),
         };
+        assert!(m.is_complete());
         assert!(m.cell(CcaKind::Reno, 9000).is_some());
         assert!(m.cell(CcaKind::Cubic, 9000).is_none());
         assert_eq!(m.at_mtu(1500).len(), 1);
+    }
+
+    /// A synthetic cell so runner-seam tests don't pay for simulations.
+    fn stub_cell(cca: CcaKind, mtu: u32) -> Cell {
+        let one = [1.0];
+        Cell {
+            cca: cca.name().to_string(),
+            mtu,
+            energy_j: Summary::of(&one),
+            power_w: Summary::of(&one),
+            fct_s: Summary::of(&one),
+            retx: Summary::of(&one),
+            goodput_gbps: Summary::of(&one),
+        }
+    }
+
+    fn stub_err(cca: CcaKind, mtu: u32, seed: u64, message: &str) -> CellError {
+        CellError {
+            cca,
+            mtu,
+            seed,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn poisoned_cells_yield_a_partial_matrix_listing_every_failure() {
+        // Two poisoned configurations that fail both attempts: the
+        // campaign must finish, keep every healthy cell, and list both
+        // casualties — not die on the first.
+        let poisoned = [(CcaKind::Cubic, 1500), (CcaKind::Reno, 9000)];
+        let m = run_matrix_with_runner(Scale::quick(), 4, |cca, mtu, _bytes, seeds| {
+            if poisoned.contains(&(cca, mtu)) {
+                Err(stub_err(cca, mtu, seeds[0], "poisoned"))
+            } else {
+                Ok(stub_cell(cca, mtu))
+            }
+        });
+        assert!(!m.is_complete());
+        assert_eq!(m.failed.len(), 2);
+        assert_eq!(m.cells.len(), CcaKind::ALL.len() * MTUS.len() - 2);
+        for (cca, mtu) in poisoned {
+            assert!(m.cell(cca, mtu).is_none());
+            let f = m
+                .failed
+                .iter()
+                .find(|f| f.cca == cca.name() && f.mtu == mtu)
+                .expect("failure recorded");
+            assert!(f.error.contains("poisoned"), "{}", f.error);
+            assert!(!f.retry_error.is_empty());
+        }
+        // Healthy neighbours survived.
+        assert!(m.cell(CcaKind::Cubic, 9000).is_some());
+    }
+
+    #[test]
+    fn flaky_cell_recovers_on_the_fresh_seed_retry() {
+        // Fail (Bbr, 3000) only on the original seed schedule; the retry
+        // runs with salted seeds and succeeds, so the matrix is complete.
+        let original = Scale::quick().seeds();
+        let m = run_matrix_with_runner(Scale::quick(), 2, |cca, mtu, _bytes, seeds| {
+            if (cca, mtu) == (CcaKind::Bbr, 3000) && seeds == original.as_slice() {
+                Err(stub_err(cca, mtu, seeds[0], "flaky"))
+            } else {
+                Ok(stub_cell(cca, mtu))
+            }
+        });
+        assert!(m.is_complete(), "failed: {:?}", m.failed);
+        assert_eq!(m.cells.len(), CcaKind::ALL.len() * MTUS.len());
+        assert!(m.cell(CcaKind::Bbr, 3000).is_some());
     }
 
     #[test]
     fn mtu_1500_consumes_more_energy_than_9000() {
         // The §4.4 headline at miniature scale.
         let seeds = [3u64];
-        let big = run_cell(CcaKind::Cubic, 9000, 200 * MB, &seeds);
-        let small = run_cell(CcaKind::Cubic, 1500, 200 * MB, &seeds);
+        let big = run_cell(CcaKind::Cubic, 9000, 200 * MB, &seeds).unwrap();
+        let small = run_cell(CcaKind::Cubic, 1500, 200 * MB, &seeds).unwrap();
         assert!(
             small.energy_j.mean > 1.1 * big.energy_j.mean,
             "1500: {} J vs 9000: {} J",

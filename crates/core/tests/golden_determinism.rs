@@ -15,6 +15,8 @@
 use cca::CcaKind;
 use greenenvy::matrix::run_matrix_with_threads;
 use greenenvy::scale::Scale;
+use netsim::fault::FaultSpec;
+use netsim::time::{SimDuration, SimTime};
 use netsim::units::MB;
 use workload::prelude::*;
 
@@ -58,6 +60,41 @@ fn two_flow_fingerprint_is_stable() {
             GOLDEN_TOTAL_RETX
         ),
         "golden fingerprint moved — event order, RNG, or float summation changed"
+    );
+}
+
+/// The fault layer draws from its own RNG stream, so a faulted run must
+/// be exactly as reproducible as a clean one: same `FaultSpec`, same
+/// seed, identical fingerprint — including the injected-drop tally. No
+/// golden constants here; the invariant is run-to-run equality (the
+/// chaos spec itself is the changing part of the chaos suite, the
+/// clean-run fingerprint above is the frozen part).
+#[test]
+fn faulted_two_flow_fingerprint_replays_identically() {
+    let spec = FaultSpec::random_loss(1e-3)
+        .with_reordering(5e-4, SimDuration::from_micros(50))
+        .with_flap(SimTime::from_millis(40), SimTime::from_millis(60));
+    let scenario = two_flow_scenario().with_fault(spec);
+    let fingerprint = |out: &ScenarioOutcome| {
+        (
+            out.engine.events_processed,
+            out.sim_end.as_nanos(),
+            out.sender_energy_j,
+            out.reports.iter().map(|r| r.retransmits).sum::<u64>(),
+            out.injected_drops,
+        )
+    };
+    let a = workload::scenario::run(&scenario).expect("faulted scenario runs");
+    let b = workload::scenario::run(&scenario).expect("faulted scenario runs");
+    assert!(a.injected_drops > 0, "the fault spec must actually bite");
+    assert!(
+        a.reports.iter().all(|r| r.outcome.is_completed()),
+        "0.1% loss plus a 20 ms flap is survivable"
+    );
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "faulted runs must replay bit-identically"
     );
 }
 

@@ -11,6 +11,7 @@
 //! modelling the paper's bonded 2×10 Gb/s sender links.
 
 use crate::agent::{Agent, AgentCommand, Ctx};
+use crate::fault::{FaultSpec, FaultState, FAULT_STREAM_SALT};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::{LinkSpec, LinkState, LinkStats};
 use crate::packet::Packet;
@@ -64,15 +65,30 @@ pub enum RunOutcome {
     Stopped,
     /// The configured time limit was reached with events still pending.
     TimeLimit,
+    /// The stall watchdog fired: more than the configured budget of
+    /// events were processed without a single host delivery (see
+    /// [`Network::set_stall_budget`]). The run is livelocked — agents and
+    /// links keep generating events but no application progress happens.
+    Stalled,
 }
 
-/// Aggregate drop/mark statistics across all links.
+/// Aggregate drop/mark statistics across all links. Congestive counters
+/// (queue drops/marks) and injected counters (fault layer) are disjoint
+/// by construction: injection happens after a frame has left its queue.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NetworkStats {
-    /// Total packets dropped by all queues.
+    /// Total packets dropped by all queues (congestive).
     pub dropped_pkts: u64,
     /// Total packets CE-marked by all queues.
     pub marked_pkts: u64,
+    /// Frames lost to injected faults across all links.
+    pub injected_drops: u64,
+    /// Frames bit-corrupted by injected faults.
+    pub injected_corrupts: u64,
+    /// Frames duplicated by injected faults.
+    pub injected_dups: u64,
+    /// Frames held back for reordering by injected faults.
+    pub injected_reorders: u64,
 }
 
 /// Engine performance counters: event totals plus the scheduler's
@@ -101,6 +117,10 @@ pub struct Network {
     sched: Scheduler<Event>,
     now: SimTime,
     rng: SimRng,
+    /// The seed the network was created with; fault streams derive from
+    /// it (salted) so installing faults never perturbs `rng`'s fork
+    /// order — fault-free runs stay bit-identical.
+    master_seed: u64,
     /// Per-node RNG streams (agents draw from their own stream).
     node_rngs: Vec<SimRng>,
     flow_trace: Option<FlowTrace>,
@@ -109,6 +129,10 @@ pub struct Network {
     commands: Vec<AgentCommand>,
     stop_requested: bool,
     events_processed: u64,
+    /// Stall watchdog: events processed since the last host delivery,
+    /// and the budget that trips [`RunOutcome::Stalled`] (`None` = off).
+    events_since_progress: u64,
+    stall_budget: Option<u64>,
 }
 
 impl Network {
@@ -122,6 +146,7 @@ impl Network {
             sched: Scheduler::new(),
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
+            master_seed: seed,
             node_rngs: Vec::new(),
             flow_trace: None,
             activity: None,
@@ -129,6 +154,8 @@ impl Network {
             commands: Vec::new(),
             stop_requested: false,
             events_processed: 0,
+            events_since_progress: 0,
+            stall_budget: None,
         }
     }
 
@@ -269,6 +296,36 @@ impl Network {
         self.links[link.index()].stats
     }
 
+    /// Install (or replace) a fault spec on a link. The fault stream is
+    /// derived from the master seed and the link id — deliberately *not*
+    /// forked from the engine's live RNG — so congestion randomness and
+    /// the golden fingerprints of fault-free runs are untouched.
+    pub fn set_link_fault(&mut self, link: LinkId, spec: FaultSpec) {
+        spec.validate();
+        let stream = SimRng::new(self.master_seed ^ FAULT_STREAM_SALT).fork(link.index() as u64 + 1);
+        self.links[link.index()].fault = Some(FaultState::new(spec, stream));
+    }
+
+    /// Remove a link's fault spec, restoring the clean wire.
+    pub fn clear_link_fault(&mut self, link: LinkId) {
+        self.links[link.index()].fault = None;
+    }
+
+    /// The fault spec installed on a link, if any.
+    pub fn link_fault(&self, link: LinkId) -> Option<&FaultSpec> {
+        self.links[link.index()].fault.as_ref().map(|f| f.spec())
+    }
+
+    /// Arm the stall watchdog: if more than `budget` consecutive events
+    /// are processed without a single packet delivered to a host, the run
+    /// returns [`RunOutcome::Stalled`] instead of spinning. `None`
+    /// disables (the default). Timer-driven retry loops advance slowly
+    /// in event count, so a generous budget (~10^6) only trips on
+    /// genuine livelock.
+    pub fn set_stall_budget(&mut self, budget: Option<u64>) {
+        self.stall_budget = budget;
+    }
+
     /// Aggregate drop/mark counters across all links.
     pub fn network_stats(&self) -> NetworkStats {
         let mut s = NetworkStats::default();
@@ -276,6 +333,10 @@ impl Network {
             let q = l.qdisc.stats();
             s.dropped_pkts += q.dropped_pkts;
             s.marked_pkts += q.marked_pkts;
+            s.injected_drops += l.stats.injected_drops;
+            s.injected_corrupts += l.stats.injected_corrupts;
+            s.injected_dups += l.stats.injected_dups;
+            s.injected_reorders += l.stats.injected_reorders;
         }
         s
     }
@@ -378,7 +439,7 @@ impl Network {
     fn on_tx_done(&mut self, link_id: LinkId) {
         let now = self.now;
         let link = &mut self.links[link_id.index()];
-        let pkt = link
+        let mut pkt = link
             .in_flight
             .take()
             .expect("TxDone with no in-flight packet");
@@ -387,7 +448,44 @@ impl Network {
         link.stats.busy_time += now - link.tx_started;
         let prop = link.prop_delay;
         let dst = link.dst;
-        self.schedule(now + prop, Event::Arrive { node: dst, pkt });
+        // Fault layer: decide the frame's fate *after* it has paid its
+        // serialization time (the sender's energy accounting already
+        // charged the transmit work — injected losses must not refund it).
+        let mut lost = false;
+        let mut duplicate = false;
+        let mut extra = SimDuration::ZERO;
+        if let Some(fault) = link.fault.as_mut() {
+            let fate = fault.fate(now);
+            if fate.drop {
+                link.stats.injected_drops += 1;
+                lost = true;
+            } else {
+                if fate.corrupt {
+                    link.stats.injected_corrupts += 1;
+                    pkt.corrupted = true;
+                }
+                if fate.duplicate {
+                    link.stats.injected_dups += 1;
+                    duplicate = true;
+                }
+                if fate.reorder {
+                    link.stats.injected_reorders += 1;
+                }
+                extra = fate.extra_delay;
+            }
+        }
+        if lost {
+            if let Some(log) = self.pkt_log.as_mut() {
+                log.record(now, PacketEventKind::InjectedDrop, &pkt, Some(link_id), None);
+            }
+        } else {
+            self.schedule(now + prop + extra, Event::Arrive { node: dst, pkt });
+            if duplicate {
+                // The copy arrives right behind the original (same
+                // timestamp, later insertion order).
+                self.schedule(now + prop + extra, Event::Arrive { node: dst, pkt });
+            }
+        }
         // Keep the transmitter going.
         if self.links[link_id.index()].qdisc.len_pkts() > 0 {
             self.start_tx(link_id);
@@ -404,6 +502,15 @@ impl Network {
                 if let Some(act) = self.activity.as_mut() {
                     act.record_rx(node, self.now, pkt.wire_bytes as u64, !pkt.is_data());
                 }
+                if pkt.corrupted {
+                    // FCS failure: the NIC paid for the receive (activity
+                    // recorded above) but discards the frame before the
+                    // transport ever sees it.
+                    if let Some(log) = self.pkt_log.as_mut() {
+                        log.record(self.now, PacketEventKind::CorruptDiscard, &pkt, None, Some(node));
+                    }
+                    return;
+                }
                 if pkt.is_data() {
                     if let Some(trace) = self.flow_trace.as_mut() {
                         trace.record(pkt.flow, self.now, pkt.payload_bytes as u64);
@@ -412,6 +519,9 @@ impl Network {
                 if let Some(log) = self.pkt_log.as_mut() {
                     log.record(self.now, PacketEventKind::Delivered, &pkt, None, Some(node));
                 }
+                // A host delivery is the watchdog's definition of
+                // application progress.
+                self.events_since_progress = 0;
                 self.dispatch_packet(node, pkt);
             }
         }
@@ -494,6 +604,12 @@ impl Network {
                 Event::TxDone { link } => self.on_tx_done(link),
                 Event::Timer { node, token } => {
                     self.with_agent(node, |agent, ctx| agent.on_timer(token, ctx))
+                }
+            }
+            if let Some(budget) = self.stall_budget {
+                self.events_since_progress += 1;
+                if self.events_since_progress > budget {
+                    return RunOutcome::Stalled;
                 }
             }
         }
@@ -844,6 +960,167 @@ mod tests {
         net.run();
         let trace = net.flow_trace().unwrap();
         assert_eq!(trace.total_bytes(FlowId::from_raw(0)), 4000);
+    }
+
+    #[test]
+    fn injected_full_loss_drops_every_frame() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.enable_packet_log(64);
+        net.set_link_fault(LinkId::from_raw(0), crate::fault::FaultSpec::random_loss(1.0));
+        net.attach_agent(a, Box::new(Echo::sending(b, 5)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        // All five frames serialized (the sender paid for them), none arrived.
+        let stats = net.link_stats(LinkId::from_raw(0));
+        assert_eq!(stats.tx_pkts, 5);
+        assert_eq!(stats.injected_drops, 5);
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 0);
+        // Injected losses never masquerade as congestive drops.
+        assert_eq!(net.network_stats().dropped_pkts, 0);
+        assert_eq!(net.network_stats().injected_drops, 5);
+        assert_eq!(
+            net.packet_log().unwrap().of_kind(PacketEventKind::InjectedDrop).len(),
+            5
+        );
+    }
+
+    #[test]
+    fn corrupted_frames_are_discarded_at_the_host() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.enable_packet_log(64);
+        let spec = crate::fault::FaultSpec::default().with_corruption(1.0);
+        net.set_link_fault(LinkId::from_raw(0), spec);
+        net.attach_agent(a, Box::new(Echo::sending(b, 4)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        // Frames traverse the wire (and are counted) but the agent never
+        // sees them and no acks come back.
+        assert_eq!(net.link_stats(LinkId::from_raw(0)).injected_corrupts, 4);
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 0);
+        assert_eq!(net.agent::<Echo>(a).unwrap().acks_received, 0);
+        assert_eq!(
+            net.packet_log().unwrap().of_kind(PacketEventKind::CorruptDiscard).len(),
+            4
+        );
+    }
+
+    #[test]
+    fn duplicated_frames_arrive_twice() {
+        let (mut net, a, b) = two_hosts_direct();
+        let spec = crate::fault::FaultSpec::default().with_duplication(1.0);
+        net.set_link_fault(LinkId::from_raw(0), spec);
+        net.attach_agent(a, Box::new(Echo::sending(b, 3)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 6);
+        assert_eq!(net.link_stats(LinkId::from_raw(0)).injected_dups, 3);
+    }
+
+    #[test]
+    fn flap_loses_frames_only_during_the_outage() {
+        let (mut net, a, b) = two_hosts_direct();
+        // Outage covers the whole run: everything sent at t=0 is lost.
+        let spec = crate::fault::FaultSpec::default()
+            .with_flap(SimTime::ZERO, SimTime::from_secs(1));
+        net.set_link_fault(LinkId::from_raw(0), spec);
+        net.attach_agent(a, Box::new(Echo::sending(b, 4)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        net.run();
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 0);
+        assert_eq!(net.link_stats(LinkId::from_raw(0)).injected_drops, 4);
+        // Clearing the fault restores the clean wire for a resumed run.
+        net.clear_link_fault(LinkId::from_raw(0));
+        assert!(net.link_fault(LinkId::from_raw(0)).is_none());
+    }
+
+    #[test]
+    fn faulted_runs_replay_identically() {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let a = net.add_host();
+            let b = net.add_host();
+            let ab = net.add_link(
+                a,
+                b,
+                LinkSpec::droptail(Rate::from_gbps(1.0), SimDuration::from_micros(3), 100_000),
+            );
+            let ba = net.add_link(
+                b,
+                a,
+                LinkSpec::droptail(Rate::from_gbps(1.0), SimDuration::from_micros(3), 100_000),
+            );
+            net.add_route(a, b, ab);
+            net.add_route(b, a, ba);
+            let spec = crate::fault::FaultSpec::random_loss(0.2)
+                .with_duplication(0.1)
+                .with_jitter(SimDuration::from_micros(2));
+            net.set_link_fault(ab, spec);
+            net.attach_agent(a, Box::new(Echo::sending(b, 60)));
+            net.attach_agent(b, Box::new(Echo::new(a)));
+            net.run();
+            let s = net.link_stats(ab);
+            (
+                net.now(),
+                net.events_processed(),
+                s.injected_drops,
+                s.injected_dups,
+                net.agent::<Echo>(b).unwrap().received.len(),
+            )
+        };
+        let first = run(11);
+        assert_eq!(first, run(11));
+        assert!(first.2 > 0, "0.2 loss over 60 frames should drop some");
+        assert_ne!(first, run(12));
+    }
+
+    #[test]
+    fn installing_a_noop_fault_changes_nothing() {
+        // The fault stream is independent of the engine RNG, so a no-op
+        // spec must leave the run bit-identical to a fault-free one.
+        let run = |fault: bool| {
+            let (mut net, a, b) = two_hosts_direct();
+            if fault {
+                net.set_link_fault(LinkId::from_raw(0), crate::fault::FaultSpec::default());
+            }
+            net.attach_agent(a, Box::new(Echo::sending(b, 20)));
+            net.attach_agent(b, Box::new(Echo::new(a)));
+            net.run();
+            (net.now(), net.events_processed())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stall_watchdog_trips_on_livelock() {
+        // A timer agent that re-arms itself forever and never receives a
+        // packet: pure event churn with zero progress.
+        struct Spinner;
+        impl Agent for Spinner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer_after(SimDuration::from_nanos(1), 0);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+                ctx.set_timer_after(SimDuration::from_nanos(1), 0);
+            }
+        }
+        let mut net = Network::new(8);
+        let a = net.add_host();
+        net.attach_agent(a, Box::new(Spinner));
+        net.set_stall_budget(Some(1_000));
+        assert_eq!(net.run(), RunOutcome::Stalled);
+        assert!(net.events_processed() <= 1_100);
+    }
+
+    #[test]
+    fn stall_watchdog_stays_quiet_while_packets_deliver() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.set_stall_budget(Some(50));
+        net.attach_agent(a, Box::new(Echo::sending(b, 100)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        // 100 data + 100 acks deliver steadily; the budget never trips.
+        assert_eq!(net.run(), RunOutcome::Drained);
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 100);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Deterministic link-fault injection — the simulator's chaos layer.
+//!
+//! A [`FaultSpec`] attaches non-congestive impairments to one link:
+//! random wire drops, bit corruption (discarded by the destination NIC's
+//! FCS check), duplication, reordering (a deterministic extra delay on a
+//! random subset of frames), uniform delay jitter, and scheduled link
+//! flaps (`down@t..up@t'` outages that lose every frame on the wire).
+//!
+//! ## RNG stream isolation
+//!
+//! Fault decisions draw from a *dedicated* child stream derived from the
+//! engine's master seed (`master_seed ^ FAULT_STREAM_SALT`, forked per
+//! link) — never from the node or jitter streams. Attaching, removing, or
+//! reconfiguring faults therefore cannot perturb congestion randomness:
+//! a fault-free run is bit-identical whether or not the fault layer is
+//! compiled in the loop, and a faulted run is bit-reproducible from
+//! `(seed, FaultSpec)` alone.
+//!
+//! ## Drop taxonomy
+//!
+//! Injected losses land in [`crate::link::LinkStats`] (`injected_*`
+//! counters); congestive losses stay in [`crate::queue::QueueStats`]
+//! (`dropped_pkts`). The two are disjoint by construction — injection
+//! happens *after* a frame has left the queue and paid its serialization
+//! time — so energy and retransmission attribution stays honest.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Salt XORed into the master seed to derive the fault stream family.
+/// Chosen once; changing it re-randomizes every faulted golden run.
+pub(crate) const FAULT_STREAM_SALT: u64 = 0xFA17_1A7E_D00D_5EED;
+
+/// One scheduled outage: the link loses every frame whose transmission
+/// completes in `[down, up)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// When the link goes down.
+    pub down: SimTime,
+    /// When it comes back (exclusive).
+    pub up: SimTime,
+}
+
+impl LinkFlap {
+    /// True if the link is down at `at`.
+    #[inline]
+    pub fn covers(&self, at: SimTime) -> bool {
+        self.down <= at && at < self.up
+    }
+}
+
+/// Per-link fault configuration. All probabilities are per-frame and
+/// independent; `default()` is a no-op spec (hooks attached, nothing
+/// injected — used to measure the fault layer's hot-path cost).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a frame vanishes on the wire.
+    pub drop_prob: f64,
+    /// Probability a frame is bit-corrupted in transit. Corrupted frames
+    /// still traverse (and load) every downstream hop; the destination
+    /// host's FCS check discards them before the transport sees them.
+    pub corrupt_prob: f64,
+    /// Probability a frame is duplicated (both copies arrive together).
+    pub duplicate_prob: f64,
+    /// Probability a frame is held back by [`Self::reorder_delay`],
+    /// arriving behind frames sent after it.
+    pub reorder_prob: f64,
+    /// Extra delay applied to reordered frames.
+    pub reorder_delay: SimDuration,
+    /// Uniform per-frame delay jitter in `[0, jitter)`.
+    pub jitter: SimDuration,
+    /// Scheduled outages.
+    pub flaps: Vec<LinkFlap>,
+}
+
+impl FaultSpec {
+    /// Pure random loss at probability `p`.
+    pub fn random_loss(p: f64) -> Self {
+        FaultSpec {
+            drop_prob: p,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Set the corruption probability.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Set the duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Reorder a fraction `p` of frames by holding them `delay` longer.
+    pub fn with_reordering(mut self, p: f64, delay: SimDuration) -> Self {
+        self.reorder_prob = p;
+        self.reorder_delay = delay;
+        self
+    }
+
+    /// Add uniform delay jitter in `[0, jitter)`.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Schedule an outage from `down` until `up`.
+    pub fn with_flap(mut self, down: SimTime, up: SimTime) -> Self {
+        assert!(down < up, "flap must end after it starts");
+        self.flaps.push(LinkFlap { down, up });
+        self
+    }
+
+    /// True if this spec injects nothing (all probabilities zero, no
+    /// jitter, no flaps).
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.reorder_prob == 0.0
+            && self.jitter.is_zero()
+            && self.flaps.is_empty()
+    }
+
+    /// Panic on out-of-range parameters; called when the spec is
+    /// installed so misconfiguration fails at setup, not mid-run.
+    pub(crate) fn validate(&self) {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("reorder_prob", self.reorder_prob),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p) && p.is_finite(),
+                "{name} = {p} outside [0, 1]"
+            );
+        }
+        for f in &self.flaps {
+            assert!(f.down < f.up, "flap must end after it starts");
+        }
+    }
+
+    /// True if a scheduled outage covers `at`.
+    #[inline]
+    pub fn is_down(&self, at: SimTime) -> bool {
+        self.flaps.iter().any(|f| f.covers(at))
+    }
+}
+
+/// What the fault layer decided for one frame leaving the wire.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WireFate {
+    /// Frame lost (outage or random drop); nothing arrives.
+    pub(crate) drop: bool,
+    /// Frame arrives bit-corrupted.
+    pub(crate) corrupt: bool,
+    /// A second copy arrives alongside the original.
+    pub(crate) duplicate: bool,
+    /// Frame was selected for reordering (its delay is in `extra_delay`).
+    pub(crate) reorder: bool,
+    /// Extra propagation delay (reorder hold + jitter).
+    pub(crate) extra_delay: SimDuration,
+}
+
+/// Runtime fault state of one link: the spec plus its private RNG stream.
+pub(crate) struct FaultState {
+    spec: FaultSpec,
+    rng: SimRng,
+}
+
+impl FaultState {
+    pub(crate) fn new(spec: FaultSpec, rng: SimRng) -> Self {
+        FaultState { spec, rng }
+    }
+
+    pub(crate) fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Decide the fate of a frame whose serialization completes at `now`.
+    ///
+    /// Draw order is fixed (drop, corrupt, duplicate, reorder, jitter)
+    /// and each draw is gated on its knob being enabled, so a spec's
+    /// consumption of the stream — and hence the whole run — is a pure
+    /// function of `(seed, spec)`.
+    pub(crate) fn fate(&mut self, now: SimTime) -> WireFate {
+        let mut fate = WireFate::default();
+        if self.spec.is_down(now) {
+            fate.drop = true;
+            return fate;
+        }
+        if self.spec.drop_prob > 0.0 && self.rng.next_f64() < self.spec.drop_prob {
+            fate.drop = true;
+            return fate;
+        }
+        if self.spec.corrupt_prob > 0.0 && self.rng.next_f64() < self.spec.corrupt_prob {
+            fate.corrupt = true;
+        }
+        if self.spec.duplicate_prob > 0.0 && self.rng.next_f64() < self.spec.duplicate_prob {
+            fate.duplicate = true;
+        }
+        if self.spec.reorder_prob > 0.0 && self.rng.next_f64() < self.spec.reorder_prob {
+            fate.reorder = true;
+            fate.extra_delay = self.spec.reorder_delay;
+        }
+        if !self.spec.jitter.is_zero() {
+            fate.extra_delay =
+                fate.extra_delay + SimDuration::from_nanos(self.rng.next_below(self.spec.jitter.as_nanos()));
+        }
+        fate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_noop_and_draws_nothing() {
+        let spec = FaultSpec::default();
+        assert!(spec.is_noop());
+        let mut a = FaultState::new(spec.clone(), SimRng::new(1));
+        let fate = a.fate(SimTime::from_millis(1));
+        assert!(!fate.drop && !fate.corrupt && !fate.duplicate && !fate.reorder);
+        assert!(fate.extra_delay.is_zero());
+        // The stream must be untouched: identical to a fresh one.
+        let mut fresh = SimRng::new(1);
+        assert_eq!(a.rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let spec = FaultSpec::random_loss(0.01)
+            .with_corruption(0.002)
+            .with_duplication(0.003)
+            .with_reordering(0.05, SimDuration::from_micros(80))
+            .with_jitter(SimDuration::from_micros(5))
+            .with_flap(SimTime::from_millis(10), SimTime::from_millis(12));
+        spec.validate();
+        assert!(!spec.is_noop());
+        assert_eq!(spec.drop_prob, 0.01);
+        assert_eq!(spec.flaps.len(), 1);
+        assert!(spec.is_down(SimTime::from_millis(11)));
+        assert!(!spec.is_down(SimTime::from_millis(12)));
+    }
+
+    #[test]
+    fn fate_is_deterministic_per_seed() {
+        let spec = FaultSpec::random_loss(0.3)
+            .with_duplication(0.2)
+            .with_jitter(SimDuration::from_micros(3));
+        let collect = |seed: u64| {
+            let mut st = FaultState::new(spec.clone(), SimRng::new(seed));
+            (0..256)
+                .map(|i| {
+                    let f = st.fate(SimTime::from_micros(i));
+                    (f.drop, f.duplicate, f.extra_delay.as_nanos())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10), "different streams must differ");
+    }
+
+    #[test]
+    fn flap_drops_skip_probability_draws() {
+        // During an outage no randomness is consumed, so the post-outage
+        // stream is independent of the outage's length.
+        let spec = FaultSpec::random_loss(0.5).with_flap(SimTime::ZERO, SimTime::from_secs(1));
+        let mut st = FaultState::new(spec, SimRng::new(3));
+        for i in 0..100 {
+            assert!(st.fate(SimTime::from_millis(i)).drop);
+        }
+        let mut fresh = SimRng::new(3);
+        assert_eq!(st.rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn validate_rejects_bad_probability() {
+        FaultSpec::random_loss(1.5).validate();
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod agent;
 pub mod engine;
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod packet;
@@ -44,6 +45,7 @@ pub mod units;
 pub mod prelude {
     pub use crate::agent::{Agent, Ctx, TOKEN_BITS, TOKEN_MASK};
     pub use crate::engine::{EngineCounters, Network, NetworkStats, RunOutcome};
+    pub use crate::fault::{FaultSpec, LinkFlap};
     pub use crate::sched::{SchedStats, Scheduler};
     pub use crate::ids::{FlowId, LinkId, NodeId};
     pub use crate::link::{LinkSpec, LinkStats};

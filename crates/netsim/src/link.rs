@@ -12,6 +12,7 @@
 //! paper's observation that small MTUs cannot reach 10 Gb/s line rate —
 //! the per-packet CPU/interrupt cost, not the wire, becomes the bottleneck.
 
+use crate::fault::FaultState;
 use crate::ids::NodeId;
 use crate::packet::Packet;
 use crate::queue::{DropTailQueue, Qdisc};
@@ -50,6 +51,11 @@ impl LinkSpec {
 }
 
 /// Lifetime transmit counters for a link.
+///
+/// The `injected_*` counters attribute losses to the fault layer
+/// ([`crate::fault::FaultSpec`]); congestive drops never appear here —
+/// they are counted at the queue ([`crate::queue::QueueStats`]) before
+/// the frame ever reaches the wire, so the two tallies are disjoint.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LinkStats {
     /// Packets fully serialized onto the wire.
@@ -58,6 +64,14 @@ pub struct LinkStats {
     pub tx_bytes: u64,
     /// Cumulative time the transmitter spent busy.
     pub busy_time: SimDuration,
+    /// Frames lost to injected faults (random drops + outages).
+    pub injected_drops: u64,
+    /// Frames bit-corrupted by injected faults.
+    pub injected_corrupts: u64,
+    /// Frames duplicated by injected faults.
+    pub injected_dups: u64,
+    /// Frames held back for reordering by injected faults.
+    pub injected_reorders: u64,
 }
 
 impl LinkStats {
@@ -87,6 +101,9 @@ pub(crate) struct LinkState {
     pub(crate) util_ewma: f64,
     /// Start of the previous transmission, for the utilization estimate.
     pub(crate) prev_tx_started: Option<SimTime>,
+    /// Fault injection state, if a [`crate::fault::FaultSpec`] is
+    /// installed. `None` keeps the fault-free hot path to one branch.
+    pub(crate) fault: Option<FaultState>,
     pub(crate) stats: LinkStats,
 }
 
@@ -103,6 +120,7 @@ impl LinkState {
             tx_started: SimTime::ZERO,
             util_ewma: 0.0,
             prev_tx_started: None,
+            fault: None,
             stats: LinkStats::default(),
         }
     }

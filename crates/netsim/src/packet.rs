@@ -188,6 +188,10 @@ pub struct Packet {
     pub sent_at: SimTime,
     /// True if this is a retransmission of previously sent data.
     pub is_retx: bool,
+    /// True if the fault layer bit-corrupted the frame in transit. The
+    /// frame still loads every downstream hop; the destination host's FCS
+    /// check discards it before the agent sees it.
+    pub corrupted: bool,
     /// In-band telemetry, stamped hop by hop (INT-capable switches).
     pub int: IntRecord,
 }
@@ -214,6 +218,7 @@ impl Packet {
             ecn,
             sent_at: SimTime::ZERO,
             is_retx: false,
+            corrupted: false,
             int: IntRecord::default(),
         }
     }
@@ -232,6 +237,7 @@ impl Packet {
             ecn: EcnCodepoint::NotEct,
             sent_at: SimTime::ZERO,
             is_retx: false,
+            corrupted: false,
             int: IntRecord::default(),
         }
     }

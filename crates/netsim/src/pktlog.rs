@@ -12,12 +12,16 @@ use crate::time::SimTime;
 /// What happened to a packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PacketEventKind {
-    /// Dropped at a link's queue.
+    /// Dropped at a link's queue (congestive loss).
     Dropped,
     /// CE-marked at a link's queue.
     Marked,
     /// Delivered to its destination host.
     Delivered,
+    /// Lost on the wire by the fault layer (random drop or outage).
+    InjectedDrop,
+    /// Arrived bit-corrupted and was discarded by the host's FCS check.
+    CorruptDiscard,
 }
 
 /// One logged packet event.

@@ -51,5 +51,5 @@ pub mod prelude {
     pub use crate::rtt::RttEstimator;
     pub use crate::scoreboard::{AckOutcome, Scoreboard, SegState, SentSegment};
     pub use crate::sender::{TcpSender, TcpSenderConfig};
-    pub use crate::stats::{ReceiverFlowStats, SenderStats};
+    pub use crate::stats::{AbortReason, FlowOutcome, ReceiverFlowStats, SenderStats};
 }

@@ -9,7 +9,7 @@ use crate::cc::{AckEvent, CongestionControl, CongestionEvent};
 use crate::gate::SendGate;
 use crate::rtt::RttEstimator;
 use crate::scoreboard::Scoreboard;
-use crate::stats::SenderStats;
+use crate::stats::{FlowOutcome, SenderStats};
 use netsim::agent::{Agent, Ctx};
 use netsim::ids::{FlowId, NodeId};
 use netsim::packet::{EcnCodepoint, Packet, PacketKind};
@@ -46,6 +46,12 @@ pub struct TcpSenderConfig {
     /// this to re-allocate bandwidth mid-run, e.g. un-throttling the
     /// surviving flow once its peer completes (Figure 1).
     pub rate_schedule: Vec<(SimTime, Option<Rate>)>,
+    /// Give up after this many *consecutive* retransmission timeouts with
+    /// no forward progress (the `tcp_retries2` analogue; Linux default
+    /// 15 ≈ 15 minutes of backoff). An exhausted budget aborts the flow
+    /// cleanly — timers cancelled, [`FlowOutcome::Aborted`] reported —
+    /// instead of retrying a dead path forever.
+    pub max_rto_retries: u32,
     /// Seed the RTT estimator with this value at start, standing in for
     /// the handshake RTT sample this model does not simulate. Without it,
     /// a flow whose entire first burst is lost has no sample, cannot arm
@@ -70,6 +76,7 @@ impl TcpSenderConfig {
             max_rto: SimDuration::from_secs(120),
             start_delay: SimDuration::ZERO,
             tlp: true,
+            max_rto_retries: 15,
             rate_schedule: Vec::new(),
             initial_rtt_hint: None,
         }
@@ -103,6 +110,12 @@ impl TcpSenderConfig {
     /// Disable the tail-loss probe (ablation).
     pub fn without_tlp(mut self) -> Self {
         self.tlp = false;
+        self
+    }
+
+    /// Set the consecutive-RTO retry budget (`tcp_retries2` analogue).
+    pub fn with_max_rto_retries(mut self, retries: u32) -> Self {
+        self.max_rto_retries = retries;
         self
     }
 
@@ -173,6 +186,12 @@ pub struct TcpSender {
     pace_gen: u64,
     started: bool,
     completed: bool,
+    /// The flow gave up (retry budget exhausted); terminal like
+    /// `completed`, but the transfer did not finish.
+    aborted: bool,
+    /// Consecutive RTO firings with no intervening delivery; compared
+    /// against `cfg.max_rto_retries`.
+    consecutive_rtos: u32,
     ecn: bool,
     /// Post-RTO loss window: after a timeout the kernel collapses the
     /// *effective* window to one segment and slow-starts it back up,
@@ -223,6 +242,8 @@ impl TcpSender {
             pace_gen: 0,
             started: false,
             completed: false,
+            aborted: false,
+            consecutive_rtos: 0,
             ecn,
             loss_cap: None,
             cwnd_limited: true,
@@ -253,6 +274,16 @@ impl TcpSender {
     /// True once every byte is cumulatively acknowledged.
     pub fn is_complete(&self) -> bool {
         self.completed
+    }
+
+    /// True if the sender gave up (retry budget exhausted).
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Terminal state of the flow.
+    pub fn outcome(&self) -> FlowOutcome {
+        self.stats.outcome()
     }
 
     /// Flow completion time, if finished.
@@ -312,7 +343,7 @@ impl TcpSender {
 
     /// The transmission pump: send whatever window, gate, and data allow.
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
-        if !self.started || self.completed {
+        if !self.started || self.completed || self.aborted {
             return;
         }
         let now = ctx.now();
@@ -386,7 +417,7 @@ impl TcpSender {
 
     /// Keep exactly one outstanding RTO timer, lazily re-armed.
     fn maintain_rto(&mut self, ctx: &mut Ctx<'_>) {
-        if self.completed {
+        if self.completed || self.aborted {
             self.rto_deadline = None;
             return;
         }
@@ -424,6 +455,7 @@ impl TcpSender {
     fn maintain_tlp(&mut self, ctx: &mut Ctx<'_>) {
         if !self.cfg.tlp
             || self.completed
+            || self.aborted
             || self.tlp_fired
             || !self.rtt.has_sample()
             || self.board.in_flight() == 0
@@ -483,6 +515,18 @@ impl TcpSender {
         }
         // Genuine timeout.
         self.stats.rto_count += 1;
+        self.consecutive_rtos += 1;
+        if self.consecutive_rtos > self.cfg.max_rto_retries {
+            // Retry budget exhausted: the path is dead. Abort cleanly —
+            // cancel both deadlines so any timers still in the event queue
+            // no-op when they fire, and stop pumping. The event queue
+            // drains instead of backing off forever.
+            self.aborted = true;
+            self.stats.aborted_at = Some(now);
+            self.rto_deadline = None;
+            self.tlp_deadline = None;
+            return;
+        }
         self.rtt.backoff();
         self.board.mark_all_lost();
         self.cc.on_rto(now, self.cfg.mss);
@@ -494,7 +538,7 @@ impl TcpSender {
     }
 
     fn on_ack_packet(&mut self, info: &netsim::packet::AckInfo, ctx: &mut Ctx<'_>) {
-        if self.completed {
+        if self.completed || self.aborted {
             return;
         }
         let now = ctx.now();
@@ -519,6 +563,9 @@ impl TcpSender {
         let outcome = self.board.on_ack(info.cum_ack, info.sacks.iter(), reorder_window);
         self.delivered += outcome.newly_delivered;
         self.stats.bytes_acked = self.board.snd_una();
+        if outcome.newly_delivered > 0 {
+            self.consecutive_rtos = 0; // forward progress resets the budget
+        }
 
         // Slow-start the post-RTO loss window back up to the CC's window.
         if let Some(cap) = self.loss_cap {
@@ -900,6 +947,63 @@ mod tests {
         assert!(s.is_complete(), "{:?}", s.stats());
         assert!(s.stats().rto_count > 0, "expected at least one RTO");
         assert_eq!(s.stats().tlp_probes, 0, "TLP was ablated");
+    }
+
+    #[test]
+    fn dead_path_aborts_cleanly_after_retry_budget() {
+        use crate::stats::{AbortReason, FlowOutcome};
+        use netsim::fault::FaultSpec;
+
+        let (mut net, a, b) = simple_net(10.0, 4 * MB);
+        // Kill the forward direction entirely: no data ever arrives, no
+        // ack ever comes back, every RTO is genuine.
+        let fwd = netsim::ids::LinkId::from_raw(0);
+        net.set_link_fault(fwd, FaultSpec::random_loss(1.0));
+        let cfg = TcpSenderConfig::bulk(FLOW, b, 1500, 1_000_000)
+            .with_rto_bounds(SimDuration::from_millis(10), SimDuration::from_secs(1))
+            .with_rtt_hint(SimDuration::from_micros(60))
+            .with_max_rto_retries(3)
+            .without_tlp();
+        net.attach_agent(a, Box::new(TcpSender::new(cfg, Box::new(FixedCwnd::new(30_000)))));
+        net.attach_agent(b, Box::new(TcpReceiver::new(AckPolicy::delayed_default())));
+        // The abort must leave nothing behind: the queue fully drains well
+        // before the time limit instead of backing off forever.
+        let outcome = net.run_until(SimTime::from_secs(30));
+        assert_eq!(outcome, netsim::engine::RunOutcome::Drained);
+        let s = net.agent::<TcpSender>(a).unwrap();
+        assert!(!s.is_complete());
+        assert!(s.is_aborted());
+        assert_eq!(
+            s.outcome(),
+            FlowOutcome::Aborted(AbortReason::RetriesExhausted)
+        );
+        let stats = s.stats();
+        assert_eq!(stats.rto_count, 4, "3 retries + the firing that aborts");
+        assert!(stats.aborted_at.is_some());
+        assert_eq!(stats.completed_at, None);
+        assert_eq!(stats.bytes_acked, 0);
+    }
+
+    #[test]
+    fn lossy_path_resets_the_retry_budget_on_progress() {
+        use netsim::fault::FaultSpec;
+
+        // 30% random loss is brutal but survivable: every successful
+        // delivery resets `consecutive_rtos`, so the flow grinds through
+        // instead of aborting.
+        let (mut net, a, b) = simple_net(10.0, 4 * MB);
+        let fwd = netsim::ids::LinkId::from_raw(0);
+        net.set_link_fault(fwd, FaultSpec::random_loss(0.3));
+        let cfg = TcpSenderConfig::bulk(FLOW, b, 1500, 100_000)
+            .with_rto_bounds(SimDuration::from_millis(10), SimDuration::from_secs(1))
+            .with_rtt_hint(SimDuration::from_micros(60))
+            .with_max_rto_retries(3);
+        net.attach_agent(a, Box::new(TcpSender::new(cfg, Box::new(FixedCwnd::new(30_000)))));
+        net.attach_agent(b, Box::new(TcpReceiver::new(AckPolicy::delayed_default())));
+        net.run_until(SimTime::from_secs(60));
+        let s = net.agent::<TcpSender>(a).unwrap();
+        assert!(s.is_complete(), "{:?}", s.stats());
+        assert!(!s.is_aborted());
     }
 
     #[test]

@@ -4,6 +4,58 @@
 use netsim::time::{SimDuration, SimTime};
 use netsim::units::Rate;
 
+/// Why a sender gave up on its transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Consecutive retransmission timeouts exhausted the retry budget
+    /// (`TcpSenderConfig::max_rto_retries`, the `tcp_retries2` analogue):
+    /// the path is effectively dead.
+    RetriesExhausted,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::RetriesExhausted => write!(f, "RTO retry budget exhausted"),
+        }
+    }
+}
+
+/// Terminal state of a flow, surfaced through the flow report so
+/// campaigns can distinguish "finished", "gave up cleanly", and "still
+/// going when the run ended".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowOutcome {
+    /// Every byte was cumulatively acknowledged.
+    Completed,
+    /// The sender aborted cleanly (no events left behind).
+    Aborted(AbortReason),
+    /// Neither completed nor aborted when the run ended.
+    InProgress,
+}
+
+impl FlowOutcome {
+    /// True for [`FlowOutcome::Completed`].
+    pub fn is_completed(self) -> bool {
+        matches!(self, FlowOutcome::Completed)
+    }
+
+    /// True for [`FlowOutcome::Aborted`].
+    pub fn is_aborted(self) -> bool {
+        matches!(self, FlowOutcome::Aborted(_))
+    }
+}
+
+impl std::fmt::Display for FlowOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowOutcome::Completed => write!(f, "completed"),
+            FlowOutcome::Aborted(r) => write!(f, "aborted ({r})"),
+            FlowOutcome::InProgress => write!(f, "in progress"),
+        }
+    }
+}
+
 /// Sender-side lifetime counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SenderStats {
@@ -25,6 +77,8 @@ pub struct SenderStats {
     pub started_at: Option<SimTime>,
     /// When the last byte was acknowledged.
     pub completed_at: Option<SimTime>,
+    /// When the sender gave up, if it aborted.
+    pub aborted_at: Option<SimTime>,
 }
 
 impl SenderStats {
@@ -33,6 +87,17 @@ impl SenderStats {
         match (self.started_at, self.completed_at) {
             (Some(s), Some(e)) => Some(e.saturating_since(s)),
             _ => None,
+        }
+    }
+
+    /// Terminal state implied by the timestamps.
+    pub fn outcome(&self) -> FlowOutcome {
+        if self.completed_at.is_some() {
+            FlowOutcome::Completed
+        } else if self.aborted_at.is_some() {
+            FlowOutcome::Aborted(AbortReason::RetriesExhausted)
+        } else {
+            FlowOutcome::InProgress
         }
     }
 

@@ -10,6 +10,7 @@ use cca::CcaKind;
 use netsim::ids::FlowId;
 use netsim::time::{SimDuration, SimTime};
 use netsim::units::Rate;
+use transport::stats::FlowOutcome;
 
 /// A timed rate-limit change (absolute time, new limit; `None` lifts it).
 pub type RateChange = (SimTime, Option<Rate>);
@@ -67,13 +68,21 @@ pub struct FlowReport {
     pub flow: FlowId,
     /// Algorithm name.
     pub cca: CcaKind,
-    /// Application bytes transferred.
+    /// How the flow ended: completed, or aborted by the sender's RTO
+    /// retry budget (fault-injection runs can kill the path).
+    pub outcome: FlowOutcome,
+    /// Application bytes *requested* (iperf3 `-n`).
     pub bytes: u64,
+    /// Application bytes actually acknowledged; equals `bytes` for a
+    /// completed flow, less for an aborted one.
+    pub bytes_acked: u64,
     /// When the first segment left the host.
     pub started_at: SimTime,
-    /// When the last byte was acknowledged.
+    /// When the flow reached its terminal state: last byte acked for a
+    /// completed flow, the moment the sender gave up for an aborted one.
     pub completed_at: SimTime,
-    /// Flow completion time (iperf3's wall time).
+    /// Flow completion time (iperf3's wall time). For an aborted flow,
+    /// the time from start until the abort.
     pub fct: SimDuration,
     /// Mean goodput over the FCT.
     pub mean_goodput: Rate,
@@ -119,7 +128,9 @@ mod tests {
         let r = FlowReport {
             flow: FlowId::from_raw(0),
             cca: CcaKind::Reno,
+            outcome: FlowOutcome::Completed,
             bytes: 0,
+            bytes_acked: 0,
             started_at: SimTime::ZERO,
             completed_at: SimTime::ZERO,
             fct: SimDuration::ZERO,

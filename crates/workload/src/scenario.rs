@@ -14,7 +14,8 @@ use cca::{CcaConfig, CcaKind};
 use energy::calibration::{self, MAX_HOST_PPS, PACING_PPS_BONUS};
 use energy::host::HostContext;
 use energy::meter::{EnergyMeter, EnergyReading};
-use netsim::engine::{EngineCounters, Network};
+use netsim::engine::{EngineCounters, Network, RunOutcome};
+use netsim::fault::FaultSpec;
 use netsim::ids::FlowId;
 use netsim::packet::HEADER_BYTES;
 use netsim::time::{SimDuration, SimTime};
@@ -68,7 +69,22 @@ pub struct Scenario {
     /// repetitions produce genuine spread (the simulator is otherwise a
     /// pure function of its inputs). `ZERO` disables.
     pub start_jitter: SimDuration,
+    /// Fault injection on the bottleneck link ("chaos mode"): random
+    /// loss, corruption, duplication, reordering, jitter, scheduled
+    /// outages. `None` keeps the wire perfect.
+    pub bottleneck_fault: Option<FaultSpec>,
+    /// Consecutive-RTO retry budget for every sender (`None` keeps the
+    /// transport default). Chaos runs lower this so flows on a dead path
+    /// abort in simulated seconds instead of minutes.
+    pub max_rto_retries: Option<u32>,
 }
+
+/// Engine stall watchdog budget: abort the run if this many events are
+/// processed without a single packet delivered to a host. Fault-free
+/// runs deliver packets every handful of events, and even a fully
+/// backed-off sender generates only a few timer events per RTO, so a
+/// genuine run never comes close; only a livelocked event loop does.
+const STALL_BUDGET_EVENTS: u64 = 2_000_000;
 
 impl Scenario {
     /// The paper's testbed defaults: 10 Gb/s, ~100 µs base RTT, 1 MB
@@ -90,6 +106,8 @@ impl Scenario {
             time_limit: None,
             colocate_senders: false,
             start_jitter: SimDuration::from_micros(200),
+            bottleneck_fault: None,
+            max_rto_retries: None,
         }
     }
 
@@ -114,6 +132,18 @@ impl Scenario {
     /// Multiplex all flows onto a single sender host.
     pub fn with_colocated_senders(mut self) -> Self {
         self.colocate_senders = true;
+        self
+    }
+
+    /// Install a fault spec on the bottleneck link (chaos mode).
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.bottleneck_fault = Some(spec);
+        self
+    }
+
+    /// Override every sender's consecutive-RTO retry budget.
+    pub fn with_max_rto_retries(mut self, retries: u32) -> Self {
+        self.max_rto_retries = Some(retries);
         self
     }
 
@@ -163,6 +193,12 @@ pub enum ScenarioError {
         /// The limit that was hit.
         limit: SimTime,
     },
+    /// The engine's stall watchdog tripped: the event loop churned
+    /// without delivering a single packet (livelock).
+    Stalled {
+        /// Simulated time when the watchdog gave up.
+        at: SimTime,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -170,6 +206,9 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::Incomplete { flow, limit } => {
                 write!(f, "flow {flow} incomplete at time limit {limit}")
+            }
+            ScenarioError::Stalled { at } => {
+                write!(f, "event loop stalled (no packet progress) at {at}")
             }
         }
     }
@@ -197,6 +236,15 @@ pub struct ScenarioOutcome {
     pub dropped_pkts: u64,
     /// Packets CE-marked at queues.
     pub marked_pkts: u64,
+    /// Frames lost to the fault layer (disjoint from `dropped_pkts`,
+    /// which counts congestive queue drops only).
+    pub injected_drops: u64,
+    /// Frames bit-corrupted by the fault layer (discarded at the host).
+    pub injected_corrupts: u64,
+    /// Frames duplicated by the fault layer.
+    pub injected_dups: u64,
+    /// Frames held back for reordering by the fault layer.
+    pub injected_reorders: u64,
     /// Per-flow throughput series in Gb/s (if tracing was enabled),
     /// in flow order.
     pub throughput_traces: Option<Vec<Vec<f64>>>,
@@ -263,6 +311,10 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         },
     };
     let dumbbell = Dumbbell::build(&mut net, &cfg);
+    if let Some(spec) = &scenario.bottleneck_fault {
+        net.set_link_fault(dumbbell.bottleneck, spec.clone());
+    }
+    net.set_stall_budget(Some(STALL_BUDGET_EVENTS));
 
     let baseline_cwnd =
         ((scenario.bdp_bytes() + scenario.buffer_bytes) as f64 * BASELINE_CWND_FACTOR) as u64;
@@ -295,6 +347,9 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
             .with_min_pkt_gap(min_gap)
             .with_rtt_hint(base_rtt)
             .with_start_delay(spec.start_delay + jitters[i]);
+        if let Some(retries) = scenario.max_rto_retries {
+            cfg = cfg.with_max_rto_retries(retries);
+        }
         if let Some(rate) = spec.rate_limit {
             cfg = cfg.with_rate_limit(rate);
         }
@@ -327,9 +382,12 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
     net.attach_agent(dumbbell.receiver, Box::new(TcpReceiver::new(policy)));
 
     let limit = scenario.time_limit.unwrap_or_else(|| scenario.default_time_limit());
-    net.run_until(limit);
+    if net.run_until(limit) == RunOutcome::Stalled {
+        return Err(ScenarioError::Stalled { at: net.now() });
+    }
 
-    // Collect per-flow reports; all flows must have completed.
+    // Collect per-flow reports; every flow must have reached a terminal
+    // state — completed, or cleanly aborted by its retry budget.
     let mut reports = Vec::with_capacity(scenario.flows.len());
     for (i, spec) in scenario.flows.iter().enumerate() {
         let flow = FlowId::from_raw(i as u32);
@@ -344,19 +402,27 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
                 .expect("sender agent present");
             (sender.stats(), sender.compute_cost_factor())
         };
-        let (Some(started_at), Some(completed_at)) = (stats.started_at, stats.completed_at)
-        else {
-            return Err(ScenarioError::Incomplete { flow, limit });
+        // An aborted flow's terminal time is the abort; its goodput is
+        // over the bytes it actually moved.
+        let terminal_at = match (stats.completed_at, stats.aborted_at) {
+            (Some(done), _) => done,
+            (None, Some(gave_up)) => gave_up,
+            (None, None) => return Err(ScenarioError::Incomplete { flow, limit }),
         };
-        let fct = completed_at.saturating_since(started_at);
+        let started_at = stats
+            .started_at
+            .ok_or(ScenarioError::Incomplete { flow, limit })?;
+        let fct = terminal_at.saturating_since(started_at);
         reports.push(FlowReport {
             flow,
             cca: spec.cca,
+            outcome: stats.outcome(),
             bytes: spec.bytes,
+            bytes_acked: stats.bytes_acked,
             started_at,
-            completed_at,
+            completed_at: terminal_at,
             fct,
-            mean_goodput: netsim::units::average_rate(spec.bytes, fct),
+            mean_goodput: netsim::units::average_rate(stats.bytes_acked, fct),
             retransmits: stats.retx_segs,
             rtos: stats.rto_count,
             segs_sent: stats.segs_sent,
@@ -438,6 +504,10 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         receiver_energy_j: receiver_reading.joules,
         dropped_pkts: net_stats.dropped_pkts,
         marked_pkts: net_stats.marked_pkts,
+        injected_drops: net_stats.injected_drops,
+        injected_corrupts: net_stats.injected_corrupts,
+        injected_dups: net_stats.injected_dups,
+        injected_reorders: net_stats.injected_reorders,
         throughput_traces,
         sender_power_series_w,
         power_bin: scenario.activity_bin,
@@ -641,6 +711,92 @@ mod tests {
         for out in [&separate, &colocated] {
             assert!(out.reports.iter().all(|r| r.bytes == 100 * MB));
         }
+    }
+
+    #[test]
+    fn lossy_bottleneck_completes_and_attributes_drops() {
+        let out = run(&Scenario::new(
+            9000,
+            vec![
+                FlowSpec::bulk(CcaKind::Cubic, 50 * MB),
+                FlowSpec::bulk(CcaKind::Reno, 50 * MB),
+            ],
+        )
+        .with_fault(FaultSpec::random_loss(1e-3))
+        .with_seed(11))
+        .unwrap();
+        assert!(out.injected_drops > 0, "0.1% loss must hit some frames");
+        assert!(out.reports.iter().all(|r| r.outcome.is_completed()));
+        assert!(
+            out.reports.iter().map(|r| r.retransmits).sum::<u64>() > 0,
+            "injected losses must force retransmissions"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_still_deterministic() {
+        let s = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)])
+            .with_fault(
+                FaultSpec::random_loss(1e-3)
+                    .with_reordering(1e-3, SimDuration::from_micros(80)),
+            )
+            .with_seed(13);
+        let a = run(&s).unwrap();
+        let b = run(&s).unwrap();
+        assert_eq!(a.engine.events_processed, b.engine.events_processed);
+        assert_eq!(a.injected_drops, b.injected_drops);
+        assert_eq!(a.reports[0].fct, b.reports[0].fct);
+        assert_eq!(a.sender_energy_j, b.sender_energy_j);
+    }
+
+    #[test]
+    fn dead_bottleneck_reports_aborted_flows() {
+        use transport::stats::FlowOutcome;
+        let out = run(&Scenario::new(
+            9000,
+            vec![FlowSpec::bulk(CcaKind::Cubic, 10 * MB)],
+        )
+        .with_fault(FaultSpec::random_loss(1.0))
+        .with_max_rto_retries(3))
+        .unwrap();
+        let r = &out.reports[0];
+        assert!(
+            matches!(r.outcome, FlowOutcome::Aborted(_)),
+            "outcome={:?}",
+            r.outcome
+        );
+        assert_eq!(r.bytes_acked, 0);
+        assert!(r.rtos >= 4);
+        // The abort bounds the measurement window instead of hanging the
+        // run at the time limit.
+        assert!(out.sim_end < SimTime::from_secs(30), "sim_end={}", out.sim_end);
+    }
+
+    #[test]
+    fn mid_run_flap_delays_but_does_not_kill_the_flow() {
+        let clean = run(
+            &Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 100 * MB)]).with_seed(5),
+        )
+        .unwrap();
+        let flapped = run(
+            &Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 100 * MB)])
+                .with_seed(5)
+                .with_fault(FaultSpec::default().with_flap(
+                    SimTime::from_millis(20),
+                    SimTime::from_millis(120),
+                )),
+        )
+        .unwrap();
+        assert!(flapped.reports[0].outcome.is_completed());
+        assert!(flapped.injected_drops > 0, "the outage must eat frames");
+        // A 100 ms outage costs roughly that much completion time.
+        assert!(
+            flapped.reports[0].fct
+                >= clean.reports[0].fct + SimDuration::from_millis(50),
+            "clean={} flapped={}",
+            clean.reports[0].fct,
+            flapped.reports[0].fct
+        );
     }
 
     #[test]

@@ -3,9 +3,21 @@
 # quick-scale smoke run of every figure binary. This is what CI (and a
 # reviewer) should run before merging engine or experiment changes.
 #
-# Usage: scripts/verify.sh
+# Usage: scripts/verify.sh [--chaos]
+#   --chaos  additionally run the fault-injection suite: the netsim and
+#            transport chaos property tests, the golden determinism
+#            fingerprints (clean + faulted), and a quick-scale run of the
+#            chaos experiment binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+chaos=0
+for arg in "$@"; do
+    case "$arg" in
+        --chaos) chaos=1 ;;
+        *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
@@ -22,5 +34,16 @@ smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
 (cd "$smoke" && GREENENVY_SCALE=quick \
     cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin all)
+
+if [[ $chaos -eq 1 ]]; then
+    echo "== chaos stage: fault-injection properties =="
+    cargo test -q --release --offline -p netsim --test proptest_fault
+    cargo test -q --release --offline -p transport --test proptest_chaos
+    echo "== chaos stage: golden fingerprints (clean + faulted) =="
+    cargo test -q --release --offline -p greenenvy --test golden_determinism
+    echo "== chaos stage: experiment smoke run (GREENENVY_SCALE=quick) =="
+    (cd "$smoke" && GREENENVY_SCALE=quick \
+        cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin chaos)
+fi
 
 echo "verify.sh: all green"
