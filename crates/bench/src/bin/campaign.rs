@@ -1,0 +1,124 @@
+//! Durable CCA × MTU campaign runner.
+//!
+//! Runs the Figures 5-8 measurement campaign with the durability layer
+//! switched on: an fsynced per-cell checkpoint journal, graceful
+//! SIGINT/SIGTERM shutdown (finish the in-flight cells, keep the
+//! journal, emit a partial matrix), and optional per-cell deadlines and
+//! paranoid-mode physics audits.
+//!
+//! ```text
+//! campaign [--resume] [--paranoid] [--deadline <secs>]
+//!          [--threads <n>] [--journal <path>]
+//! ```
+//!
+//! * `--resume` — reuse journaled cells; only missing/failed ones run.
+//! * `--paranoid` — audit every repetition against the simulator's
+//!   conservation laws (energy floor, frame accounting, byte bounds,
+//!   monotone clocks).
+//! * `--deadline` — wall-clock budget per cell, in seconds; a cell that
+//!   blows it fails (and is retried) instead of hanging the campaign.
+//! * `--threads` — worker count (default: all cores).
+//! * `--journal` — journal path (default: `results/campaign_<scale>.jsonl`).
+//!
+//! `GREENENVY_SCALE=paper|standard|quick|tiny` picks the workload.
+//!
+//! Exit status: 0 — complete matrix; 3 — finished with failed cells;
+//! 130 — cancelled by a signal (journal intact, resume to continue);
+//! 1 — durability machinery failed (e.g. unwritable journal);
+//! 2 — usage error.
+
+use greenenvy::campaign::{self, CampaignOptions};
+use greenenvy::Scale;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--resume] [--paranoid] [--deadline <secs>] \
+         [--threads <n>] [--journal <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_arg<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(raw) = args.next() else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid value {raw:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut opts = CampaignOptions {
+        cancel: campaign::install_signal_handlers(),
+        ..Default::default()
+    };
+    let mut journal: Option<PathBuf> = None;
+
+    let mut args = std::env::args();
+    args.next(); // program name
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--resume" => opts.resume = true,
+            "--paranoid" => opts.paranoid = true,
+            "--deadline" => {
+                opts.deadline = Some(Duration::from_secs_f64(parse_arg(&mut args, "--deadline")))
+            }
+            "--threads" => opts.threads = parse_arg(&mut args, "--threads"),
+            "--journal" => journal = Some(PathBuf::from(parse_arg::<String>(&mut args, "--journal"))),
+            _ => {
+                eprintln!("error: unknown flag {arg:?}");
+                usage();
+            }
+        }
+    }
+    opts.journal = Some(journal.unwrap_or_else(|| {
+        PathBuf::from("results").join(format!("campaign_{}.jsonl", scale.name))
+    }));
+
+    bench::announce("Durable campaign", &scale);
+    println!(
+        "journal: {} | resume: {} | paranoid: {} | deadline: {} | threads: {}\n",
+        opts.journal.as_deref().unwrap_or(std::path::Path::new("-")).display(),
+        opts.resume,
+        opts.paranoid,
+        opts.deadline.map_or("none".to_string(), |d| format!("{}s/cell", d.as_secs_f64())),
+        opts.threads,
+    );
+
+    let report = match campaign::run_campaign(scale, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // The matrix artifact is emitted even when partial: resumed runs
+    // overwrite it, and the figure binaries' cache check refuses to
+    // reuse an incomplete file.
+    if let Some(p) = bench::save_json(&format!("matrix_{}", scale.name), &report.matrix) {
+        println!("matrix: {}", p.display());
+    }
+    println!(
+        "cells: {} reused, {} executed, {} skipped, {} failed",
+        report.reused,
+        report.executed,
+        report.skipped,
+        report.matrix.failed.len()
+    );
+    for f in &report.matrix.failed {
+        eprintln!("failed: {} @ mtu {}: {} / retry: {}", f.cca, f.mtu, f.error, f.retry_error);
+    }
+    if report.cancelled {
+        println!("cancelled — journal is intact; rerun with --resume to continue");
+        std::process::exit(130);
+    }
+    if !report.matrix.is_complete() {
+        std::process::exit(3);
+    }
+}

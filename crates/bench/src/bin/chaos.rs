@@ -5,7 +5,13 @@ use greenenvy::{chaos, Scale};
 fn main() {
     let scale = Scale::from_env();
     bench::announce("Chaos", &scale);
-    let result = chaos::run(&chaos::Config::at_scale(scale));
+    let result = match chaos::run(&chaos::Config::at_scale(scale)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: chaos sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("{}", chaos::render(&result));
     if let Some(p) = bench::save_json("chaos", &result) {
         println!("json: {}", p.display());

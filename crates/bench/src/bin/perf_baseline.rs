@@ -54,6 +54,20 @@ struct ChaosOverhead {
     overhead_frac: f64,
 }
 
+/// Cost of the paranoid-mode invariant audit on a clean run: the same
+/// scenario with and without [`greenenvy::campaign::invariant::check`]
+/// after it. The audit is pure arithmetic over counters the scenario
+/// already collects, so it shares the chaos hooks' 2% budget.
+#[derive(Serialize)]
+struct ParanoidOverhead {
+    /// Reference scenario, audit off.
+    plain_wall_s: f64,
+    /// Same scenario with the invariant audit after each run.
+    paranoid_wall_s: f64,
+    /// (paranoid - plain) / plain. The budget is 2%.
+    overhead_frac: f64,
+}
+
 #[derive(Serialize)]
 struct Baseline {
     /// What produced this file.
@@ -66,6 +80,8 @@ struct Baseline {
     total_events_per_sec: f64,
     /// Fault-hook cost on the fault-free hot path.
     chaos_overhead: ChaosOverhead,
+    /// Invariant-audit cost on the clean hot path.
+    paranoid_overhead: ParanoidOverhead,
 }
 
 fn measure(name: &str, scenario: &Scenario) -> ScenarioPerf {
@@ -102,12 +118,19 @@ fn measure(name: &str, scenario: &Scenario) -> ScenarioPerf {
     perf
 }
 
-/// Best-of-N wall time for one scenario (results discarded).
-fn best_wall(scenario: &Scenario, runs: u32) -> f64 {
+/// Best-of-N wall time for one scenario (results discarded). When
+/// `paranoid` is set the invariant audit runs after each scenario, so
+/// its cost lands inside the timed region.
+fn best_wall(scenario: &Scenario, runs: u32, paranoid: bool) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..runs {
         let start = Instant::now();
-        workload::scenario::run(scenario).unwrap_or_else(|e| panic!("overhead probe: {e}"));
+        let out = workload::scenario::run(scenario)
+            .unwrap_or_else(|e| panic!("overhead probe: {e}"));
+        if paranoid {
+            greenenvy::campaign::invariant::check(&out, scenario.mtu)
+                .unwrap_or_else(|v| panic!("overhead probe: {v}"));
+        }
         best = best.min(start.elapsed().as_secs_f64());
     }
     best
@@ -123,8 +146,8 @@ fn measure_chaos_overhead() -> ChaosOverhead {
     let mut plain_wall = f64::INFINITY;
     let mut faulted_wall = f64::INFINITY;
     for _ in 0..OVERHEAD_RUNS {
-        plain_wall = plain_wall.min(best_wall(&plain, 1));
-        faulted_wall = faulted_wall.min(best_wall(&faulted, 1));
+        plain_wall = plain_wall.min(best_wall(&plain, 1, false));
+        faulted_wall = faulted_wall.min(best_wall(&faulted, 1, false));
     }
     let overhead = ChaosOverhead {
         plain_wall_s: plain_wall,
@@ -136,6 +159,31 @@ fn measure_chaos_overhead() -> ChaosOverhead {
          plain {:.4} s, faulted {:.4} s, {:+.2}% (budget 2%)",
         overhead.plain_wall_s,
         overhead.faulted_wall_s,
+        overhead.overhead_frac * 100.0
+    );
+    overhead
+}
+
+fn measure_paranoid_overhead() -> ParanoidOverhead {
+    let scenario = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)]);
+    // Interleave the variants so host-frequency drift hits both equally.
+    const OVERHEAD_RUNS: u32 = 4;
+    let mut plain_wall = f64::INFINITY;
+    let mut paranoid_wall = f64::INFINITY;
+    for _ in 0..OVERHEAD_RUNS {
+        plain_wall = plain_wall.min(best_wall(&scenario, 1, false));
+        paranoid_wall = paranoid_wall.min(best_wall(&scenario, 1, true));
+    }
+    let overhead = ParanoidOverhead {
+        plain_wall_s: plain_wall,
+        paranoid_wall_s: paranoid_wall,
+        overhead_frac: (paranoid_wall - plain_wall) / plain_wall,
+    };
+    println!(
+        "paranoid overhead (invariant audit on a clean run): \
+         plain {:.4} s, paranoid {:.4} s, {:+.2}% (budget 2%)",
+        overhead.plain_wall_s,
+        overhead.paranoid_wall_s,
         overhead.overhead_frac * 100.0
     );
     overhead
@@ -182,6 +230,7 @@ fn main() {
         total_events_per_sec: total_events as f64 / total_wall_s,
         scenarios,
         chaos_overhead: measure_chaos_overhead(),
+        paranoid_overhead: measure_paranoid_overhead(),
     };
     println!(
         "\ntotal: {:.3} s wall, {:.2} M events/s",
@@ -192,11 +241,11 @@ fn main() {
     // Anchor at the repo root (two levels up from this crate), not the
     // cwd, so the tracked file is refreshed wherever the bin runs from.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_netsim.json");
-    match serde_json::to_string_pretty(&baseline) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-        },
-        Err(e) => eprintln!("warning: cannot serialize baseline: {e}"),
+    match greenenvy::campaign::persist::save_json_atomic(&path, &baseline) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }

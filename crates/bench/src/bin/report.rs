@@ -108,9 +108,14 @@ fn main() {
         }
     }
 
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/REPORT.md", &md).expect("write report");
-    println!("wrote results/REPORT.md ({} bytes)", md.len());
+    // Atomic write (temp + rename), creating `results/` if missing; a
+    // failure names the path and exits nonzero instead of panicking.
+    let path = Path::new("results/REPORT.md");
+    if let Err(e) = greenenvy::campaign::persist::write_atomic(path, md.as_bytes()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} ({} bytes)", path.display(), md.len());
 }
 
 /// Keep reports readable: drop bulky embedded matrices from the summary.

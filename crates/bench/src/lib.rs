@@ -3,42 +3,37 @@
 //! * `src/bin/fig1.rs` … `fig8.rs`, `theorem1.rs`, `all.rs` — binaries
 //!   that rerun each of the paper's figures and print the same
 //!   rows/series the paper reports (`cargo run --release -p bench --bin
-//!   fig1`). `GREENENVY_SCALE=paper|standard|quick` selects the workload
-//!   size. Each binary also writes its typed result as JSON under
-//!   `results/`.
+//!   fig1`). `GREENENVY_SCALE=paper|standard|quick|tiny` selects the
+//!   workload size. Each binary also writes its typed result as JSON
+//!   under `results/`.
+//! * `src/bin/campaign.rs` — the durable CCA × MTU campaign runner:
+//!   checkpoint journal, `--resume`, per-cell `--deadline`, paranoid
+//!   invariant audits, and graceful SIGINT/SIGTERM shutdown.
 //! * `src/bin/cca_table.rs` — the one-screen diagnostic table of every
 //!   CCA's behaviour at a chosen transfer size and MTU.
 //! * `benches/` — Criterion benches: one scaled-down run per figure plus
 //!   micro-benchmarks of the simulator's hot paths and ablations of the
 //!   design choices called out in `DESIGN.md`.
 
+use greenenvy::campaign::persist;
 use serde::Serialize;
 use std::path::PathBuf;
 
 /// Write an experiment result as pretty JSON under `results/`, returning
-/// the path. Failures are reported but non-fatal (the printed tables are
-/// the primary artefact).
+/// the path. The write is atomic (temp file + rename): a crash or a
+/// concurrent reader never sees a torn artifact. Failures are reported
+/// but non-fatal (the printed tables are the primary artefact).
 pub fn save_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
     save_json_in(&PathBuf::from("results"), name, value)
 }
 
 /// [`save_json`] with an explicit directory.
 pub fn save_json_in<T: Serialize>(dir: &std::path::Path, name: &str, value: &T) -> Option<PathBuf> {
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return None;
-    }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => Some(path),
-            Err(e) => {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-                None
-            }
-        },
+    match persist::save_json_atomic(&path, value) {
+        Ok(()) => Some(path),
         Err(e) => {
-            eprintln!("warning: cannot serialize {name}: {e}");
+            eprintln!("warning: {e}");
             None
         }
     }
@@ -50,6 +45,42 @@ pub fn announce(figure: &str, scale: &greenenvy::Scale) {
         "=== {figure} | scale: {} ({} bytes/transfer, {} reps) ===\n",
         scale.name, scale.transfer_bytes, scale.repetitions
     );
+}
+
+/// Load a cached campaign matrix for this scale from `results/`, or run
+/// it and cache it. Figures 5-8 all project the same campaign (as in the
+/// paper), so consecutive figure binaries reuse one run.
+pub fn load_or_run_matrix(scale: greenenvy::Scale) -> greenenvy::matrix::Matrix {
+    let path = PathBuf::from("results").join(format!("matrix_{}.json", scale.name));
+    if let Ok(body) = std::fs::read_to_string(&path) {
+        if let Ok(matrix) = serde_json::from_str::<greenenvy::matrix::Matrix>(&body) {
+            if matrix_matches(&matrix, &scale) {
+                println!("(reusing cached campaign {})\n", path.display());
+                return matrix;
+            }
+        }
+    }
+    let matrix = greenenvy::matrix::run_matrix(scale);
+    let _ = save_json(&format!("matrix_{}", scale.name), &matrix);
+    matrix
+}
+
+/// Is a cached matrix safe to reuse for `scale`?
+///
+/// The seed list is part of the cache key: two scales can share transfer
+/// size and repetition count yet run different seed schedules, and a
+/// stale cache would silently change every figure downstream. Likewise a
+/// *partial* matrix (from a cancelled or failing campaign) must never be
+/// mistaken for the real thing, and neither may a file written under an
+/// older result schema.
+pub fn matrix_matches(matrix: &greenenvy::matrix::Matrix, scale: &greenenvy::Scale) -> bool {
+    use cca::CcaKind;
+    matrix.schema_version == greenenvy::matrix::MATRIX_SCHEMA_VERSION
+        && matrix.transfer_bytes == scale.transfer_bytes
+        && matrix.repetitions == scale.repetitions
+        && matrix.seeds == scale.seeds()
+        && matrix.is_complete()
+        && matrix.cells.len() == CcaKind::ALL.len() * greenenvy::matrix::MTUS.len()
 }
 
 #[cfg(test)]
@@ -64,29 +95,45 @@ mod tests {
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"x\": 1"));
     }
-}
 
-/// Load a cached campaign matrix for this scale from `results/`, or run
-/// it and cache it. Figures 5-8 all project the same campaign (as in the
-/// paper), so consecutive figure binaries reuse one run.
-pub fn load_or_run_matrix(scale: greenenvy::Scale) -> greenenvy::matrix::Matrix {
-    let path = PathBuf::from("results").join(format!("matrix_{}.json", scale.name));
-    if let Ok(body) = std::fs::read_to_string(&path) {
-        if let Ok(matrix) = serde_json::from_str::<greenenvy::matrix::Matrix>(&body) {
-            // The seed list is part of the cache key: two scales can share
-            // transfer size and repetition count yet run different seed
-            // schedules, and a stale cache would silently change every
-            // figure downstream.
-            if matrix.transfer_bytes == scale.transfer_bytes
-                && matrix.repetitions == scale.repetitions
-                && matrix.seeds == scale.seeds()
-            {
-                println!("(reusing cached campaign {})\n", path.display());
-                return matrix;
-            }
-        }
+    #[test]
+    fn partial_or_stale_matrices_are_rejected_by_the_cache_key() {
+        use greenenvy::matrix::{CellFailure, Matrix, MATRIX_SCHEMA_VERSION};
+        let scale = greenenvy::Scale::quick();
+        let complete = |cells: Vec<greenenvy::matrix::Cell>| Matrix {
+            schema_version: MATRIX_SCHEMA_VERSION,
+            transfer_bytes: scale.transfer_bytes,
+            repetitions: scale.repetitions,
+            seeds: scale.seeds(),
+            cells,
+            failed: Vec::new(),
+        };
+        // An empty cell list is "complete" (no failures) but not full.
+        let empty = complete(Vec::new());
+        assert!(!matrix_matches(&empty, &scale), "missing cells must not cache-hit");
+        let mut failed = complete(Vec::new());
+        failed.failed.push(CellFailure {
+            cca: "cubic".into(),
+            mtu: 1500,
+            error: "x".into(),
+            retry_error: "y".into(),
+        });
+        assert!(!matrix_matches(&failed, &scale), "partial matrix must not cache-hit");
+        let mut stale = complete(Vec::new());
+        stale.schema_version = 0;
+        assert!(!matrix_matches(&stale, &scale), "old schema must not cache-hit");
     }
-    let matrix = greenenvy::matrix::run_matrix(scale);
-    let _ = save_json(&format!("matrix_{}", scale.name), &matrix);
-    matrix
+
+    #[test]
+    fn tracked_standard_matrix_still_cache_hits() {
+        // The checked-in artifact must keep deserializing under the
+        // current schema and satisfying the cache key — otherwise every
+        // figure binary silently re-runs the standard-scale campaign.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/matrix_standard.json");
+        let body = std::fs::read_to_string(&path).expect("tracked matrix artifact exists");
+        let matrix: greenenvy::matrix::Matrix =
+            serde_json::from_str(&body).expect("tracked matrix deserializes");
+        assert!(matrix_matches(&matrix, &greenenvy::Scale::standard()));
+    }
 }

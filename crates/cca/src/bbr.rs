@@ -443,7 +443,7 @@ mod tests {
         for r in 0..rounds {
             // 4 acks per round.
             for _ in 0..4 {
-                now = now + SimDuration::from_micros(rtt_us / 4);
+                now += SimDuration::from_micros(rtt_us / 4);
                 cc.on_ack(&ack_full(
                     25_000,
                     now,
@@ -511,7 +511,7 @@ mod tests {
         assert_eq!(cc.mode(), Mode::ProbeRtt);
         assert_eq!(cc.cwnd(), 4 * MSS as u64);
         // After 200 ms it exits and restores.
-        t = t + SimDuration::from_millis(250);
+        t += SimDuration::from_millis(250);
         cc.on_ack(&ack_full(25_000, t, 101, 100, 100, Some(8.0), 4_000));
         assert_eq!(cc.mode(), Mode::ProbeBw);
         assert!(cc.cwnd() > 4 * MSS as u64);
@@ -542,7 +542,7 @@ mod tests {
         });
         // The inflight ceiling now binds the window below the loss level.
         let mut now = SimTime::from_secs(1);
-        now = now + SimDuration::from_micros(100);
+        now += SimDuration::from_micros(100);
         cc.on_ack(&ack_full(25_000, now, 30, 100, 100, Some(8.0), 100_000));
         assert!(
             cc.cwnd() <= (before as f64 * 0.85) as u64 + MSS as u64,

@@ -1,0 +1,212 @@
+//! The paranoid-mode invariant checker.
+//!
+//! Opt-in physics audits over a finished [`ScenarioOutcome`]. Every law
+//! here is something the simulator *must* satisfy by construction, so a
+//! violation always means a bug (or memory corruption) — never a tuning
+//! problem. The checks are pure arithmetic over counters the scenario
+//! already collects: when paranoid mode is off, nothing here runs and
+//! the hot path pays nothing.
+//!
+//! The laws:
+//! 1. **Frame conservation** — every frame handed to the network is
+//!    accounted for: delivered, discarded as corrupt, dropped by the
+//!    fault layer, or dropped at a queue. Exact at quiescence
+//!    ([`RunOutcome::Drained`]); an inequality otherwise (frames may
+//!    still be in flight).
+//! 2. **Energy floor** — a sender can never burn less than idle power
+//!    over the measurement window.
+//! 3. **Byte accounting** — a flow cannot ack more than it asked to
+//!    send, nor more than its segments could carry.
+//! 4. **Monotone time** — flows finish after they start, and the
+//!    simulation clock ends at or after the measurement window.
+
+use energy::calibration::P_IDLE_W;
+use netsim::engine::RunOutcome;
+use netsim::packet::HEADER_BYTES;
+use workload::scenario::ScenarioOutcome;
+
+/// A broken invariant: which law, and the numbers that broke it.
+#[derive(Clone, Debug)]
+pub struct Violation(String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Relative slack for floating-point comparisons (the RAPL counter
+/// quantizes to 61 µJ; exact equality on energies is not meaningful).
+const F64_SLACK: f64 = 1e-6;
+
+/// Audit one scenario outcome against every law. `mtu` is the
+/// scenario's MTU (bounds each segment's payload).
+pub fn check(out: &ScenarioOutcome, mtu: u32) -> Result<(), Violation> {
+    check_conservation(out)?;
+    check_energy_floor(out)?;
+    check_byte_accounting(out, mtu)?;
+    check_monotone_time(out)
+}
+
+fn check_conservation(out: &ScenarioOutcome) -> Result<(), Violation> {
+    let sent = out.originated_pkts + out.injected_dups;
+    let accounted =
+        out.delivered_pkts + out.corrupt_discards + out.injected_drops + out.dropped_pkts;
+    if out.run_outcome == RunOutcome::Drained {
+        if sent != accounted {
+            return Err(Violation(format!(
+                "frame conservation at quiescence: originated {} + dup {} != \
+                 delivered {} + corrupt {} + injected-drop {} + queue-drop {}",
+                out.originated_pkts,
+                out.injected_dups,
+                out.delivered_pkts,
+                out.corrupt_discards,
+                out.injected_drops,
+                out.dropped_pkts,
+            )));
+        }
+    } else if accounted > sent {
+        // Before quiescence frames may be in flight, so only the
+        // direction is checkable: nothing can arrive that wasn't sent.
+        return Err(Violation(format!(
+            "frame over-delivery: {accounted} frames accounted for but only {sent} entered",
+        )));
+    }
+    Ok(())
+}
+
+fn check_energy_floor(out: &ScenarioOutcome) -> Result<(), Violation> {
+    let floor = P_IDLE_W * out.window.as_secs_f64();
+    for r in &out.sender_readings {
+        if r.joules < floor * (1.0 - F64_SLACK) - F64_SLACK {
+            return Err(Violation(format!(
+                "sender energy below the idle floor: {} J over {:.6} s window \
+                 (idle alone is {floor} J)",
+                r.joules,
+                out.window.as_secs_f64(),
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_byte_accounting(out: &ScenarioOutcome, mtu: u32) -> Result<(), Violation> {
+    let mss = mtu.saturating_sub(HEADER_BYTES) as u64;
+    for r in &out.reports {
+        if r.bytes_acked > r.bytes {
+            return Err(Violation(format!(
+                "flow {:?}: {} bytes acked out of {} requested",
+                r.flow, r.bytes_acked, r.bytes,
+            )));
+        }
+        if r.bytes_acked > r.segs_sent * mss {
+            return Err(Violation(format!(
+                "flow {:?}: {} bytes acked but {} segments × {mss} B mss \
+                 could carry only {}",
+                r.flow,
+                r.bytes_acked,
+                r.segs_sent,
+                r.segs_sent * mss,
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_monotone_time(out: &ScenarioOutcome) -> Result<(), Violation> {
+    for r in &out.reports {
+        if r.completed_at < r.started_at {
+            return Err(Violation(format!(
+                "flow {:?} completed at {} ns before starting at {} ns",
+                r.flow,
+                r.completed_at.as_nanos(),
+                r.started_at.as_nanos(),
+            )));
+        }
+    }
+    if out.sim_end.as_nanos() < out.window.as_nanos() {
+        return Err(Violation(format!(
+            "simulation clock ended at {} ns inside a {} ns measurement window",
+            out.sim_end.as_nanos(),
+            out.window.as_nanos(),
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca::CcaKind;
+    use netsim::units::MB;
+    use workload::prelude::*;
+
+    fn outcome(mtu: u32, seed: u64) -> ScenarioOutcome {
+        let scenario =
+            Scenario::new(mtu, vec![FlowSpec::bulk(CcaKind::Cubic, 20 * MB)]).with_seed(seed);
+        workload::scenario::run(&scenario).expect("scenario completes")
+    }
+
+    #[test]
+    fn a_clean_run_passes_every_law() {
+        let out = outcome(1500, 7);
+        check(&out, 1500).expect("clean run satisfies the physics");
+    }
+
+    #[test]
+    fn a_faulty_run_still_passes() {
+        let scenario = Scenario::new(3000, vec![FlowSpec::bulk(CcaKind::Reno, 20 * MB)])
+            .with_seed(11)
+            .with_fault(
+                netsim::fault::FaultSpec::random_loss(1e-4)
+                    .with_corruption(1e-4)
+                    .with_duplication(1e-4),
+            );
+        let out = workload::scenario::run(&scenario).expect("faulty scenario completes");
+        check(&out, 3000).expect("fault layer keeps the books balanced");
+    }
+
+    #[test]
+    fn cooked_counters_are_caught() {
+        let mut out = outcome(1500, 7);
+        out.delivered_pkts += 1;
+        let err = check(&out, 1500).unwrap_err();
+        assert!(err.to_string().contains("conservation"), "{err}");
+    }
+
+    #[test]
+    fn impossible_energy_is_caught() {
+        let mut out = outcome(1500, 7);
+        out.sender_readings[0].joules = 0.001;
+        let err = check(&out, 1500).unwrap_err();
+        assert!(err.to_string().contains("idle floor"), "{err}");
+    }
+
+    #[test]
+    fn over_acked_flow_is_caught() {
+        let mut out = outcome(1500, 7);
+        out.reports[0].bytes_acked = out.reports[0].bytes + 1;
+        let err = check(&out, 1500).unwrap_err();
+        assert!(err.to_string().contains("acked"), "{err}");
+    }
+
+    #[test]
+    fn segment_capacity_bound_is_enforced() {
+        let mut out = outcome(1500, 7);
+        out.reports[0].segs_sent /= 2;
+        let err = check(&out, 1500).unwrap_err();
+        assert!(err.to_string().contains("mss"), "{err}");
+    }
+
+    #[test]
+    fn backwards_clock_is_caught() {
+        let mut out = outcome(1500, 7);
+        out.reports[0].completed_at = netsim::time::SimTime::ZERO;
+        // started_at > 0 for a real flow, so this clock runs backwards.
+        assert!(out.reports[0].started_at.as_nanos() > 0);
+        let err = check(&out, 1500).unwrap_err();
+        assert!(err.to_string().contains("before starting"), "{err}");
+    }
+}

@@ -1,0 +1,416 @@
+//! The append-only per-cell checkpoint journal.
+//!
+//! One JSONL file per campaign. Line 1 is a header carrying a
+//! *fingerprint* — a hash over everything that determines cell results:
+//! code revision, matrix schema, transfer size, repetition count, the
+//! exact seed schedule, and the CCA × MTU job list. Every following line
+//! is one completed (or terminally failed) cell, stored as an escaped
+//! JSON string plus a content hash over `fingerprint + record bytes`.
+//!
+//! The paranoia is deliberate and layered:
+//! * a **fingerprint mismatch** (code changed, scale changed, seeds
+//!   changed) invalidates the whole journal — stale cells are never
+//!   merged into a fresh campaign;
+//! * a **bad content hash** invalidates just that record — bit rot or a
+//!   partial overwrite costs one cell, not the run;
+//! * a **torn final line** (the classic crash-mid-append) is silently
+//!   dropped — exactly the record the crash interrupted;
+//! * records are **fsynced one by one**, so a journal never claims a
+//!   cell the disk doesn't hold.
+//!
+//! Loading therefore returns only records that are provably from this
+//! exact campaign configuration; everything else is re-run.
+
+use crate::matrix::{Cell, CellFailure, MATRIX_SCHEMA_VERSION};
+use crate::scale::Scale;
+use cca::CcaKind;
+use serde::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Bump when the meaning of a cell result changes without the matrix
+/// schema moving (e.g. a simulator behaviour fix that shifts numbers):
+/// journaled cells from before the bump must not satisfy `--resume`.
+pub const JOURNAL_CODE_REV: u32 = 1;
+
+/// Journal line-format version.
+const JOURNAL_SCHEMA: u32 = 1;
+
+/// 64-bit FNV-1a. Not cryptographic — the threat model is bit rot, torn
+/// writes, and stale files, not an adversary forging cells.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The campaign configuration fingerprint carried by the journal header
+/// and mixed into every record hash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint(String);
+
+impl Fingerprint {
+    /// Fingerprint of a campaign at `scale` under the current code.
+    pub fn of(scale: &Scale) -> Fingerprint {
+        let mut spec = format!(
+            "pkg={};schema={};rev={};bytes={};reps={};seeds=",
+            env!("CARGO_PKG_VERSION"),
+            MATRIX_SCHEMA_VERSION,
+            JOURNAL_CODE_REV,
+            scale.transfer_bytes,
+            scale.repetitions,
+        );
+        for s in scale.seeds() {
+            spec.push_str(&format!("{s},"));
+        }
+        spec.push_str(";jobs=");
+        for cca in CcaKind::ALL {
+            for mtu in crate::matrix::MTUS {
+                spec.push_str(&format!("{}@{mtu},", cca.name()));
+            }
+        }
+        Fingerprint(format!("{:016x}", fnv64(spec.as_bytes())))
+    }
+
+    /// The hex digest (what the header stores).
+    pub fn hex(&self) -> &str {
+        &self.0
+    }
+
+    fn record_hash(&self, record: &str) -> String {
+        format!("{:016x}", fnv64(format!("{}\n{record}", self.0).as_bytes()))
+    }
+}
+
+/// One validated journal entry.
+#[derive(Clone, Debug)]
+pub enum Entry {
+    /// A completed cell.
+    Cell(Cell),
+    /// A cell that failed its run and the salted-seed retry.
+    Failed(CellFailure),
+}
+
+/// What loading a journal produced.
+#[derive(Debug, Default)]
+pub struct Loaded {
+    /// Validated entries, in journal (completion) order.
+    pub entries: Vec<Entry>,
+    /// Records dropped for corruption: unparsable line, bad hash, or a
+    /// payload that no longer deserializes. (A torn final line counts.)
+    pub dropped: usize,
+    /// True when the whole journal was discarded: missing/garbled header
+    /// or a fingerprint from a different campaign configuration.
+    pub stale: bool,
+}
+
+/// A journal I/O failure, annotated with the journal path.
+#[derive(Debug)]
+pub struct JournalError {
+    /// The journal file involved.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Load and validate a journal. A missing file is an empty (not stale)
+/// journal; only I/O errors other than `NotFound` are surfaced.
+pub fn load(path: &Path, fingerprint: &Fingerprint) -> Result<Loaded, JournalError> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(body) => body,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Loaded::default()),
+        Err(source) => return Err(JournalError { path: path.to_path_buf(), source }),
+    };
+    let mut lines = body.split('\n');
+    let header = lines.next().unwrap_or("");
+    let mut out = Loaded::default();
+    let header_ok = serde_json::from_str::<Value>(header)
+        .ok()
+        .map(|h| {
+            h["journal"].as_str() == Some("greenenvy-campaign")
+                && h["schema"].as_u64() == Some(JOURNAL_SCHEMA as u64)
+                && h["fingerprint"].as_str() == Some(fingerprint.hex())
+        })
+        .unwrap_or(false);
+    if !header_ok {
+        out.stale = true;
+        return Ok(out);
+    }
+    let lines: Vec<&str> = lines.collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let last = i + 1 == lines.len();
+        match parse_record(line, fingerprint) {
+            Some(entry) => out.entries.push(entry),
+            // A torn *final* line is the expected crash signature and is
+            // dropped silently; corruption anywhere else is counted too
+            // (the cell re-runs either way) but suggests real bit rot.
+            None => {
+                let _ = last;
+                out.dropped += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_record(line: &str, fingerprint: &Fingerprint) -> Option<Entry> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    let kind = v["kind"].as_str()?;
+    let hash = v["hash"].as_str()?;
+    let record = v["record"].as_str()?;
+    if fingerprint.record_hash(record) != hash {
+        return None;
+    }
+    match kind {
+        "cell" => serde_json::from_str::<Cell>(record).ok().map(Entry::Cell),
+        "failed" => serde_json::from_str::<CellFailure>(record)
+            .ok()
+            .map(Entry::Failed),
+        _ => None,
+    }
+}
+
+/// An open journal being appended to.
+pub struct Writer {
+    path: PathBuf,
+    file: File,
+    fingerprint: Fingerprint,
+}
+
+impl Writer {
+    /// Create a fresh journal at `path` (atomically replacing whatever
+    /// was there) containing the header and the given pre-validated
+    /// entries, then open it for appending. Passing the entries through
+    /// creation is how resume *compacts*: torn or corrupt lines from the
+    /// previous life are not carried forward.
+    pub fn create(
+        path: &Path,
+        fingerprint: &Fingerprint,
+        entries: &[Entry],
+    ) -> Result<Writer, JournalError> {
+        let header = serde_json::json!({
+            "journal": "greenenvy-campaign",
+            "schema": JOURNAL_SCHEMA,
+            "fingerprint": (fingerprint.hex())
+        });
+        let mut body = format!(
+            "{}\n",
+            serde_json::to_string(&header).expect("journal header serializes")
+        );
+        for e in entries {
+            body.push_str(&Writer::render(e, fingerprint));
+        }
+        super::persist::write_atomic(path, body.as_bytes()).map_err(|e| JournalError {
+            path: e.path,
+            source: e.source,
+        })?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|source| JournalError { path: path.to_path_buf(), source })?;
+        Ok(Writer {
+            path: path.to_path_buf(),
+            file,
+            fingerprint: fingerprint.clone(),
+        })
+    }
+
+    fn render(entry: &Entry, fingerprint: &Fingerprint) -> String {
+        let (kind, record) = match entry {
+            Entry::Cell(c) => ("cell", serde_json::to_string(c)),
+            Entry::Failed(f) => ("failed", serde_json::to_string(f)),
+        };
+        let record = record.expect("journal records serialize");
+        let hash = fingerprint.record_hash(&record);
+        let line = serde_json::json!({"kind": kind, "hash": hash, "record": record});
+        format!("{}\n", serde_json::to_string(&line).expect("journal line serializes"))
+    }
+
+    /// Append one entry and fsync it to disk before returning: once this
+    /// returns, a crash cannot un-complete the cell.
+    pub fn append(&mut self, entry: &Entry) -> Result<(), JournalError> {
+        let line = Writer::render(entry, &self.fingerprint);
+        let at = |source| JournalError { path: self.path.clone(), source };
+        self.file.write_all(line.as_bytes()).map_err(at)?;
+        self.file.sync_data().map_err(at)
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::stats::Summary;
+
+    fn stub_cell(cca: CcaKind, mtu: u32, mean: f64) -> Cell {
+        let xs = [mean, mean * 1.5];
+        Cell {
+            cca: cca.name().to_string(),
+            mtu,
+            energy_j: Summary::of(&xs),
+            power_w: Summary::of(&xs),
+            fct_s: Summary::of(&xs),
+            retx: Summary::of(&xs),
+            goodput_gbps: Summary::of(&xs),
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("greenenvy-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_cells_bit_exactly() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("j.jsonl");
+        let fp = Fingerprint::of(&Scale::quick());
+        let cells = [
+            stub_cell(CcaKind::Cubic, 1500, 0.1),
+            stub_cell(CcaKind::Reno, 9000, std::f64::consts::PI),
+        ];
+        let mut w = Writer::create(&path, &fp, &[]).unwrap();
+        for c in &cells {
+            w.append(&Entry::Cell(c.clone())).unwrap();
+        }
+        w.append(&Entry::Failed(CellFailure {
+            cca: "bbr".into(),
+            mtu: 3000,
+            error: "boom".into(),
+            retry_error: "boom again".into(),
+        }))
+        .unwrap();
+        let loaded = load(&path, &fp).unwrap();
+        assert!(!loaded.stale);
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.entries.len(), 3);
+        for (entry, original) in loaded.entries.iter().zip(&cells) {
+            let Entry::Cell(c) = entry else { panic!("expected cell") };
+            // Bit-exact floats: serialization is shortest-roundtrip.
+            assert_eq!(
+                serde_json::to_string(c).unwrap(),
+                serde_json::to_string(original).unwrap()
+            );
+        }
+        assert!(matches!(&loaded.entries[2], Entry::Failed(f) if f.cca == "bbr"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_empty_not_stale() {
+        let fp = Fingerprint::of(&Scale::quick());
+        let loaded = load(Path::new("/nonexistent/journal.jsonl"), &fp).unwrap();
+        assert!(!loaded.stale);
+        assert!(loaded.entries.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards_everything() {
+        let dir = scratch("stale");
+        let path = dir.join("j.jsonl");
+        let fp_quick = Fingerprint::of(&Scale::quick());
+        let mut w = Writer::create(&path, &fp_quick, &[]).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0))).unwrap();
+        // Same journal read under a different campaign configuration.
+        let fp_std = Fingerprint::of(&Scale::standard());
+        assert_ne!(fp_quick, fp_std);
+        let loaded = load(&path, &fp_std).unwrap();
+        assert!(loaded.stale);
+        assert!(loaded.entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_drops_only_that_record() {
+        let dir = scratch("torn");
+        let path = dir.join("j.jsonl");
+        let fp = Fingerprint::of(&Scale::quick());
+        let mut w = Writer::create(&path, &fp, &[]).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0))).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0))).unwrap();
+        drop(w);
+        // Simulate a crash mid-append: chop the last record in half.
+        let body = std::fs::read_to_string(&path).unwrap();
+        let cut = body.len() - 25;
+        std::fs::write(&path, &body[..cut]).unwrap();
+        let loaded = load(&path, &fp).unwrap();
+        assert!(!loaded.stale);
+        assert_eq!(loaded.entries.len(), 1, "first record survives");
+        assert_eq!(loaded.dropped, 1, "torn record is dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_bit_invalidates_one_record() {
+        let dir = scratch("bitrot");
+        let path = dir.join("j.jsonl");
+        let fp = Fingerprint::of(&Scale::quick());
+        let mut w = Writer::create(&path, &fp, &[]).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0))).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0))).unwrap();
+        drop(w);
+        // Corrupt a digit inside the *first* record's payload (keeps the
+        // line valid JSON; the content hash must catch it).
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        let corrupted = lines[1].replacen("1500", "1501", 1);
+        let body = format!("{}\n{}\n{}\n", lines[0], corrupted, lines[2]);
+        std::fs::write(&path, body).unwrap();
+        let loaded = load(&path, &fp).unwrap();
+        assert!(!loaded.stale);
+        assert_eq!(loaded.dropped, 1);
+        assert_eq!(loaded.entries.len(), 1);
+        let Entry::Cell(c) = &loaded.entries[0] else { panic!() };
+        assert_eq!(c.mtu, 3000, "the untouched record survives");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_compacts_and_reopens_for_append() {
+        let dir = scratch("compact");
+        let path = dir.join("j.jsonl");
+        let fp = Fingerprint::of(&Scale::quick());
+        let kept = Entry::Cell(stub_cell(CcaKind::Vegas, 6000, 4.0));
+        let mut w = Writer::create(&path, &fp, std::slice::from_ref(&kept)).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Bbr, 1500, 5.0))).unwrap();
+        let loaded = load(&path, &fp).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.dropped, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_cover_seeds_not_just_sizes() {
+        // Two scales with identical sizes but different seed schedules
+        // must not share a fingerprint.
+        let a = Scale { transfer_bytes: 1, two_flow_bytes: 1, repetitions: 2, name: "a" };
+        let b = Scale { transfer_bytes: 1, two_flow_bytes: 1, repetitions: 3, name: "b" };
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+        assert_eq!(Fingerprint::of(&a), Fingerprint::of(&a));
+    }
+}

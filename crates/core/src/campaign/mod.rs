@@ -1,0 +1,555 @@
+//! Durable campaign execution.
+//!
+//! The CCA × MTU measurement campaign behind Figures 5-8 is hours of
+//! simulation at paper scale, which makes it exactly the kind of job
+//! that dies at 90%: an OOM kill, a preempted node, a Ctrl-C. This
+//! module makes the campaign *restartable and auditable* without
+//! touching what it computes:
+//!
+//! * [`journal`] — an append-only, fsynced, hash-verified checkpoint
+//!   journal; one record per completed cell.
+//! * resume — [`CampaignOptions::resume`] re-runs only cells the
+//!   journal cannot vouch for. Because cell results are bit-exact
+//!   through JSON (shortest-roundtrip floats), a resumed campaign's
+//!   matrix is byte-identical to an uninterrupted one.
+//! * [`cancel`] — SIGINT/SIGTERM turn into a graceful drain: workers
+//!   stop claiming cells, the journal is already flushed, and a partial
+//!   matrix comes back.
+//! * [`persist`] — atomic tmp-then-rename artifact writes, so no crash
+//!   leaves a half-written result file.
+//! * [`invariant`] — opt-in "paranoid mode" physics audits per
+//!   repetition; zero cost when off.
+//!
+//! The work-stealing scheduling, salted-seed retry, and cell ordering
+//! are identical to the plain [`crate::matrix`] entry points — in fact
+//! [`crate::matrix::run_matrix_with_runner`] is now a thin wrapper over
+//! [`run_campaign_with_runner`] with durability switched off.
+
+pub mod cancel;
+pub mod invariant;
+pub mod journal;
+pub mod persist;
+
+pub use cancel::{install_signal_handlers, CancelToken};
+pub use journal::{Fingerprint, JournalError};
+pub use persist::{save_json_atomic, write_atomic, PersistError};
+
+use crate::matrix::{
+    run_cell_with, Cell, CellError, CellFailure, CellPolicy, Matrix, MATRIX_SCHEMA_VERSION, MTUS,
+    RETRY_SEED_SALT,
+};
+use crate::scale::Scale;
+use cca::CcaKind;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How a campaign should run. [`Default`] is exactly the historical
+/// [`crate::matrix::run_matrix`] behaviour: all cores, no journal, no
+/// deadline, no paranoia.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Worker threads (work-stealing; the result is schedule-invariant).
+    pub threads: usize,
+    /// Checkpoint journal path. `None` disables durability.
+    pub journal: Option<PathBuf>,
+    /// Reuse journaled cells instead of re-running them. Only cells
+    /// whose journal records pass fingerprint + hash validation count.
+    pub resume: bool,
+    /// Per-cell wall-clock budget (covers all repetitions of the cell).
+    /// A cell that blows it fails with [`CellError::DeadlineExceeded`]
+    /// and gets the standard salted-seed retry.
+    pub deadline: Option<Duration>,
+    /// Run the [`invariant`] physics audit after every repetition.
+    pub paranoid: bool,
+    /// Cooperative cancellation; poll-checked between cells.
+    pub cancel: CancelToken,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            journal: None,
+            resume: false,
+            deadline: None,
+            paranoid: false,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// What a campaign did, beyond the matrix itself.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The (possibly partial) measurement matrix, in canonical order.
+    pub matrix: Matrix,
+    /// True when the campaign stopped early on a cancellation/signal.
+    pub cancelled: bool,
+    /// Cells reused from the journal without re-running.
+    pub reused: usize,
+    /// Cells executed (successfully or not) by this invocation.
+    pub executed: usize,
+    /// Cells never attempted because cancellation arrived first.
+    pub skipped: usize,
+}
+
+/// A campaign-level failure. Cell failures don't land here (they're
+/// carried in the matrix); this is for the durability machinery itself.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The checkpoint journal could not be read or written.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Journal(e) => write!(f, "campaign journal failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+/// Run the measurement campaign durably with the production cell runner.
+pub fn run_campaign(scale: Scale, opts: CampaignOptions) -> Result<CampaignReport, CampaignError> {
+    let policy = CellPolicy { wall_deadline: opts.deadline, paranoid: opts.paranoid };
+    run_campaign_with_runner(scale, opts, move |cca, mtu, bytes, seeds| {
+        run_cell_with(cca, mtu, bytes, seeds, policy)
+    })
+}
+
+/// [`run_campaign`] with a pluggable cell runner — the testing seam. The
+/// deadline/paranoid options act inside the *production* runner; a
+/// custom runner receives only `(cca, mtu, bytes, seeds)` and applies
+/// whatever policy it likes.
+pub fn run_campaign_with_runner<F>(
+    scale: Scale,
+    opts: CampaignOptions,
+    runner: F,
+) -> Result<CampaignReport, CampaignError>
+where
+    F: Fn(CcaKind, u32, u64, &[u64]) -> Result<Cell, CellError> + Sync,
+{
+    let seeds = scale.seeds();
+    let jobs: Vec<(CcaKind, u32)> = CcaKind::ALL
+        .iter()
+        .flat_map(|&cca| MTUS.iter().map(move |&mtu| (cca, mtu)))
+        .collect();
+
+    // Resume: harvest validated cells from the journal, keyed by job.
+    // Failed records are deliberately *not* reused — a resume is the
+    // natural moment to give a failed cell another chance.
+    let fingerprint = Fingerprint::of(&scale);
+    let mut reused: Vec<(usize, Cell)> = Vec::new();
+    if opts.resume {
+        if let Some(path) = &opts.journal {
+            let loaded = journal::load(path, &fingerprint)?;
+            let mut by_key: HashMap<(&str, u32), Cell> = HashMap::new();
+            for entry in loaded.entries {
+                if let journal::Entry::Cell(c) = entry {
+                    let cca = CcaKind::from_name(&c.cca);
+                    if let Some(cca) = cca {
+                        by_key.insert((cca.name(), c.mtu), c);
+                    }
+                }
+            }
+            for (i, &(cca, mtu)) in jobs.iter().enumerate() {
+                if let Some(c) = by_key.remove(&(cca.name(), mtu)) {
+                    reused.push((i, c));
+                }
+            }
+        }
+    }
+
+    // (Re)create the journal: header + the reused records, atomically.
+    // This compacts away torn/corrupt lines from a previous life and
+    // stamps the current fingerprint.
+    let writer: Option<Mutex<journal::Writer>> = match &opts.journal {
+        Some(path) => {
+            let keep: Vec<journal::Entry> =
+                reused.iter().map(|(_, c)| journal::Entry::Cell(c.clone())).collect();
+            Some(Mutex::new(journal::Writer::create(path, &fingerprint, &keep)?))
+        }
+        None => None,
+    };
+
+    let have: Vec<bool> = {
+        let mut have = vec![false; jobs.len()];
+        for (i, _) in &reused {
+            have[*i] = true;
+        }
+        have
+    };
+    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| !have[i]).collect();
+
+    let threads = opts.threads.max(1).min(pending.len().max(1));
+    let next = AtomicUsize::new(0);
+    // First journal-append failure; trips cancellation so workers stop
+    // burning CPU on cells whose completion can no longer be recorded.
+    let journal_failure: Mutex<Option<JournalError>> = Mutex::new(None);
+
+    let executed: Vec<(usize, Result<Cell, CellFailure>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let jobs = &jobs;
+                let pending = &pending;
+                let seeds = &seeds;
+                let next = &next;
+                let runner = &runner;
+                let writer = &writer;
+                let journal_failure = &journal_failure;
+                let cancel = &opts.cancel;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        // The graceful-shutdown point: between cells, never
+                        // inside one.
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= pending.len() {
+                            break;
+                        }
+                        let i = pending[k];
+                        let (cca, mtu) = jobs[i];
+                        let outcome = match runner(cca, mtu, scale.transfer_bytes, seeds) {
+                            Ok(cell) => Ok(cell),
+                            Err(first) => {
+                                let retry_seeds: Vec<u64> =
+                                    seeds.iter().map(|&s| s ^ RETRY_SEED_SALT).collect();
+                                match runner(cca, mtu, scale.transfer_bytes, &retry_seeds) {
+                                    Ok(cell) => Ok(cell),
+                                    Err(second) => Err(CellFailure {
+                                        cca: cca.name().to_string(),
+                                        mtu,
+                                        error: first.to_string(),
+                                        retry_error: second.to_string(),
+                                    }),
+                                }
+                            }
+                        };
+                        if let Some(w) = writer {
+                            let entry = match &outcome {
+                                Ok(cell) => journal::Entry::Cell(cell.clone()),
+                                Err(failure) => journal::Entry::Failed(failure.clone()),
+                            };
+                            let result = w.lock().expect("journal lock").append(&entry);
+                            if let Err(e) = result {
+                                journal_failure
+                                    .lock()
+                                    .expect("journal failure lock")
+                                    .get_or_insert(e);
+                                cancel.cancel();
+                            }
+                        }
+                        done.push((i, outcome));
+                    }
+                    done
+                })
+            })
+            .collect();
+        // Drain every worker before deciding the campaign's fate: a panic
+        // in one must not hide the results (or failures) of the others.
+        let mut collected = Vec::new();
+        let mut worker_panics = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => collected.extend(part),
+                Err(payload) => worker_panics.push(panic_text(payload.as_ref()).to_string()),
+            }
+        }
+        if !worker_panics.is_empty() {
+            panic!(
+                "{} campaign worker(s) panicked: {}",
+                worker_panics.len(),
+                worker_panics.join(" | ")
+            );
+        }
+        collected
+    });
+
+    if let Some(e) = journal_failure.into_inner().expect("journal failure lock") {
+        return Err(e.into());
+    }
+
+    let reused_count = reused.len();
+    let executed_count = executed.len();
+    let mut indexed: Vec<(usize, Result<Cell, CellFailure>)> = reused
+        .into_iter()
+        .map(|(i, c)| (i, Ok(c)))
+        .chain(executed)
+        .collect();
+    indexed.sort_by_key(|(i, _)| *i);
+
+    let mut cells = Vec::new();
+    let mut failed = Vec::new();
+    for (_, outcome) in indexed {
+        match outcome {
+            Ok(cell) => cells.push(cell),
+            Err(failure) => failed.push(failure),
+        }
+    }
+    Ok(CampaignReport {
+        matrix: Matrix {
+            schema_version: MATRIX_SCHEMA_VERSION,
+            transfer_bytes: scale.transfer_bytes,
+            repetitions: scale.repetitions,
+            seeds,
+            cells,
+            failed,
+        },
+        cancelled: opts.cancel.is_cancelled(),
+        reused: reused_count,
+        executed: executed_count,
+        skipped: jobs.len() - reused_count - executed_count,
+    })
+}
+
+/// Best-effort text of a caught panic payload.
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::stats::Summary;
+    use std::sync::atomic::AtomicUsize;
+
+    fn stub_cell(cca: CcaKind, mtu: u32) -> Cell {
+        let xs = [mtu as f64, mtu as f64 * 0.5];
+        Cell {
+            cca: cca.name().to_string(),
+            mtu,
+            energy_j: Summary::of(&xs),
+            power_w: Summary::of(&xs),
+            fct_s: Summary::of(&xs),
+            retx: Summary::of(&xs),
+            goodput_gbps: Summary::of(&xs),
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("greenenvy-campaign-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const TOTAL: usize = 40; // 10 CCAs × 4 MTUs
+
+    #[test]
+    fn journal_free_campaign_matches_the_plain_matrix() {
+        let run = |threads| {
+            run_campaign_with_runner(
+                Scale::quick(),
+                CampaignOptions { threads, ..Default::default() },
+                |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
+            )
+            .unwrap()
+        };
+        let report = run(4);
+        assert_eq!(report.matrix.cells.len(), TOTAL);
+        assert_eq!(report.executed, TOTAL);
+        assert_eq!(report.reused, 0);
+        assert_eq!(report.skipped, 0);
+        assert!(!report.cancelled);
+        let plain = crate::matrix::run_matrix_with_runner(
+            Scale::quick(),
+            3,
+            |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
+        );
+        assert_eq!(
+            serde_json::to_string(&report.matrix).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "campaign and plain matrix agree bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_campaign_does_no_work() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let calls = AtomicUsize::new(0);
+        let report = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions { threads: 4, cancel, ..Default::default() },
+            |cca, mtu, _b, _s| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok(stub_cell(cca, mtu))
+            },
+        )
+        .unwrap();
+        assert!(report.cancelled);
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.skipped, TOTAL);
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert!(report.matrix.cells.is_empty());
+    }
+
+    #[test]
+    fn resume_reuses_journaled_cells_and_runs_only_the_rest() {
+        let dir = scratch("resume");
+        let journal = dir.join("campaign.jsonl");
+
+        // First life: cancel after 7 cells.
+        let cancel = CancelToken::new();
+        let first_calls = AtomicUsize::new(0);
+        let first = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 1,
+                journal: Some(journal.clone()),
+                cancel: cancel.clone(),
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| {
+                if first_calls.fetch_add(1, Ordering::SeqCst) + 1 >= 7 {
+                    cancel.cancel();
+                }
+                Ok(stub_cell(cca, mtu))
+            },
+        )
+        .unwrap();
+        assert!(first.cancelled);
+        assert_eq!(first.executed, 7);
+        assert_eq!(first.skipped, TOTAL - 7);
+
+        // Second life: resume. Exactly the un-journaled cells run.
+        let second_calls = AtomicUsize::new(0);
+        let second = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 4,
+                journal: Some(journal.clone()),
+                resume: true,
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| {
+                second_calls.fetch_add(1, Ordering::SeqCst);
+                Ok(stub_cell(cca, mtu))
+            },
+        )
+        .unwrap();
+        assert!(!second.cancelled);
+        assert_eq!(second.reused, 7);
+        assert_eq!(second.executed, TOTAL - 7);
+        assert_eq!(second_calls.load(Ordering::SeqCst), TOTAL - 7);
+
+        // The merged matrix is bit-identical to an uninterrupted run.
+        let uninterrupted = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions { threads: 2, ..Default::default() },
+            |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&second.matrix).unwrap(),
+            serde_json::to_string(&uninterrupted.matrix).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn without_resume_an_existing_journal_is_overwritten_not_reused() {
+        let dir = scratch("fresh");
+        let journal = dir.join("campaign.jsonl");
+        let opts = || CampaignOptions {
+            threads: 2,
+            journal: Some(journal.clone()),
+            ..Default::default()
+        };
+        let calls = AtomicUsize::new(0);
+        run_campaign_with_runner(Scale::quick(), opts(), |cca, mtu, _b, _s| {
+            Ok(stub_cell(cca, mtu))
+        })
+        .unwrap();
+        let rerun = run_campaign_with_runner(Scale::quick(), opts(), |cca, mtu, _b, _s| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(stub_cell(cca, mtu))
+        })
+        .unwrap();
+        assert_eq!(rerun.reused, 0);
+        assert_eq!(calls.load(Ordering::SeqCst), TOTAL, "no resume => every cell re-runs");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_retries_journaled_failures() {
+        let dir = scratch("refail");
+        let journal = dir.join("campaign.jsonl");
+        // First life: one cell fails terminally (both attempts).
+        let first = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions { threads: 2, journal: Some(journal.clone()), ..Default::default() },
+            |cca, mtu, _b, seeds| {
+                if (cca, mtu) == (CcaKind::Bbr, 3000) {
+                    Err(CellError::Failed {
+                        cca,
+                        mtu,
+                        seed: seeds[0],
+                        message: "poisoned".into(),
+                    })
+                } else {
+                    Ok(stub_cell(cca, mtu))
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(first.matrix.failed.len(), 1);
+        // Second life: the failure is re-attempted (and now succeeds);
+        // the 39 healthy cells are reused.
+        let second = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 2,
+                journal: Some(journal.clone()),
+                resume: true,
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
+        )
+        .unwrap();
+        assert_eq!(second.reused, TOTAL - 1);
+        assert_eq!(second.executed, 1);
+        assert!(second.matrix.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_journal_is_a_campaign_error_naming_the_path() {
+        let err = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 1,
+                journal: Some(PathBuf::from("/proc/greenenvy-no-such-dir/j.jsonl")),
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("greenenvy-no-such-dir"), "{err}");
+    }
+}

@@ -91,7 +91,11 @@ fn fair_scenario(cfg: &Config, loss: f64, seed: u64) -> Scenario {
 /// Serial schedule under the same fault: flow #2 starts when a solo flow
 /// on the *same lossy wire* would have finished (the loss is part of the
 /// schedule being compared, not an external disturbance).
-fn serial_scenario(cfg: &Config, loss: f64, seed: u64) -> Scenario {
+fn serial_scenario(
+    cfg: &Config,
+    loss: f64,
+    seed: u64,
+) -> std::result::Result<Scenario, ScenarioError> {
     let solo = apply_fault(
         Scenario::new(
             cfg.mtu,
@@ -100,11 +104,8 @@ fn serial_scenario(cfg: &Config, loss: f64, seed: u64) -> Scenario {
         .with_seed(seed),
         loss,
     );
-    let solo_fct = workload::scenario::run(&solo)
-        .expect("solo flow completes")
-        .reports[0]
-        .completed_at;
-    apply_fault(
+    let solo_fct = workload::scenario::run(&solo)?.reports[0].completed_at;
+    Ok(apply_fault(
         Scenario::new(
             cfg.mtu,
             vec![
@@ -115,11 +116,13 @@ fn serial_scenario(cfg: &Config, loss: f64, seed: u64) -> Scenario {
         )
         .with_seed(seed),
         loss,
-    )
+    ))
 }
 
-/// Run the sweep.
-pub fn run(cfg: &Config) -> Result {
+/// Run the sweep. An injected fault can kill a path outright (the flow
+/// aborts, the scenario errors); that surfaces as an `Err` naming the
+/// scenario instead of a panic in the middle of a campaign.
+pub fn run(cfg: &Config) -> std::result::Result<Result, ScenarioError> {
     let base_w = energy::calibration::P_IDLE_W
         + energy::calibration::reference_fan().watts(0.0);
     let mut rows = Vec::with_capacity(cfg.loss_rates.len());
@@ -130,10 +133,8 @@ pub fn run(cfg: &Config) -> Result {
         let mut drops = Vec::new();
         let mut retx = Vec::new();
         for &seed in &cfg.seeds {
-            let fair = workload::scenario::run(&fair_scenario(cfg, loss, seed))
-                .expect("fair scenario completes");
-            let serial = workload::scenario::run(&serial_scenario(cfg, loss, seed))
-                .expect("serial scenario completes");
+            let fair = workload::scenario::run(&fair_scenario(cfg, loss, seed))?;
+            let serial = workload::scenario::run(&serial_scenario(cfg, loss, seed)?)?;
             // Equalize the measurement windows analytically (see fig1):
             // completed hosts idle at base power, two sender hosts each.
             let common = fair.window.max(serial.window).as_secs_f64();
@@ -156,7 +157,7 @@ pub fn run(cfg: &Config) -> Result {
             retx: retx.iter().sum::<f64>() / retx.len() as f64,
         });
     }
-    Result { rows }
+    Ok(Result { rows })
 }
 
 /// Render the paper-style table.
@@ -202,7 +203,7 @@ mod tests {
 
     #[test]
     fn energy_ordering_survives_injected_loss() {
-        let r = run(&tiny());
+        let r = run(&tiny()).expect("sweep completes");
         for row in &r.rows {
             assert!(
                 row.savings_pct.mean > 5.0,
@@ -221,7 +222,7 @@ mod tests {
 
     #[test]
     fn drops_are_injected_only_when_requested() {
-        let r = run(&tiny());
+        let r = run(&tiny()).expect("sweep completes");
         assert_eq!(r.rows[0].injected_drops, 0.0, "clean wire");
         assert!(r.rows[1].injected_drops > 0.0, "0.1% loss must hit frames");
         assert!(r.rows[1].retx >= r.rows[1].injected_drops,
@@ -230,7 +231,7 @@ mod tests {
 
     #[test]
     fn render_lists_every_rate() {
-        let r = run(&tiny());
+        let r = run(&tiny()).expect("sweep completes");
         let s = render(&r);
         assert!(s.contains("Chaos"));
         assert!(s.contains("0.00"));

@@ -103,6 +103,7 @@ mod tests {
             }
         }
         Matrix {
+            schema_version: crate::matrix::MATRIX_SCHEMA_VERSION,
             transfer_bytes: bytes,
             repetitions: 1,
             seeds: seeds.to_vec(),

@@ -117,6 +117,7 @@ mod tests {
             }
         }
         Matrix {
+            schema_version: crate::matrix::MATRIX_SCHEMA_VERSION,
             transfer_bytes: bytes,
             repetitions: 1,
             seeds: seeds.to_vec(),
@@ -143,6 +144,6 @@ mod tests {
         let r = from_matrix(mini_matrix());
         let s = render(&r);
         assert!(s.contains("Figure 7"));
-        assert_eq!(s.matches("1500").count() >= 3, true);
+        assert!(s.matches("1500").count() >= 3);
     }
 }

@@ -93,6 +93,7 @@ mod tests {
             cells.push(run_cell(cca, 9000, bytes, &seeds).expect("cell completes"));
         }
         Matrix {
+            schema_version: crate::matrix::MATRIX_SCHEMA_VERSION,
             transfer_bytes: bytes,
             repetitions: 1,
             seeds: seeds.to_vec(),

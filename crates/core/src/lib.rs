@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod chaos;
 pub mod extensions;
 pub mod fig1;
@@ -52,7 +53,12 @@ pub use scale::Scale;
 
 /// The commonly-used names, re-exported in one place.
 pub mod prelude {
-    pub use crate::matrix::{run_matrix, Cell, CellError, CellFailure, Matrix, MTUS};
+    pub use crate::campaign::{
+        install_signal_handlers, run_campaign, CampaignOptions, CampaignReport, CancelToken,
+    };
+    pub use crate::matrix::{
+        run_matrix, Cell, CellError, CellFailure, CellPolicy, Matrix, MATRIX_SCHEMA_VERSION, MTUS,
+    };
     pub use crate::scale::Scale;
     pub use crate::{extensions, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, savings, theorem};
 }

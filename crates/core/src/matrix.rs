@@ -10,40 +10,97 @@ use crate::scale::Scale;
 use analysis::stats::Summary;
 use cca::CcaKind;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use workload::prelude::*;
 
 /// The paper's MTU sweep (§4.4).
 pub const MTUS: [u32; 4] = [1500, 3000, 6000, 9000];
 
+/// Version stamp written into every serialized [`Matrix`]. Bump when the
+/// result layout (or the meaning of a field) changes; loaders reject
+/// mismatches instead of misreading old files.
+pub const MATRIX_SCHEMA_VERSION: u32 = 1;
+
 /// Seed perturbation for the one automatic retry a failed cell gets.
 /// XORed into every seed so the retry explores a different random
 /// trajectory while staying a pure function of the original schedule.
-const RETRY_SEED_SALT: u64 = 0x5EED_CAFE_0B57_AC1E;
+pub(crate) const RETRY_SEED_SALT: u64 = 0x5EED_CAFE_0B57_AC1E;
 
 /// One repetition of one cell failed, with enough context to re-run it.
 #[derive(Clone, Debug)]
-pub struct CellError {
-    /// The algorithm the cell was measuring.
-    pub cca: CcaKind,
-    /// The MTU the cell was measuring.
-    pub mtu: u32,
-    /// The seed of the repetition that failed.
-    pub seed: u64,
-    /// What went wrong (scenario error or panic text).
-    pub message: String,
+pub enum CellError {
+    /// The scenario returned an error, the flow aborted, or the
+    /// simulator panicked outright.
+    Failed {
+        /// The algorithm the cell was measuring.
+        cca: CcaKind,
+        /// The MTU the cell was measuring.
+        mtu: u32,
+        /// The seed of the repetition that failed.
+        seed: u64,
+        /// What went wrong (scenario error or panic text).
+        message: String,
+    },
+    /// The cell blew its per-cell wall-clock budget
+    /// ([`CellPolicy::wall_deadline`]).
+    DeadlineExceeded {
+        /// The algorithm the cell was measuring.
+        cca: CcaKind,
+        /// The MTU the cell was measuring.
+        mtu: u32,
+        /// The seed of the repetition that was running when time ran out.
+        seed: u64,
+        /// The budget the whole cell had.
+        budget: std::time::Duration,
+    },
+    /// Paranoid mode caught the simulator breaking one of its own laws
+    /// (see [`crate::campaign::invariant`]).
+    InvariantViolation {
+        /// The algorithm the cell was measuring.
+        cca: CcaKind,
+        /// The MTU the cell was measuring.
+        mtu: u32,
+        /// The seed of the repetition that broke the law.
+        seed: u64,
+        /// Which law, and the numbers that broke it.
+        detail: String,
+    },
+}
+
+impl CellError {
+    /// The algorithm of the failing cell.
+    pub fn cca(&self) -> CcaKind {
+        match self {
+            CellError::Failed { cca, .. }
+            | CellError::DeadlineExceeded { cca, .. }
+            | CellError::InvariantViolation { cca, .. } => *cca,
+        }
+    }
+
+    /// The MTU of the failing cell.
+    pub fn mtu(&self) -> u32 {
+        match self {
+            CellError::Failed { mtu, .. }
+            | CellError::DeadlineExceeded { mtu, .. }
+            | CellError::InvariantViolation { mtu, .. } => *mtu,
+        }
+    }
 }
 
 impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} @ mtu {} seed {}: {}",
-            self.cca.name(),
-            self.mtu,
-            self.seed,
-            self.message
-        )
+        match self {
+            CellError::Failed { cca, mtu, seed, message } => {
+                write!(f, "{} @ mtu {mtu} seed {seed}: {message}", cca.name())
+            }
+            CellError::DeadlineExceeded { cca, mtu, seed, budget } => write!(
+                f,
+                "{} @ mtu {mtu} seed {seed}: cell deadline of {budget:?} exceeded",
+                cca.name()
+            ),
+            CellError::InvariantViolation { cca, mtu, seed, detail } => {
+                write!(f, "{} @ mtu {mtu} seed {seed}: {detail}", cca.name())
+            }
+        }
     }
 }
 
@@ -93,6 +150,10 @@ impl Cell {
 /// The full campaign result.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Matrix {
+    /// Result-file layout version ([`MATRIX_SCHEMA_VERSION`]). Files
+    /// from before versioning lack the field, fail to deserialize, and
+    /// are re-run rather than misread.
+    pub schema_version: u32,
     /// Bytes per transfer the campaign ran at.
     pub transfer_bytes: u64,
     /// Repetitions per cell.
@@ -128,25 +189,76 @@ impl Matrix {
     }
 }
 
-/// Run one (CCA, MTU) cell.
+/// Per-cell execution policy: the durability-layer knobs that apply
+/// inside a single cell. [`Default`] (no deadline, no paranoia) is the
+/// historical behaviour.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellPolicy {
+    /// Wall-clock budget for the whole cell (all repetitions share it).
+    pub wall_deadline: Option<std::time::Duration>,
+    /// Audit every repetition with [`crate::campaign::invariant::check`].
+    pub paranoid: bool,
+}
+
+/// Run one (CCA, MTU) cell with the default [`CellPolicy`].
 ///
 /// A repetition that fails — whether the scenario returns an error or
 /// the simulator panics outright — surfaces as a [`CellError`] naming
 /// the exact `(cca, mtu, seed)` instead of killing the campaign.
 pub fn run_cell(cca: CcaKind, mtu: u32, bytes: u64, seeds: &[u64]) -> Result<Cell, CellError> {
+    run_cell_with(cca, mtu, bytes, seeds, CellPolicy::default())
+}
+
+/// [`run_cell`] under an explicit policy: an optional wall-clock budget
+/// shared by the cell's repetitions (the unspent remainder rolls into
+/// each next repetition), and optional paranoid-mode physics audits.
+pub fn run_cell_with(
+    cca: CcaKind,
+    mtu: u32,
+    bytes: u64,
+    seeds: &[u64],
+    policy: CellPolicy,
+) -> Result<Cell, CellError> {
+    let deadline = policy
+        .wall_deadline
+        .map(|budget| (std::time::Instant::now() + budget, budget));
     let mut energy = Vec::new();
     let mut power = Vec::new();
     let mut fct = Vec::new();
     let mut retx = Vec::new();
     let mut goodput = Vec::new();
     for &seed in seeds {
-        let scenario = Scenario::new(mtu, vec![FlowSpec::bulk(cca, bytes)]).with_seed(seed);
-        let cell_err = |message: String| CellError { cca, mtu, seed, message };
+        let mut scenario = Scenario::new(mtu, vec![FlowSpec::bulk(cca, bytes)]).with_seed(seed);
+        if let Some((at, budget)) = deadline {
+            let remaining = at.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(CellError::DeadlineExceeded { cca, mtu, seed, budget });
+            }
+            scenario = scenario.with_wall_deadline(remaining);
+        }
+        let cell_err = |message: String| CellError::Failed { cca, mtu, seed, message };
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             workload::scenario::run(&scenario)
         }))
-        .map_err(|payload| cell_err(panic_message(payload.as_ref()).to_string()))?
-        .map_err(|e| cell_err(e.to_string()))?;
+        .map_err(|payload| {
+            cell_err(crate::campaign::panic_text(payload.as_ref()).to_string())
+        })?
+        .map_err(|e| match e {
+            ScenarioError::DeadlineExceeded { budget: _, .. } => CellError::DeadlineExceeded {
+                cca,
+                mtu,
+                seed,
+                // Report the *cell's* budget, not the remainder this
+                // repetition happened to inherit.
+                budget: deadline.map(|(_, b)| b).unwrap_or_default(),
+            },
+            other => cell_err(other.to_string()),
+        })?;
+        if policy.paranoid {
+            crate::campaign::invariant::check(&out, mtu).map_err(|v| {
+                CellError::InvariantViolation { cca, mtu, seed, detail: v.to_string() }
+            })?;
+        }
         let r = &out.reports[0];
         if !r.outcome.is_completed() {
             return Err(cell_err(format!("flow {}", r.outcome)));
@@ -203,98 +315,10 @@ pub fn run_matrix_with_runner<F>(scale: Scale, threads: usize, runner: F) -> Mat
 where
     F: Fn(CcaKind, u32, u64, &[u64]) -> Result<Cell, CellError> + Sync,
 {
-    let seeds = scale.seeds();
-    let jobs: Vec<(CcaKind, u32)> = CcaKind::ALL
-        .iter()
-        .flat_map(|&cca| MTUS.iter().map(move |&mtu| (cca, mtu)))
-        .collect();
-    let threads = threads.max(1).min(jobs.len());
-    let next = AtomicUsize::new(0);
-
-    let mut indexed: Vec<(usize, Result<Cell, CellFailure>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let jobs = &jobs;
-                let seeds = &seeds;
-                let next = &next;
-                let runner = &runner;
-                scope.spawn(move || {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let (cca, mtu) = jobs[i];
-                        let outcome = match runner(cca, mtu, scale.transfer_bytes, seeds) {
-                            Ok(cell) => Ok(cell),
-                            Err(first) => {
-                                let retry_seeds: Vec<u64> =
-                                    seeds.iter().map(|&s| s ^ RETRY_SEED_SALT).collect();
-                                match runner(cca, mtu, scale.transfer_bytes, &retry_seeds) {
-                                    Ok(cell) => Ok(cell),
-                                    Err(second) => Err(CellFailure {
-                                        cca: cca.name().to_string(),
-                                        mtu,
-                                        error: first.to_string(),
-                                        retry_error: second.to_string(),
-                                    }),
-                                }
-                            }
-                        };
-                        done.push((i, outcome));
-                    }
-                    done
-                })
-            })
-            .collect();
-        // Drain every worker before deciding the campaign's fate: a panic
-        // in one must not hide the results (or failures) of the others.
-        let mut collected = Vec::new();
-        let mut worker_panics = Vec::new();
-        for h in handles {
-            match h.join() {
-                Ok(part) => collected.extend(part),
-                Err(payload) => {
-                    worker_panics.push(panic_message(payload.as_ref()).to_string())
-                }
-            }
-        }
-        if !worker_panics.is_empty() {
-            panic!(
-                "{} campaign worker(s) panicked: {}",
-                worker_panics.len(),
-                worker_panics.join(" | ")
-            );
-        }
-        collected
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-
-    let mut cells = Vec::new();
-    let mut failed = Vec::new();
-    for (_, outcome) in indexed {
-        match outcome {
-            Ok(cell) => cells.push(cell),
-            Err(failure) => failed.push(failure),
-        }
-    }
-    Matrix {
-        transfer_bytes: scale.transfer_bytes,
-        repetitions: scale.repetitions,
-        seeds,
-        cells,
-        failed,
-    }
-}
-
-/// Best-effort text of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    payload
-        .downcast_ref::<&str>()
-        .copied()
-        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("non-string panic payload")
+    let opts = crate::campaign::CampaignOptions { threads, ..Default::default() };
+    crate::campaign::run_campaign_with_runner(scale, opts, runner)
+        .expect("no journal configured, so no journal I/O can fail")
+        .matrix
 }
 
 #[cfg(test)]
@@ -315,6 +339,7 @@ mod tests {
     #[test]
     fn matrix_lookup() {
         let m = Matrix {
+            schema_version: MATRIX_SCHEMA_VERSION,
             transfer_bytes: 1,
             repetitions: 1,
             seeds: vec![1],
@@ -345,7 +370,7 @@ mod tests {
     }
 
     fn stub_err(cca: CcaKind, mtu: u32, seed: u64, message: &str) -> CellError {
-        CellError {
+        CellError::Failed {
             cca,
             mtu,
             seed,

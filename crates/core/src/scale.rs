@@ -56,12 +56,25 @@ impl Scale {
         }
     }
 
-    /// Read `GREENENVY_SCALE` (`paper` | `standard` | `quick`), defaulting
-    /// to [`Scale::standard`].
+    /// A miniature workload for durability drills: small enough that a
+    /// kill/resume cycle through the whole 40-cell campaign fits in a
+    /// CI stage, large enough that cells take measurable wall time.
+    pub fn tiny() -> Scale {
+        Scale {
+            transfer_bytes: 25 * MB,
+            two_flow_bytes: 12 * MB,
+            repetitions: 1,
+            name: "tiny",
+        }
+    }
+
+    /// Read `GREENENVY_SCALE` (`paper` | `standard` | `quick` | `tiny`),
+    /// defaulting to [`Scale::standard`].
     pub fn from_env() -> Scale {
         match std::env::var("GREENENVY_SCALE").as_deref() {
             Ok("paper") => Scale::paper(),
             Ok("quick") => Scale::quick(),
+            Ok("tiny") => Scale::tiny(),
             _ => Scale::standard(),
         }
     }

@@ -70,6 +70,11 @@ pub enum RunOutcome {
     /// [`Network::set_stall_budget`]). The run is livelocked — agents and
     /// links keep generating events but no application progress happens.
     Stalled,
+    /// The wall-clock deadline passed (see [`Network::set_wall_deadline`]).
+    /// Unlike [`RunOutcome::TimeLimit`] this bounds *host* time, not
+    /// simulated time: it catches cells that are slow-wedged — still
+    /// making nominal event progress, but far past any sane runtime.
+    DeadlineExceeded,
 }
 
 /// Aggregate drop/mark statistics across all links. Congestive counters
@@ -89,6 +94,30 @@ pub struct NetworkStats {
     pub injected_dups: u64,
     /// Frames held back for reordering by injected faults.
     pub injected_reorders: u64,
+    /// Frames handed to the network by agents (`Ctx::send`). Together
+    /// with the counters below this closes the frame conservation law
+    /// the paranoid campaign checker asserts: every originated or
+    /// fault-duplicated frame is eventually delivered, discarded as
+    /// corrupt, injected-dropped, or congestively dropped.
+    pub originated_pkts: u64,
+    /// Frames dispatched to a host agent (clean deliveries).
+    pub delivered_pkts: u64,
+    /// Corrupted frames discarded at a host NIC (FCS failure).
+    pub corrupt_discards: u64,
+}
+
+impl NetworkStats {
+    /// Frame conservation residual: originated + duplicated minus every
+    /// accounted fate. Zero at quiescence ([`RunOutcome::Drained`]);
+    /// positive while frames are still queued or in flight. Negative
+    /// means double-counting — always a bug.
+    pub fn conservation_residual(&self) -> i64 {
+        (self.originated_pkts + self.injected_dups) as i64
+            - (self.delivered_pkts
+                + self.corrupt_discards
+                + self.injected_drops
+                + self.dropped_pkts) as i64
+    }
 }
 
 /// Engine performance counters: event totals plus the scheduler's
@@ -133,7 +162,21 @@ pub struct Network {
     /// and the budget that trips [`RunOutcome::Stalled`] (`None` = off).
     events_since_progress: u64,
     stall_budget: Option<u64>,
+    /// Wall-clock deadline for the run loop (`None` = off). Checked every
+    /// [`DEADLINE_CHECK_MASK`]+1 events so the hot path pays a masked
+    /// branch, not a clock read, per event.
+    wall_deadline: Option<std::time::Instant>,
+    /// Network-level frame conservation counters (see [`NetworkStats`]).
+    originated_pkts: u64,
+    delivered_pkts: u64,
+    corrupt_discards: u64,
 }
+
+/// The run loop reads the wall clock once per this many events (power of
+/// two; the check is `events_processed & MASK == 0`). At the engine's
+/// multi-M events/s rate that is many checks per second — far finer than
+/// any sane deadline — while keeping `Instant::now` off the hot path.
+const DEADLINE_CHECK_MASK: u64 = (1 << 14) - 1;
 
 impl Network {
     /// Create an empty network with a master seed. Components derive their
@@ -156,6 +199,10 @@ impl Network {
             events_processed: 0,
             events_since_progress: 0,
             stall_budget: None,
+            wall_deadline: None,
+            originated_pkts: 0,
+            delivered_pkts: 0,
+            corrupt_discards: 0,
         }
     }
 
@@ -326,6 +373,16 @@ impl Network {
         self.stall_budget = budget;
     }
 
+    /// Arm (or clear) a wall-clock deadline: once the host clock passes
+    /// `deadline`, the run loop returns [`RunOutcome::DeadlineExceeded`]
+    /// at its next check instead of running on. Complements the
+    /// event-count stall watchdog: that one catches livelock (events
+    /// without progress), this one catches slow-wedged runs that do make
+    /// progress but have blown any reasonable time budget.
+    pub fn set_wall_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.wall_deadline = deadline;
+    }
+
     /// Aggregate drop/mark counters across all links.
     pub fn network_stats(&self) -> NetworkStats {
         let mut s = NetworkStats::default();
@@ -338,6 +395,9 @@ impl Network {
             s.injected_dups += l.stats.injected_dups;
             s.injected_reorders += l.stats.injected_reorders;
         }
+        s.originated_pkts = self.originated_pkts;
+        s.delivered_pkts = self.delivered_pkts;
+        s.corrupt_discards = self.corrupt_discards;
         s
     }
 
@@ -506,6 +566,7 @@ impl Network {
                     // FCS failure: the NIC paid for the receive (activity
                     // recorded above) but discards the frame before the
                     // transport ever sees it.
+                    self.corrupt_discards += 1;
                     if let Some(log) = self.pkt_log.as_mut() {
                         log.record(self.now, PacketEventKind::CorruptDiscard, &pkt, None, Some(node));
                     }
@@ -522,6 +583,7 @@ impl Network {
                 // A host delivery is the watchdog's definition of
                 // application progress.
                 self.events_since_progress = 0;
+                self.delivered_pkts += 1;
                 self.dispatch_packet(node, pkt);
             }
         }
@@ -551,7 +613,10 @@ impl Network {
         let mut commands = std::mem::take(&mut self.commands);
         for cmd in commands.drain(..) {
             match cmd {
-                AgentCommand::Send(pkt) => self.route_and_transmit(node, pkt),
+                AgentCommand::Send(pkt) => {
+                    self.originated_pkts += 1;
+                    self.route_and_transmit(node, pkt)
+                }
                 AgentCommand::SetTimer { at, token } => {
                     self.schedule(at.max(self.now), Event::Timer { node, token })
                 }
@@ -599,6 +664,13 @@ impl Network {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events_processed += 1;
+            if self.events_processed & DEADLINE_CHECK_MASK == 0 {
+                if let Some(deadline) = self.wall_deadline {
+                    if std::time::Instant::now() >= deadline {
+                        return RunOutcome::DeadlineExceeded;
+                    }
+                }
+            }
             match event {
                 Event::Arrive { node, pkt } => self.on_arrive(node, pkt),
                 Event::TxDone { link } => self.on_tx_done(link),
@@ -1121,6 +1193,108 @@ mod tests {
         // 100 data + 100 acks deliver steadily; the budget never trips.
         assert_eq!(net.run(), RunOutcome::Drained);
         assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 100);
+    }
+
+    #[test]
+    fn conservation_counters_balance_on_a_clean_run() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.attach_agent(a, Box::new(Echo::sending(b, 25)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        let s = net.network_stats();
+        // 25 data + 25 acks, all delivered.
+        assert_eq!(s.originated_pkts, 50);
+        assert_eq!(s.delivered_pkts, 50);
+        assert_eq!(s.corrupt_discards, 0);
+        assert_eq!(s.conservation_residual(), 0);
+    }
+
+    #[test]
+    fn conservation_counters_balance_under_faults() {
+        let (mut net, a, b) = two_hosts_direct();
+        let spec = crate::fault::FaultSpec::random_loss(0.3)
+            .with_corruption(0.2)
+            .with_duplication(0.2);
+        net.set_link_fault(LinkId::from_raw(0), spec);
+        net.attach_agent(a, Box::new(Echo::sending(b, 200)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        let s = net.network_stats();
+        assert!(s.injected_drops > 0 && s.injected_corrupts > 0 && s.injected_dups > 0);
+        assert!(s.corrupt_discards > 0);
+        assert_eq!(
+            s.conservation_residual(),
+            0,
+            "at quiescence every frame fate must be accounted: {s:?}"
+        );
+    }
+
+    #[test]
+    fn conservation_counters_balance_with_queue_drops() {
+        let mut net = Network::new(9);
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(
+            a,
+            b,
+            LinkSpec::droptail(Rate::from_mbps(1.0), SimDuration::from_micros(1), 2_500),
+        );
+        let ba = net.add_link(
+            b,
+            a,
+            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(1), 1_000_000),
+        );
+        net.add_route(a, b, ab);
+        net.add_route(b, a, ba);
+        net.attach_agent(a, Box::new(Echo::sending(b, 10)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        let s = net.network_stats();
+        assert!(s.dropped_pkts > 0, "tiny buffer must overflow");
+        assert_eq!(s.conservation_residual(), 0, "{s:?}");
+    }
+
+    /// Fires `remaining` back-to-back timer events — a cheap way to push
+    /// the event counter past the deadline-check period.
+    struct Ticker {
+        remaining: u64,
+    }
+    impl Agent for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(SimDuration::from_nanos(1), 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer_after(SimDuration::from_nanos(1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn expired_wall_deadline_aborts_a_long_run() {
+        let mut net = Network::new(10);
+        let a = net.add_host();
+        // Plenty of events (> one deadline-check period) and a deadline
+        // already in the past: the loop must bail at its first check.
+        net.attach_agent(a, Box::new(Ticker { remaining: 10 * (DEADLINE_CHECK_MASK + 1) }));
+        net.set_wall_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_secs(1),
+        ));
+        assert_eq!(net.run(), RunOutcome::DeadlineExceeded);
+        assert_eq!(net.events_processed(), DEADLINE_CHECK_MASK + 1);
+    }
+
+    #[test]
+    fn generous_wall_deadline_leaves_the_run_alone() {
+        let mut net = Network::new(11);
+        let a = net.add_host();
+        net.attach_agent(a, Box::new(Ticker { remaining: 2 * (DEADLINE_CHECK_MASK + 1) }));
+        net.set_wall_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(600),
+        ));
+        assert_eq!(net.run(), RunOutcome::Drained);
     }
 
     #[test]

@@ -208,8 +208,8 @@ impl FaultState {
             fate.extra_delay = self.spec.reorder_delay;
         }
         if !self.spec.jitter.is_zero() {
-            fate.extra_delay =
-                fate.extra_delay + SimDuration::from_nanos(self.rng.next_below(self.spec.jitter.as_nanos()));
+            fate.extra_delay +=
+                SimDuration::from_nanos(self.rng.next_below(self.spec.jitter.as_nanos()));
         }
         fate
     }

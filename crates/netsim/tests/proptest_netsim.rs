@@ -33,10 +33,8 @@ proptest! {
                 EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked => accepted += 1,
                 EnqueueOutcome::Dropped => {}
             }
-            if i % drain_every == 0 {
-                if q.dequeue(SimTime::ZERO).is_some() {
-                    dequeued += 1;
-                }
+            if i % drain_every == 0 && q.dequeue(SimTime::ZERO).is_some() {
+                dequeued += 1;
             }
             prop_assert!(q.len_bytes() <= capacity, "capacity respected");
         }

@@ -318,7 +318,6 @@ mod tests {
     /// Harness: a data source host wired to a receiver host; the source
     /// agent records acks it gets back.
     struct Source {
-        dst: NodeId,
         script: Vec<(SimDuration, Packet)>,
         acks: Vec<AckInfo>,
     }
@@ -368,7 +367,6 @@ mod tests {
         net.attach_agent(
             src,
             Box::new(Source {
-                dst,
                 script: script(src, dst),
                 acks: Vec::new(),
             }),

@@ -114,7 +114,7 @@ impl Qdisc for PeriodicLoss {
     fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
         if pkt.is_data() {
             self.count += 1;
-            if self.count % self.k == 0 {
+            if self.count.is_multiple_of(self.k) {
                 self.stats_dropped += 1;
                 return EnqueueOutcome::Dropped;
             }

@@ -77,6 +77,12 @@ pub struct Scenario {
     /// transport default). Chaos runs lower this so flows on a dead path
     /// abort in simulated seconds instead of minutes.
     pub max_rto_retries: Option<u32>,
+    /// Wall-clock budget for the run (`None` = unbounded). Complements
+    /// `time_limit` (simulated time) and the stall watchdog (event
+    /// count): a slow-wedged run that keeps making nominal progress is
+    /// cut off by the host clock and surfaces as
+    /// [`ScenarioError::DeadlineExceeded`].
+    pub wall_deadline: Option<std::time::Duration>,
 }
 
 /// Engine stall watchdog budget: abort the run if this many events are
@@ -108,6 +114,7 @@ impl Scenario {
             start_jitter: SimDuration::from_micros(200),
             bottleneck_fault: None,
             max_rto_retries: None,
+            wall_deadline: None,
         }
     }
 
@@ -144,6 +151,12 @@ impl Scenario {
     /// Override every sender's consecutive-RTO retry budget.
     pub fn with_max_rto_retries(mut self, retries: u32) -> Self {
         self.max_rto_retries = Some(retries);
+        self
+    }
+
+    /// Bound the run by host wall-clock time.
+    pub fn with_wall_deadline(mut self, budget: std::time::Duration) -> Self {
+        self.wall_deadline = Some(budget);
         self
     }
 
@@ -199,6 +212,14 @@ pub enum ScenarioError {
         /// Simulated time when the watchdog gave up.
         at: SimTime,
     },
+    /// The wall-clock budget ([`Scenario::wall_deadline`]) expired with
+    /// the run still going: the cell is slow-wedged, not livelocked.
+    DeadlineExceeded {
+        /// Simulated time reached when the deadline fired.
+        at: SimTime,
+        /// The budget that was exceeded.
+        budget: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -209,6 +230,13 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::Stalled { at } => {
                 write!(f, "event loop stalled (no packet progress) at {at}")
+            }
+            ScenarioError::DeadlineExceeded { at, budget } => {
+                write!(
+                    f,
+                    "wall-clock deadline exceeded ({:.1}s budget) at sim time {at}",
+                    budget.as_secs_f64()
+                )
             }
         }
     }
@@ -245,6 +273,16 @@ pub struct ScenarioOutcome {
     pub injected_dups: u64,
     /// Frames held back for reordering by the fault layer.
     pub injected_reorders: u64,
+    /// Frames agents handed to the network (data + acks, all hosts).
+    pub originated_pkts: u64,
+    /// Frames dispatched to a host agent (clean deliveries).
+    pub delivered_pkts: u64,
+    /// Corrupted frames discarded at a host NIC before the transport.
+    pub corrupt_discards: u64,
+    /// How the engine's run loop returned. [`RunOutcome::Drained`] means
+    /// the network reached quiescence, which is when the paranoid
+    /// checker may assert exact frame conservation.
+    pub run_outcome: RunOutcome,
     /// Per-flow throughput series in Gb/s (if tracing was enabled),
     /// in flow order.
     pub throughput_traces: Option<Vec<Vec<f64>>>,
@@ -382,8 +420,19 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
     net.attach_agent(dumbbell.receiver, Box::new(TcpReceiver::new(policy)));
 
     let limit = scenario.time_limit.unwrap_or_else(|| scenario.default_time_limit());
-    if net.run_until(limit) == RunOutcome::Stalled {
-        return Err(ScenarioError::Stalled { at: net.now() });
+    if let Some(budget) = scenario.wall_deadline {
+        net.set_wall_deadline(Some(std::time::Instant::now() + budget));
+    }
+    let run_outcome = net.run_until(limit);
+    match run_outcome {
+        RunOutcome::Stalled => return Err(ScenarioError::Stalled { at: net.now() }),
+        RunOutcome::DeadlineExceeded => {
+            return Err(ScenarioError::DeadlineExceeded {
+                at: net.now(),
+                budget: scenario.wall_deadline.unwrap_or_default(),
+            })
+        }
+        RunOutcome::Drained | RunOutcome::Stopped | RunOutcome::TimeLimit => {}
     }
 
     // Collect per-flow reports; every flow must have reached a terminal
@@ -508,6 +557,10 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         injected_corrupts: net_stats.injected_corrupts,
         injected_dups: net_stats.injected_dups,
         injected_reorders: net_stats.injected_reorders,
+        originated_pkts: net_stats.originated_pkts,
+        delivered_pkts: net_stats.delivered_pkts,
+        corrupt_discards: net_stats.corrupt_discards,
+        run_outcome,
         throughput_traces,
         sender_power_series_w,
         power_bin: scenario.activity_bin,
@@ -796,6 +849,37 @@ mod tests {
             "clean={} flapped={}",
             clean.reports[0].fct,
             flapped.reports[0].fct
+        );
+    }
+
+    #[test]
+    fn expired_wall_deadline_surfaces_as_a_typed_error() {
+        let s = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 500 * MB)])
+            .with_wall_deadline(std::time::Duration::ZERO);
+        let err = run(&s).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::DeadlineExceeded { .. }),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn outcome_carries_conservation_counters() {
+        let out = quick(9000, CcaKind::Cubic, 50 * MB);
+        assert_eq!(out.run_outcome, RunOutcome::Drained);
+        assert!(out.originated_pkts > 0);
+        assert!(out.delivered_pkts > 0);
+        assert_eq!(out.corrupt_discards, 0);
+        // Quiescent clean run: every originated frame was delivered or
+        // congestively dropped.
+        assert_eq!(
+            out.originated_pkts,
+            out.delivered_pkts + out.dropped_pkts,
+            "originated {} = delivered {} + dropped {}",
+            out.originated_pkts,
+            out.delivered_pkts,
+            out.dropped_pkts
         );
     }
 

@@ -3,18 +3,24 @@
 # quick-scale smoke run of every figure binary. This is what CI (and a
 # reviewer) should run before merging engine or experiment changes.
 #
-# Usage: scripts/verify.sh [--chaos]
-#   --chaos  additionally run the fault-injection suite: the netsim and
-#            transport chaos property tests, the golden determinism
-#            fingerprints (clean + faulted), and a quick-scale run of the
-#            chaos experiment binary.
+# Usage: scripts/verify.sh [--chaos] [--resume]
+#   --chaos   additionally run the fault-injection suite: the netsim and
+#             transport chaos property tests, the golden determinism
+#             fingerprints (clean + faulted), and a quick-scale run of the
+#             chaos experiment binary.
+#   --resume  additionally drill the durability layer end to end: start a
+#             tiny-scale journaled campaign, SIGTERM it mid-flight, resume
+#             it, and require the merged matrix to be byte-identical to an
+#             uninterrupted run. Also lints the campaign code with clippy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 chaos=0
+resume=0
 for arg in "$@"; do
     case "$arg" in
         --chaos) chaos=1 ;;
+        --resume) resume=1 ;;
         *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -31,7 +37,8 @@ echo "== figure smoke run (GREENENVY_SCALE=quick) =="
 # tracked standard-scale results at the repo root.
 repo=$PWD
 smoke=$(mktemp -d)
-trap 'rm -rf "$smoke"' EXIT
+drill=""
+trap 'rm -rf "$smoke" ${drill:+"$drill"}' EXIT
 (cd "$smoke" && GREENENVY_SCALE=quick \
     cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin all)
 
@@ -44,6 +51,53 @@ if [[ $chaos -eq 1 ]]; then
     echo "== chaos stage: experiment smoke run (GREENENVY_SCALE=quick) =="
     (cd "$smoke" && GREENENVY_SCALE=quick \
         cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin chaos)
+fi
+
+if [[ $resume -eq 1 ]]; then
+    echo "== resume stage: clippy on the campaign layer =="
+    cargo clippy --release --offline -p greenenvy -p bench --all-targets -- -D warnings
+
+    echo "== resume stage: kill/resume drill (GREENENVY_SCALE=tiny) =="
+    drill=$(mktemp -d)
+    # Golden reference: the campaign start to finish, uninterrupted.
+    (cd "$drill" && mkdir -p golden && cd golden && GREENENVY_SCALE=tiny \
+        cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
+        -p bench --bin campaign -- --paranoid --threads 2)
+
+    # Interrupted run: SIGTERM once the journal shows progress, then
+    # --resume to completion. Exit 130 is the campaign's "cancelled,
+    # journal intact" signal.
+    mkdir -p "$drill/drill"
+    (cd "$drill/drill" && GREENENVY_SCALE=tiny \
+        cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
+        -p bench --bin campaign -- --paranoid --threads 2) &
+    pid=$!
+    journal="$drill/drill/results/campaign_tiny.jsonl"
+    for _ in $(seq 1 600); do
+        # >5 lines = header + some journaled cells: interrupt mid-flight.
+        if [[ -f "$journal" ]] && [[ $(wc -l <"$journal") -gt 5 ]]; then break; fi
+        if ! kill -0 "$pid" 2>/dev/null; then break; fi
+        sleep 0.1
+    done
+    if kill -TERM "$pid" 2>/dev/null; then
+        wait "$pid" && status=0 || status=$?
+        if [[ $status -ne 130 && $status -ne 0 ]]; then
+            echo "verify.sh: interrupted campaign exited $status (wanted 130 graceful or 0 completed)" >&2
+            exit 1
+        fi
+    else
+        wait "$pid" || { echo "verify.sh: campaign died before the kill" >&2; exit 1; }
+    fi
+    (cd "$drill/drill" && GREENENVY_SCALE=tiny \
+        cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
+        -p bench --bin campaign -- --paranoid --threads 2 --resume)
+
+    if ! cmp -s "$drill/golden/results/matrix_tiny.json" "$drill/drill/results/matrix_tiny.json"; then
+        echo "verify.sh: resumed matrix differs from the uninterrupted run" >&2
+        diff "$drill/golden/results/matrix_tiny.json" "$drill/drill/results/matrix_tiny.json" | head >&2 || true
+        exit 1
+    fi
+    echo "resume drill: resumed matrix is byte-identical to the uninterrupted run"
 fi
 
 echo "verify.sh: all green"

@@ -366,10 +366,10 @@ mod tests {
 
     #[test]
     fn floats_keep_precision() {
-        let v = json!([0.1, 1.0, 3.141592653589793, 1e-9]);
+        let v = json!([0.1, 1.0, (std::f64::consts::PI), 1e-9]);
         let text = to_string(&v).unwrap();
         let back: Vec<f64> = from_str(&text).unwrap();
-        assert_eq!(back, vec![0.1, 1.0, 3.141592653589793, 1e-9]);
+        assert_eq!(back, vec![0.1, 1.0, std::f64::consts::PI, 1e-9]);
     }
 
     #[test]
