@@ -7,16 +7,9 @@
 /// Render an x-y series as a fixed-size line chart. Points are scaled
 /// into `width x height` character cells; multiple series share axes and
 /// get distinct glyphs.
-pub fn line_chart(
-    series: &[(&str, &[(f64, f64)])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn line_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
     assert!(width >= 8 && height >= 4, "chart too small");
-    let pts: Vec<(f64, f64)> = series
-        .iter()
-        .flat_map(|(_, s)| s.iter().copied())
-        .collect();
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
     if pts.is_empty() {
         return String::from("(no data)\n");
     }
@@ -126,10 +119,7 @@ mod tests {
 
     #[test]
     fn bar_chart_is_proportional() {
-        let rows = vec![
-            ("bbr".to_string(), 1.0),
-            ("cubic".to_string(), 2.0),
-        ];
+        let rows = vec![("bbr".to_string(), 1.0), ("cubic".to_string(), 2.0)];
         let s = bar_chart(&rows, 20, "kJ");
         let bbr_bar = s.lines().next().unwrap().matches('#').count();
         let cubic_bar = s.lines().nth(1).unwrap().matches('#').count();

@@ -33,10 +33,12 @@ fn ablation_tlp(c: &mut Criterion) {
         if !tlp {
             scfg = scfg.without_tlp();
         }
-        let cc = CcaKind::Baseline
-            .build(&cca::CcaConfig::new(8960).with_baseline_cwnd(200_000));
+        let cc = CcaKind::Baseline.build(&cca::CcaConfig::new(8960).with_baseline_cwnd(200_000));
         net.attach_agent(d.senders[0], Box::new(TcpSender::new(scfg, cc)));
-        net.attach_agent(d.receiver, Box::new(TcpReceiver::new(AckPolicy::delayed_default())));
+        net.attach_agent(
+            d.receiver,
+            Box::new(TcpReceiver::new(AckPolicy::delayed_default())),
+        );
         net.run_until(SimTime::from_secs(30));
         let s = net.agent::<TcpSender>(d.senders[0]).unwrap();
         assert!(s.is_complete());

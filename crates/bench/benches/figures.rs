@@ -87,7 +87,14 @@ fn bench_fig5_to_8_campaign_cell(c: &mut Criterion) {
         (CcaKind::Bbr2, 9000),
     ] {
         g.bench_function(format!("{}_mtu{}", cca.name(), mtu), |b| {
-            b.iter(|| black_box(matrix::run_cell(cca, mtu, 25 * MB, &[1]).unwrap().energy_j.mean))
+            b.iter(|| {
+                black_box(
+                    matrix::run_cell(cca, mtu, 25 * MB, &[1])
+                        .unwrap()
+                        .energy_j
+                        .mean,
+                )
+            })
         });
     }
     g.finish();

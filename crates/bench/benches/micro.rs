@@ -79,7 +79,10 @@ fn bench_scheduler(c: &mut Criterion) {
             for i in 64..OPS {
                 let Reverse((at, _)) = h.pop().unwrap();
                 now = at;
-                h.push(Reverse((now + SimDuration::from_nanos(800 + (i % 97) * 37), i)));
+                h.push(Reverse((
+                    now + SimDuration::from_nanos(800 + (i % 97) * 37),
+                    i,
+                )));
             }
             black_box(h.len())
         })
@@ -115,7 +118,11 @@ fn bench_scheduler(c: &mut Criterion) {
             let mut h: BinaryHeap<Reverse<(SimTime, u64, FatPayload)>> = BinaryHeap::new();
             let mut now = SimTime::ZERO;
             for i in 0..64u64 {
-                h.push(Reverse((now + SimDuration::from_nanos(800 + i * 37), i, payload)));
+                h.push(Reverse((
+                    now + SimDuration::from_nanos(800 + i * 37),
+                    i,
+                    payload,
+                )));
             }
             for i in 64..OPS {
                 let Reverse((at, _, p)) = h.pop().unwrap();

@@ -69,7 +69,9 @@ fn main() {
                 opts.deadline = Some(Duration::from_secs_f64(parse_arg(&mut args, "--deadline")))
             }
             "--threads" => opts.threads = parse_arg(&mut args, "--threads"),
-            "--journal" => journal = Some(PathBuf::from(parse_arg::<String>(&mut args, "--journal"))),
+            "--journal" => {
+                journal = Some(PathBuf::from(parse_arg::<String>(&mut args, "--journal")))
+            }
             _ => {
                 eprintln!("error: unknown flag {arg:?}");
                 usage();
@@ -83,10 +85,14 @@ fn main() {
     bench::announce("Durable campaign", &scale);
     println!(
         "journal: {} | resume: {} | paranoid: {} | deadline: {} | threads: {}\n",
-        opts.journal.as_deref().unwrap_or(std::path::Path::new("-")).display(),
+        opts.journal
+            .as_deref()
+            .unwrap_or(std::path::Path::new("-"))
+            .display(),
         opts.resume,
         opts.paranoid,
-        opts.deadline.map_or("none".to_string(), |d| format!("{}s/cell", d.as_secs_f64())),
+        opts.deadline
+            .map_or("none".to_string(), |d| format!("{}s/cell", d.as_secs_f64())),
         opts.threads,
     );
 
@@ -112,7 +118,10 @@ fn main() {
         report.matrix.failed.len()
     );
     for f in &report.matrix.failed {
-        eprintln!("failed: {} @ mtu {}: {} / retry: {}", f.cca, f.mtu, f.error, f.retry_error);
+        eprintln!(
+            "failed: {} @ mtu {}: {} / retry: {}",
+            f.cca, f.mtu, f.error, f.retry_error
+        );
     }
     if report.cancelled {
         println!("cancelled — journal is intact; rerun with --resume to continue");

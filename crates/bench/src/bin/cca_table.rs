@@ -14,7 +14,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(9000);
     let mut t = analysis::table::Table::new([
-        "cca", "fct (s)", "goodput (Gbps)", "power (W)", "energy (J)", "retx", "rtos", "drops",
+        "cca",
+        "fct (s)",
+        "goodput (Gbps)",
+        "power (W)",
+        "energy (J)",
+        "retx",
+        "rtos",
+        "drops",
     ]);
     for kind in CcaKind::ALL {
         let s = Scenario::new(mtu, vec![FlowSpec::bulk(kind, bytes)]);

@@ -5,7 +5,12 @@ use workload::prelude::*;
 
 fn main() {
     let bytes: u64 = 50_000_000_000;
-    for kind in [CcaKind::Cubic, CcaKind::Bbr, CcaKind::Bbr2, CcaKind::Baseline] {
+    for kind in [
+        CcaKind::Cubic,
+        CcaKind::Bbr,
+        CcaKind::Bbr2,
+        CcaKind::Baseline,
+    ] {
         let s = Scenario::new(9000, vec![FlowSpec::bulk(kind, bytes)]);
         match workload::scenario::run(&s) {
             Ok(out) => {

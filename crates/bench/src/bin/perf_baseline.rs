@@ -68,6 +68,23 @@ struct ParanoidOverhead {
     overhead_frac: f64,
 }
 
+/// Cost and findings of the full-workspace static-analysis pass, so the
+/// perf trajectory tracks analysis cost alongside engine throughput. The
+/// budget is 2 s for the whole workspace.
+#[derive(Serialize)]
+struct LintPerf {
+    /// Source files scanned.
+    files: usize,
+    /// Unsuppressed error-severity findings (the verify gate requires 0).
+    findings: usize,
+    /// Findings covered by an inline simlint::allow with a reason.
+    suppressed: usize,
+    /// Best-of-RUNS wall seconds for the whole-workspace lint.
+    wall_s: f64,
+    /// The budget `wall_s` is held to.
+    budget_s: f64,
+}
+
 #[derive(Serialize)]
 struct Baseline {
     /// What produced this file.
@@ -82,6 +99,8 @@ struct Baseline {
     chaos_overhead: ChaosOverhead,
     /// Invariant-audit cost on the clean hot path.
     paranoid_overhead: ParanoidOverhead,
+    /// Whole-workspace simlint cost and findings.
+    simlint: LintPerf,
 }
 
 fn measure(name: &str, scenario: &Scenario) -> ScenarioPerf {
@@ -125,8 +144,8 @@ fn best_wall(scenario: &Scenario, runs: u32, paranoid: bool) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..runs {
         let start = Instant::now();
-        let out = workload::scenario::run(scenario)
-            .unwrap_or_else(|e| panic!("overhead probe: {e}"));
+        let out =
+            workload::scenario::run(scenario).unwrap_or_else(|e| panic!("overhead probe: {e}"));
         if paranoid {
             greenenvy::campaign::invariant::check(&out, scenario.mtu)
                 .unwrap_or_else(|v| panic!("overhead probe: {v}"));
@@ -189,6 +208,38 @@ fn measure_paranoid_overhead() -> ParanoidOverhead {
     overhead
 }
 
+/// Time the full-workspace lint (best of RUNS) and report its findings.
+fn measure_simlint(repo_root: &std::path::Path) -> LintPerf {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let r = simlint::lint_workspace_with_config_file(repo_root)
+            .unwrap_or_else(|e| panic!("simlint pass: {e}"));
+        best = best.min(start.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("RUNS >= 1");
+    let perf = LintPerf {
+        files: report.files_scanned,
+        findings: report.count_gating(),
+        suppressed: report.count_suppressed(),
+        wall_s: best,
+        budget_s: 2.0,
+    };
+    println!(
+        "\nsimlint: {} files, {} findings, {} suppressed, {:.4} s wall (budget {:.1} s)",
+        perf.files, perf.findings, perf.suppressed, perf.wall_s, perf.budget_s
+    );
+    if perf.wall_s > perf.budget_s {
+        eprintln!(
+            "warning: simlint wall time {:.3} s exceeds the {:.1} s budget",
+            perf.wall_s, perf.budget_s
+        );
+    }
+    perf
+}
+
 fn main() {
     println!("=== simulator perf baseline ({RUNS} runs per scenario, best reported) ===\n");
     let suite = [
@@ -224,6 +275,9 @@ fn main() {
 
     let total_wall_s: f64 = scenarios.iter().map(|s| s.wall_s).sum();
     let total_events: u64 = scenarios.iter().map(|s| s.events).sum();
+    // Anchor at the repo root (two levels up from this crate) for both
+    // the lint pass and the tracked output file.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let baseline = Baseline {
         tool: "cargo run --release -p bench --bin perf_baseline".to_string(),
         total_wall_s,
@@ -231,6 +285,7 @@ fn main() {
         scenarios,
         chaos_overhead: measure_chaos_overhead(),
         paranoid_overhead: measure_paranoid_overhead(),
+        simlint: measure_simlint(&repo_root),
     };
     println!(
         "\ntotal: {:.3} s wall, {:.2} M events/s",
@@ -238,9 +293,8 @@ fn main() {
         baseline.total_events_per_sec / 1e6
     );
 
-    // Anchor at the repo root (two levels up from this crate), not the
-    // cwd, so the tracked file is refreshed wherever the bin runs from.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_netsim.json");
+    // Not the cwd: the tracked file is refreshed wherever the bin runs from.
+    let path = repo_root.join("BENCH_netsim.json");
     match greenenvy::campaign::persist::save_json_atomic(&path, &baseline) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => {

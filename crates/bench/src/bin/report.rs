@@ -77,7 +77,11 @@ fn main() {
 
     for (name, title) in [("fig5", "Figure 5"), ("fig6", "Figure 6")] {
         if let Some(fig) = load(name) {
-            let metric = if name == "fig5" { "energy_j" } else { "power_w" };
+            let metric = if name == "fig5" {
+                "energy_j"
+            } else {
+                "power_w"
+            };
             let unit = if name == "fig5" { "J" } else { "W" };
             let _ = writeln!(md, "## {title}\n");
             let _ = writeln!(md, "| cca | mtu | {metric} ({unit}) |");
@@ -97,7 +101,16 @@ fn main() {
         }
     }
 
-    for name in ["fig7", "fig8", "theorem1", "ext_multiplexed", "ext_srpt", "ext_incast", "ext_modern", "ext_production"] {
+    for name in [
+        "fig7",
+        "fig8",
+        "theorem1",
+        "ext_multiplexed",
+        "ext_srpt",
+        "ext_incast",
+        "ext_modern",
+        "ext_production",
+    ] {
         if let Some(v) = load(name) {
             let _ = writeln!(md, "## {name}\n");
             let _ = writeln!(
@@ -129,9 +142,9 @@ fn summarize(v: &serde_json::Value) -> serde_json::Value {
                 .collect();
             serde_json::Value::Object(filtered)
         }
-        serde_json::Value::Array(items) if items.len() > 12 => serde_json::Value::String(
-            format!("[{} items elided]", items.len()),
-        ),
+        serde_json::Value::Array(items) if items.len() > 12 => {
+            serde_json::Value::String(format!("[{} items elided]", items.len()))
+        }
         other => other.clone(),
     }
 }

@@ -90,8 +90,8 @@ mod tests {
     #[test]
     fn save_json_roundtrips() {
         let tmp = std::env::temp_dir().join("greenenvy-bench-test");
-        let path = save_json_in(&tmp, "unit-test", &serde_json::json!({"x": 1}))
-            .expect("write succeeds");
+        let path =
+            save_json_in(&tmp, "unit-test", &serde_json::json!({"x": 1})).expect("write succeeds");
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"x\": 1"));
     }
@@ -110,7 +110,10 @@ mod tests {
         };
         // An empty cell list is "complete" (no failures) but not full.
         let empty = complete(Vec::new());
-        assert!(!matrix_matches(&empty, &scale), "missing cells must not cache-hit");
+        assert!(
+            !matrix_matches(&empty, &scale),
+            "missing cells must not cache-hit"
+        );
         let mut failed = complete(Vec::new());
         failed.failed.push(CellFailure {
             cca: "cubic".into(),
@@ -118,10 +121,16 @@ mod tests {
             error: "x".into(),
             retry_error: "y".into(),
         });
-        assert!(!matrix_matches(&failed, &scale), "partial matrix must not cache-hit");
+        assert!(
+            !matrix_matches(&failed, &scale),
+            "partial matrix must not cache-hit"
+        );
         let mut stale = complete(Vec::new());
         stale.schema_version = 0;
-        assert!(!matrix_matches(&stale, &scale), "old schema must not cache-hit");
+        assert!(
+            !matrix_matches(&stale, &scale),
+            "old schema must not cache-hit"
+        );
     }
 
     #[test]

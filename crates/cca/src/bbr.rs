@@ -15,8 +15,8 @@
 use crate::common::MIN_CWND_SEGS;
 use netsim::time::{SimDuration, SimTime};
 use netsim::units::Rate;
-use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
 use std::collections::VecDeque;
+use transport::cc::{AckEvent, CongestionControl, CongestionEvent};
 
 /// 2/ln(2): the STARTUP gain that doubles the sending rate per RTT.
 pub const STARTUP_GAIN: f64 = 2.885;
@@ -296,8 +296,8 @@ impl BbrCore {
                 };
             }
             _ => {
-                let target = ((self.params.cwnd_gain * self.bdp_bytes() as f64) as u64)
-                    .max(self.min_cwnd());
+                let target =
+                    ((self.params.cwnd_gain * self.bdp_bytes() as f64) as u64).max(self.min_cwnd());
                 self.cwnd = if self.cwnd < target {
                     (self.cwnd + ev.newly_acked_bytes).min(target)
                 } else {
@@ -321,8 +321,7 @@ impl BbrCore {
         }
         // v2: clamp the in-flight ceiling below the level that just lost.
         let level = ev.bytes_in_flight.max(self.min_cwnd());
-        self.inflight_hi = ((level as f64 * self.params.loss_backoff) as u64)
-            .max(self.min_cwnd());
+        self.inflight_hi = ((level as f64 * self.params.loss_backoff) as u64).max(self.min_cwnd());
         if self.mode == Mode::Startup {
             // The alpha exits startup on the first loss round.
             self.mode = Mode::Drain;

@@ -136,12 +136,16 @@ mod tests {
     fn reno_ca_adds_one_mss_per_window() {
         let mut w = WindowCore::new(1000, 10);
         w.set_ssthresh(10_000); // in CA from the start
-        // Ack a full window in 10 acks.
+                                // Ack a full window in 10 acks.
         for _ in 0..10 {
             w.reno_ca_increase(1000);
         }
         // cwnd grows ~1 mss per RTT (slightly more as cwnd sits at 10-11k).
-        assert!(w.cwnd() >= 10_900 && w.cwnd() <= 11_100, "cwnd={}", w.cwnd());
+        assert!(
+            w.cwnd() >= 10_900 && w.cwnd() <= 11_100,
+            "cwnd={}",
+            w.cwnd()
+        );
     }
 
     #[test]

@@ -92,7 +92,8 @@ impl CongestionControl for Cubic {
             // Standard cubic growth: close (target - cwnd)/cwnd per ack —
             // approximated by stepping toward the target proportionally to
             // the acked bytes.
-            cwnd_segs + (target - cwnd_segs) * (ev.newly_acked_bytes as f64 / self.win.cwnd() as f64)
+            cwnd_segs
+                + (target - cwnd_segs) * (ev.newly_acked_bytes as f64 / self.win.cwnd() as f64)
         } else {
             // In the plateau: probe very gently.
             cwnd_segs + 0.01 * (ev.newly_acked_bytes as f64 / mss) / cwnd_segs

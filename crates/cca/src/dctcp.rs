@@ -181,7 +181,11 @@ mod tests {
         }
         let drop_frac = 1.0 - cc.cwnd() as f64 / w0 as f64;
         // Reduction should be far gentler than halving, and alpha ~ 0.1.
-        assert!(cc.alpha() > 0.02 && cc.alpha() < 0.3, "alpha={}", cc.alpha());
+        assert!(
+            cc.alpha() > 0.02 && cc.alpha() < 0.3,
+            "alpha={}",
+            cc.alpha()
+        );
         assert!(drop_frac < 0.5, "drop={drop_frac}");
     }
 

@@ -76,7 +76,10 @@ pub(crate) mod testutil {
 
     /// An ack at a specific time.
     pub fn ack_at(bytes: u64, now: SimTime) -> AckEvent {
-        AckEvent { now, ..ack(bytes, 0) }
+        AckEvent {
+            now,
+            ..ack(bytes, 0)
+        }
     }
 
     /// An ack in a specific round at a specific time with a given RTT.

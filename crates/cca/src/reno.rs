@@ -86,7 +86,11 @@ mod tests {
         for _ in 0..10 {
             cc.on_ack(&ack(1000, 0));
         }
-        assert!(cc.cwnd() >= 10_900 && cc.cwnd() <= 11_100, "cwnd={}", cc.cwnd());
+        assert!(
+            cc.cwnd() >= 10_900 && cc.cwnd() <= 11_100,
+            "cwnd={}",
+            cc.cwnd()
+        );
     }
 
     #[test]

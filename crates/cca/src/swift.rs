@@ -137,7 +137,10 @@ mod tests {
         assert!((cc.cwnd() as f64 - w0 as f64 * (1.0 - MAX_MDF)).abs() <= 1000.0);
         // Mild overshoot decreases less.
         let mut cc2 = Swift::new(MSS);
-        let t = cc2.target_delay(SimDuration::from_micros(100)).as_secs_f64() * 1e6;
+        let t = cc2
+            .target_delay(SimDuration::from_micros(100))
+            .as_secs_f64()
+            * 1e6;
         cc2.on_ack(&ev(1000, 0, (t as u64) + 30, 100));
         assert!(cc2.cwnd() > cc.cwnd(), "mild overshoot cuts less");
     }

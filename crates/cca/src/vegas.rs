@@ -93,7 +93,8 @@ impl CongestionControl for Vegas {
         if diff < ALPHA {
             self.win.set_cwnd(self.win.cwnd() + mss as u64);
         } else if diff > BETA {
-            self.win.set_cwnd(self.win.cwnd().saturating_sub(mss as u64));
+            self.win
+                .set_cwnd(self.win.cwnd().saturating_sub(mss as u64));
         }
         // else: within [ALPHA, BETA], hold.
     }
@@ -155,7 +156,7 @@ mod tests {
         let mut cc = Vegas::new(1000);
         cc.on_congestion_event(&congestion(cc.cwnd()));
         let w0 = cc.cwnd(); // 5000 bytes = 5 segs
-        // base 100 us, current 1000 us: diff = 5 * 0.9 = 4.5 > BETA.
+                            // base 100 us, current 1000 us: diff = 5 * 0.9 = 4.5 > BETA.
         round(&mut cc, 1, 1000, 100);
         assert_eq!(cc.cwnd(), w0 - 1000);
     }
@@ -165,9 +166,9 @@ mod tests {
         let mut cc = Vegas::new(1000);
         cc.on_congestion_event(&congestion(cc.cwnd()));
         let w0 = cc.cwnd(); // 5 segs
-        // diff = 5 * (160-100)/160 ~= 1.9 ... wait, ALPHA=2: grows.
-        // Choose rtt so diff lands in (2, 4): diff = 5*(d)/cur.
-        // rtt=250: diff = 5*150/250 = 3.0 -> hold.
+                            // diff = 5 * (160-100)/160 ~= 1.9 ... wait, ALPHA=2: grows.
+                            // Choose rtt so diff lands in (2, 4): diff = 5*(d)/cur.
+                            // rtt=250: diff = 5*150/250 = 3.0 -> hold.
         round(&mut cc, 1, 250, 100);
         assert_eq!(cc.cwnd(), w0);
     }

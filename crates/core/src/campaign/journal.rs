@@ -135,7 +135,12 @@ pub fn load(path: &Path, fingerprint: &Fingerprint) -> Result<Loaded, JournalErr
     let body = match std::fs::read_to_string(path) {
         Ok(body) => body,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Loaded::default()),
-        Err(source) => return Err(JournalError { path: path.to_path_buf(), source }),
+        Err(source) => {
+            return Err(JournalError {
+                path: path.to_path_buf(),
+                source,
+            })
+        }
     };
     let mut lines = body.split('\n');
     let header = lines.next().unwrap_or("");
@@ -226,7 +231,10 @@ impl Writer {
         let file = OpenOptions::new()
             .append(true)
             .open(path)
-            .map_err(|source| JournalError { path: path.to_path_buf(), source })?;
+            .map_err(|source| JournalError {
+                path: path.to_path_buf(),
+                source,
+            })?;
         Ok(Writer {
             path: path.to_path_buf(),
             file,
@@ -242,14 +250,20 @@ impl Writer {
         let record = record.expect("journal records serialize");
         let hash = fingerprint.record_hash(&record);
         let line = serde_json::json!({"kind": kind, "hash": hash, "record": record});
-        format!("{}\n", serde_json::to_string(&line).expect("journal line serializes"))
+        format!(
+            "{}\n",
+            serde_json::to_string(&line).expect("journal line serializes")
+        )
     }
 
     /// Append one entry and fsync it to disk before returning: once this
     /// returns, a crash cannot un-complete the cell.
     pub fn append(&mut self, entry: &Entry) -> Result<(), JournalError> {
         let line = Writer::render(entry, &self.fingerprint);
-        let at = |source| JournalError { path: self.path.clone(), source };
+        let at = |source| JournalError {
+            path: self.path.clone(),
+            source,
+        };
         self.file.write_all(line.as_bytes()).map_err(at)?;
         self.file.sync_data().map_err(at)
     }
@@ -279,7 +293,8 @@ mod tests {
     }
 
     fn scratch(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("greenenvy-journal-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("greenenvy-journal-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -310,7 +325,9 @@ mod tests {
         assert_eq!(loaded.dropped, 0);
         assert_eq!(loaded.entries.len(), 3);
         for (entry, original) in loaded.entries.iter().zip(&cells) {
-            let Entry::Cell(c) = entry else { panic!("expected cell") };
+            let Entry::Cell(c) = entry else {
+                panic!("expected cell")
+            };
             // Bit-exact floats: serialization is shortest-roundtrip.
             assert_eq!(
                 serde_json::to_string(c).unwrap(),
@@ -335,7 +352,8 @@ mod tests {
         let path = dir.join("j.jsonl");
         let fp_quick = Fingerprint::of(&Scale::quick());
         let mut w = Writer::create(&path, &fp_quick, &[]).unwrap();
-        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0))).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0)))
+            .unwrap();
         // Same journal read under a different campaign configuration.
         let fp_std = Fingerprint::of(&Scale::standard());
         assert_ne!(fp_quick, fp_std);
@@ -351,8 +369,10 @@ mod tests {
         let path = dir.join("j.jsonl");
         let fp = Fingerprint::of(&Scale::quick());
         let mut w = Writer::create(&path, &fp, &[]).unwrap();
-        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0))).unwrap();
-        w.append(&Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0))).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0)))
+            .unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0)))
+            .unwrap();
         drop(w);
         // Simulate a crash mid-append: chop the last record in half.
         let body = std::fs::read_to_string(&path).unwrap();
@@ -371,8 +391,10 @@ mod tests {
         let path = dir.join("j.jsonl");
         let fp = Fingerprint::of(&Scale::quick());
         let mut w = Writer::create(&path, &fp, &[]).unwrap();
-        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0))).unwrap();
-        w.append(&Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0))).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0)))
+            .unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0)))
+            .unwrap();
         drop(w);
         // Corrupt a digit inside the *first* record's payload (keeps the
         // line valid JSON; the content hash must catch it).
@@ -385,7 +407,9 @@ mod tests {
         assert!(!loaded.stale);
         assert_eq!(loaded.dropped, 1);
         assert_eq!(loaded.entries.len(), 1);
-        let Entry::Cell(c) = &loaded.entries[0] else { panic!() };
+        let Entry::Cell(c) = &loaded.entries[0] else {
+            panic!()
+        };
         assert_eq!(c.mtu, 3000, "the untouched record survives");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -397,7 +421,8 @@ mod tests {
         let fp = Fingerprint::of(&Scale::quick());
         let kept = Entry::Cell(stub_cell(CcaKind::Vegas, 6000, 4.0));
         let mut w = Writer::create(&path, &fp, std::slice::from_ref(&kept)).unwrap();
-        w.append(&Entry::Cell(stub_cell(CcaKind::Bbr, 1500, 5.0))).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Bbr, 1500, 5.0)))
+            .unwrap();
         let loaded = load(&path, &fp).unwrap();
         assert_eq!(loaded.entries.len(), 2);
         assert_eq!(loaded.dropped, 0);
@@ -408,8 +433,18 @@ mod tests {
     fn fingerprints_cover_seeds_not_just_sizes() {
         // Two scales with identical sizes but different seed schedules
         // must not share a fingerprint.
-        let a = Scale { transfer_bytes: 1, two_flow_bytes: 1, repetitions: 2, name: "a" };
-        let b = Scale { transfer_bytes: 1, two_flow_bytes: 1, repetitions: 3, name: "b" };
+        let a = Scale {
+            transfer_bytes: 1,
+            two_flow_bytes: 1,
+            repetitions: 2,
+            name: "a",
+        };
+        let b = Scale {
+            transfer_bytes: 1,
+            two_flow_bytes: 1,
+            repetitions: 3,
+            name: "b",
+        };
         assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
         assert_eq!(Fingerprint::of(&a), Fingerprint::of(&a));
     }

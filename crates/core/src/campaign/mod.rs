@@ -71,7 +71,9 @@ pub struct CampaignOptions {
 impl Default for CampaignOptions {
     fn default() -> Self {
         CampaignOptions {
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             journal: None,
             resume: false,
             deadline: None,
@@ -128,7 +130,10 @@ impl From<JournalError> for CampaignError {
 
 /// Run the measurement campaign durably with the production cell runner.
 pub fn run_campaign(scale: Scale, opts: CampaignOptions) -> Result<CampaignReport, CampaignError> {
-    let policy = CellPolicy { wall_deadline: opts.deadline, paranoid: opts.paranoid };
+    let policy = CellPolicy {
+        wall_deadline: opts.deadline,
+        paranoid: opts.paranoid,
+    };
     run_campaign_with_runner(scale, opts, move |cca, mtu, bytes, seeds| {
         run_cell_with(cca, mtu, bytes, seeds, policy)
     })
@@ -182,9 +187,15 @@ where
     // stamps the current fingerprint.
     let writer: Option<Mutex<journal::Writer>> = match &opts.journal {
         Some(path) => {
-            let keep: Vec<journal::Entry> =
-                reused.iter().map(|(_, c)| journal::Entry::Cell(c.clone())).collect();
-            Some(Mutex::new(journal::Writer::create(path, &fingerprint, &keep)?))
+            let keep: Vec<journal::Entry> = reused
+                .iter()
+                .map(|(_, c)| journal::Entry::Cell(c.clone()))
+                .collect();
+            Some(Mutex::new(journal::Writer::create(
+                path,
+                &fingerprint,
+                &keep,
+            )?))
         }
         None => None,
     };
@@ -351,8 +362,8 @@ mod tests {
     }
 
     fn scratch(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("greenenvy-campaign-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("greenenvy-campaign-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -365,7 +376,10 @@ mod tests {
         let run = |threads| {
             run_campaign_with_runner(
                 Scale::quick(),
-                CampaignOptions { threads, ..Default::default() },
+                CampaignOptions {
+                    threads,
+                    ..Default::default()
+                },
                 |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
             )
             .unwrap()
@@ -376,11 +390,9 @@ mod tests {
         assert_eq!(report.reused, 0);
         assert_eq!(report.skipped, 0);
         assert!(!report.cancelled);
-        let plain = crate::matrix::run_matrix_with_runner(
-            Scale::quick(),
-            3,
-            |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
-        );
+        let plain = crate::matrix::run_matrix_with_runner(Scale::quick(), 3, |cca, mtu, _b, _s| {
+            Ok(stub_cell(cca, mtu))
+        });
         assert_eq!(
             serde_json::to_string(&report.matrix).unwrap(),
             serde_json::to_string(&plain).unwrap(),
@@ -395,7 +407,11 @@ mod tests {
         let calls = AtomicUsize::new(0);
         let report = run_campaign_with_runner(
             Scale::quick(),
-            CampaignOptions { threads: 4, cancel, ..Default::default() },
+            CampaignOptions {
+                threads: 4,
+                cancel,
+                ..Default::default()
+            },
             |cca, mtu, _b, _s| {
                 calls.fetch_add(1, Ordering::SeqCst);
                 Ok(stub_cell(cca, mtu))
@@ -461,7 +477,10 @@ mod tests {
         // The merged matrix is bit-identical to an uninterrupted run.
         let uninterrupted = run_campaign_with_runner(
             Scale::quick(),
-            CampaignOptions { threads: 2, ..Default::default() },
+            CampaignOptions {
+                threads: 2,
+                ..Default::default()
+            },
             |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
         )
         .unwrap();
@@ -492,7 +511,11 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rerun.reused, 0);
-        assert_eq!(calls.load(Ordering::SeqCst), TOTAL, "no resume => every cell re-runs");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            TOTAL,
+            "no resume => every cell re-runs"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -503,7 +526,11 @@ mod tests {
         // First life: one cell fails terminally (both attempts).
         let first = run_campaign_with_runner(
             Scale::quick(),
-            CampaignOptions { threads: 2, journal: Some(journal.clone()), ..Default::default() },
+            CampaignOptions {
+                threads: 2,
+                journal: Some(journal.clone()),
+                ..Default::default()
+            },
             |cca, mtu, _b, seeds| {
                 if (cca, mtu) == (CcaKind::Bbr, 3000) {
                     Err(CellError::Failed {

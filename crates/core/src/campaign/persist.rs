@@ -34,7 +34,10 @@ impl std::error::Error for PersistError {
 }
 
 fn err_at(path: &Path) -> impl FnOnce(io::Error) -> PersistError + '_ {
-    move |source| PersistError { path: path.to_path_buf(), source }
+    move |source| PersistError {
+        path: path.to_path_buf(),
+        source,
+    }
 }
 
 /// Atomically replace `path` with `bytes`: temp file in the same
@@ -78,7 +81,8 @@ mod tests {
     use super::*;
 
     fn scratch(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("greenenvy-persist-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("greenenvy-persist-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -98,12 +102,19 @@ mod tests {
         let path = dir.join("out.json");
         write_atomic(&path, b"first").unwrap();
         write_atomic(&path, b"second, longer contents").unwrap();
-        assert_eq!(fs::read_to_string(&path).unwrap(), "second, longer contents");
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "second, longer contents"
+        );
         let leftovers: Vec<_> = fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name())
             .collect();
-        assert_eq!(leftovers.len(), 1, "temp files must not linger: {leftovers:?}");
+        assert_eq!(
+            leftovers.len(),
+            1,
+            "temp files must not linger: {leftovers:?}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

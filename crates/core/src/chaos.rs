@@ -123,8 +123,7 @@ fn serial_scenario(
 /// aborts, the scenario errors); that surfaces as an `Err` naming the
 /// scenario instead of a panic in the middle of a campaign.
 pub fn run(cfg: &Config) -> std::result::Result<Result, ScenarioError> {
-    let base_w = energy::calibration::P_IDLE_W
-        + energy::calibration::reference_fan().watts(0.0);
+    let base_w = energy::calibration::P_IDLE_W + energy::calibration::reference_fan().watts(0.0);
     let mut rows = Vec::with_capacity(cfg.loss_rates.len());
     for &loss in &cfg.loss_rates {
         let mut fair_e = Vec::new();
@@ -138,10 +137,8 @@ pub fn run(cfg: &Config) -> std::result::Result<Result, ScenarioError> {
             // Equalize the measurement windows analytically (see fig1):
             // completed hosts idle at base power, two sender hosts each.
             let common = fair.window.max(serial.window).as_secs_f64();
-            let fe = fair.sender_energy_j
-                + (common - fair.window.as_secs_f64()) * base_w * 2.0;
-            let se = serial.sender_energy_j
-                + (common - serial.window.as_secs_f64()) * base_w * 2.0;
+            let fe = fair.sender_energy_j + (common - fair.window.as_secs_f64()) * base_w * 2.0;
+            let se = serial.sender_energy_j + (common - serial.window.as_secs_f64()) * base_w * 2.0;
             fair_e.push(fe);
             serial_e.push(se);
             savings.push(100.0 * (fe - se) / fe);
@@ -225,8 +222,10 @@ mod tests {
         let r = run(&tiny()).expect("sweep completes");
         assert_eq!(r.rows[0].injected_drops, 0.0, "clean wire");
         assert!(r.rows[1].injected_drops > 0.0, "0.1% loss must hit frames");
-        assert!(r.rows[1].retx >= r.rows[1].injected_drops,
-            "every injected data loss forces at least one retransmission");
+        assert!(
+            r.rows[1].retx >= r.rows[1].injected_drops,
+            "every injected data loss forces at least one retransmission"
+        );
     }
 
     #[test]

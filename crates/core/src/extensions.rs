@@ -84,14 +84,8 @@ pub mod multiplexed {
             FlowSpec::bulk(CcaKind::Cubic, cfg.per_flow_bytes).with_start_delay(t1),
         ]);
         let hosts = if colocate { 1.0 } else { 2.0 };
-        let w = fair
-            .window
-            .as_secs_f64()
-            .max(serial.window.as_secs_f64());
-        (
-            energy_over(&fair, w, hosts),
-            energy_over(&serial, w, hosts),
-        )
+        let w = fair.window.as_secs_f64().max(serial.window.as_secs_f64());
+        (energy_over(&fair, w, hosts), energy_over(&serial, w, hosts))
     }
 
     /// Run the comparison.

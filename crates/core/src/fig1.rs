@@ -93,8 +93,7 @@ fn fair_scenario(cfg: &Config, seed: u64) -> Scenario {
 fn throttled_scenario(cfg: &Config, fraction: f64, seed: u64) -> Scenario {
     let mss = (cfg.mtu - netsim::packet::HEADER_BYTES) as f64;
     let wire_factor = cfg.mtu as f64 / mss;
-    let flow1_done_s =
-        cfg.per_flow_bytes as f64 * wire_factor * 8.0 / (fraction * 10e9);
+    let flow1_done_s = cfg.per_flow_bytes as f64 * wire_factor * 8.0 / (fraction * 10e9);
     Scenario::new(
         cfg.mtu,
         vec![
@@ -165,10 +164,7 @@ fn equalize_windows(raw: &mut [RawPoint], cfg: &Config, hosts: f64) {
     let base_w = energy::calibration::P_IDLE_W + fan.watts(cfg.background.utilization());
     let seeds = cfg.seeds.len();
     for i in 0..seeds {
-        let common = raw
-            .iter()
-            .map(|rp| rp.window[i])
-            .fold(0.0_f64, f64::max);
+        let common = raw.iter().map(|rp| rp.window[i]).fold(0.0_f64, f64::max);
         for rp in raw.iter_mut() {
             rp.energy[i] += (common - rp.window[i]) * base_w * hosts;
             rp.window[i] = common;

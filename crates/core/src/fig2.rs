@@ -122,10 +122,7 @@ pub fn run(cfg: &Config) -> Result {
 
     let fan = energy::calibration::reference_fan();
     let idle_w = P_IDLE_W + fan.watts(cfg.background.utilization());
-    let line_rate_w = points
-        .last()
-        .map(|p| p.power_w.mean)
-        .unwrap_or(idle_w);
+    let line_rate_w = points.last().map(|p| p.power_w.mean).unwrap_or(idle_w);
     let max_rate = points.last().map(|p| p.target_gbps).unwrap_or(10.0);
     for p in &mut points {
         let duty = (p.target_gbps / max_rate).clamp(0.0, 1.0);
@@ -162,13 +159,21 @@ pub fn render(result: &Result) -> String {
         ]);
     }
     let smooth: Vec<(f64, f64)> = std::iter::once((0.0, result.idle_w))
-        .chain(result.points.iter().map(|p| (p.target_gbps, p.power_w.mean)))
+        .chain(
+            result
+                .points
+                .iter()
+                .map(|p| (p.target_gbps, p.power_w.mean)),
+        )
         .collect();
     let mix: Vec<(f64, f64)> = std::iter::once((0.0, result.idle_w))
         .chain(result.points.iter().map(|p| (p.target_gbps, p.mix_power_w)))
         .collect();
     let chart = analysis::chart::line_chart(
-        &[("sending smoothly", &smooth), ("full speed, then idle", &mix)],
+        &[
+            ("sending smoothly", &smooth),
+            ("full speed, then idle", &mix),
+        ],
         60,
         14,
     );

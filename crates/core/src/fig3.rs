@@ -102,7 +102,9 @@ pub fn run(cfg: &Config) -> Result {
         vec![FlowSpec::bulk(CcaKind::Cubic, cfg.per_flow_bytes)],
     )
     .with_seed(cfg.seed);
-    let solo_fct = workload::scenario::run(&solo).expect("solo run completes").reports[0]
+    let solo_fct = workload::scenario::run(&solo)
+        .expect("solo run completes")
+        .reports[0]
         .completed_at
         .saturating_since(SimTime::ZERO);
     let unfair_scenario = Scenario::new(
@@ -127,7 +129,10 @@ pub fn render(result: &Result) -> String {
     let mut out = String::from(
         "Figure 3 — throughput vs time: fair (left) vs full-speed-then-idle (right)\n\n",
     );
-    for (label, panel) in [("fair", &result.fair), ("full-speed-then-idle", &result.unfair)] {
+    for (label, panel) in [
+        ("fair", &result.fair),
+        ("full-speed-then-idle", &result.unfair),
+    ] {
         out.push_str(&format!(
             "[{label}] window = {:.3} s, sender energy = {:.1} J\n",
             panel.window_s, panel.energy_j

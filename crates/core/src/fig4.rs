@@ -162,12 +162,23 @@ mod tests {
     fn loaded_hosts_draw_more_base_power() {
         let r = run(&tiny());
         assert!((r.rows[0].idle_w - 21.49).abs() < 1e-9);
-        assert!(r.rows[1].idle_w > 60.0, "25% load base {}", r.rows[1].idle_w);
-        assert!(r.rows[2].idle_w > 110.0, "75% load base {}", r.rows[2].idle_w);
+        assert!(
+            r.rows[1].idle_w > 60.0,
+            "25% load base {}",
+            r.rows[1].idle_w
+        );
+        assert!(
+            r.rows[2].idle_w > 110.0,
+            "75% load base {}",
+            r.rows[2].idle_w
+        );
         // And the network increment compresses with load.
         let inc0 = r.rows[0].power_w[1].mean - r.rows[0].idle_w;
         let inc75 = r.rows[2].power_w[1].mean - r.rows[2].idle_w;
-        assert!(inc75 < inc0 * 0.2, "marginal power must attenuate: {inc0} vs {inc75}");
+        assert!(
+            inc75 < inc0 * 0.2,
+            "marginal power must attenuate: {inc0} vs {inc75}"
+        );
     }
 
     #[test]

@@ -136,7 +136,12 @@ mod tests {
         let seeds = [1u64];
         let bytes = 250 * MB;
         let mut cells = Vec::new();
-        for cca in [CcaKind::Bbr, CcaKind::Cubic, CcaKind::Baseline, CcaKind::Bbr2] {
+        for cca in [
+            CcaKind::Bbr,
+            CcaKind::Cubic,
+            CcaKind::Baseline,
+            CcaKind::Bbr2,
+        ] {
             for mtu in MTUS {
                 cells.push(run_cell(cca, mtu, bytes, &seeds).expect("cell completes"));
             }

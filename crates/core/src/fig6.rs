@@ -71,7 +71,10 @@ pub fn render(result: &Result) -> String {
         let mut row = vec![cca.name().to_string()];
         for mtu in MTUS {
             let cell = result.matrix.cell(cca, mtu).expect("cell");
-            row.push(format!("{:.2} ± {:.2}", cell.power_w.mean, cell.power_w.std));
+            row.push(format!(
+                "{:.2} ± {:.2}",
+                cell.power_w.mean, cell.power_w.std
+            ));
         }
         t.row(row);
     }
@@ -97,7 +100,12 @@ mod tests {
         let seeds = [1u64];
         let bytes = 250 * MB;
         let mut cells = Vec::new();
-        for cca in [CcaKind::Bbr, CcaKind::Cubic, CcaKind::Baseline, CcaKind::Bbr2] {
+        for cca in [
+            CcaKind::Bbr,
+            CcaKind::Cubic,
+            CcaKind::Baseline,
+            CcaKind::Bbr2,
+        ] {
             for mtu in MTUS {
                 cells.push(run_cell(cca, mtu, bytes, &seeds).expect("cell completes"));
             }

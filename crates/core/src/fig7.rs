@@ -136,7 +136,10 @@ mod tests {
         );
         // The 1500 cluster is slower and more expensive than the jumbo one.
         assert!(r.cluster_1500.0 > r.cluster_jumbo.0, "1500 cluster slower");
-        assert!(r.cluster_1500.1 > r.cluster_jumbo.1, "1500 cluster costlier");
+        assert!(
+            r.cluster_1500.1 > r.cluster_jumbo.1,
+            "1500 cluster costlier"
+        );
     }
 
     #[test]

@@ -89,7 +89,12 @@ mod tests {
         let bytes = 250 * MB;
         let mut cells = Vec::new();
         // At MTU 9000 retransmission differences are sharpest.
-        for cca in [CcaKind::Bbr, CcaKind::Vegas, CcaKind::Cubic, CcaKind::Baseline] {
+        for cca in [
+            CcaKind::Bbr,
+            CcaKind::Vegas,
+            CcaKind::Cubic,
+            CcaKind::Baseline,
+        ] {
             cells.push(run_cell(cca, 9000, bytes, &seeds).expect("cell completes"));
         }
         Matrix {

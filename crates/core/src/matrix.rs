@@ -89,15 +89,30 @@ impl CellError {
 impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CellError::Failed { cca, mtu, seed, message } => {
+            CellError::Failed {
+                cca,
+                mtu,
+                seed,
+                message,
+            } => {
                 write!(f, "{} @ mtu {mtu} seed {seed}: {message}", cca.name())
             }
-            CellError::DeadlineExceeded { cca, mtu, seed, budget } => write!(
+            CellError::DeadlineExceeded {
+                cca,
+                mtu,
+                seed,
+                budget,
+            } => write!(
                 f,
                 "{} @ mtu {mtu} seed {seed}: cell deadline of {budget:?} exceeded",
                 cca.name()
             ),
-            CellError::InvariantViolation { cca, mtu, seed, detail } => {
+            CellError::InvariantViolation {
+                cca,
+                mtu,
+                seed,
+                detail,
+            } => {
                 write!(f, "{} @ mtu {mtu} seed {seed}: {detail}", cca.name())
             }
         }
@@ -232,17 +247,25 @@ pub fn run_cell_with(
         if let Some((at, budget)) = deadline {
             let remaining = at.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
-                return Err(CellError::DeadlineExceeded { cca, mtu, seed, budget });
+                return Err(CellError::DeadlineExceeded {
+                    cca,
+                    mtu,
+                    seed,
+                    budget,
+                });
             }
             scenario = scenario.with_wall_deadline(remaining);
         }
-        let cell_err = |message: String| CellError::Failed { cca, mtu, seed, message };
+        let cell_err = |message: String| CellError::Failed {
+            cca,
+            mtu,
+            seed,
+            message,
+        };
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             workload::scenario::run(&scenario)
         }))
-        .map_err(|payload| {
-            cell_err(crate::campaign::panic_text(payload.as_ref()).to_string())
-        })?
+        .map_err(|payload| cell_err(crate::campaign::panic_text(payload.as_ref()).to_string()))?
         .map_err(|e| match e {
             ScenarioError::DeadlineExceeded { budget: _, .. } => CellError::DeadlineExceeded {
                 cca,
@@ -256,7 +279,12 @@ pub fn run_cell_with(
         })?;
         if policy.paranoid {
             crate::campaign::invariant::check(&out, mtu).map_err(|v| {
-                CellError::InvariantViolation { cca, mtu, seed, detail: v.to_string() }
+                CellError::InvariantViolation {
+                    cca,
+                    mtu,
+                    seed,
+                    detail: v.to_string(),
+                }
             })?;
         }
         let r = &out.reports[0];
@@ -315,7 +343,10 @@ pub fn run_matrix_with_runner<F>(scale: Scale, threads: usize, runner: F) -> Mat
 where
     F: Fn(CcaKind, u32, u64, &[u64]) -> Result<Cell, CellError> + Sync,
 {
-    let opts = crate::campaign::CampaignOptions { threads, ..Default::default() };
+    let opts = crate::campaign::CampaignOptions {
+        threads,
+        ..Default::default()
+    };
     crate::campaign::run_campaign_with_runner(scale, opts, runner)
         .expect("no journal configured, so no journal I/O can fail")
         .matrix

@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn silly_fractions_are_rejected()  {
+    fn silly_fractions_are_rejected() {
         DatacenterModel::paper().annual_savings_dollars(1.5);
     }
 }

@@ -88,7 +88,9 @@ impl Scale {
 
     /// Deterministic seed list for the repetitions.
     pub fn seeds(&self) -> Vec<u64> {
-        (0..self.repetitions as u64).map(|i| 1000 + i * 7919).collect()
+        (0..self.repetitions as u64)
+            .map(|i| 1000 + i * 7919)
+            .collect()
     }
 }
 

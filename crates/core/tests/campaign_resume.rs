@@ -39,10 +39,8 @@ fn fake_cell(cca: CcaKind, mtu: u32, seeds: &[u64]) -> Cell {
 }
 
 fn scratch(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "greenenvy-resume-it-{name}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("greenenvy-resume-it-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -56,7 +54,10 @@ fn json(m: &Matrix) -> String {
 fn uninterrupted() -> Matrix {
     run_campaign_with_runner(
         Scale::quick(),
-        CampaignOptions { threads: 3, ..Default::default() },
+        CampaignOptions {
+            threads: 3,
+            ..Default::default()
+        },
         |cca, mtu, _b, seeds| Ok(fake_cell(cca, mtu, seeds)),
     )
     .unwrap()
@@ -91,7 +92,10 @@ fn killed_campaign_resumes_to_a_bit_identical_matrix() {
     )
     .unwrap();
     assert!(first.cancelled);
-    assert!(first.executed < TOTAL, "the kill must interrupt the campaign");
+    assert!(
+        first.executed < TOTAL,
+        "the kill must interrupt the campaign"
+    );
     assert!(first.skipped > 0);
     // The partial matrix is honest: exactly the executed cells.
     assert_eq!(first.matrix.cells.len(), first.executed);
@@ -113,10 +117,17 @@ fn killed_campaign_resumes_to_a_bit_identical_matrix() {
         },
     )
     .unwrap();
-    assert_eq!(second.reused, first.executed, "every journaled cell is reused");
+    assert_eq!(
+        second.reused, first.executed,
+        "every journaled cell is reused"
+    );
     assert_eq!(second.executed, TOTAL - first.executed);
     assert_eq!(resumed_calls.load(Ordering::SeqCst), second.executed);
-    assert_eq!(json(&second.matrix), json(&uninterrupted()), "bit-identical merge");
+    assert_eq!(
+        json(&second.matrix),
+        json(&uninterrupted()),
+        "bit-identical merge"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -125,7 +136,11 @@ fn journaled_run(dir: &std::path::Path) -> PathBuf {
     let journal_path = dir.join("campaign.jsonl");
     let report = run_campaign_with_runner(
         Scale::quick(),
-        CampaignOptions { threads: 2, journal: Some(journal_path.clone()), ..Default::default() },
+        CampaignOptions {
+            threads: 2,
+            journal: Some(journal_path.clone()),
+            ..Default::default()
+        },
         |cca, mtu, _b, seeds| Ok(fake_cell(cca, mtu, seeds)),
     )
     .unwrap();
@@ -220,7 +235,10 @@ fn deadline_and_invariant_failures_carry_typed_errors_through_the_matrix() {
     // the typed messages intact.
     let report = run_campaign_with_runner(
         Scale::quick(),
-        CampaignOptions { threads: 2, ..Default::default() },
+        CampaignOptions {
+            threads: 2,
+            ..Default::default()
+        },
         |cca, mtu, _b, seeds| match (cca, mtu) {
             (CcaKind::Cubic, 1500) => Err(CellError::DeadlineExceeded {
                 cca,
@@ -253,7 +271,11 @@ fn deadline_and_invariant_failures_carry_typed_errors_through_the_matrix() {
         .iter()
         .find(|f| f.cca == "reno" && f.mtu == 9000)
         .unwrap();
-    assert!(invariant.error.contains("conservation"), "{}", invariant.error);
+    assert!(
+        invariant.error.contains("conservation"),
+        "{}",
+        invariant.error
+    );
 }
 
 #[test]

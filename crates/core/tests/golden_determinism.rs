@@ -112,8 +112,8 @@ fn matrix_is_thread_count_invariant() {
         repetitions: 1,
         name: "golden-tiny",
     };
-    let reference = serde_json::to_string(&run_matrix_with_threads(scale, 1))
-        .expect("matrix serializes");
+    let reference =
+        serde_json::to_string(&run_matrix_with_threads(scale, 1)).expect("matrix serializes");
     for threads in [2, 8] {
         let got = serde_json::to_string(&run_matrix_with_threads(scale, threads))
             .expect("matrix serializes");

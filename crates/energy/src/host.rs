@@ -200,7 +200,8 @@ impl HostPowerModel {
         // nothing there (phi(0) = 0), but time still accrues.
         let _ = covered_s;
 
-        let pkt_j = k * self.costs.tx_pkt_j
+        let pkt_j = k
+            * self.costs.tx_pkt_j
             * (totals.tx_pkts as f64 + self.costs.rx_pkt_factor * totals.rx_pkts as f64);
         let cc_j = k * ctx.cc_cost_per_ack_j * totals.acks_rx as f64;
         let retx_j = k * self.costs.retx_extra_j * totals.retx_pkts as f64;
@@ -282,7 +283,8 @@ mod tests {
             - m.sender_power_at(0.0, 9000, 0.5, loaded_ctx);
         assert!(net_loaded < net_idle * 0.2, "{net_loaded} vs {net_idle}");
         assert!(
-            m.sender_power_at(0.0, 9000, 0.5, loaded_ctx) > m.sender_power_at(0.0, 9000, 0.5, idle_ctx)
+            m.sender_power_at(0.0, 9000, 0.5, loaded_ctx)
+                > m.sender_power_at(0.0, 9000, 0.5, idle_ctx)
         );
     }
 

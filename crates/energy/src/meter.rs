@@ -62,9 +62,9 @@ impl EnergyMeter {
     ) -> EnergyReading {
         let bins = activity.series(host);
         let totals = activity.totals(host);
-        let breakdown =
-            self.model
-                .energy_from_activity(bins, activity.bin(), window, &totals, ctx);
+        let breakdown = self
+            .model
+            .energy_from_activity(bins, activity.bin(), window, &totals, ctx);
 
         // The paper's procedure: counter read, scenario, counter read.
         let mut rapl = RaplPackage::new();
@@ -117,8 +117,14 @@ mod tests {
             SimDuration::from_secs(1),
             HostContext::default(),
         );
-        assert!((reading.joules - reading.breakdown.total_j()).abs() <= crate::rapl::DEFAULT_UNIT_J);
-        assert!(reading.joules > 21.0, "idle second dominates: {}", reading.joules);
+        assert!(
+            (reading.joules - reading.breakdown.total_j()).abs() <= crate::rapl::DEFAULT_UNIT_J
+        );
+        assert!(
+            reading.joules > 21.0,
+            "idle second dominates: {}",
+            reading.joules
+        );
     }
 
     #[test]

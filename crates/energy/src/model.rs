@@ -119,14 +119,23 @@ mod tests {
     #[test]
     fn fit_doubling_reproduces_inputs() {
         let c = ThroughputPowerCurve::fit_doubling(5.0, 11.465, 11.78);
-        assert!((c.watts(5.0) - 11.465).abs() < 1e-9, "phi(5)={}", c.watts(5.0));
-        assert!((c.watts(10.0) - 11.78).abs() < 1e-9, "phi(10)={}", c.watts(10.0));
+        assert!(
+            (c.watts(5.0) - 11.465).abs() < 1e-9,
+            "phi(5)={}",
+            c.watts(5.0)
+        );
+        assert!(
+            (c.watts(10.0) - 11.78).abs() < 1e-9,
+            "phi(10)={}",
+            c.watts(10.0)
+        );
     }
 
     #[test]
     fn fit_doubling_rejects_non_concave_points() {
         // phi2 >= 2*phi would require convexity or linearity.
-        let result = std::panic::catch_unwind(|| ThroughputPowerCurve::fit_doubling(5.0, 5.0, 10.0));
+        let result =
+            std::panic::catch_unwind(|| ThroughputPowerCurve::fit_doubling(5.0, 5.0, 10.0));
         assert!(result.is_err());
         let result = std::panic::catch_unwind(|| ThroughputPowerCurve::fit_doubling(5.0, 5.0, 4.0));
         assert!(result.is_err());

@@ -181,12 +181,7 @@ mod tests {
         }
         let mut net = Network::new(2);
         let host = net.add_host();
-        net.attach_agent(
-            host,
-            Box::new(ResetProbe {
-                second_token: None,
-            }),
-        );
+        net.attach_agent(host, Box::new(ResetProbe { second_token: None }));
         net.run();
         let probe = net.agent::<ResetProbe>(host).unwrap();
         assert_eq!(probe.second_token, Some(5), "namespace must reset to 0");

@@ -46,7 +46,6 @@ pub mod prelude {
     pub use crate::agent::{Agent, Ctx, TOKEN_BITS, TOKEN_MASK};
     pub use crate::engine::{EngineCounters, Network, NetworkStats, RunOutcome};
     pub use crate::fault::{FaultSpec, LinkFlap};
-    pub use crate::sched::{SchedStats, Scheduler};
     pub use crate::ids::{FlowId, LinkId, NodeId};
     pub use crate::link::{LinkSpec, LinkStats};
     pub use crate::packet::{
@@ -57,6 +56,7 @@ pub mod prelude {
         DropTailQueue, EcnThresholdQueue, EnqueueOutcome, Qdisc, QueueStats, RedQueue,
     };
     pub use crate::rng::SimRng;
+    pub use crate::sched::{SchedStats, Scheduler};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{BottleneckQueue, Dumbbell, DumbbellConfig};
     pub use crate::trace::{ActivityBin, ActivityTotals, FlowTrace, HostActivity};

@@ -200,7 +200,8 @@ mod tests {
         assert_eq!(log.for_flow(FlowId::from_raw(1)).len(), 1);
         assert_eq!(log.of_kind(PacketEventKind::Dropped).len(), 1);
         assert_eq!(
-            log.between(SimTime::from_micros(2), SimTime::from_micros(3)).len(),
+            log.between(SimTime::from_micros(2), SimTime::from_micros(3))
+                .len(),
             1
         );
         assert_eq!(log.total_seen(), 2);

@@ -240,7 +240,13 @@ pub struct RedQueue {
 
 impl RedQueue {
     /// Create a RED queue. `max_p` is the drop probability at `max_th`.
-    pub fn new(capacity_bytes: u64, min_th_bytes: u64, max_th_bytes: u64, max_p: f64, seed: u64) -> Self {
+    pub fn new(
+        capacity_bytes: u64,
+        min_th_bytes: u64,
+        max_th_bytes: u64,
+        max_p: f64,
+        seed: u64,
+    ) -> Self {
         assert!(capacity_bytes > 0);
         assert!(min_th_bytes < max_th_bytes);
         assert!(max_th_bytes <= capacity_bytes);
@@ -269,7 +275,8 @@ impl RedQueue {
         } else if self.avg_bytes >= self.max_th_bytes {
             1.0
         } else {
-            self.max_p * (self.avg_bytes - self.min_th_bytes) / (self.max_th_bytes - self.min_th_bytes)
+            self.max_p * (self.avg_bytes - self.min_th_bytes)
+                / (self.max_th_bytes - self.min_th_bytes)
         }
     }
 }
@@ -355,9 +362,18 @@ mod tests {
     #[test]
     fn droptail_accepts_until_capacity() {
         let mut q = DropTailQueue::new(3000);
-        assert_eq!(q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO), EnqueueOutcome::Enqueued);
-        assert_eq!(q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO), EnqueueOutcome::Enqueued);
-        assert_eq!(q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO), EnqueueOutcome::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            EnqueueOutcome::Enqueued
+        );
+        assert_eq!(
+            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            EnqueueOutcome::Enqueued
+        );
+        assert_eq!(
+            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            EnqueueOutcome::Dropped
+        );
         assert_eq!(q.len_bytes(), 3000);
         assert_eq!(q.len_pkts(), 2);
         let s = q.stats();
@@ -386,8 +402,14 @@ mod tests {
     fn ecn_threshold_marks_capable_packets_above_k() {
         let mut q = EcnThresholdQueue::new(30_000, 3000);
         // Below K: unmarked.
-        assert_eq!(q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::Enqueued);
-        assert_eq!(q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO), EnqueueOutcome::Enqueued);
+        assert_eq!(
+            q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO),
+            EnqueueOutcome::Enqueued
+        );
+        assert_eq!(
+            q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO),
+            EnqueueOutcome::Enqueued
+        );
         // This one pushes occupancy past K and is marked.
         assert_eq!(
             q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO),
@@ -442,7 +464,10 @@ mod tests {
                 q.dequeue(SimTime::ZERO);
             }
         }
-        let drops = outcomes.iter().filter(|o| **o == EnqueueOutcome::Dropped).count();
+        let drops = outcomes
+            .iter()
+            .filter(|o| **o == EnqueueOutcome::Dropped)
+            .count();
         assert!(drops > 0, "RED should early-drop under sustained load");
     }
 

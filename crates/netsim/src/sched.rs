@@ -97,7 +97,10 @@ struct Bucket<T> {
 
 impl<T> Default for Bucket<T> {
     fn default() -> Self {
-        Bucket { items: Vec::new(), descending: false }
+        Bucket {
+            items: Vec::new(),
+            descending: false,
+        }
     }
 }
 
@@ -198,7 +201,11 @@ impl<T> Scheduler<T> {
     /// later (FIFO within a timestamp).
     pub fn push(&mut self, at: SimTime, item: T) {
         self.seq += 1;
-        let entry = Entry { at, seq: self.seq, item };
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            item,
+        };
         // Clamp: an `at` in the past (engine callers never produce one,
         // timers are clamped to `now`) still lands in the current bucket
         // rather than corrupting a wrapped slot.
@@ -246,7 +253,11 @@ impl<T> Scheduler<T> {
                 if tick >= self.base_tick + NUM_BUCKETS as u64 {
                     break;
                 }
-                let Some(Reverse(entry)) = self.heap.pop() else { unreachable!() };
+                // peek() just returned Some, so pop() must too; the
+                // let-else keeps the impossible branch panic-free.
+                let Some(Reverse(entry)) = self.heap.pop() else {
+                    break;
+                };
                 self.wheel_insert(tick, entry);
                 self.stats.migrations += 1;
             }
@@ -288,7 +299,13 @@ impl<T> Scheduler<T> {
             return None;
         }
         let bucket = &mut self.buckets[(self.base_tick & MASK) as usize];
-        let entry = bucket.items.pop().expect("normalize returned a non-empty bucket");
+        let Some(entry) = bucket.items.pop() else {
+            // normalize() returned true, which guarantees a non-empty
+            // bucket; an empty pop would be a scheduler bug. Report the
+            // queue as empty rather than aborting a campaign worker.
+            debug_assert!(false, "normalize returned an empty bucket");
+            return None;
+        };
         self.wheel_len -= 1;
         self.stats.pops += 1;
         Some((entry.at, entry.item))
@@ -314,11 +331,18 @@ mod tests {
 
     impl<T> RefSched<T> {
         fn new() -> Self {
-            RefSched { heap: BinaryHeap::new(), seq: 0 }
+            RefSched {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }
         }
         fn push(&mut self, at: SimTime, item: T) {
             self.seq += 1;
-            self.heap.push(Reverse(Entry { at, seq: self.seq, item }));
+            self.heap.push(Reverse(Entry {
+                at,
+                seq: self.seq,
+                item,
+            }));
         }
         fn pop(&mut self) -> Option<(SimTime, T)> {
             self.heap.pop().map(|Reverse(e)| (e.at, e.item))
@@ -370,7 +394,7 @@ mod tests {
         let t = SimTime::from_nanos(100);
         s.push(t, "first");
         assert_eq!(s.next_at(), Some(t)); // sorts the current bucket
-        // Same-bucket, later time and same-bucket same-time inserts.
+                                          // Same-bucket, later time and same-bucket same-time inserts.
         s.push(SimTime::from_nanos(90).max(t), "tie");
         s.push(SimTime::from_nanos(900), "later");
         assert_eq!(s.pop().unwrap().1, "first");

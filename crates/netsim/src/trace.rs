@@ -12,16 +12,16 @@
 use crate::ids::{FlowId, NodeId};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-flow delivered-bytes recorder.
 #[derive(Debug)]
 pub struct FlowTrace {
     bin: SimDuration,
     /// flow -> per-bin delivered payload bytes
-    bins: HashMap<FlowId, Vec<u64>>,
+    bins: BTreeMap<FlowId, Vec<u64>>,
     /// flow -> (first delivery time, last delivery time, total payload)
-    totals: HashMap<FlowId, (SimTime, SimTime, u64)>,
+    totals: BTreeMap<FlowId, (SimTime, SimTime, u64)>,
 }
 
 impl FlowTrace {
@@ -30,8 +30,8 @@ impl FlowTrace {
         assert!(!bin.is_zero(), "trace bin must be positive");
         FlowTrace {
             bin,
-            bins: HashMap::new(),
-            totals: HashMap::new(),
+            bins: BTreeMap::new(),
+            totals: BTreeMap::new(),
         }
     }
 
@@ -129,8 +129,8 @@ pub struct ActivityTotals {
 pub struct HostActivity {
     bin: SimDuration,
     /// host -> bins
-    bins: HashMap<NodeId, Vec<ActivityBin>>,
-    totals: HashMap<NodeId, ActivityTotals>,
+    bins: BTreeMap<NodeId, Vec<ActivityBin>>,
+    totals: BTreeMap<NodeId, ActivityTotals>,
 }
 
 impl HostActivity {
@@ -139,8 +139,8 @@ impl HostActivity {
         assert!(!bin.is_zero(), "activity bin must be positive");
         HostActivity {
             bin,
-            bins: HashMap::new(),
-            totals: HashMap::new(),
+            bins: BTreeMap::new(),
+            totals: BTreeMap::new(),
         }
     }
 

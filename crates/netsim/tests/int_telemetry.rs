@@ -41,7 +41,12 @@ fn run_blast(n: u32) -> Vec<IntRecord> {
     let mut net = Network::new(17);
     let d = Dumbbell::build(&mut net, &DumbbellConfig::default());
     net.attach_agent(d.senders[0], Box::new(Blast { dst: d.receiver, n }));
-    net.attach_agent(d.receiver, Box::new(IntSink { records: Vec::new() }));
+    net.attach_agent(
+        d.receiver,
+        Box::new(IntSink {
+            records: Vec::new(),
+        }),
+    );
     net.run();
     net.agent::<IntSink>(d.receiver).unwrap().records.clone()
 }
@@ -79,7 +84,10 @@ fn normalized_utilization_is_plausible() {
     // standing queue: U should exceed the DCQCN/HPCC target band.
     let last = records.last().unwrap();
     let u = last.normalized_utilization(100e-6);
-    assert!(u > 0.9, "saturated hop must report high utilization: {u:.2}");
+    assert!(
+        u > 0.9,
+        "saturated hop must report high utilization: {u:.2}"
+    );
     // And an unstamped record reports zero.
     assert_eq!(IntRecord::default().normalized_utilization(100e-6), 0.0);
 }
@@ -153,8 +161,19 @@ fn packet_log_captures_drops_and_deliveries() {
     };
     let d = Dumbbell::build(&mut net, &cfg);
     net.enable_packet_log(10_000);
-    net.attach_agent(d.senders[0], Box::new(Blast { dst: d.receiver, n: 100 }));
-    net.attach_agent(d.receiver, Box::new(IntSink { records: Vec::new() }));
+    net.attach_agent(
+        d.senders[0],
+        Box::new(Blast {
+            dst: d.receiver,
+            n: 100,
+        }),
+    );
+    net.attach_agent(
+        d.receiver,
+        Box::new(IntSink {
+            records: Vec::new(),
+        }),
+    );
     net.run();
     let log = net.packet_log().unwrap();
     let drops = log.of_kind(PacketEventKind::Dropped).len() as u64;

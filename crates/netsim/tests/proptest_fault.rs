@@ -49,20 +49,22 @@ fn arb_spec() -> impl Strategy<Value = FaultSpec> {
         (0.0f64..0.5, 0u64..200_000, 0u64..50_000),
         proptest::option::of((0u64..5_000_000, 1u64..5_000_000)),
     )
-        .prop_map(|((drop, corrupt, dup), (reorder, reorder_ns, jitter_ns), flap)| {
-            let mut spec = FaultSpec::random_loss(drop)
-                .with_corruption(corrupt)
-                .with_duplication(dup)
-                .with_reordering(reorder, SimDuration::from_nanos(reorder_ns))
-                .with_jitter(SimDuration::from_nanos(jitter_ns));
-            if let Some((down_ns, len_ns)) = flap {
-                spec = spec.with_flap(
-                    SimTime::from_nanos(down_ns),
-                    SimTime::from_nanos(down_ns + len_ns),
-                );
-            }
-            spec
-        })
+        .prop_map(
+            |((drop, corrupt, dup), (reorder, reorder_ns, jitter_ns), flap)| {
+                let mut spec = FaultSpec::random_loss(drop)
+                    .with_corruption(corrupt)
+                    .with_duplication(dup)
+                    .with_reordering(reorder, SimDuration::from_nanos(reorder_ns))
+                    .with_jitter(SimDuration::from_nanos(jitter_ns));
+                if let Some((down_ns, len_ns)) = flap {
+                    spec = spec.with_flap(
+                        SimTime::from_nanos(down_ns),
+                        SimTime::from_nanos(down_ns + len_ns),
+                    );
+                }
+                spec
+            },
+        )
 }
 
 /// Two hosts, one faulted link, ample buffer (no congestive drops).
@@ -89,7 +91,12 @@ fn faulted_run(spec: &FaultSpec, n: u32, seed: u64) -> (u64, LinkStats, u64, u64
         .expect("log enabled")
         .of_kind(PacketEventKind::CorruptDiscard)
         .len() as u64;
-    (seen, net.link_stats(ab), net.network_stats().dropped_pkts, discarded)
+    (
+        seen,
+        net.link_stats(ab),
+        net.network_stats().dropped_pkts,
+        discarded,
+    )
 }
 
 proptest! {

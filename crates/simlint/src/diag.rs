@@ -1,0 +1,445 @@
+//! Typed diagnostics, human and JSON rendering, and a minimal JSON
+//! reader used by the `--json` schema round-trip test.
+//!
+//! The JSON writer is hand-rolled because simlint is std-only by
+//! design (see `Cargo.toml`); the schema is small and flat enough that
+//! this is less code than a serde integration would be.
+
+use std::fmt::Write as _;
+
+/// How serious a finding is. Only `Error` findings gate the build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "warn" | "warning" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One finding: rule, position, message, and (if an inline
+/// `simlint::allow` covered it) the suppression reason.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `wall-clock`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    pub message: String,
+    /// `Some(reason)` if suppressed by an inline allow; suppressed
+    /// findings never gate, but are reported in JSON and on request.
+    pub suppressed: Option<String>,
+}
+
+/// A whole lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diags: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that gate the build: unsuppressed errors.
+    pub fn gating(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags
+            .iter()
+            .filter(|d| d.suppressed.is_none() && d.severity == Severity::Error)
+    }
+
+    pub fn count_gating(&self) -> usize {
+        self.gating().count()
+    }
+
+    pub fn count_suppressed(&self) -> usize {
+        self.diags.iter().filter(|d| d.suppressed.is_some()).count()
+    }
+
+    pub fn count_warnings(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.suppressed.is_none() && d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Sort for stable output: path, line, col, rule.
+    pub fn sort(&mut self) {
+        self.diags.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    /// `show_suppressed` includes suppressed findings (marked as such).
+    pub fn render_human(&self, show_suppressed: bool) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            match &d.suppressed {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}:{}: {}[{}]: {}",
+                        d.path,
+                        d.line,
+                        d.col,
+                        d.severity.as_str(),
+                        d.rule,
+                        d.message
+                    );
+                }
+                Some(reason) if show_suppressed => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}:{}: allowed[{}]: {} (reason: {})",
+                        d.path, d.line, d.col, d.rule, d.message, reason
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        let _ = writeln!(
+            out,
+            "simlint: {} file(s), {} error(s), {} warning(s), {} suppressed",
+            self.files_scanned,
+            self.count_gating(),
+            self.count_warnings(),
+            self.count_suppressed()
+        );
+        out
+    }
+
+    /// JSON rendering. Schema (version 1):
+    /// ```json
+    /// {"version":1,"files_scanned":N,
+    ///  "summary":{"errors":N,"warnings":N,"suppressed":N},
+    ///  "findings":[{"rule":"...","severity":"error","path":"...",
+    ///               "line":N,"col":N,"message":"...",
+    ///               "suppressed":false,"reason":null}]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"version\":1,\"files_scanned\":{},\"summary\":{{\"errors\":{},\"warnings\":{},\"suppressed\":{}}},\"findings\":[",
+            self.files_scanned,
+            self.count_gating(),
+            self.count_warnings(),
+            self.count_suppressed()
+        );
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"suppressed\":{},\"reason\":{}}}",
+                json_str(d.rule),
+                json_str(d.severity.as_str()),
+                json_str(&d.path),
+                d.line,
+                d.col,
+                json_str(&d.message),
+                d.suppressed.is_some(),
+                match &d.suppressed {
+                    Some(r) => json_str(r),
+                    None => "null".to_string(),
+                }
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value, for the round-trip test and any tool that wants
+/// to consume simlint output without a JSON dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Strict enough for round-tripping simlint's own
+/// output; not a general-purpose validator.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            while let Some(&c) = b.get(*pos) {
+                match c {
+                    b'"' => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    _ => {
+                        // Copy the full UTF-8 sequence.
+                        let start = *pos;
+                        *pos += 1;
+                        while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                            *pos += 1;
+                        }
+                        s.push_str(
+                            std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?,
+                        );
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>().map(Json::Num).map_err(|e| e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, sev: Severity, suppressed: Option<&str>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: sev,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            message: "a \"quoted\" message\nwith newline".into(),
+            suppressed: suppressed.map(String::from),
+        }
+    }
+
+    #[test]
+    fn gating_excludes_warns_and_suppressed() {
+        let report = Report {
+            diags: vec![
+                diag("a", Severity::Error, None),
+                diag("b", Severity::Warn, None),
+                diag("c", Severity::Error, Some("intentional")),
+            ],
+            files_scanned: 1,
+        };
+        assert_eq!(report.count_gating(), 1);
+        assert_eq!(report.count_warnings(), 1);
+        assert_eq!(report.count_suppressed(), 1);
+    }
+
+    #[test]
+    fn json_round_trips_with_escapes() {
+        let mut report = Report {
+            diags: vec![
+                diag("wall-clock", Severity::Error, None),
+                diag("rng-discipline", Severity::Warn, Some("named stream \\ ok")),
+            ],
+            files_scanned: 2,
+        };
+        report.sort();
+        let rendered = report.render_json();
+        let parsed = parse_json(&rendered).expect("own output must parse");
+        assert_eq!(parsed.get("version").and_then(Json::as_num), Some(1.0));
+        let findings = parsed.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(findings.len(), 2);
+        // Sorted by (path, line, col, rule): rng-discipline first.
+        assert_eq!(
+            findings[0].get("rule").and_then(Json::as_str),
+            Some("rng-discipline")
+        );
+        assert_eq!(
+            findings[0].get("reason").and_then(Json::as_str),
+            Some("named stream \\ ok")
+        );
+        assert_eq!(
+            findings[1].get("message").and_then(Json::as_str),
+            Some("a \"quoted\" message\nwith newline")
+        );
+        assert_eq!(findings[1].get("reason"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,441 @@
+//! A small comment/string-aware Rust lexer.
+//!
+//! `simlint` does not need a full parse of Rust — every rule it enforces
+//! is expressible over a token stream — but it absolutely needs to know
+//! the difference between `unwrap()` in code and `unwrap()` in a doc
+//! comment or a string literal. The lexer therefore handles, precisely:
+//! line and (nested) block comments, plain/byte/raw string literals,
+//! char literals vs lifetimes, raw identifiers, and numeric literals
+//! (without eating `..` range punctuation). Everything else becomes
+//! single-character punctuation tokens.
+//!
+//! Comments are not discarded: they are collected separately so the
+//! suppression layer can find `simlint::allow(...)` markers.
+
+/// What a token is. Rules match on identifiers and punctuation; literals
+/// are kept only so pattern windows cannot accidentally bridge over them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#async`).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `!`, `:`, ...).
+    Punct,
+    /// A lifetime (`'a`, `'static`) — distinct from char literals.
+    Lifetime,
+    /// A string, byte-string, char, or numeric literal (content opaque).
+    Literal,
+}
+
+/// One token, with its 1-based source position.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    /// The token text. For `Literal` this is the raw literal including
+    /// quotes; rules never look inside it.
+    pub text: &'a str,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A comment, kept for suppression parsing.
+#[derive(Clone, Debug)]
+pub struct Comment<'a> {
+    /// Comment text including the `//` / `/*` delimiters.
+    pub text: &'a str,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// True if a non-whitespace token appeared earlier on the same line
+    /// (i.e. this is a trailing comment: `let x = 1; // why`).
+    pub trailing: bool,
+}
+
+/// Lexer output: the token stream plus the comments.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    pub tokens: Vec<Tok<'a>>,
+    pub comments: Vec<Comment<'a>>,
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs are closed at
+/// end-of-file (the lint must degrade gracefully on code rustc would
+/// reject — fixtures are exactly that).
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        line_has_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Whether a token has already been emitted on the current line
+    /// (distinguishes trailing comments from whole-line comments).
+    line_has_code: bool,
+    out: Lexed<'a>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, tracking line/col. Multi-byte UTF-8 is advanced
+    /// byte-wise; columns are therefore byte columns, which is what
+    /// editors and `rustc` report for ASCII source anyway.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_code = false;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Lexed<'a> {
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_lit(),
+                b'\'' => self.quote(),
+                b'b' | b'r' | b'c' => self.literal_prefix(),
+                b'0'..=b'9' => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => {
+                    let (line, col, start) = (self.line, self.col, self.pos);
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.line_has_code = true;
+        self.out.tokens.push(Tok {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line, trailing) = (self.pos, self.line, self.line_has_code);
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: &self.src[start..self.pos],
+            line,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line, trailing) = (self.pos, self.line, self.line_has_code);
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: &self.src[start..self.pos],
+            line,
+            trailing,
+        });
+    }
+
+    /// Plain (escaped) string literal starting at `"`.
+    fn string_lit(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.emit(TokKind::Literal, start, line, col);
+    }
+
+    /// Raw string body starting at the first `#` or `"` after the `r`.
+    /// The `r`/prefix has already been consumed by the caller.
+    fn raw_string_body(&mut self, start: usize, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            // `r#ident` (raw identifier) — rewind is impossible, but the
+            // prefix consumer only calls us when a quote or hash follows,
+            // so a missing quote here means `r#` + ident: lex the ident.
+            self.ident_continue(start, line, col);
+            return;
+        }
+        self.bump(); // opening quote
+        'scan: while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                // Need `hashes` pound signs to close.
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                break;
+            }
+            self.bump();
+        }
+        self.emit(TokKind::Literal, start, line, col);
+    }
+
+    /// Handle `b"..."`, `r"..."`, `br#"..."#`, `rb`, `c"..."` prefixes;
+    /// anything that turns out not to be a literal lexes as an identifier.
+    fn literal_prefix(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1) {
+            // b"..." / c"..."
+            (b'b' | b'c', b'"') => {
+                self.bump();
+                self.string_lit_at(start, line, col);
+            }
+            // b'x'
+            (b'b', b'\'') => {
+                self.bump();
+                self.char_lit_at(start, line, col);
+            }
+            // r"..." / r#"..."# / r#ident
+            (b'r', b'"') | (b'r', b'#') => {
+                self.bump();
+                self.raw_string_body(start, line, col);
+            }
+            // br"..." / br#"..."# / rb variants
+            (b'b', b'r') | (b'r', b'b') if c2 == b'"' || c2 == b'#' => {
+                self.bump_n(2);
+                self.raw_string_body(start, line, col);
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// Continue a plain string literal whose prefix began at `start`.
+    fn string_lit_at(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.emit(TokKind::Literal, start, line, col);
+    }
+
+    fn char_lit_at(&mut self, start: usize, line: u32, col: u32) {
+        self.bump(); // opening quote
+        if self.peek(0) == b'\\' {
+            self.bump_n(2);
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        self.emit(TokKind::Literal, start, line, col);
+    }
+
+    /// `'` — either a char literal or a lifetime. A lifetime is `'` +
+    /// ident-start where the following char is not a closing quote
+    /// (`'a'` is a char, `'a` is a lifetime, `'\n'` is a char).
+    fn quote(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let c1 = self.peek(1);
+        if is_ident_start(c1) && self.peek(2) != b'\'' {
+            // Lifetime: consume `'` + ident chars.
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.emit(TokKind::Lifetime, start, line, col);
+        } else {
+            self.char_lit_at(start, line, col);
+        }
+    }
+
+    fn number(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // `1.5` continues the number; `1..n` does not (the `..`
+                // must stay punctuation for the range-index rule).
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.emit(TokKind::Literal, start, line, col);
+    }
+
+    fn ident(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        self.ident_continue(start, line, col);
+    }
+
+    fn ident_continue(&mut self, start: usize, line: u32, col: u32) {
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        self.emit(TokKind::Ident, start, line, col);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"Instant::now() "quoted" inside"#;
+            let real = foo();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap"));
+        assert!(!ids.contains(&"Instant"));
+        assert!(ids.contains(&"real"));
+        assert!(ids.contains(&"foo"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let lexed = lex(r"let c = '\n'; let q = '\'';");
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lits, vec![r"'\n'", r"'\''"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let lexed = lex("for i in 0..10 {}");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "range dots must stay punctuation");
+    }
+
+    #[test]
+    fn trailing_comments_are_flagged() {
+        let lexed = lex("let x = 1; // trailing\n// whole-line\n");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn comment_positions_recorded() {
+        let lexed = lex("fn a() {}\n// note\nfn b() {}\n");
+        assert_eq!(lexed.comments[0].line, 2);
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#async = 1;");
+        assert!(ids.iter().any(|s| s.contains("async")));
+    }
+}

@@ -1,0 +1,65 @@
+//! `simlint` — workspace-native static analysis for the Green-With-Envy
+//! reproduction.
+//!
+//! The repo's headline results rest on bit-reproducible simulation and
+//! crash-durable artifacts. The golden fingerprint tests prove those
+//! properties for the paths they exercise; `simlint` keeps future PRs
+//! from silently reintroducing the classic regressions (a `HashMap`
+//! iteration, a wall-clock read, an ad-hoc RNG stream, a raw
+//! `fs::write`) anywhere in the workspace. Rules are token-stream
+//! patterns over a comment/string-aware lexer — no rustc plumbing, no
+//! external dependencies, fast enough to run on every verify.
+//!
+//! Findings can be suppressed inline where the flagged construct is
+//! genuinely intentional, but only with a reason:
+//!
+//! ```text
+//! // simlint::allow(wall-clock, reason = "watchdog deadline is wall time by design")
+//! ```
+//!
+//! See `simlint.toml` at the repo root for the rule→crate scoping and
+//! DESIGN.md ("Static analysis & enforced invariants") for the mapping
+//! from each rule to the design invariant it protects.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::Config;
+pub use diag::{Diagnostic, Report, Severity};
+
+use std::path::Path;
+
+/// Name of the config file looked up at the workspace root.
+pub const CONFIG_FILE: &str = "simlint.toml";
+
+/// Lint every source file under `root` using `cfg`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let files = walk::collect(root, cfg).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut report = Report::default();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.abs_path)
+            .map_err(|e| format!("reading {}: {e}", f.abs_path.display()))?;
+        let input = rules::FileInput {
+            rel_path: &f.rel_path,
+            crate_name: &f.crate_name,
+            is_test_file: f.is_test_file,
+            src: &src,
+        };
+        rules::lint_file(&input, cfg, &mut report.diags);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Load `simlint.toml` from `root` and lint the workspace with it.
+pub fn lint_workspace_with_config_file(root: &Path) -> Result<Report, String> {
+    let cfg_path = root.join(CONFIG_FILE);
+    let text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("reading {}: {e}", cfg_path.display()))?;
+    let cfg = config::parse(&text, &cfg_path.to_string_lossy())?;
+    lint_workspace(root, &cfg)
+}

@@ -1,0 +1,197 @@
+//! CLI for [`simlint`]. See `simlint --help`.
+
+use simlint::{config, lexer, rules, Report};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const USAGE: &str = "\
+simlint — workspace static analysis for determinism, panic-hygiene, and durability
+
+USAGE:
+    simlint [--workspace] [--root <dir>] [--config <file>] [--json]
+            [--show-suppressed] [--list-rules] [files...]
+
+MODES:
+    --workspace          lint every .rs file under the workspace root (default
+                         when no files are given)
+    files...             lint just these files (paths are reported relative to
+                         the workspace root when possible)
+
+OPTIONS:
+    --root <dir>         workspace root (default: nearest ancestor of the cwd
+                         containing simlint.toml)
+    --config <file>      config file (default: <root>/simlint.toml)
+    --json               emit the machine-readable report on stdout
+    --show-suppressed    include suppressed findings in human output
+    --list-rules         print every rule id, default severity, and description
+
+EXIT CODES:
+    0  no unsuppressed error-severity findings
+    1  findings
+    2  usage or configuration error
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: bool,
+    show_suppressed: bool,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        json: false,
+        show_suppressed: false,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => {} // the default; accepted for explicitness
+            "--root" => args.root = Some(next_path(&mut it, "--root")?),
+            "--config" => args.config = Some(next_path(&mut it, "--config")?),
+            "--json" => args.json = true,
+            "--show-suppressed" => args.show_suppressed = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Nearest ancestor of the cwd containing `simlint.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join(simlint::CONFIG_FILE).is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => {
+                return Err(format!(
+                    "no {} found in {} or any ancestor (pass --root)",
+                    simlint::CONFIG_FILE,
+                    cwd.display()
+                ))
+            }
+        }
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for r in rules::RULES {
+            println!(
+                "{:<22} {:<5} {}",
+                r.id,
+                r.default_severity.as_str(),
+                r.description
+            );
+        }
+        return Ok(0);
+    }
+
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_root()?,
+    };
+    let cfg_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join(simlint::CONFIG_FILE));
+    let cfg_text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("reading {}: {e}", cfg_path.display()))?;
+    let cfg = config::parse(&cfg_text, &cfg_path.to_string_lossy())?;
+
+    let start = Instant::now();
+    let mut report = if args.files.is_empty() {
+        simlint::lint_workspace(&root, &cfg)?
+    } else {
+        lint_files(&root, &cfg, &args.files)?
+    };
+    report.sort();
+    let elapsed = start.elapsed();
+
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human(args.show_suppressed));
+        eprintln!("simlint: finished in {:.3}s", elapsed.as_secs_f64());
+    }
+    Ok(if report.count_gating() == 0 { 0 } else { 1 })
+}
+
+fn lint_files(root: &Path, cfg: &config::Config, files: &[PathBuf]) -> Result<Report, String> {
+    let mut report = Report::default();
+    for f in files {
+        let abs = if f.is_absolute() {
+            f.clone()
+        } else {
+            std::env::current_dir().map_err(|e| e.to_string())?.join(f)
+        };
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src =
+            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("root")
+            .to_string();
+        let is_test_file = rel
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+        let input = rules::FileInput {
+            rel_path: &rel,
+            crate_name: &crate_name,
+            is_test_file,
+            src: &src,
+        };
+        rules::lint_file(&input, cfg, &mut report.diags);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn main() {
+    // A lexer sanity canary: the binary refuses to report "clean" if the
+    // lexer cannot see through trivial camouflage. Costs microseconds and
+    // turns a silently-broken lexer into a loud failure.
+    let lexed = lexer::lex(r#"let s = "unwrap()"; // HashMap"#);
+    assert!(
+        lexed.tokens.iter().all(|t| t.text != "HashMap"),
+        "lexer self-check failed"
+    );
+
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("simlint: error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

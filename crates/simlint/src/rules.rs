@@ -1,0 +1,838 @@
+//! The rule engine: test-region detection, inline suppressions, and the
+//! rule matchers themselves.
+//!
+//! Every rule is a pattern over the token stream produced by
+//! [`crate::lexer`]. Rules are registered in [`RULES`] with a default
+//! severity and a one-line description; `simlint.toml` scopes each rule
+//! to crates/paths and may override severity. See DESIGN.md ("Static
+//! analysis & enforced invariants") for the invariant each rule guards.
+
+use crate::config::{Config, RuleConfig};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// Static description of one rule.
+pub struct RuleDef {
+    pub id: &'static str,
+    pub default_severity: Severity,
+    pub description: &'static str,
+}
+
+/// All rules, in reporting order. The two pseudo-rules at the end
+/// (`suppression`, `unused-suppression`) police the allow mechanism
+/// itself and cannot be scoped away in config.
+pub const RULES: &[RuleDef] = &[
+    RuleDef {
+        id: "hash-container",
+        default_severity: Severity::Error,
+        description: "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or an indexed Vec",
+    },
+    RuleDef {
+        id: "wall-clock",
+        default_severity: Severity::Error,
+        description: "Instant::now/SystemTime read the host clock; simulation state must be a pure function of config",
+    },
+    RuleDef {
+        id: "thread-id",
+        default_severity: Severity::Error,
+        description: "thread identity and RandomState hashers vary run to run and break replay",
+    },
+    RuleDef {
+        id: "rng-discipline",
+        default_severity: Severity::Error,
+        description: "SimRng must be constructed in the named-stream seeding modules; ad-hoc streams perturb replay",
+    },
+    RuleDef {
+        id: "panic-hygiene",
+        default_severity: Severity::Error,
+        description: "unwrap/expect/panic! in engine hot paths; return typed errors or use debug_assert!",
+    },
+    RuleDef {
+        id: "range-index",
+        default_severity: Severity::Error,
+        description: "range indexing (x[a..b]) panics on bad bounds; use .get(..) or split_at with a checked length",
+    },
+    RuleDef {
+        id: "raw-write",
+        default_severity: Severity::Error,
+        description: "raw fs::write/File::create bypasses the atomic, fsynced durability layer (core::campaign::persist)",
+    },
+    RuleDef {
+        id: "float-unordered-acc",
+        default_severity: Severity::Error,
+        description: "float accumulation over an unordered container depends on iteration order; collect and sort first",
+    },
+    RuleDef {
+        id: "suppression",
+        default_severity: Severity::Error,
+        description: "simlint::allow(...) must name known rules and give a reason",
+    },
+    RuleDef {
+        id: "unused-suppression",
+        default_severity: Severity::Warn,
+        description: "a simlint::allow that suppressed nothing is stale; remove it",
+    },
+];
+
+pub fn rule_def(id: &str) -> Option<&'static RuleDef> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One file to lint, with its workspace context.
+pub struct FileInput<'a> {
+    /// Repo-relative path, `/`-separated.
+    pub rel_path: &'a str,
+    /// Crate directory name (`netsim`, ...) or `root` for the top-level
+    /// package.
+    pub crate_name: &'a str,
+    /// True for files under `tests/`, `benches/`, or `examples/`
+    /// directories: never hot-path or replayed code.
+    pub is_test_file: bool,
+    pub src: &'a str,
+}
+
+/// Lint one file, appending findings (suppressed ones included, marked).
+pub fn lint_file(input: &FileInput<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let lexed = lex(input.src);
+    let toks = &lexed.tokens;
+    let test_mask = test_region_mask(toks);
+    let mut suppressions = collect_suppressions(&lexed.comments, toks, input, out);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut ctx = Ctx {
+        input,
+        toks,
+        test_mask: &test_mask,
+        out: &mut raw,
+    };
+
+    for def in RULES {
+        let rc = cfg.rule(def.id);
+        if !rule_applies(&rc, input) {
+            continue;
+        }
+        let severity = rc.severity.unwrap_or(def.default_severity);
+        let skip_tests = !rc.include_tests;
+        match def.id {
+            "hash-container" => ctx.rule_hash_container(severity, skip_tests),
+            "wall-clock" => ctx.rule_wall_clock(severity, skip_tests),
+            "thread-id" => ctx.rule_thread_id(severity, skip_tests),
+            "rng-discipline" => ctx.rule_rng_discipline(severity, skip_tests),
+            "panic-hygiene" => ctx.rule_panic_hygiene(severity, skip_tests),
+            "range-index" => ctx.rule_range_index(severity, skip_tests),
+            "raw-write" => ctx.rule_raw_write(severity, skip_tests),
+            "float-unordered-acc" => ctx.rule_float_unordered(severity, skip_tests),
+            // Pseudo-rules run in collect_suppressions / below.
+            "suppression" | "unused-suppression" => {}
+            other => unreachable!("unregistered rule {other}"),
+        }
+    }
+
+    // Apply inline suppressions.
+    for d in &mut raw {
+        if let Some(sup) = suppressions
+            .iter_mut()
+            .find(|s| s.target_line == Some(d.line) && s.rules.iter().any(|r| r == d.rule))
+        {
+            d.suppressed = Some(sup.reason.clone());
+            sup.used = true;
+        }
+    }
+    out.append(&mut raw);
+
+    for sup in &suppressions {
+        if !sup.used {
+            out.push(Diagnostic {
+                rule: "unused-suppression",
+                severity: Severity::Warn,
+                path: input.rel_path.to_string(),
+                line: sup.comment_line,
+                col: 1,
+                message: format!(
+                    "simlint::allow({}) suppressed nothing; remove it",
+                    sup.rules.join(", ")
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// Does `rc` apply to this file at all?
+fn rule_applies(rc: &RuleConfig, input: &FileInput<'_>) -> bool {
+    if !rc.enabled {
+        return false;
+    }
+    if !rc.crates.is_empty() && !rc.crates.iter().any(|c| c == input.crate_name) {
+        return false;
+    }
+    if !rc.paths.is_empty()
+        && !rc
+            .paths
+            .iter()
+            .any(|p| input.rel_path.starts_with(p.as_str()))
+    {
+        return false;
+    }
+    if rc
+        .allow_paths
+        .iter()
+        .any(|p| input.rel_path.starts_with(p.as_str()))
+    {
+        return false;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------
+
+/// Per-token "is test code" mask: true inside items annotated
+/// `#[cfg(test)]` / `#[test]` / `#[bench]` (including `#[cfg(any(test,..))]`).
+fn test_region_mask(toks: &[Tok<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        // Outer attribute `#[...]` (inner `#![...]` attrs are skipped —
+        // they scope the enclosing item, which for `#![cfg(test)]` at
+        // file level would blank the whole file; nothing here uses that).
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let attr_start = i;
+            let (attr_end, is_test_attr) = scan_attr(toks, i + 1);
+            if is_test_attr {
+                let region_end = item_end(toks, attr_end + 1);
+                for m in mask.iter_mut().take(region_end + 1).skip(attr_start) {
+                    *m = true;
+                }
+                i = region_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// From the `[` at `open`, find the matching `]`; report whether the
+/// attribute mentions `test` or `bench` as an identifier.
+fn scan_attr(toks: &[Tok<'_>], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut is_test = false;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i, is_test);
+            }
+        } else if toks[i].is_ident("test") || toks[i].is_ident("bench") {
+            is_test = true;
+        }
+        i += 1;
+    }
+    (toks.len().saturating_sub(1), is_test)
+}
+
+/// End of the item starting at `start` (after its attributes): the
+/// matching `}` of its first body brace, or the first top-level `;`
+/// (for `#[cfg(test)] use ...;`-style items). Any further attributes
+/// on the item are stepped over.
+fn item_end(toks: &[Tok<'_>], start: usize) -> usize {
+    let mut i = start;
+    // Step over stacked attributes.
+    while i + 1 < toks.len() && toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+        let (end, _) = scan_attr(toks, i + 1);
+        i = end + 1;
+    }
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') {
+            if depth == 0 {
+                return matching_brace(toks, i);
+            }
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Tok<'_>], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+struct Suppression {
+    rules: Vec<String>,
+    reason: String,
+    /// Line the allow applies to: the comment's own line for trailing
+    /// comments, else the line of the next code token. `None` if the
+    /// comment dangles at end of file.
+    target_line: Option<u32>,
+    comment_line: u32,
+    used: bool,
+}
+
+/// Parse `// simlint::allow(rule, ..., reason = "...")` comments.
+/// Malformed markers produce `suppression` diagnostics immediately.
+fn collect_suppressions(
+    comments: &[Comment<'_>],
+    toks: &[Tok<'_>],
+    input: &FileInput<'_>,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
+    let mut sups = Vec::new();
+    for c in comments {
+        // Doc comments are documentation: an allow-marker "mentioned" in
+        // one (e.g. this crate's own docs) is prose, never a suppression.
+        let is_doc = c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let Some(at) = c.text.find("simlint::allow") else {
+            continue;
+        };
+        let err = |msg: String| Diagnostic {
+            rule: "suppression",
+            severity: Severity::Error,
+            path: input.rel_path.to_string(),
+            line: c.line,
+            col: 1,
+            message: msg,
+            suppressed: None,
+        };
+        let rest = &c.text[at + "simlint::allow".len()..];
+        let Some(body) = rest.trim_start().strip_prefix('(').and_then(|r| {
+            // The body must close on the same comment.
+            r.find(')').map(|end| &r[..end])
+        }) else {
+            out.push(err(
+                "malformed simlint::allow: expected `(rule, reason = \"...\")`".into(),
+            ));
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut reason: Option<String> = None;
+        for part in split_args(body) {
+            let part = part.trim();
+            if let Some(val) = part.strip_prefix("reason") {
+                let val = val.trim_start();
+                let Some(q) = val.strip_prefix('=').map(str::trim_start) else {
+                    out.push(err("malformed reason: expected `reason = \"...\"`".into()));
+                    continue;
+                };
+                let Some(text) = q.strip_prefix('"').and_then(|s| s.strip_suffix('"')) else {
+                    out.push(err("reason must be a double-quoted string".into()));
+                    continue;
+                };
+                if text.trim().is_empty() {
+                    out.push(err("reason must not be empty".into()));
+                    continue;
+                }
+                reason = Some(text.to_string());
+            } else if !part.is_empty() {
+                if rule_def(part).is_none() {
+                    out.push(err(format!(
+                        "unknown rule `{part}` in simlint::allow (see --list-rules)"
+                    )));
+                } else {
+                    rules.push(part.to_string());
+                }
+            }
+        }
+        let Some(reason) = reason else {
+            out.push(err(
+                "simlint::allow requires a reason: simlint::allow(rule, reason = \"why\")".into(),
+            ));
+            continue;
+        };
+        if rules.is_empty() {
+            out.push(err("simlint::allow names no rules".into()));
+            continue;
+        }
+        let target_line = if c.trailing {
+            Some(c.line)
+        } else {
+            toks.iter().find(|t| t.line > c.line).map(|t| t.line)
+        };
+        sups.push(Suppression {
+            rules,
+            reason,
+            target_line,
+            comment_line: c.line,
+            used: false,
+        });
+    }
+    sups
+}
+
+/// Split allow-body on commas outside quotes.
+fn split_args(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in body.chars() {
+        match ch {
+            '"' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+// ---------------------------------------------------------------------
+// The rule matchers
+// ---------------------------------------------------------------------
+
+struct Ctx<'a, 'b> {
+    input: &'a FileInput<'a>,
+    toks: &'a [Tok<'a>],
+    test_mask: &'a [bool],
+    out: &'b mut Vec<Diagnostic>,
+}
+
+impl Ctx<'_, '_> {
+    fn skip(&self, i: usize, skip_tests: bool) -> bool {
+        skip_tests && (self.input.is_test_file || self.test_mask[i])
+    }
+
+    fn push(&mut self, rule: &'static str, severity: Severity, i: usize, message: String) {
+        let t = &self.toks[i];
+        self.out.push(Diagnostic {
+            rule,
+            severity,
+            path: self.input.rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+            suppressed: None,
+        });
+    }
+
+    /// `a::b` at position i?
+    fn path2(&self, i: usize, a: &str, b: &str) -> bool {
+        self.toks[i].is_ident(a)
+            && self.toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && self.toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && self.toks.get(i + 3).is_some_and(|t| t.is_ident(b))
+    }
+
+    fn rule_hash_container(&mut self, sev: Severity, skip_tests: bool) {
+        for i in 0..self.toks.len() {
+            if self.skip(i, skip_tests) {
+                continue;
+            }
+            let t = &self.toks[i];
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                self.push(
+                    "hash-container",
+                    sev,
+                    i,
+                    format!(
+                        "{} has nondeterministic iteration order; use BTreeMap/BTreeSet or an indexed Vec",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    fn rule_wall_clock(&mut self, sev: Severity, skip_tests: bool) {
+        for i in 0..self.toks.len() {
+            if self.skip(i, skip_tests) {
+                continue;
+            }
+            if self.path2(i, "Instant", "now") {
+                self.push(
+                    "wall-clock",
+                    sev,
+                    i,
+                    "Instant::now() reads the host clock; simulated time must come from the engine"
+                        .into(),
+                );
+            } else if self.toks[i].is_ident("SystemTime") {
+                self.push(
+                    "wall-clock",
+                    sev,
+                    i,
+                    "SystemTime reads the host clock; simulated time must come from the engine"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    fn rule_thread_id(&mut self, sev: Severity, skip_tests: bool) {
+        for i in 0..self.toks.len() {
+            if self.skip(i, skip_tests) {
+                continue;
+            }
+            if self.path2(i, "thread", "current") {
+                self.push(
+                    "thread-id",
+                    sev,
+                    i,
+                    "thread::current() varies run to run; derive identity from simulation config"
+                        .into(),
+                );
+            } else if self.toks[i].is_ident("RandomState") {
+                self.push(
+                    "thread-id",
+                    sev,
+                    i,
+                    "RandomState seeds hashers from process entropy; replay needs a fixed hasher"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    fn rule_rng_discipline(&mut self, sev: Severity, skip_tests: bool) {
+        for i in 0..self.toks.len() {
+            if self.skip(i, skip_tests) {
+                continue;
+            }
+            if self.path2(i, "SimRng", "new") {
+                self.push(
+                    "rng-discipline",
+                    sev,
+                    i,
+                    "SimRng::new outside the named-stream seeding modules; fork a named stream \
+                     from the scenario seed (or allow with the stream's salt as the reason)"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    fn rule_panic_hygiene(&mut self, sev: Severity, skip_tests: bool) {
+        for i in 0..self.toks.len() {
+            if self.skip(i, skip_tests) {
+                continue;
+            }
+            let t = &self.toks[i];
+            // `.unwrap()` / `.expect(` — method position only.
+            if (t.is_ident("unwrap") || t.is_ident("expect"))
+                && i > 0
+                && self.toks[i - 1].is_punct('.')
+                && self.toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                self.push(
+                    "panic-hygiene",
+                    sev,
+                    i,
+                    format!(
+                        ".{}() can panic on a hot path; return a typed error or use debug_assert!",
+                        t.text
+                    ),
+                );
+            }
+            // panic-family macros.
+            if (t.is_ident("panic")
+                || t.is_ident("unreachable")
+                || t.is_ident("todo")
+                || t.is_ident("unimplemented"))
+                && self.toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                self.push(
+                    "panic-hygiene",
+                    sev,
+                    i,
+                    format!(
+                        "{}! aborts the run; return a typed error or use debug_assert!",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    fn rule_range_index(&mut self, sev: Severity, skip_tests: bool) {
+        for i in 0..self.toks.len() {
+            if self.skip(i, skip_tests) {
+                continue;
+            }
+            // `expr[ ... .. ... ]`: `[` preceded by an expression-ending
+            // token (ident / `)` / `]`) with a top-level `..` inside.
+            if !self.toks[i].is_punct('[') {
+                continue;
+            }
+            let indexing = i > 0
+                && (self.toks[i - 1].kind == TokKind::Ident
+                    || self.toks[i - 1].is_punct(')')
+                    || self.toks[i - 1].is_punct(']'));
+            if !indexing {
+                continue;
+            }
+            let mut depth = 0i32;
+            for j in i..self.toks.len().min(i + 64) {
+                let t = &self.toks[j];
+                if t.is_punct('[') || t.is_punct('(') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(']') || t.is_punct(')') || t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1
+                    && t.is_punct('.')
+                    && self.toks.get(j + 1).is_some_and(|n| n.is_punct('.'))
+                {
+                    self.push(
+                        "range-index",
+                        sev,
+                        i,
+                        "range indexing panics on out-of-range bounds; use .get(range) or a checked split".into(),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    fn rule_raw_write(&mut self, sev: Severity, skip_tests: bool) {
+        for i in 0..self.toks.len() {
+            if self.skip(i, skip_tests) {
+                continue;
+            }
+            let hit = if self.path2(i, "fs", "write") {
+                Some("fs::write")
+            } else if self.path2(i, "File", "create") {
+                Some("File::create")
+            } else if self.path2(i, "OpenOptions", "new") {
+                Some("OpenOptions::new")
+            } else {
+                None
+            };
+            if let Some(api) = hit {
+                self.push(
+                    "raw-write",
+                    sev,
+                    i,
+                    format!(
+                        "{api} bypasses the durability layer; write artifacts via core::campaign::persist (atomic + fsync)"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Heuristic: an identifier declared as a Hash container in this file
+    /// whose `.values()/.keys()/.iter()` chain reaches `.sum/.fold/.product`
+    /// within the same statement.
+    fn rule_float_unordered(&mut self, sev: Severity, skip_tests: bool) {
+        // Pass 1: names declared as HashMap/HashSet (`x: HashMap<...>` or
+        // `x = HashMap::new()` styles both put the type after the name).
+        let mut hash_names: Vec<&str> = Vec::new();
+        for i in 0..self.toks.len() {
+            let t = &self.toks[i];
+            if (t.is_ident("HashMap") || t.is_ident("HashSet")) && i >= 2 {
+                // Walk back over `:` / `=` / `&` / `mut` to the name.
+                let mut j = i - 1;
+                while j > 0
+                    && (self.toks[j].is_punct(':')
+                        || self.toks[j].is_punct('=')
+                        || self.toks[j].is_punct('&')
+                        || self.toks[j].is_ident("mut"))
+                {
+                    j -= 1;
+                }
+                if self.toks[j].kind == TokKind::Ident {
+                    hash_names.push(self.toks[j].text);
+                }
+            }
+        }
+        if hash_names.is_empty() {
+            return;
+        }
+        // Pass 2: `name . (values|keys|iter) ( )` ... `. (sum|fold|product)`
+        // before the statement ends.
+        for i in 0..self.toks.len() {
+            if self.skip(i, skip_tests) {
+                continue;
+            }
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident || !hash_names.contains(&t.text) {
+                continue;
+            }
+            if !(self.toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && self.toks.get(i + 2).is_some_and(|n| {
+                    n.is_ident("values") || n.is_ident("keys") || n.is_ident("iter")
+                }))
+            {
+                continue;
+            }
+            for j in i + 3..self.toks.len().min(i + 48) {
+                let u = &self.toks[j];
+                if u.is_punct(';') || u.is_punct('{') {
+                    break;
+                }
+                if u.is_punct('.')
+                    && self.toks.get(j + 1).is_some_and(|n| {
+                        n.is_ident("sum") || n.is_ident("fold") || n.is_ident("product")
+                    })
+                {
+                    self.push(
+                        "float-unordered-acc",
+                        sev,
+                        i,
+                        format!(
+                            "accumulating over `{}` (a Hash container) is order-dependent for floats; \
+                             collect keys, sort, then fold",
+                            t.text
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        let input = FileInput {
+            rel_path: "crates/netsim/src/x.rs",
+            crate_name: "netsim",
+            is_test_file: false,
+            src,
+        };
+        let mut out = Vec::new();
+        lint_file(&input, &Config::default(), &mut out);
+        out
+    }
+
+    fn gating(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags
+            .iter()
+            .filter(|d| d.suppressed.is_none() && d.severity == Severity::Error)
+            .collect()
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = r#"
+            fn hot() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let x: Option<u32> = None; x.unwrap(); }
+            }
+        "#;
+        assert!(gating(&lint_src(src)).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_swallow_file() {
+        let src = r#"
+            #[cfg(test)]
+            use std::collections::BTreeMap;
+            fn hot(x: Option<u32>) -> u32 { x.unwrap() }
+        "#;
+        let diags = lint_src(src);
+        assert_eq!(gating(&diags).len(), 1, "{diags:?}");
+        assert_eq!(gating(&diags)[0].rule, "panic-hygiene");
+    }
+
+    #[test]
+    fn suppression_requires_reason_and_known_rule() {
+        let diags =
+            lint_src("// simlint::allow(panic-hygiene)\nfn f(x: Option<u32>) { x.unwrap(); }\n");
+        assert!(diags.iter().any(|d| d.rule == "suppression"));
+        let diags = lint_src("// simlint::allow(no-such-rule, reason = \"x\")\nfn f() {}\n");
+        assert!(diags.iter().any(|d| d.rule == "suppression"));
+    }
+
+    #[test]
+    fn suppression_with_reason_suppresses_next_line() {
+        let src = "// simlint::allow(panic-hygiene, reason = \"boot-time config error\")\nfn f(x: Option<u32>) { x.unwrap(); }\n";
+        let diags = lint_src(src);
+        assert!(gating(&diags).is_empty(), "{diags:?}");
+        assert!(diags.iter().any(|d| d.suppressed.is_some()));
+        // And it is not reported unused.
+        assert!(!diags.iter().any(|d| d.rule == "unused-suppression"));
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); } // simlint::allow(panic-hygiene, reason = \"demo\")\n";
+        assert!(gating(&lint_src(src)).is_empty());
+    }
+
+    #[test]
+    fn unused_suppression_warns() {
+        let diags = lint_src("// simlint::allow(wall-clock, reason = \"stale\")\nfn f() {}\n");
+        assert!(diags.iter().any(|d| d.rule == "unused-suppression"));
+    }
+
+    #[test]
+    fn float_accumulation_over_hash_container() {
+        let src = r#"
+            fn f(m: HashMap<u32, f64>) -> f64 {
+                let total: f64 = m.values().sum();
+                total
+            }
+        "#;
+        let diags = lint_src(src);
+        assert!(
+            diags.iter().any(|d| d.rule == "float-unordered-acc"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn range_index_flags_slices_not_types() {
+        let diags = lint_src("fn f(b: &[u8], n: usize) -> &[u8] { &b[..n] }\n");
+        assert!(diags.iter().any(|d| d.rule == "range-index"), "{diags:?}");
+        let diags = lint_src("fn g(x: [u8; 4]) -> u8 { let a: [u8; 2] = [0, 1]; a[0] }\n");
+        assert!(!diags.iter().any(|d| d.rule == "range-index"), "{diags:?}");
+    }
+
+    #[test]
+    fn identifiers_in_strings_do_not_fire() {
+        let src = r#"fn f() -> &'static str { "HashMap Instant::now fs::write unwrap()" }"#;
+        assert!(gating(&lint_src(src)).is_empty());
+    }
+}

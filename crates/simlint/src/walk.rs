@@ -1,0 +1,98 @@
+//! Workspace walker: find the `.rs` files to lint and classify them.
+
+use crate::config::Config;
+use std::path::{Path, PathBuf};
+
+/// One discovered source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub abs_path: PathBuf,
+    /// Repo-relative, `/`-separated.
+    pub rel_path: String,
+    /// `crates/<name>/...` → `<name>`; anything else → `root`.
+    pub crate_name: String,
+    /// Under a `tests/`, `benches/`, or `examples/` directory.
+    pub is_test_file: bool,
+}
+
+/// Recursively collect the workspace's `.rs` files, skipping
+/// `cfg.skip_dirs` (matched by directory name or repo-relative path).
+/// Results are sorted by relative path so output order is stable across
+/// filesystems.
+pub fn collect(root: &Path, cfg: &Config) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, cfg, &mut out)?;
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn walk_dir(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = rel_path(root, &path);
+        if entry.file_type()?.is_dir() {
+            if name.starts_with('.')
+                || cfg
+                    .skip_dirs
+                    .iter()
+                    .any(|s| s.as_str() == name || s.as_str() == rel)
+            {
+                continue;
+            }
+            walk_dir(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(SourceFile {
+                crate_name: crate_of(&rel),
+                is_test_file: is_test_path(&rel),
+                abs_path: path,
+                rel_path: rel,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn crate_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+        .to_string()
+}
+
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(crate_of("crates/netsim/src/engine.rs"), "netsim");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+        assert_eq!(crate_of("examples/quickstart.rs"), "root");
+        assert!(is_test_path("crates/core/tests/golden.rs"));
+        assert!(is_test_path("crates/bench/benches/micro.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(!is_test_path("crates/netsim/src/engine.rs"));
+    }
+}

@@ -1,0 +1,41 @@
+// Fixture: determinism rules (hash-container, wall-clock, thread-id,
+// rng-discipline). Never compiled — linted by golden_fixtures.rs.
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Instant, SystemTime};
+
+struct State {
+    flows: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+}
+
+fn bad_clock() -> f64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}
+
+fn bad_identity() -> u64 {
+    let _hasher_seed = std::collections::hash_map::RandomState::new();
+    std::thread::current().id();
+    0
+}
+
+fn bad_rng(seed: u64) -> u64 {
+    let mut rng = SimRng::new(seed);
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may fire.
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let _ = std::time::Instant::now();
+        let _rng = SimRng::new(7);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: raw-write. Never compiled.
+use std::fs::{File, OpenOptions};
+
+fn bad_writes(path: &str, body: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, body)?;
+    let _f = File::create(path)?;
+    let _o = OpenOptions::new().append(true).open(path)?;
+    Ok(())
+}
+
+fn fine(path: &str) -> std::io::Result<String> {
+    // Reads are unrestricted; only result-writing must go through persist.
+    std::fs::read_to_string(path)
+}

@@ -1,0 +1,26 @@
+// Fixture: float-unordered-acc. Never compiled.
+use std::collections::{BTreeMap, HashMap};
+
+fn bad_sum(energy_by_flow: HashMap<u64, f64>) -> f64 {
+    let total: f64 = energy_by_flow.values().sum();
+    total
+}
+
+fn bad_fold(weights: HashMap<u64, f64>) -> f64 {
+    weights.values().fold(0.0, |acc, w| acc + w)
+}
+
+// NOTE: the rule tracks container-typed names per file, so an ordered
+// container must not reuse a name that is declared as a Hash container
+// elsewhere in the same file (a deliberate, documented heuristic).
+fn fine_ordered(ordered_energy: BTreeMap<u64, f64>) -> f64 {
+    // Ordered container: commutativity concerns resolved by fixed order.
+    ordered_energy.values().sum()
+}
+
+fn fine_lookup(m: HashMap<u64, f64>, k: u64) -> f64 {
+    // Keyed access never observes iteration order. (The hash-container
+    // rule still flags the type in determinism-scoped crates; this
+    // fixture isolates the accumulation rule.)
+    m.get(&k).copied().unwrap_or(0.0)
+}

@@ -1,0 +1,35 @@
+// Fixture: panic-hygiene and range-index. Never compiled.
+
+fn hot_path(x: Option<u64>, v: &[u8], n: usize) -> u64 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if n == 0 {
+        panic!("empty");
+    }
+    if n > v.len() {
+        unreachable!("bounds");
+    }
+    let _head = &v[..n];
+    let _tail = &v[n..];
+    let _mid = &v[1..n];
+    todo!()
+}
+
+fn fine(x: Option<u64>, v: &[u8]) -> u64 {
+    // None of these are findings: checked alternatives and debug_assert.
+    debug_assert!(!v.is_empty(), "caller guarantees non-empty");
+    let _slice = v.get(..2);
+    let first = v.first().copied().unwrap_or(0);
+    let arr: [u8; 2] = [1, 2];
+    let _elem = arr[0]; // plain indexing is allowed; only ranges are flagged
+    x.unwrap_or(first as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u64> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

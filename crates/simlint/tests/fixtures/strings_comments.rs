@@ -1,0 +1,19 @@
+// Fixture: false-positive resistance. The only real finding in this file
+// is the final `unwrap` — everything above hides forbidden tokens inside
+// strings, raw strings, chars, and comments. Never compiled.
+
+// HashMap Instant::now() fs::write unwrap() panic! — comment, no finding
+/* SystemTime::now() in a block comment /* nested: SimRng::new(0) */ */
+
+/// Doc comment telling users to avoid `x.unwrap()` and `HashMap` — prose.
+fn camouflage() -> String {
+    let a = "HashMap::new() and Instant::now() in a string";
+    let b = r#"raw string: fs::write("x", b"y").unwrap() and "quoted" too"#;
+    let c = 'u'; // a char, not the start of unwrap
+    let lifetime_not_char: &'static str = "thread::current() in a string";
+    format!("{a}{b}{c}{lifetime_not_char}")
+}
+
+fn the_one_real_finding(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

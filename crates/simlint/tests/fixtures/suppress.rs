@@ -1,0 +1,30 @@
+// Fixture: suppression handling. Never compiled.
+
+fn good_allow(x: Option<u64>) -> u64 {
+    // simlint::allow(panic-hygiene, reason = "fixture: demonstrates a well-formed allow")
+    x.unwrap()
+}
+
+fn trailing_allow(x: Option<u64>) -> u64 {
+    x.unwrap() // simlint::allow(panic-hygiene, reason = "fixture: trailing form")
+}
+
+fn multi_rule(v: &[u8], n: usize) -> u64 {
+    // simlint::allow(panic-hygiene, range-index, reason = "fixture: one reason may cover several rules on a line")
+    v[..n].iter().map(|b| *b as u64).sum::<u64>() + v.first().map(|b| *b as u64).unwrap()
+}
+
+fn missing_reason(x: Option<u64>) -> u64 {
+    // simlint::allow(panic-hygiene)
+    x.unwrap()
+}
+
+fn unknown_rule(x: Option<u64>) -> u64 {
+    // simlint::allow(no-such-rule, reason = "fixture: unknown rule id")
+    x.unwrap()
+}
+
+fn stale_allow() -> u64 {
+    // simlint::allow(wall-clock, reason = "fixture: nothing on the next line to suppress")
+    42
+}

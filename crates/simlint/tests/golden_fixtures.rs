@@ -1,0 +1,118 @@
+//! Golden fixture tests: each `fixtures/<name>.rs` is linted with every
+//! rule enabled and the human-rendered report (suppressed findings
+//! included) is byte-compared against `fixtures/<name>.expected`.
+//!
+//! To refresh after an intentional rule change:
+//! `UPDATE_EXPECTED=1 cargo test -p simlint --test golden_fixtures`
+//! then review the diff like any other golden artifact.
+
+use simlint::config::Config;
+use simlint::diag::Report;
+use simlint::rules::{lint_file, FileInput};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint one fixture as if it were hot-path, non-test code in a crate
+/// where every rule applies (the default config constrains nothing).
+fn lint_fixture(name: &str) -> Report {
+    let path = fixtures_dir().join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    let input = FileInput {
+        rel_path: &format!("fixtures/{name}"),
+        crate_name: "fixture",
+        is_test_file: false,
+        src: &src,
+    };
+    let mut report = Report::default();
+    lint_file(&input, &Config::default(), &mut report.diags);
+    report.files_scanned = 1;
+    report.sort();
+    report
+}
+
+fn check_golden(name: &str) {
+    let rendered = lint_fixture(name).render_human(true);
+    let expected_path = fixtures_dir().join(name.replace(".rs", ".expected"));
+    if std::env::var_os("UPDATE_EXPECTED").is_some() {
+        std::fs::write(&expected_path, &rendered).expect("writing expected file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e}\n(run with UPDATE_EXPECTED=1 to create it)\nrendered:\n{rendered}",
+            expected_path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "fixture {name} diagnostics drifted from golden file {}",
+        expected_path.display()
+    );
+}
+
+#[test]
+fn determinism_fixture() {
+    check_golden("determinism.rs");
+}
+
+#[test]
+fn panic_fixture() {
+    check_golden("panic.rs");
+}
+
+#[test]
+fn durability_fixture() {
+    check_golden("durability.rs");
+}
+
+#[test]
+fn float_fixture() {
+    check_golden("float.rs");
+}
+
+#[test]
+fn suppress_fixture() {
+    check_golden("suppress.rs");
+}
+
+#[test]
+fn strings_comments_fixture() {
+    check_golden("strings_comments.rs");
+}
+
+#[test]
+fn suppressions_do_not_gate_but_malformed_ones_do() {
+    let report = lint_fixture("suppress.rs");
+    // Well-formed allows: suppressed, not gating.
+    assert!(report.count_suppressed() >= 4, "{report:?}");
+    // Missing reason + unknown rule produce gating `suppression` errors,
+    // and the unwraps they failed to cover stay gating too.
+    let gating: Vec<_> = report.gating().collect();
+    assert!(
+        gating.iter().filter(|d| d.rule == "suppression").count() >= 2,
+        "{gating:?}"
+    );
+    assert!(
+        gating.iter().filter(|d| d.rule == "panic-hygiene").count() >= 2,
+        "{gating:?}"
+    );
+    // The dangling allow is reported stale.
+    assert!(
+        report.diags.iter().any(|d| d.rule == "unused-suppression"),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn strings_and_comments_hide_everything_but_the_real_finding() {
+    let report = lint_fixture("strings_comments.rs");
+    let gating: Vec<_> = report.gating().collect();
+    assert_eq!(gating.len(), 1, "{gating:?}");
+    assert_eq!(gating[0].rule, "panic-hygiene");
+    assert_eq!(gating[0].line, 18);
+}

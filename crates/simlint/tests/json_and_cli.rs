@@ -1,0 +1,192 @@
+//! `--json` schema round-trip and end-to-end CLI tests.
+//!
+//! The CLI tests build a scratch "workspace" (a temp dir with a
+//! `simlint.toml` and a seeded-bad crate), run the real binary against
+//! it, and check diagnostics and exit codes — the acceptance drill for
+//! "seeding a known-bad pattern produces the expected diagnostic".
+
+use simlint::config::Config;
+use simlint::diag::{parse_json, Json, Report};
+use simlint::rules::{lint_file, FileInput};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn lint_snippet(src: &str) -> Report {
+    let input = FileInput {
+        rel_path: "crates/netsim/src/hot.rs",
+        crate_name: "netsim",
+        is_test_file: false,
+        src,
+    };
+    let mut report = Report::default();
+    lint_file(&input, &Config::default(), &mut report.diags);
+    report.files_scanned = 1;
+    report.sort();
+    report
+}
+
+#[test]
+fn json_schema_round_trip() {
+    let report = lint_snippet(
+        "// simlint::allow(wall-clock, reason = \"watchdog, with \\\"quotes\\\"\")\n\
+         fn f() { let _ = Instant::now(); }\n\
+         fn g(m: HashMap<u32, f64>) -> f64 { m.values().sum() }\n",
+    );
+    let text = report.render_json();
+    let parsed = parse_json(&text).expect("simlint must emit valid JSON");
+
+    // Schema fields.
+    assert_eq!(parsed.get("version").and_then(Json::as_num), Some(1.0));
+    assert_eq!(
+        parsed.get("files_scanned").and_then(Json::as_num),
+        Some(1.0)
+    );
+    let summary = parsed.get("summary").expect("summary object");
+    assert_eq!(
+        summary.get("errors").and_then(Json::as_num),
+        Some(report.count_gating() as f64)
+    );
+    assert_eq!(
+        summary.get("suppressed").and_then(Json::as_num),
+        Some(report.count_suppressed() as f64)
+    );
+    let findings = parsed.get("findings").and_then(Json::as_arr).unwrap();
+    assert_eq!(findings.len(), report.diags.len());
+
+    // Every finding round-trips field-for-field, in order.
+    for (f, d) in findings.iter().zip(&report.diags) {
+        assert_eq!(f.get("rule").and_then(Json::as_str), Some(d.rule));
+        assert_eq!(
+            f.get("severity").and_then(Json::as_str),
+            Some(d.severity.as_str())
+        );
+        assert_eq!(f.get("path").and_then(Json::as_str), Some(d.path.as_str()));
+        assert_eq!(f.get("line").and_then(Json::as_num), Some(d.line as f64));
+        assert_eq!(f.get("col").and_then(Json::as_num), Some(d.col as f64));
+        assert_eq!(
+            f.get("message").and_then(Json::as_str),
+            Some(d.message.as_str())
+        );
+        match &d.suppressed {
+            Some(reason) => {
+                assert_eq!(f.get("suppressed"), Some(&Json::Bool(true)));
+                assert_eq!(
+                    f.get("reason").and_then(Json::as_str),
+                    Some(reason.as_str())
+                );
+            }
+            None => {
+                assert_eq!(f.get("suppressed"), Some(&Json::Bool(false)));
+                assert_eq!(f.get("reason"), Some(&Json::Null));
+            }
+        }
+    }
+}
+
+/// A scratch workspace under the target tmp dir, cleaned up on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("simlint-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/badcrate/src")).expect("mkdir scratch");
+        Scratch { root }
+    }
+
+    fn write(&self, rel: &str, body: &str) {
+        std::fs::write(self.root.join(rel), body).expect("write scratch file");
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run_simlint(root: &Path, extra: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("running simlint binary");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const SCRATCH_CONFIG: &str = "\
+version = 1
+skip_dirs = [\"target\"]
+[rules.hash-container]
+crates = [\"badcrate\"]
+[rules.panic-hygiene]
+crates = [\"badcrate\"]
+";
+
+#[test]
+fn seeded_bad_pattern_is_caught_end_to_end() {
+    let scratch = Scratch::new("bad");
+    scratch.write("simlint.toml", SCRATCH_CONFIG);
+    scratch.write(
+        "crates/badcrate/src/lib.rs",
+        "use std::collections::HashMap;\nfn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let (code, stdout, stderr) = run_simlint(&scratch.root, &[]);
+    assert_eq!(code, 1, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(
+        stdout.contains("crates/badcrate/src/lib.rs:1:23: error[hash-container]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/badcrate/src/lib.rs:3:7: error[panic-hygiene]"),
+        "{stdout}"
+    );
+
+    // JSON mode agrees.
+    let (code, stdout, _) = run_simlint(&scratch.root, &["--json"]);
+    assert_eq!(code, 1);
+    let parsed = parse_json(stdout.trim()).expect("valid JSON on stdout");
+    assert_eq!(
+        parsed
+            .get("summary")
+            .and_then(|s| s.get("errors"))
+            .and_then(Json::as_num),
+        Some(2.0)
+    );
+}
+
+#[test]
+fn clean_and_suppressed_code_exits_zero() {
+    let scratch = Scratch::new("clean");
+    scratch.write("simlint.toml", SCRATCH_CONFIG);
+    scratch.write(
+        "crates/badcrate/src/lib.rs",
+        "use std::collections::BTreeMap;\n\
+         fn f(x: Option<u32>) -> u32 {\n\
+             // simlint::allow(panic-hygiene, reason = \"boot-time config error\")\n\
+             x.unwrap()\n\
+         }\n\
+         fn g() -> BTreeMap<u32, u32> {\n\
+             BTreeMap::new()\n\
+         }\n",
+    );
+    let (code, stdout, stderr) = run_simlint(&scratch.root, &[]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("1 suppressed"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let scratch = Scratch::new("usage");
+    scratch.write("simlint.toml", SCRATCH_CONFIG);
+    let (code, _, stderr) = run_simlint(&scratch.root, &["--frobnicate"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}

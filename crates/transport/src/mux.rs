@@ -101,12 +101,20 @@ mod tests {
         let ab = net.add_link(
             a,
             b,
-            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(25), 1_000_000),
+            LinkSpec::droptail(
+                Rate::from_gbps(10.0),
+                SimDuration::from_micros(25),
+                1_000_000,
+            ),
         );
         let ba = net.add_link(
             b,
             a,
-            LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(25), 4_000_000),
+            LinkSpec::droptail(
+                Rate::from_gbps(10.0),
+                SimDuration::from_micros(25),
+                4_000_000,
+            ),
         );
         net.add_route(a, b, ab);
         net.add_route(b, a, ba);

@@ -9,7 +9,7 @@ use netsim::agent::{Agent, Ctx};
 use netsim::ids::{FlowId, NodeId};
 use netsim::packet::{AckInfo, Packet, PacketKind, SackBlocks};
 use netsim::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// When acknowledgements are generated.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -147,7 +147,7 @@ impl RxFlow {
 /// The receiver agent.
 pub struct TcpReceiver {
     policy: AckPolicy,
-    flows: HashMap<FlowId, RxFlow>,
+    flows: BTreeMap<FlowId, RxFlow>,
 }
 
 impl TcpReceiver {
@@ -155,7 +155,7 @@ impl TcpReceiver {
     pub fn new(policy: AckPolicy) -> Self {
         TcpReceiver {
             policy,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
         }
     }
 
@@ -166,10 +166,7 @@ impl TcpReceiver {
 
     /// Per-flow receive statistics.
     pub fn flow_stats(&self, flow: FlowId) -> ReceiverFlowStats {
-        self.flows
-            .get(&flow)
-            .map(|f| f.stats)
-            .unwrap_or_default()
+        self.flows.get(&flow).map(|f| f.stats).unwrap_or_default()
     }
 
     fn send_ack(flow_id: FlowId, flow: &mut RxFlow, ctx: &mut Ctx<'_>) {
@@ -232,10 +229,7 @@ impl TcpReceiver {
                 flow.rcv_nxt = flow.rcv_nxt.max(e);
                 flow.ooo.remove(&s);
             }
-            if flow
-                .last_block
-                .is_some_and(|(ls, _)| ls < flow.rcv_nxt)
-            {
+            if flow.last_block.is_some_and(|(ls, _)| ls < flow.rcv_nxt) {
                 flow.last_block = None;
             }
             flow.pending_segs += 1;
@@ -355,12 +349,20 @@ mod tests {
         let fwd = net.add_link(
             src,
             dst,
-            LinkSpec::droptail(Rate::from_gbps(100.0), SimDuration::from_nanos(10), 10_000_000),
+            LinkSpec::droptail(
+                Rate::from_gbps(100.0),
+                SimDuration::from_nanos(10),
+                10_000_000,
+            ),
         );
         let back = net.add_link(
             dst,
             src,
-            LinkSpec::droptail(Rate::from_gbps(100.0), SimDuration::from_nanos(10), 10_000_000),
+            LinkSpec::droptail(
+                Rate::from_gbps(100.0),
+                SimDuration::from_nanos(10),
+                10_000_000,
+            ),
         );
         net.add_route(src, dst, fwd);
         net.add_route(dst, src, back);
@@ -566,7 +568,10 @@ mod tests {
         let (acks, ..) = run_script(AckPolicy::delayed_default(), |s, d| {
             // Arrivals: 2000, 4000, 3000 -> should merge into 2000..5000.
             vec![
-                (SimDuration::ZERO, seg(s, d, 2000, 1000, EcnCodepoint::NotEct)),
+                (
+                    SimDuration::ZERO,
+                    seg(s, d, 2000, 1000, EcnCodepoint::NotEct),
+                ),
                 (
                     SimDuration::from_micros(10),
                     seg(s, d, 4000, 1000, EcnCodepoint::NotEct),

@@ -51,9 +51,8 @@ impl RttEstimator {
             Some(srtt) => {
                 // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
                 let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
-                self.rttvar = SimDuration::from_nanos(
-                    (3 * self.rttvar.as_nanos() + err.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((3 * self.rttvar.as_nanos() + err.as_nanos()) / 4);
                 // srtt = 7/8 srtt + 1/8 rtt
                 self.srtt = Some(SimDuration::from_nanos(
                     (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
@@ -192,7 +191,8 @@ mod tests {
 
     #[test]
     fn rto_is_capped_above() {
-        let mut est = RttEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(2));
+        let mut est =
+            RttEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(2));
         est.on_sample(SimDuration::from_millis(100));
         for _ in 0..20 {
             est.backoff();

@@ -163,14 +163,7 @@ impl Scoreboard {
     }
 
     /// Record a brand new segment transmission.
-    pub fn on_send(
-        &mut self,
-        seq: u64,
-        len: u32,
-        now: SimTime,
-        delivered: u64,
-        app_limited: bool,
-    ) {
+    pub fn on_send(&mut self, seq: u64, len: u32, now: SimTime, delivered: u64, app_limited: bool) {
         debug_assert!(len > 0);
         debug_assert!(
             self.segs.back().map_or(self.snd_una, |s| s.seq_end()) == seq,
@@ -189,9 +182,7 @@ impl Scoreboard {
     }
 
     fn index_of(&self, seq: u64) -> Option<usize> {
-        self.segs
-            .binary_search_by(|s| s.seq.cmp(&seq))
-            .ok()
+        self.segs.binary_search_by(|s| s.seq.cmp(&seq)).ok()
     }
 
     /// Pop the next segment due for retransmission, marking it
@@ -246,11 +237,10 @@ impl Scoreboard {
         // 1. Cumulative advancement.
         if cum_ack > self.snd_una {
             out.cum_advanced = cum_ack - self.snd_una;
-            while let Some(front) = self.segs.front() {
-                if front.seq_end() > cum_ack {
+            while self.segs.front().is_some_and(|f| f.seq_end() <= cum_ack) {
+                let Some(seg) = self.segs.pop_front() else {
                     break;
-                }
-                let seg = self.segs.pop_front().expect("peeked front vanished");
+                };
                 match seg.state {
                     SegState::Outstanding => {
                         self.in_flight -= seg.len as u64;
@@ -554,9 +544,7 @@ mod tests {
         delivered += b
             .on_ack(2000, [(4000u64, 6000u64)].into_iter(), REO)
             .newly_delivered;
-        delivered += b
-            .on_ack(8000, std::iter::empty(), REO)
-            .newly_delivered;
+        delivered += b.on_ack(8000, std::iter::empty(), REO).newly_delivered;
         delivered += b.on_ack(10_000, std::iter::empty(), REO).newly_delivered;
         assert_eq!(delivered, 10_000);
         assert!(b.is_empty());
@@ -567,7 +555,8 @@ mod tests {
     fn rate_anchor_reflects_retransmission_time() {
         let mut b = board_with(5);
         b.on_ack(0, [(1000u64, 4000u64)].into_iter(), REO);
-        b.take_retransmit(SimTime::from_millis(9), 3000, true).unwrap();
+        b.take_retransmit(SimTime::from_millis(9), 3000, true)
+            .unwrap();
         let out = b.on_ack(1000, std::iter::empty(), REO);
         let anchor = out.rate_anchor.unwrap();
         assert_eq!(anchor.sent_at, SimTime::from_millis(9));

@@ -23,12 +23,20 @@ fn chaos_transfer(spec: FaultSpec, total: u64, seed: u64, max_retries: u32) -> N
     let ab = net.add_link(
         a,
         b,
-        LinkSpec::droptail(Rate::from_gbps(1.0), SimDuration::from_micros(25), 10_000_000),
+        LinkSpec::droptail(
+            Rate::from_gbps(1.0),
+            SimDuration::from_micros(25),
+            10_000_000,
+        ),
     );
     let ba = net.add_link(
         b,
         a,
-        LinkSpec::droptail(Rate::from_gbps(1.0), SimDuration::from_micros(25), 10_000_000),
+        LinkSpec::droptail(
+            Rate::from_gbps(1.0),
+            SimDuration::from_micros(25),
+            10_000_000,
+        ),
     );
     net.add_route(a, b, ab);
     net.add_route(b, a, ba);
@@ -37,7 +45,10 @@ fn chaos_transfer(spec: FaultSpec, total: u64, seed: u64, max_retries: u32) -> N
         .with_rtt_hint(SimDuration::from_micros(100))
         .with_rto_bounds(SimDuration::from_millis(10), SimDuration::from_millis(200))
         .with_max_rto_retries(max_retries);
-    net.attach_agent(a, Box::new(TcpSender::new(cfg, Box::new(FixedCwnd::new(60_000)))));
+    net.attach_agent(
+        a,
+        Box::new(TcpSender::new(cfg, Box::new(FixedCwnd::new(60_000)))),
+    );
     net.attach_agent(b, Box::new(TcpReceiver::new(AckPolicy::delayed_default())));
     // A stall watchdog instead of a wall-clock ceiling: if neither host
     // sees a delivery for this many events, the run is declared stuck.

@@ -38,11 +38,7 @@ impl SizeMix {
     /// Mean flow size in bytes.
     pub fn mean_bytes(&self) -> f64 {
         let total_w: f64 = self.classes.iter().map(|c| c.0).sum();
-        self.classes
-            .iter()
-            .map(|&(w, b)| w * b as f64)
-            .sum::<f64>()
-            / total_w
+        self.classes.iter().map(|&(w, b)| w * b as f64).sum::<f64>() / total_w
     }
 
     /// Draw one size.
@@ -98,6 +94,7 @@ impl PoissonWorkload {
 
     /// Generate the flow specs: exponential inter-arrivals, sampled sizes.
     pub fn generate(&self, seed: u64) -> Vec<FlowSpec> {
+        // simlint::allow(rng-discipline, reason = "named stream: workload seed XOR 'pois' salt; arrival sampling must not share draws with any engine stream")
         let mut rng = SimRng::new(seed ^ 0x706f_6973);
         let mean_gap = self.mean_interarrival().as_secs_f64();
         let mut t = 0.0;
@@ -132,10 +129,7 @@ mod tests {
         let mix = SizeMix::websearch();
         let mut rng = SimRng::new(5);
         let n = 100_000;
-        let mice = (0..n)
-            .filter(|_| mix.sample(&mut rng) == 100_000)
-            .count() as f64
-            / n as f64;
+        let mice = (0..n).filter(|_| mix.sample(&mut rng) == 100_000).count() as f64 / n as f64;
         assert!((mice - 0.6).abs() < 0.01, "mice fraction {mice}");
     }
 

@@ -173,7 +173,9 @@ impl Scenario {
     /// DCTCP's marking threshold K: the classic guidance is ~65 packets
     /// at 10 Gb/s with 1500-byte frames; we scale by MTU with a floor.
     fn dctcp_k_bytes(&self) -> u64 {
-        (65 * self.mtu as u64).min(self.buffer_bytes / 2).max(30_000)
+        (65 * self.mtu as u64)
+            .min(self.buffer_bytes / 2)
+            .max(30_000)
     }
 
     fn default_time_limit(&self) -> SimTime {
@@ -358,6 +360,7 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         ((scenario.bdp_bytes() + scenario.buffer_bytes) as f64 * BASELINE_CWND_FACTOR) as u64;
     let cca_cfg = CcaConfig::new(mss).with_baseline_cwnd(baseline_cwnd);
 
+    // simlint::allow(rng-discipline, reason = "named stream: scenario seed XOR 'jutt' salt; isolated so adding flows never perturbs engine or fault draws")
     let mut jitter_rng = netsim::rng::SimRng::new(scenario.seed ^ 0x6a75_7474);
     let mut jitters = Vec::with_capacity(scenario.flows.len());
     for _ in &scenario.flows {
@@ -374,7 +377,11 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         let min_gap = scenario
             .host_pps_cap
             .map(|pps| {
-                let pps = if cc.uses_pacing() { pps * PACING_PPS_BONUS } else { pps };
+                let pps = if cc.uses_pacing() {
+                    pps * PACING_PPS_BONUS
+                } else {
+                    pps
+                };
                 SimDuration::from_secs_f64(1.0 / pps)
             })
             .unwrap_or(SimDuration::ZERO);
@@ -419,8 +426,11 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
     };
     net.attach_agent(dumbbell.receiver, Box::new(TcpReceiver::new(policy)));
 
-    let limit = scenario.time_limit.unwrap_or_else(|| scenario.default_time_limit());
+    let limit = scenario
+        .time_limit
+        .unwrap_or_else(|| scenario.default_time_limit());
     if let Some(budget) = scenario.wall_deadline {
+        // simlint::allow(wall-clock, reason = "converts the caller's wall budget into the engine watchdog deadline; decides when to abandon a run, never what it computes")
         net.set_wall_deadline(Some(std::time::Instant::now() + budget));
     }
     let run_outcome = net.run_until(limit);
@@ -531,12 +541,8 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         }
     }
     let sender_energy_j = sender_readings.iter().map(|r| r.joules).sum();
-    let receiver_reading = meter.measure_host(
-        activity,
-        dumbbell.receiver,
-        window,
-        HostContext::default(),
-    );
+    let receiver_reading =
+        meter.measure_host(activity, dumbbell.receiver, window, HostContext::default());
 
     let net_stats = net.network_stats();
     let throughput_traces = net.flow_trace().map(|trace| {
@@ -790,8 +796,7 @@ mod tests {
     fn faulted_runs_are_still_deterministic() {
         let s = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)])
             .with_fault(
-                FaultSpec::random_loss(1e-3)
-                    .with_reordering(1e-3, SimDuration::from_micros(80)),
+                FaultSpec::random_loss(1e-3).with_reordering(1e-3, SimDuration::from_micros(80)),
             )
             .with_seed(13);
         let a = run(&s).unwrap();
@@ -805,12 +810,11 @@ mod tests {
     #[test]
     fn dead_bottleneck_reports_aborted_flows() {
         use transport::stats::FlowOutcome;
-        let out = run(&Scenario::new(
-            9000,
-            vec![FlowSpec::bulk(CcaKind::Cubic, 10 * MB)],
+        let out = run(
+            &Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 10 * MB)])
+                .with_fault(FaultSpec::random_loss(1.0))
+                .with_max_rto_retries(3),
         )
-        .with_fault(FaultSpec::random_loss(1.0))
-        .with_max_rto_retries(3))
         .unwrap();
         let r = &out.reports[0];
         assert!(
@@ -822,30 +826,32 @@ mod tests {
         assert!(r.rtos >= 4);
         // The abort bounds the measurement window instead of hanging the
         // run at the time limit.
-        assert!(out.sim_end < SimTime::from_secs(30), "sim_end={}", out.sim_end);
+        assert!(
+            out.sim_end < SimTime::from_secs(30),
+            "sim_end={}",
+            out.sim_end
+        );
     }
 
     #[test]
     fn mid_run_flap_delays_but_does_not_kill_the_flow() {
-        let clean = run(
-            &Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 100 * MB)]).with_seed(5),
-        )
-        .unwrap();
+        let clean =
+            run(&Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 100 * MB)]).with_seed(5))
+                .unwrap();
         let flapped = run(
             &Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 100 * MB)])
                 .with_seed(5)
-                .with_fault(FaultSpec::default().with_flap(
-                    SimTime::from_millis(20),
-                    SimTime::from_millis(120),
-                )),
+                .with_fault(
+                    FaultSpec::default()
+                        .with_flap(SimTime::from_millis(20), SimTime::from_millis(120)),
+                ),
         )
         .unwrap();
         assert!(flapped.reports[0].outcome.is_completed());
         assert!(flapped.injected_drops > 0, "the outage must eat frames");
         // A 100 ms outage costs roughly that much completion time.
         assert!(
-            flapped.reports[0].fct
-                >= clean.reports[0].fct + SimDuration::from_millis(50),
+            flapped.reports[0].fct >= clean.reports[0].fct + SimDuration::from_millis(50),
             "clean={} flapped={}",
             clean.reports[0].fct,
             flapped.reports[0].fct

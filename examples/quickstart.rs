@@ -32,9 +32,7 @@ fn main() {
         vec![FlowSpec::bulk(CcaKind::Cubic, TEN_GBIT)],
     ))
     .expect("solo run completes");
-    let flow1_fct = solo.reports[0]
-        .completed_at
-        .saturating_since(SimTime::ZERO);
+    let flow1_fct = solo.reports[0].completed_at.saturating_since(SimTime::ZERO);
     let serial = workload::scenario::run(&Scenario::new(
         9000,
         vec![

@@ -25,9 +25,7 @@ fn main() {
         seeds: vec![1, 2],
         background: StressLoad::IDLE,
     };
-    println!(
-        "Sweeping two-flow allocations: {per_flow_mb} MB per flow, MTU {mtu}\n"
-    );
+    println!("Sweeping two-flow allocations: {per_flow_mb} MB per flow, MTU {mtu}\n");
     let result = fig1::run(&cfg);
     println!("{}", fig1::render(&result));
 

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Full offline verification: release build, the whole test suite, and a
-# quick-scale smoke run of every figure binary. This is what CI (and a
-# reviewer) should run before merging engine or experiment changes.
+# Full offline verification: release build, formatting, workspace clippy,
+# the whole test suite, and a quick-scale smoke run of every figure
+# binary. This is what CI (and a reviewer) should run before merging
+# engine or experiment changes. A pass/fail table for every stage is
+# printed at the end, even when a stage fails.
 #
-# Usage: scripts/verify.sh [--chaos] [--resume]
+# Usage: scripts/verify.sh [--lint] [--chaos] [--resume]
+#   --lint    additionally run the simlint static-analysis pass over the
+#             whole workspace (determinism, panic-hygiene, durability,
+#             and float-discipline rules). Zero unsuppressed findings
+#             required.
 #   --chaos   additionally run the fault-injection suite: the netsim and
 #             transport chaos property tests, the golden determinism
 #             fingerprints (clean + faulted), and a quick-scale run of the
@@ -11,58 +17,101 @@
 #   --resume  additionally drill the durability layer end to end: start a
 #             tiny-scale journaled campaign, SIGTERM it mid-flight, resume
 #             it, and require the merged matrix to be byte-identical to an
-#             uninterrupted run. Also lints the campaign code with clippy.
-set -euo pipefail
+#             uninterrupted run.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
+lint=0
 chaos=0
 resume=0
 for arg in "$@"; do
     case "$arg" in
+        --lint) lint=1 ;;
         --chaos) chaos=1 ;;
         --resume) resume=1 ;;
         *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
-echo "== build (release, offline) =="
-cargo build --release --offline --workspace
+# Stage bookkeeping: run_stage <name> <fn>. Stages run in order; once one
+# fails, later stages are skipped but the summary table still prints so
+# the first failure is visible next to everything that never ran.
+stage_names=()
+stage_results=()
+failed=0
 
-echo "== tests (offline) =="
-cargo test -q --offline --workspace
+run_stage() {
+    local name=$1 fn=$2
+    stage_names+=("$name")
+    if [[ $failed -eq 1 ]]; then
+        stage_results+=("skip")
+        return
+    fi
+    echo "== $name =="
+    if "$fn"; then
+        stage_results+=("pass")
+    else
+        stage_results+=("FAIL")
+        failed=1
+    fi
+}
 
-echo "== figure smoke run (GREENENVY_SCALE=quick) =="
-# Run from a scratch directory: the figure binaries write results/*.json
-# relative to the cwd, and the quick-scale smoke must not clobber the
-# tracked standard-scale results at the repo root.
-repo=$PWD
-smoke=$(mktemp -d)
-drill=""
-trap 'rm -rf "$smoke" ${drill:+"$drill"}' EXIT
-(cd "$smoke" && GREENENVY_SCALE=quick \
-    cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin all)
+print_summary() {
+    echo
+    echo "== verify.sh summary =="
+    local i
+    for i in "${!stage_names[@]}"; do
+        printf '  %-10s %s\n' "${stage_results[$i]}" "${stage_names[$i]}"
+    done
+    if [[ $failed -eq 1 ]]; then
+        echo "verify.sh: FAILED"
+    else
+        echo "verify.sh: all green"
+    fi
+}
 
-if [[ $chaos -eq 1 ]]; then
-    echo "== chaos stage: fault-injection properties =="
-    cargo test -q --release --offline -p netsim --test proptest_fault
-    cargo test -q --release --offline -p transport --test proptest_chaos
-    echo "== chaos stage: golden fingerprints (clean + faulted) =="
-    cargo test -q --release --offline -p greenenvy --test golden_determinism
-    echo "== chaos stage: experiment smoke run (GREENENVY_SCALE=quick) =="
+stage_build() {
+    cargo build --release --offline --workspace
+}
+
+stage_fmt() {
+    cargo fmt --check
+}
+
+stage_clippy() {
+    cargo clippy --release --offline --workspace --all-targets -- -D warnings
+}
+
+stage_test() {
+    cargo test -q --offline --workspace
+}
+
+stage_smoke() {
+    # Run from a scratch directory: the figure binaries write
+    # results/*.json relative to the cwd, and the quick-scale smoke must
+    # not clobber the tracked standard-scale results at the repo root.
+    (cd "$smoke" && GREENENVY_SCALE=quick \
+        cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin all)
+}
+
+stage_lint() {
+    cargo run --release --offline -p simlint -- --workspace
+}
+
+stage_chaos() {
+    cargo test -q --release --offline -p netsim --test proptest_fault &&
+    cargo test -q --release --offline -p transport --test proptest_chaos &&
+    cargo test -q --release --offline -p greenenvy --test golden_determinism &&
     (cd "$smoke" && GREENENVY_SCALE=quick \
         cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin chaos)
-fi
+}
 
-if [[ $resume -eq 1 ]]; then
-    echo "== resume stage: clippy on the campaign layer =="
-    cargo clippy --release --offline -p greenenvy -p bench --all-targets -- -D warnings
-
-    echo "== resume stage: kill/resume drill (GREENENVY_SCALE=tiny) =="
+stage_resume() {
     drill=$(mktemp -d)
     # Golden reference: the campaign start to finish, uninterrupted.
     (cd "$drill" && mkdir -p golden && cd golden && GREENENVY_SCALE=tiny \
         cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
-        -p bench --bin campaign -- --paranoid --threads 2)
+        -p bench --bin campaign -- --paranoid --threads 2) || return 1
 
     # Interrupted run: SIGTERM once the journal shows progress, then
     # --resume to completion. Exit 130 is the campaign's "cancelled,
@@ -71,8 +120,8 @@ if [[ $resume -eq 1 ]]; then
     (cd "$drill/drill" && GREENENVY_SCALE=tiny \
         cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
         -p bench --bin campaign -- --paranoid --threads 2) &
-    pid=$!
-    journal="$drill/drill/results/campaign_tiny.jsonl"
+    local pid=$!
+    local journal="$drill/drill/results/campaign_tiny.jsonl"
     for _ in $(seq 1 600); do
         # >5 lines = header + some journaled cells: interrupt mid-flight.
         if [[ -f "$journal" ]] && [[ $(wc -l <"$journal") -gt 5 ]]; then break; fi
@@ -80,24 +129,46 @@ if [[ $resume -eq 1 ]]; then
         sleep 0.1
     done
     if kill -TERM "$pid" 2>/dev/null; then
-        wait "$pid" && status=0 || status=$?
+        local status=0
+        wait "$pid" || status=$?
         if [[ $status -ne 130 && $status -ne 0 ]]; then
             echo "verify.sh: interrupted campaign exited $status (wanted 130 graceful or 0 completed)" >&2
-            exit 1
+            return 1
         fi
     else
-        wait "$pid" || { echo "verify.sh: campaign died before the kill" >&2; exit 1; }
+        wait "$pid" || { echo "verify.sh: campaign died before the kill" >&2; return 1; }
     fi
     (cd "$drill/drill" && GREENENVY_SCALE=tiny \
         cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
-        -p bench --bin campaign -- --paranoid --threads 2 --resume)
+        -p bench --bin campaign -- --paranoid --threads 2 --resume) || return 1
 
     if ! cmp -s "$drill/golden/results/matrix_tiny.json" "$drill/drill/results/matrix_tiny.json"; then
         echo "verify.sh: resumed matrix differs from the uninterrupted run" >&2
         diff "$drill/golden/results/matrix_tiny.json" "$drill/drill/results/matrix_tiny.json" | head >&2 || true
-        exit 1
+        return 1
     fi
     echo "resume drill: resumed matrix is byte-identical to the uninterrupted run"
+}
+
+repo=$PWD
+smoke=$(mktemp -d)
+drill=""
+trap 'rm -rf "$smoke" ${drill:+"$drill"}' EXIT
+
+run_stage "build (release, offline)" stage_build
+run_stage "fmt (cargo fmt --check)" stage_fmt
+run_stage "clippy (workspace, -D warnings)" stage_clippy
+run_stage "tests (offline)" stage_test
+run_stage "figure smoke run (GREENENVY_SCALE=quick)" stage_smoke
+if [[ $lint -eq 1 ]]; then
+    run_stage "lint (simlint --workspace)" stage_lint
+fi
+if [[ $chaos -eq 1 ]]; then
+    run_stage "chaos (fault injection + fingerprints)" stage_chaos
+fi
+if [[ $resume -eq 1 ]]; then
+    run_stage "resume (kill/resume drill, GREENENVY_SCALE=tiny)" stage_resume
 fi
 
-echo "verify.sh: all green"
+print_summary
+exit $failed

@@ -32,7 +32,10 @@ fn identical_configurations_replay_bit_for_bit() {
 
 #[test]
 fn the_fingerprint_depends_on_the_algorithm() {
-    assert_ne!(fingerprint(42, CcaKind::Cubic), fingerprint(42, CcaKind::Bbr));
+    assert_ne!(
+        fingerprint(42, CcaKind::Cubic),
+        fingerprint(42, CcaKind::Bbr)
+    );
 }
 
 #[test]

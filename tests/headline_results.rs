@@ -52,8 +52,16 @@ fn power_curve_is_concave_through_the_papers_points() {
     assert!((r.idle_w - 21.49).abs() < 1e-9);
     let p5 = r.points.iter().find(|p| p.target_gbps == 5.0).unwrap();
     let p10 = r.points.iter().find(|p| p.target_gbps == 10.0).unwrap();
-    assert!((p5.power_w.mean - 34.23).abs() < 0.5, "P(5)={:?}", p5.power_w);
-    assert!((p10.power_w.mean - 35.82).abs() < 0.8, "P(10)={:?}", p10.power_w);
+    assert!(
+        (p5.power_w.mean - 34.23).abs() < 0.5,
+        "P(5)={:?}",
+        p5.power_w
+    );
+    assert!(
+        (p10.power_w.mean - 35.82).abs() < 0.8,
+        "P(10)={:?}",
+        p10.power_w
+    );
     assert!(r.is_concave(0.3));
 }
 

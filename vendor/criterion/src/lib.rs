@@ -45,7 +45,11 @@ impl Default for Criterion {
                 s => filter = Some(s.to_string()),
             }
         }
-        Criterion { sample_size: 100, filter, test_mode }
+        Criterion {
+            sample_size: 100,
+            filter,
+            test_mode,
+        }
     }
 }
 
@@ -77,8 +81,13 @@ impl Criterion {
         self
     }
 
-    fn run_one<F>(&mut self, full_name: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
-    where
+    fn run_one<F>(
+        &mut self,
+        full_name: &str,
+        throughput: Option<Throughput>,
+        samples: usize,
+        mut f: F,
+    ) where
         F: FnMut(&mut Bencher),
     {
         if let Some(filter) = &self.filter {
@@ -178,7 +187,11 @@ impl Bencher {
             println!("{name:<50} (no samples)");
             return;
         }
-        let min = self.per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = self
+            .per_iter_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = self.per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
         let mean = self.per_iter_ns.iter().sum::<f64>() / self.per_iter_ns.len() as f64;
         let mut line = format!(

@@ -121,7 +121,10 @@ pub struct Union<T> {
 
 impl<T> Union<T> {
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { options }
     }
 }
@@ -221,20 +224,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_inclusive: n }
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
         }
     }
 
@@ -244,7 +256,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -152,7 +152,9 @@ pub struct Map<K = String, V = Value> {
 
 impl Map<String, Value> {
     pub fn new() -> Self {
-        Map { entries: Vec::new() }
+        Map {
+            entries: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -188,7 +190,9 @@ impl Map<String, Value> {
 
 impl FromIterator<(String, Value)> for Map<String, Value> {
     fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
-        Map { entries: iter.into_iter().collect() }
+        Map {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -216,7 +220,9 @@ pub struct Error {
 
 impl Error {
     pub fn custom(msg: impl fmt::Display) -> Self {
-        Error { msg: msg.to_string() }
+        Error {
+            msg: msg.to_string(),
+        }
     }
 }
 
@@ -348,7 +354,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
     }
 }
 
@@ -439,6 +447,8 @@ impl Serialize for Map<String, Value> {
 
 impl Deserialize for Map<String, Value> {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_object().cloned().ok_or_else(|| Error::custom("expected object"))
+        v.as_object()
+            .cloned()
+            .ok_or_else(|| Error::custom("expected object"))
     }
 }

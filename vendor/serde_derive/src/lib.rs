@@ -40,7 +40,11 @@ fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), Strin
     });
     let body = match body {
         Some(b) => b,
-        None => return Err(format!("derive on `{name}`: only named-field structs are supported")),
+        None => {
+            return Err(format!(
+                "derive on `{name}`: only named-field structs are supported"
+            ))
+        }
     };
 
     let toks: Vec<TokenTree> = body.into_iter().collect();
@@ -65,7 +69,11 @@ fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), Strin
         let field = match toks.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
-            other => return Err(format!("struct `{name}`: expected field name, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "struct `{name}`: expected field name, got {other:?}"
+                ))
+            }
         };
         i += 1;
         match toks.get(i) {

@@ -45,12 +45,18 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
 
 /// Parse JSON text into any `Deserialize` type (including `Value` itself).
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
     }
     T::from_value(&v)
 }
@@ -176,7 +182,10 @@ impl Parser<'_> {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -189,7 +198,10 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(Error::custom(format!("unexpected input at byte {}", self.pos))),
+            _ => Err(Error::custom(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
         }
     }
 
@@ -211,7 +223,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -239,7 +256,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Object(map));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
