@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! campaign [--resume] [--paranoid] [--deadline <secs>]
-//!          [--threads <n>] [--journal <path>]
+//!          [--threads <n>] [--journal <path>] [--trace-out <dir>]
 //! ```
 //!
 //! * `--resume` — reuse journaled cells; only missing/failed ones run.
@@ -19,6 +19,9 @@
 //!   blows it fails (and is retried) instead of hanging the campaign.
 //! * `--threads` — worker count (default: all cores).
 //! * `--journal` — journal path (default: `results/campaign_<scale>.jsonl`).
+//! * `--trace-out` — persist per-repetition observability artifacts
+//!   (Perfetto trace + Prometheus snapshot; flight-ring dumps on
+//!   failure) into the given directory.
 //!
 //! `GREENENVY_SCALE=paper|standard|quick|tiny` picks the workload.
 //!
@@ -35,7 +38,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--resume] [--paranoid] [--deadline <secs>] \
-         [--threads <n>] [--journal <path>]"
+         [--threads <n>] [--journal <path>] [--trace-out <dir>]"
     );
     std::process::exit(2);
 }
@@ -72,6 +75,9 @@ fn main() {
             "--journal" => {
                 journal = Some(PathBuf::from(parse_arg::<String>(&mut args, "--journal")))
             }
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(parse_arg::<String>(&mut args, "--trace-out")))
+            }
             _ => {
                 eprintln!("error: unknown flag {arg:?}");
                 usage();
@@ -84,7 +90,7 @@ fn main() {
 
     bench::announce("Durable campaign", &scale);
     println!(
-        "journal: {} | resume: {} | paranoid: {} | deadline: {} | threads: {}\n",
+        "journal: {} | resume: {} | paranoid: {} | deadline: {} | threads: {} | trace-out: {}\n",
         opts.journal
             .as_deref()
             .unwrap_or(std::path::Path::new("-"))
@@ -94,6 +100,9 @@ fn main() {
         opts.deadline
             .map_or("none".to_string(), |d| format!("{}s/cell", d.as_secs_f64())),
         opts.threads,
+        opts.trace_out
+            .as_deref()
+            .map_or("off".to_string(), |p| p.display().to_string()),
     );
 
     let report = match campaign::run_campaign(scale, opts) {

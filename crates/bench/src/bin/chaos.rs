@@ -1,11 +1,43 @@
 //! Regenerate the chaos experiment: the Figure-1 energy ordering under
 //! injected random loss on the bottleneck.
+//!
+//! ```text
+//! chaos [--trace-out <dir>]
+//! ```
+//!
+//! * `--trace-out` — persist per-run observability artifacts (Perfetto
+//!   trace + Prometheus snapshot; flight-ring dumps on abort) into the
+//!   given directory, one trio per `rate<i>_seed<s>_{fair,serial}` run.
 use greenenvy::{chaos, Scale};
+use std::path::PathBuf;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut cfg = chaos::Config::at_scale(scale);
+
+    let mut args = std::env::args();
+    args.next(); // program name
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => match args.next() {
+                Some(dir) => cfg.trace_out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --trace-out needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("error: unknown flag {arg:?}\nusage: chaos [--trace-out <dir>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     bench::announce("Chaos", &scale);
-    let result = match chaos::run(&chaos::Config::at_scale(scale)) {
+    if let Some(dir) = &cfg.trace_out {
+        println!("trace-out: {}\n", dir.display());
+    }
+    let result = match chaos::run(&cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: chaos sweep failed: {e}");

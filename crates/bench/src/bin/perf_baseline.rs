@@ -68,6 +68,21 @@ struct ParanoidOverhead {
     overhead_frac: f64,
 }
 
+/// Cost of the observability hooks when no recorder consumes them: the
+/// same scenario with and without a no-op [`obs::Recorder`] attached to
+/// the engine and every sender. Every hook site pays the dynamic
+/// dispatch without any recording work, bounding the tax a disabled
+/// recorder levies on campaigns. Budget: 2%.
+#[derive(Serialize)]
+struct ObsOverhead {
+    /// Reference scenario (no recorder anywhere).
+    plain_wall_s: f64,
+    /// Same scenario with a no-op recorder on every hook.
+    noop_wall_s: f64,
+    /// (noop - plain) / plain. The budget is 2%.
+    overhead_frac: f64,
+}
+
 /// Cost and findings of the full-workspace static-analysis pass, so the
 /// perf trajectory tracks analysis cost alongside engine throughput. The
 /// budget is 2 s for the whole workspace.
@@ -99,6 +114,8 @@ struct Baseline {
     chaos_overhead: ChaosOverhead,
     /// Invariant-audit cost on the clean hot path.
     paranoid_overhead: ParanoidOverhead,
+    /// Observability-hook cost with a no-op recorder attached.
+    obs_overhead: ObsOverhead,
     /// Whole-workspace simlint cost and findings.
     simlint: LintPerf,
 }
@@ -208,6 +225,32 @@ fn measure_paranoid_overhead() -> ParanoidOverhead {
     overhead
 }
 
+fn measure_obs_overhead() -> ObsOverhead {
+    let plain = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)]);
+    let noop = plain.clone().with_noop_observer();
+    // Interleave the variants so host-frequency drift hits both equally.
+    const OVERHEAD_RUNS: u32 = 4;
+    let mut plain_wall = f64::INFINITY;
+    let mut noop_wall = f64::INFINITY;
+    for _ in 0..OVERHEAD_RUNS {
+        plain_wall = plain_wall.min(best_wall(&plain, 1, false));
+        noop_wall = noop_wall.min(best_wall(&noop, 1, false));
+    }
+    let overhead = ObsOverhead {
+        plain_wall_s: plain_wall,
+        noop_wall_s: noop_wall,
+        overhead_frac: (noop_wall - plain_wall) / plain_wall,
+    };
+    println!(
+        "obs overhead (no-op recorder on every hook): \
+         plain {:.4} s, noop {:.4} s, {:+.2}% (budget 2%)",
+        overhead.plain_wall_s,
+        overhead.noop_wall_s,
+        overhead.overhead_frac * 100.0
+    );
+    overhead
+}
+
 /// Time the full-workspace lint (best of RUNS) and report its findings.
 fn measure_simlint(repo_root: &std::path::Path) -> LintPerf {
     let mut best = f64::INFINITY;
@@ -285,6 +328,7 @@ fn main() {
         scenarios,
         chaos_overhead: measure_chaos_overhead(),
         paranoid_overhead: measure_paranoid_overhead(),
+        obs_overhead: measure_obs_overhead(),
         simlint: measure_simlint(&repo_root),
     };
     println!(

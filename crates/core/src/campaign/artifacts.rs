@@ -1,0 +1,94 @@
+//! Per-cell observability artifacts.
+//!
+//! When a campaign (or the chaos sweep) runs with `--trace-out`, every
+//! repetition leaves a Perfetto trace and a Prometheus metrics snapshot
+//! in the artifact directory; a repetition that ends in an aborted flow
+//! additionally dumps its per-flow flight rings — the last N protocol
+//! events before the abort, which is usually exactly the evidence a
+//! post-mortem needs. All writes go through [`super::persist`], so a
+//! crash mid-campaign never leaves a torn artifact.
+
+use super::persist::{write_atomic, PersistError};
+use obs::ObsReport;
+use std::path::Path;
+
+/// Persist one repetition's observability report into `dir`.
+///
+/// Writes `<label>.trace.json` (Chrome-trace/Perfetto JSON, open in
+/// `ui.perfetto.dev` or `chrome://tracing`) and `<label>.prom`
+/// (Prometheus text exposition). When `aborted` is set, also writes
+/// `<label>.flight.txt` with every flow's flight-ring dump.
+pub fn persist_cell_obs(
+    dir: &Path,
+    label: &str,
+    report: &ObsReport,
+    aborted: bool,
+) -> Result<(), PersistError> {
+    write_atomic(
+        &dir.join(format!("{label}.trace.json")),
+        report.perfetto_json().as_bytes(),
+    )?;
+    write_atomic(
+        &dir.join(format!("{label}.prom")),
+        report.prometheus_text().as_bytes(),
+    )?;
+    if aborted {
+        write_atomic(
+            &dir.join(format!("{label}.flight.txt")),
+            report.flight_dump().as_bytes(),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{FlowEvent, ObsRecorder, Recorder};
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("greenenvy-artifacts-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_report(aborted: bool) -> ObsReport {
+        let mut r = ObsRecorder::with_config(16, 0);
+        r.flow_event(0, 0, FlowEvent::Started);
+        r.flow_event(10, 0, FlowEvent::Rto { consecutive: 1 });
+        r.flow_event(
+            20,
+            0,
+            if aborted {
+                FlowEvent::Aborted
+            } else {
+                FlowEvent::Completed
+            },
+        );
+        r.finalize(30)
+    }
+
+    #[test]
+    fn completed_cell_writes_trace_and_prom_only() {
+        let dir = scratch("ok");
+        persist_cell_obs(&dir, "cubic_mtu9000_seed1", &sample_report(false), false).unwrap();
+        assert!(dir.join("cubic_mtu9000_seed1.trace.json").exists());
+        assert!(dir.join("cubic_mtu9000_seed1.prom").exists());
+        assert!(!dir.join("cubic_mtu9000_seed1.flight.txt").exists());
+        let json = std::fs::read_to_string(dir.join("cubic_mtu9000_seed1.trace.json")).unwrap();
+        assert!(json.contains("traceEvents"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_cell_also_dumps_the_flight_ring() {
+        let dir = scratch("abort");
+        persist_cell_obs(&dir, "cell", &sample_report(true), true).unwrap();
+        let flight = std::fs::read_to_string(dir.join("cell.flight.txt")).unwrap();
+        assert!(flight.contains("ABORTED"), "{flight}");
+        assert!(flight.contains("rto #1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,6 +25,7 @@
 //! [`crate::matrix::run_matrix_with_runner`] is now a thin wrapper over
 //! [`run_campaign_with_runner`] with durability switched off.
 
+pub mod artifacts;
 pub mod cancel;
 pub mod invariant;
 pub mod journal;
@@ -66,6 +67,10 @@ pub struct CampaignOptions {
     pub paranoid: bool,
     /// Cooperative cancellation; poll-checked between cells.
     pub cancel: CancelToken,
+    /// Persist per-repetition observability artifacts (Perfetto trace,
+    /// Prometheus snapshot, flight-ring dumps on failure) into this
+    /// directory. `None` runs uninstrumented.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -79,6 +84,7 @@ impl Default for CampaignOptions {
             deadline: None,
             paranoid: false,
             cancel: CancelToken::new(),
+            trace_out: None,
         }
     }
 }
@@ -133,9 +139,10 @@ pub fn run_campaign(scale: Scale, opts: CampaignOptions) -> Result<CampaignRepor
     let policy = CellPolicy {
         wall_deadline: opts.deadline,
         paranoid: opts.paranoid,
+        trace_out: opts.trace_out.clone(),
     };
     run_campaign_with_runner(scale, opts, move |cca, mtu, bytes, seeds| {
-        run_cell_with(cca, mtu, bytes, seeds, policy)
+        run_cell_with(cca, mtu, bytes, seeds, policy.clone())
     })
 }
 

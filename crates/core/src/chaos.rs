@@ -28,6 +28,10 @@ pub struct Config {
     pub loss_rates: Vec<f64>,
     /// Seeds (one fair + one serial run per seed per rate).
     pub seeds: Vec<u64>,
+    /// Persist per-run observability artifacts (Perfetto trace,
+    /// Prometheus snapshot, flight dumps on abort) into this directory.
+    /// `None` runs uninstrumented.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Config {
@@ -38,6 +42,7 @@ impl Config {
             mtu: 9000,
             loss_rates: vec![0.0, 1e-4, 1e-3, 1e-2],
             seeds: scale.seeds(),
+            trace_out: None,
         }
     }
 }
@@ -71,6 +76,62 @@ fn apply_fault(scenario: Scenario, loss: f64) -> Scenario {
         scenario.with_fault(FaultSpec::random_loss(loss))
     } else {
         scenario
+    }
+}
+
+/// Instrument a sweep scenario when `--trace-out` is active.
+fn observed(scenario: Scenario, cfg: &Config) -> Scenario {
+    if cfg.trace_out.is_some() {
+        scenario
+            .with_observability()
+            .with_trace(netsim::time::SimDuration::from_millis(10))
+    } else {
+        scenario
+    }
+}
+
+/// Persist one sweep run's artifacts (no-op unless `trace_out` is set).
+fn persist_run(
+    cfg: &Config,
+    label: &str,
+    out: &ScenarioOutcome,
+) -> std::result::Result<(), ChaosError> {
+    if let (Some(dir), Some(report)) = (&cfg.trace_out, &out.obs) {
+        let aborted = out.reports.iter().any(|r| !r.outcome.is_completed());
+        crate::campaign::artifacts::persist_cell_obs(dir, label, report, aborted)?;
+    }
+    Ok(())
+}
+
+/// Why the sweep failed.
+#[derive(Debug)]
+pub enum ChaosError {
+    /// A scenario run failed (abort, stall, deadline).
+    Scenario(ScenarioError),
+    /// An observability artifact could not be persisted.
+    Persist(crate::campaign::persist::PersistError),
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::Scenario(e) => write!(f, "{e}"),
+            ChaosError::Persist(e) => write!(f, "trace-out: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<ScenarioError> for ChaosError {
+    fn from(e: ScenarioError) -> Self {
+        ChaosError::Scenario(e)
+    }
+}
+
+impl From<crate::campaign::persist::PersistError> for ChaosError {
+    fn from(e: crate::campaign::persist::PersistError) -> Self {
+        ChaosError::Persist(e)
     }
 }
 
@@ -122,18 +183,21 @@ fn serial_scenario(
 /// Run the sweep. An injected fault can kill a path outright (the flow
 /// aborts, the scenario errors); that surfaces as an `Err` naming the
 /// scenario instead of a panic in the middle of a campaign.
-pub fn run(cfg: &Config) -> std::result::Result<Result, ScenarioError> {
+pub fn run(cfg: &Config) -> std::result::Result<Result, ChaosError> {
     let base_w = energy::calibration::P_IDLE_W + energy::calibration::reference_fan().watts(0.0);
     let mut rows = Vec::with_capacity(cfg.loss_rates.len());
-    for &loss in &cfg.loss_rates {
+    for (rate_idx, &loss) in cfg.loss_rates.iter().enumerate() {
         let mut fair_e = Vec::new();
         let mut serial_e = Vec::new();
         let mut savings = Vec::new();
         let mut drops = Vec::new();
         let mut retx = Vec::new();
         for &seed in &cfg.seeds {
-            let fair = workload::scenario::run(&fair_scenario(cfg, loss, seed))?;
-            let serial = workload::scenario::run(&serial_scenario(cfg, loss, seed)?)?;
+            let fair = workload::scenario::run(&observed(fair_scenario(cfg, loss, seed), cfg))?;
+            let serial =
+                workload::scenario::run(&observed(serial_scenario(cfg, loss, seed)?, cfg))?;
+            persist_run(cfg, &format!("rate{rate_idx}_seed{seed}_fair"), &fair)?;
+            persist_run(cfg, &format!("rate{rate_idx}_seed{seed}_serial"), &serial)?;
             // Equalize the measurement windows analytically (see fig1):
             // completed hosts idle at base power, two sender hosts each.
             let common = fair.window.max(serial.window).as_secs_f64();
@@ -195,6 +259,7 @@ mod tests {
             mtu: 9000,
             loss_rates: vec![0.0, 1e-3],
             seeds: vec![1],
+            trace_out: None,
         }
     }
 

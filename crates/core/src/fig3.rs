@@ -74,9 +74,7 @@ fn to_panel(out: &ScenarioOutcome, bin: SimDuration) -> Panel {
         v
     };
     Panel {
-        time_s: (0..n)
-            .map(|i| (i as f64 + 0.5) * bin.as_secs_f64())
-            .collect(),
+        time_s: obs::series::bin_centers_s(n, bin.as_secs_f64()),
         flow1_gbps: pad(f1),
         flow2_gbps: pad(f2),
         energy_j: out.sender_energy_j,

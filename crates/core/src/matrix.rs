@@ -205,14 +205,18 @@ impl Matrix {
 }
 
 /// Per-cell execution policy: the durability-layer knobs that apply
-/// inside a single cell. [`Default`] (no deadline, no paranoia) is the
-/// historical behaviour.
-#[derive(Clone, Copy, Debug, Default)]
+/// inside a single cell. [`Default`] (no deadline, no paranoia, no
+/// tracing) is the historical behaviour.
+#[derive(Clone, Debug, Default)]
 pub struct CellPolicy {
     /// Wall-clock budget for the whole cell (all repetitions share it).
     pub wall_deadline: Option<std::time::Duration>,
     /// Audit every repetition with [`crate::campaign::invariant::check`].
     pub paranoid: bool,
+    /// Persist per-repetition observability artifacts (Perfetto trace,
+    /// Prometheus snapshot, and — on failure — the flight-ring dump)
+    /// into this directory. `None` runs uninstrumented.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 /// Run one (CCA, MTU) cell with the default [`CellPolicy`].
@@ -244,6 +248,11 @@ pub fn run_cell_with(
     let mut goodput = Vec::new();
     for &seed in seeds {
         let mut scenario = Scenario::new(mtu, vec![FlowSpec::bulk(cca, bytes)]).with_seed(seed);
+        if policy.trace_out.is_some() {
+            scenario = scenario
+                .with_observability()
+                .with_trace(netsim::time::SimDuration::from_millis(10));
+        }
         if let Some((at, budget)) = deadline {
             let remaining = at.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
@@ -288,6 +297,16 @@ pub fn run_cell_with(
             })?;
         }
         let r = &out.reports[0];
+        if let (Some(dir), Some(report)) = (&policy.trace_out, &out.obs) {
+            let label = format!("{}_mtu{}_seed{}", cca.name(), mtu, seed);
+            crate::campaign::artifacts::persist_cell_obs(
+                dir,
+                &label,
+                report,
+                !r.outcome.is_completed(),
+            )
+            .map_err(|e| cell_err(e.to_string()))?;
+        }
         if !r.outcome.is_completed() {
             return Err(cell_err(format!("flow {}", r.outcome)));
         }

@@ -21,6 +21,7 @@ use crate::rng::SimRng;
 use crate::sched::{SchedStats, Scheduler};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FlowTrace, HostActivity};
+use obs::SharedRecorder;
 use std::any::Any;
 
 /// What kind of node this is.
@@ -155,6 +156,11 @@ pub struct Network {
     flow_trace: Option<FlowTrace>,
     activity: Option<HostActivity>,
     pkt_log: Option<PacketLog>,
+    /// Observability seam (see [`Network::set_recorder`]). `None` — the
+    /// default — keeps the hot path at a single branch per site, and the
+    /// recorder never touches the RNG or the event queue, so attaching
+    /// one cannot perturb the simulation.
+    recorder: Option<SharedRecorder>,
     commands: Vec<AgentCommand>,
     stop_requested: bool,
     events_processed: u64,
@@ -194,6 +200,7 @@ impl Network {
             flow_trace: None,
             activity: None,
             pkt_log: None,
+            recorder: None,
             commands: Vec::new(),
             stop_requested: false,
             events_processed: 0,
@@ -254,6 +261,15 @@ impl Network {
     /// The packet log, if enabled.
     pub fn packet_log(&self) -> Option<&PacketLog> {
         self.pkt_log.as_ref()
+    }
+
+    /// Attach an observability recorder. The engine reports queue
+    /// depth, drops/marks, and link utilization into it; transport
+    /// agents sharing the same recorder add per-flow events. Purely
+    /// observational: the event stream, RNG draws, and all counters are
+    /// bit-identical with or without a recorder attached.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Add a host node; returns its id.
@@ -452,12 +468,32 @@ impl Network {
                 if let Some(log) = self.pkt_log.as_mut() {
                     log.record(now, PacketEventKind::Dropped, &pkt, Some(link_id), None);
                 }
+                if let Some(rec) = &self.recorder {
+                    rec.borrow_mut().queue_drop(
+                        now.as_nanos(),
+                        link_id.index() as u32,
+                        pkt.flow.index() as u32,
+                        false,
+                    );
+                }
             }
             outcome @ (EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked) => {
                 if outcome == EnqueueOutcome::EnqueuedMarked {
                     if let Some(log) = self.pkt_log.as_mut() {
                         log.record(now, PacketEventKind::Marked, &pkt, Some(link_id), None);
                     }
+                    if let Some(rec) = &self.recorder {
+                        rec.borrow_mut().queue_mark(
+                            now.as_nanos(),
+                            link_id.index() as u32,
+                            pkt.flow.index() as u32,
+                        );
+                    }
+                }
+                if let Some(rec) = &self.recorder {
+                    let depth = self.links[link_id.index()].qdisc.len_bytes();
+                    rec.borrow_mut()
+                        .queue_depth(now.as_nanos(), link_id.index() as u32, depth);
                 }
                 if !self.links[link_id.index()].is_busy() {
                     self.start_tx(link_id);
@@ -492,6 +528,16 @@ impl Network {
         let src = link.src;
         let is_host = self.nodes[src.index()].kind == NodeKind::Host;
         let (wire, retx) = (pkt.wire_bytes as u64, pkt.is_retx && pkt.is_data());
+        if let Some(rec) = &self.recorder {
+            let link = &self.links[link_id.index()];
+            let mut rec = rec.borrow_mut();
+            rec.link_utilization(now.as_nanos(), link_id.index() as u32, link.util_ewma);
+            rec.queue_depth(
+                now.as_nanos(),
+                link_id.index() as u32,
+                link.qdisc.len_bytes(),
+            );
+        }
         let link = &mut self.links[link_id.index()];
         link.in_flight = Some(pkt);
         link.tx_started = now;
@@ -551,6 +597,14 @@ impl Network {
                     &pkt,
                     Some(link_id),
                     None,
+                );
+            }
+            if let Some(rec) = &self.recorder {
+                rec.borrow_mut().queue_drop(
+                    now.as_nanos(),
+                    link_id.index() as u32,
+                    pkt.flow.index() as u32,
+                    true,
                 );
             }
         } else {
@@ -1099,6 +1153,64 @@ mod tests {
         net.run();
         let trace = net.flow_trace().unwrap();
         assert_eq!(trace.total_bytes(FlowId::from_raw(0)), 4000);
+    }
+
+    #[test]
+    fn recorder_sees_queue_activity_without_perturbing_the_run() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // Reference run: no recorder.
+        let (mut plain, a, b) = two_hosts_direct();
+        plain.attach_agent(a, Box::new(Echo::sending(b, 5)));
+        plain.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(plain.run(), RunOutcome::Drained);
+
+        // Same run with a full recorder attached.
+        let (mut net, a, b) = two_hosts_direct();
+        let rec = Rc::new(RefCell::new(obs::ObsRecorder::with_config(64, 0)));
+        net.set_recorder(rec.clone());
+        net.attach_agent(a, Box::new(Echo::sending(b, 5)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+
+        // Observation is free: identical event count and end time.
+        assert_eq!(net.events_processed(), plain.events_processed());
+        assert_eq!(net.now(), plain.now());
+
+        drop(net);
+        let report = Rc::try_unwrap(rec).unwrap().into_inner().finalize(0);
+        // 5 data + 5 ack enqueues, each sampled at enqueue and dequeue.
+        let depth = report
+            .metrics
+            .histogram("queue_depth_bytes", &obs::labels([("link", "l0".into())]))
+            .expect("forward link sampled");
+        assert!(depth.count() >= 10);
+        assert!(report.perfetto_json().contains("queue_bytes"));
+    }
+
+    #[test]
+    fn recorder_counts_injected_drops_separately() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (mut net, a, b) = two_hosts_direct();
+        let rec = Rc::new(RefCell::new(obs::ObsRecorder::with_config(64, 0)));
+        net.set_recorder(rec.clone());
+        net.set_link_fault(
+            LinkId::from_raw(0),
+            crate::fault::FaultSpec::random_loss(1.0),
+        );
+        net.attach_agent(a, Box::new(Echo::sending(b, 5)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        drop(net);
+        let report = Rc::try_unwrap(rec).unwrap().into_inner().finalize(0);
+        let mut labels = obs::labels([("link", "l0".into())]);
+        labels.insert("injected", "yes".into());
+        assert_eq!(
+            report.metrics.counter("queue_drops_total", &labels),
+            Some(5)
+        );
     }
 
     #[test]

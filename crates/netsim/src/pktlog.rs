@@ -58,7 +58,14 @@ pub struct PacketLog {
     head: usize,
     /// Events seen in total (including evicted ones).
     seen: u64,
+    /// Events evicted because the ring was full. Kept as its own
+    /// counter (not derived) so the overflow is an explicit, queryable
+    /// fact — a wrapped log is easy to misread as a complete one.
+    overflowed: u64,
 }
+
+/// Ring capacity used when the caller doesn't pick one.
+pub const DEFAULT_CAPACITY: usize = 65_536;
 
 impl PacketLog {
     /// A log keeping the most recent `capacity` events.
@@ -69,7 +76,13 @@ impl PacketLog {
             capacity,
             head: 0,
             seen: 0,
+            overflowed: 0,
         }
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub(crate) fn record(
@@ -94,6 +107,7 @@ impl PacketLog {
         if self.buf.len() < self.capacity {
             self.buf.push(event);
         } else {
+            self.overflowed += 1;
             self.buf[self.head] = event;
             self.head += 1;
             if self.head == self.capacity {
@@ -128,6 +142,13 @@ impl PacketLog {
     /// Total events observed (retained + evicted).
     pub fn total_seen(&self) -> u64 {
         self.seen
+    }
+
+    /// Events dropped from the ring because it was full. Non-zero means
+    /// [`PacketLog::events`] is a suffix of the run, not the whole run —
+    /// size the ring up (or filter earlier) if that matters.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed
     }
 
     /// Number of retained events.
@@ -221,8 +242,33 @@ mod tests {
         }
         assert_eq!(log.len(), 3);
         assert_eq!(log.total_seen(), 5);
+        assert_eq!(log.overflowed(), 2, "evictions must be explicit");
+        assert_eq!(log.capacity(), 3);
         let seqs: Vec<u64> = log.events().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2000, 3000, 4000]);
+    }
+
+    #[test]
+    fn overflow_counter_stays_zero_until_full() {
+        let mut log = PacketLog::new(8);
+        for i in 0..8 {
+            log.record(
+                SimTime::from_micros(i),
+                PacketEventKind::Delivered,
+                &pkt(0, i),
+                None,
+                None,
+            );
+        }
+        assert_eq!(log.overflowed(), 0);
+        log.record(
+            SimTime::from_micros(9),
+            PacketEventKind::Delivered,
+            &pkt(0, 9),
+            None,
+            None,
+        );
+        assert_eq!(log.overflowed(), 1);
     }
 
     #[test]

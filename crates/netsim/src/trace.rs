@@ -59,12 +59,19 @@ impl FlowTrace {
     }
 
     /// The throughput series for a flow in Gbps, one point per bin.
+    ///
+    /// Delegates to [`obs::series::throughput_gbps`], the workspace's
+    /// single home for this conversion: the final bin is scaled by the
+    /// width it actually covers (up to the flow's last delivery) rather
+    /// than the full bin width, so a flow finishing mid-bin no longer
+    /// shows a truncated closing rate.
     pub fn throughput_gbps(&self, flow: FlowId) -> Vec<f64> {
-        let secs = self.bin.as_secs_f64();
-        self.series(flow)
-            .iter()
-            .map(|&b| b as f64 * 8.0 / secs / 1e9)
-            .collect()
+        let end_ns = self
+            .totals
+            .get(&flow)
+            .map(|&(_, last, _)| last.as_nanos())
+            .unwrap_or(0);
+        obs::series::throughput_gbps(self.series(flow), self.bin.as_nanos(), end_ns)
     }
 
     /// Total payload bytes delivered for a flow.
@@ -228,11 +235,16 @@ mod tests {
     #[test]
     fn flow_trace_throughput_conversion() {
         let mut t = FlowTrace::new(SimDuration::from_millis(10));
-        // 12.5 MB in one 10 ms bin = 10 Gbps.
+        // 12.5 MB across the full first bin = 10 Gbps...
         t.record(F, SimTime::from_millis(5), 12_500_000);
+        // ...then 12.5 MB more, but the flow stops 5 ms into bin 1: the
+        // final bin is scaled by the width it covered, not truncated to
+        // half the true closing rate.
+        t.record(F, SimTime::from_millis(15), 12_500_000);
         let series = t.throughput_gbps(F);
-        assert_eq!(series.len(), 1);
+        assert_eq!(series.len(), 2);
         assert!((series[0] - 10.0).abs() < 1e-9);
+        assert!((series[1] - 20.0).abs() < 1e-9, "partial final bin");
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Log-linear histograms.
+//!
+//! The layout is the classic HDR-style compromise: values below
+//! [`SUB_BUCKETS`] land in unit-width buckets, and every power-of-two
+//! tier above that is split into [`SUB_BUCKETS`] linear sub-buckets, so
+//! relative error is bounded by `1/SUB_BUCKETS` across the whole `u64`
+//! range while the bucket count stays fixed and small. The layout is a
+//! compile-time constant — every histogram in the workspace shares it,
+//! which is what makes [`Histogram::merge`] a plain element-wise add.
+
+/// log2 of the sub-bucket count per power-of-two tier.
+pub const SUB_BITS: u32 = 4;
+
+/// Linear sub-buckets per power-of-two tier (and the width of the
+/// unit-bucket region at the bottom of the range).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Total addressable buckets: the unit region plus `64 - SUB_BITS`
+/// tiers of [`SUB_BUCKETS`] each.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Bucket index for a value. Total order: every value maps to exactly
+/// one bucket and bucket ranges tile `0..=u64::MAX` without gaps.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    // Highest set bit; `value >= SUB_BUCKETS` so `tier >= SUB_BITS`.
+    let tier = 63 - value.leading_zeros();
+    let sub = ((value >> (tier - SUB_BITS)) - SUB_BUCKETS as u64) as usize;
+    SUB_BUCKETS + (tier - SUB_BITS) as usize * SUB_BUCKETS + sub
+}
+
+/// Lowest value that lands in bucket `index`.
+#[inline]
+pub fn bucket_lo(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let tier = SUB_BITS + ((index - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) << (tier - SUB_BITS)
+}
+
+/// Highest value that lands in bucket `index` (inclusive).
+#[inline]
+pub fn bucket_hi(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let tier = SUB_BITS + ((index - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let width = 1u64 << (tier - SUB_BITS);
+    bucket_lo(index) + (width - 1)
+}
+
+/// A fixed-layout log-linear histogram over `u64` values.
+///
+/// Recording is O(1); the bucket vector grows lazily to the highest
+/// bucket touched so an idle histogram costs a few words. All state is
+/// plain integers — cloning, comparing, and merging are exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    // A derived Default would start `min` at 0 instead of `u64::MAX`,
+    // poisoning the first real minimum.
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, reported as the upper bound of
+    /// the bucket containing it (so the estimate never undershoots by
+    /// more than a bucket width). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target value, 1-based; q = 0 means the first.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_hi(idx).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one (element-wise; layouts are
+    /// identical by construction).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_inclusive, count)` in
+    /// ascending bound order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (bucket_hi(idx), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_behaves_like_new() {
+        assert_eq!(Histogram::default(), Histogram::new());
+        let mut h = Histogram::default();
+        h.record(42);
+        assert_eq!(h.min(), Some(42), "default min must not pin at zero");
+    }
+
+    #[test]
+    fn unit_region_is_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            let idx = bucket_index(v);
+            assert_eq!(idx, v as usize);
+            assert_eq!(bucket_lo(idx), v);
+            assert_eq!(bucket_hi(idx), v);
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_range_without_gaps() {
+        // Every bucket's hi + 1 must be the next bucket's lo, up to the
+        // final bucket (whose hi is u64::MAX).
+        for idx in 0..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_hi(idx) + 1, bucket_lo(idx + 1), "bucket {idx}");
+        }
+        assert_eq!(bucket_hi(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn boundaries_round_trip_through_the_index() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            1023,
+            1024,
+            1025,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+        ];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(bucket_lo(idx) <= v, "lo({idx}) > {v}");
+            assert!(bucket_hi(idx) >= v, "hi({idx}) < {v}");
+            // Boundaries themselves map back to the same bucket.
+            assert_eq!(bucket_index(bucket_lo(idx)), idx);
+            assert_eq!(bucket_index(bucket_hi(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Upper bound of a bucket overshoots its lower bound by at most
+        // one sub-bucket width, i.e. a factor of 1/SUB_BUCKETS.
+        for &v in &[100u64, 10_000, 123_456_789, 1 << 40] {
+            let idx = bucket_index(v);
+            let (lo, hi) = (bucket_lo(idx), bucket_hi(idx));
+            assert!((hi - lo) as f64 <= lo as f64 / SUB_BUCKETS as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for v in [5u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        h.record_n(50, 3);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 5 + 10 + 100 + 1000 + 150);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(1000));
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Bucket-granular answers: within one sub-bucket of the truth.
+        assert!((44..=56).contains(&p50), "p50 = {p50}");
+        assert!((95..=100).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(0.0).unwrap(), 1);
+        assert_eq!(h.quantile(1.0).unwrap(), 100);
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 20, 300] {
+            a.record(v);
+        }
+        for v in [2u64, 20, 4000, u64::MAX] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.min(), Some(1));
+        assert_eq!(merged.max(), Some(u64::MAX));
+        // Merging the other way gives the identical histogram.
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(merged, flipped);
+        // Merging an empty histogram is the identity.
+        let mut id = a.clone();
+        id.merge(&Histogram::new());
+        assert_eq!(id, a);
+    }
+}

@@ -1,0 +1,329 @@
+//! Sim-time metrics registry.
+//!
+//! Counters, gauges, and log-linear histograms keyed by a static metric
+//! name plus a small, ordered label set. Everything lives in `BTreeMap`s
+//! so iteration (and therefore the rendered exposition text) is
+//! deterministic, and timestamps are caller-supplied sim-clock
+//! nanoseconds — the registry never looks at a wall clock.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An ordered label set. Keys are static (they name dimensions we
+/// control); values are small formatted ids like `"f0"` or `"l2"`.
+pub type Labels = BTreeMap<&'static str, String>;
+
+/// Build a label set from `(key, value)` pairs.
+pub fn labels<const N: usize>(pairs: [(&'static str, String); N]) -> Labels {
+    pairs.into_iter().collect()
+}
+
+/// A metric identity: static name plus labels. Orders by name, then by
+/// the label map's lexicographic order.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (Prometheus-style `snake_case`, `_total` suffix on
+    /// counters by convention).
+    pub name: &'static str,
+    /// Label set; empty is fine.
+    pub labels: Labels,
+}
+
+impl MetricKey {
+    /// Key with no labels.
+    pub fn plain(name: &'static str) -> Self {
+        MetricKey {
+            name,
+            labels: Labels::new(),
+        }
+    }
+
+    /// Key with labels.
+    pub fn with_labels(name: &'static str, labels: Labels) -> Self {
+        MetricKey { name, labels }
+    }
+}
+
+/// The live registry instruments record into.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a monotonic counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &'static str, labels: Labels, delta: u64) {
+        *self
+            .counters
+            .entry(MetricKey::with_labels(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Set a gauge to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, labels: Labels, value: f64) {
+        self.gauges
+            .insert(MetricKey::with_labels(name, labels), value);
+    }
+
+    /// Record `value` into a histogram, creating it empty first.
+    pub fn observe(&mut self, name: &'static str, labels: Labels, value: u64) {
+        self.histograms
+            .entry(MetricKey::with_labels(name, labels))
+            .or_default()
+            .record(value);
+    }
+
+    /// Current counter value, if the key exists.
+    pub fn counter(&self, name: &'static str, labels: &Labels) -> Option<u64> {
+        self.counters
+            .get(&MetricKey::with_labels(name, labels.clone()))
+            .copied()
+    }
+
+    /// Current gauge value, if the key exists.
+    pub fn gauge(&self, name: &'static str, labels: &Labels) -> Option<f64> {
+        self.gauges
+            .get(&MetricKey::with_labels(name, labels.clone()))
+            .copied()
+    }
+
+    /// Histogram under the key, if it exists.
+    pub fn histogram(&self, name: &'static str, labels: &Labels) -> Option<&Histogram> {
+        self.histograms
+            .get(&MetricKey::with_labels(name, labels.clone()))
+    }
+
+    /// Freeze the registry at sim instant `at_ns`. The snapshot is a
+    /// deep copy — the live registry keeps accumulating afterwards, so
+    /// campaigns can snapshot at any sim instant mid-run.
+    pub fn snapshot(&self, at_ns: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at_ns,
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// An immutable view of the registry at one sim instant.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Sim-clock nanoseconds the snapshot was taken at.
+    pub at_ns: u64,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, if present.
+    pub fn counter(&self, name: &'static str, labels: &Labels) -> Option<u64> {
+        self.counters
+            .get(&MetricKey::with_labels(name, labels.clone()))
+            .copied()
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &'static str, labels: &Labels) -> Option<f64> {
+        self.gauges
+            .get(&MetricKey::with_labels(name, labels.clone()))
+            .copied()
+    }
+
+    /// Histogram, if present.
+    pub fn histogram(&self, name: &'static str, labels: &Labels) -> Option<&Histogram> {
+        self.histograms
+            .get(&MetricKey::with_labels(name, labels.clone()))
+    }
+
+    /// Sum a counter across all label sets sharing `name`.
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Histograms emit cumulative `_bucket` lines only at occupied
+    /// bucket boundaries (plus `+Inf`), which keeps artifacts small
+    /// while staying valid exposition text. Output is byte-deterministic:
+    /// all maps are ordered and floats use Rust's shortest-round-trip
+    /// formatting of bit-identical values.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# obs snapshot at sim_ns {}", self.at_ns);
+
+        let mut last_name = "";
+        for (key, value) in &self.counters {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} counter", key.name);
+                last_name = key.name;
+            }
+            let _ = writeln!(out, "{}{} {}", key.name, render_labels(&key.labels), value);
+        }
+
+        last_name = "";
+        for (key, value) in &self.gauges {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+                last_name = key.name;
+            }
+            let _ = writeln!(out, "{}{} {}", key.name, render_labels(&key.labels), value);
+        }
+
+        last_name = "";
+        for (key, hist) in &self.histograms {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} histogram", key.name);
+                last_name = key.name;
+            }
+            let mut cumulative = 0u64;
+            for (hi, count) in hist.nonzero_buckets() {
+                cumulative += count;
+                let mut with_le = key.labels.clone();
+                with_le.insert("le", hi.to_string());
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    key.name,
+                    render_labels(&with_le),
+                    cumulative
+                );
+            }
+            let mut with_le = key.labels.clone();
+            with_le.insert("le", "+Inf".to_string());
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                key.name,
+                render_labels(&with_le),
+                hist.count()
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                key.name,
+                render_labels(&key.labels),
+                hist.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                key.name,
+                render_labels(&key.labels),
+                hist.count()
+            );
+        }
+        out
+    }
+}
+
+/// `{k="v",k2="v2"}` or the empty string for no labels.
+fn render_labels(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_freezes() {
+        let mut reg = MetricsRegistry::new();
+        let l = labels([("flow", "f0".to_string())]);
+        reg.counter_add("retx_total", l.clone(), 2);
+        reg.counter_add("retx_total", l.clone(), 3);
+        let snap = reg.snapshot(1_000);
+        reg.counter_add("retx_total", l.clone(), 10);
+        assert_eq!(snap.counter("retx_total", &l), Some(5));
+        assert_eq!(reg.counter("retx_total", &l), Some(15));
+        assert_eq!(snap.at_ns, 1_000);
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_ordered() {
+        let mut reg = MetricsRegistry::new();
+        // Insert in reverse order; output must still be sorted.
+        reg.counter_add("z_total", Labels::new(), 1);
+        reg.counter_add("a_total", labels([("link", "l2".to_string())]), 7);
+        reg.counter_add("a_total", labels([("link", "l1".to_string())]), 4);
+        reg.gauge_set("depth_bytes", Labels::new(), 42.5);
+        reg.observe("rtt_ns", Labels::new(), 100);
+        reg.observe("rtt_ns", Labels::new(), 100_000);
+        let snap = reg.snapshot(5);
+        let text = snap.prometheus_text();
+        let again = reg.snapshot(5).prometheus_text();
+        assert_eq!(text, again);
+        let a1 = text.find("a_total{link=\"l1\"} 4").expect("l1 line");
+        let a2 = text.find("a_total{link=\"l2\"} 7").expect("l2 line");
+        let z = text.find("z_total 1").expect("z line");
+        assert!(a1 < a2 && a2 < z, "counters must be sorted");
+        assert!(text.contains("# TYPE rtt_ns histogram"));
+        assert!(text.contains("rtt_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("rtt_ns_count 2"));
+        assert!(text.contains("rtt_ns_sum 100100"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        for v in [1u64, 1, 2, 500] {
+            reg.observe("h", Labels::new(), v);
+        }
+        let text = reg.snapshot(0).prometheus_text();
+        assert!(text.contains("h_bucket{le=\"1\"} 2"));
+        assert!(text.contains("h_bucket{le=\"2\"} 3"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("c_total", labels([("name", "a\"b\\c".to_string())]), 1);
+        let text = reg.snapshot(0).prometheus_text();
+        assert!(text.contains(r#"c_total{name="a\"b\\c"} 1"#));
+    }
+}

@@ -1,0 +1,400 @@
+//! The instrumentation seam.
+//!
+//! Simulation crates call [`Recorder`] methods at interesting moments;
+//! every method has a no-op default body, so an uninstrumented run pays
+//! one `Option`/vtable check per site and nothing else — the golden
+//! determinism fingerprint and the perf baseline see the exact same
+//! event stream either way. [`ObsRecorder`] is the real implementation:
+//! it fans each callback out to the metrics registry, the per-flow
+//! flight recorder, and the Perfetto trace builder.
+//!
+//! The trait speaks plain integers (`u64` sim-nanoseconds, `u32` ids)
+//! so `obs` stays below `netsim` in the dependency graph; callers adapt
+//! their typed ids at the call site.
+
+use crate::flight::{FlightRecorder, FlowEvent, DEFAULT_FLIGHT_CAPACITY};
+use crate::metrics::{labels, Labels, MetricsRegistry, MetricsSnapshot};
+use crate::perfetto::{TraceBuilder, TrackKind, DEFAULT_COUNTER_BIN_NS};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Observer of simulation moments. All methods default to no-ops.
+pub trait Recorder {
+    /// A typed per-flow event (cwnd move, loss, RTO, ...).
+    fn flow_event(&mut self, at_ns: u64, flow: u32, event: FlowEvent) {
+        let _ = (at_ns, flow, event);
+    }
+
+    /// Queue occupancy on a link changed (bytes queued after the change).
+    fn queue_depth(&mut self, at_ns: u64, link: u32, bytes: u64) {
+        let _ = (at_ns, link, bytes);
+    }
+
+    /// A packet was dropped at a link queue. `injected` distinguishes
+    /// fault-injected drops from genuine overflow.
+    fn queue_drop(&mut self, at_ns: u64, link: u32, flow: u32, injected: bool) {
+        let _ = (at_ns, link, flow, injected);
+    }
+
+    /// A packet was ECN-marked at a link queue.
+    fn queue_mark(&mut self, at_ns: u64, link: u32, flow: u32) {
+        let _ = (at_ns, link, flow);
+    }
+
+    /// A link's utilization estimate at transmit time, in `[0, 1]`.
+    fn link_utilization(&mut self, at_ns: u64, link: u32, fraction: f64) {
+        let _ = (at_ns, link, fraction);
+    }
+
+    /// A host power sample (average Watts over the sample's bin).
+    fn power_sample(&mut self, at_ns: u64, host: u32, watts: f64) {
+        let _ = (at_ns, host, watts);
+    }
+}
+
+/// A recorder that records nothing. Useful for measuring the pure cost
+/// of the instrumentation seam (see `perf_baseline`'s `obs_overhead`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// How instrumented callers share one recorder: the simulation is
+/// single-threaded, so a plain `Rc<RefCell<..>>` carries it between
+/// the engine, the transport agents, and the scenario driver.
+pub type SharedRecorder = Rc<RefCell<dyn Recorder>>;
+
+fn flow_labels(flow: u32) -> Labels {
+    labels([("flow", format!("f{flow}"))])
+}
+
+fn link_labels(link: u32) -> Labels {
+    labels([("link", format!("l{link}"))])
+}
+
+fn host_labels(host: u32) -> Labels {
+    labels([("host", format!("n{host}"))])
+}
+
+/// The full observability pipeline: metrics + flight recorder + trace.
+#[derive(Clone, Debug)]
+pub struct ObsRecorder {
+    metrics: MetricsRegistry,
+    flight: FlightRecorder,
+    trace: TraceBuilder,
+    /// Open fast-recovery episodes: flow -> entry instant.
+    open_recovery: BTreeMap<u32, u64>,
+    /// Transfer starts: flow -> start instant.
+    started_at: BTreeMap<u32, u64>,
+}
+
+impl Default for ObsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsRecorder {
+    /// Recorder with default flight capacity and counter downsampling.
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_FLIGHT_CAPACITY, DEFAULT_COUNTER_BIN_NS)
+    }
+
+    /// Recorder with explicit per-flow ring capacity and counter
+    /// downsampling bin (`0` disables downsampling).
+    pub fn with_config(flight_capacity: usize, counter_bin_ns: u64) -> Self {
+        ObsRecorder {
+            metrics: MetricsRegistry::new(),
+            flight: FlightRecorder::new(flight_capacity),
+            trace: TraceBuilder::new(counter_bin_ns),
+            open_recovery: BTreeMap::new(),
+            started_at: BTreeMap::new(),
+        }
+    }
+
+    /// Direct access to the registry, for wiring code that records
+    /// run-level facts (pktlog overflow, final stats).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Direct access to the trace builder, for wiring code that feeds
+    /// post-run series (per-flow throughput bins) or names tracks.
+    pub fn trace_mut(&mut self) -> &mut TraceBuilder {
+        &mut self.trace
+    }
+
+    /// Name the viewer track for a flow.
+    pub fn name_flow(&mut self, flow: u32, name: &str) {
+        self.trace.set_track_name(TrackKind::Flow, flow, name);
+    }
+
+    /// Name the viewer track for a host.
+    pub fn name_host(&mut self, host: u32, name: &str) {
+        self.trace.set_track_name(TrackKind::Host, host, name);
+    }
+
+    /// Name the viewer track for a link queue.
+    pub fn name_queue(&mut self, link: u32, name: &str) {
+        self.trace.set_track_name(TrackKind::Queue, link, name);
+    }
+
+    /// Close open episodes, flush counter tails, snapshot the registry
+    /// at `end_ns`, and render the trace — the run is over.
+    pub fn finalize(mut self, end_ns: u64) -> ObsReport {
+        let open = std::mem::take(&mut self.open_recovery);
+        for (flow, since) in open {
+            self.trace.span(
+                since,
+                end_ns.saturating_sub(since),
+                TrackKind::Flow,
+                flow,
+                "fast_recovery",
+            );
+        }
+        let started = std::mem::take(&mut self.started_at);
+        for (flow, since) in started {
+            // Never saw a terminal event: the flow was still running.
+            self.trace.span(
+                since,
+                end_ns.saturating_sub(since),
+                TrackKind::Flow,
+                flow,
+                "transfer (unfinished)",
+            );
+        }
+        let evicted = self.flight.total_overflowed();
+        if evicted > 0 {
+            self.metrics
+                .counter_add("obs_flight_evicted_total", Labels::new(), evicted);
+        }
+        self.trace.flush_counters();
+        ObsReport {
+            metrics: self.metrics.snapshot(end_ns),
+            flight: self.flight,
+            trace_json: self.trace.json(),
+        }
+    }
+
+    fn close_transfer(&mut self, at_ns: u64, flow: u32, name: &str) {
+        if let Some(since) = self.started_at.remove(&flow) {
+            self.trace.span(
+                since,
+                at_ns.saturating_sub(since),
+                TrackKind::Flow,
+                flow,
+                name,
+            );
+        }
+    }
+}
+
+impl Recorder for ObsRecorder {
+    fn flow_event(&mut self, at_ns: u64, flow: u32, event: FlowEvent) {
+        self.flight.record(flow, at_ns, event);
+        match event {
+            FlowEvent::CwndChange { cwnd_bytes } => {
+                self.trace.counter(
+                    at_ns,
+                    TrackKind::Flow,
+                    flow,
+                    "cwnd_bytes",
+                    cwnd_bytes as f64,
+                );
+            }
+            FlowEvent::RttSample { rtt_ns } => {
+                self.metrics
+                    .observe("tcp_rtt_ns", flow_labels(flow), rtt_ns);
+                self.trace
+                    .counter(at_ns, TrackKind::Flow, flow, "rtt_ns", rtt_ns as f64);
+            }
+            FlowEvent::Loss { bytes } => {
+                self.metrics
+                    .counter_add("tcp_lost_bytes_total", flow_labels(flow), bytes);
+                self.trace.instant(at_ns, TrackKind::Flow, flow, "loss");
+            }
+            FlowEvent::RecoveryEnter => {
+                self.metrics
+                    .counter_add("tcp_recoveries_total", flow_labels(flow), 1);
+                self.open_recovery.entry(flow).or_insert(at_ns);
+            }
+            FlowEvent::RecoveryExit => {
+                if let Some(since) = self.open_recovery.remove(&flow) {
+                    self.trace.span(
+                        since,
+                        at_ns.saturating_sub(since),
+                        TrackKind::Flow,
+                        flow,
+                        "fast_recovery",
+                    );
+                }
+            }
+            FlowEvent::Rto { .. } => {
+                self.metrics
+                    .counter_add("tcp_rto_total", flow_labels(flow), 1);
+                self.trace.instant(at_ns, TrackKind::Flow, flow, "rto");
+            }
+            FlowEvent::EcnMark { bytes } => {
+                self.metrics
+                    .counter_add("tcp_ecn_marked_bytes_total", flow_labels(flow), bytes);
+                self.trace.instant(at_ns, TrackKind::Flow, flow, "ecn_mark");
+            }
+            FlowEvent::PacingStall { .. } => {
+                // Flight ring + counter only: pacing stalls are far too
+                // frequent to be useful as trace instants.
+                self.metrics
+                    .counter_add("tcp_pacing_stalls_total", flow_labels(flow), 1);
+            }
+            FlowEvent::Retransmit { .. } => {
+                self.metrics
+                    .counter_add("tcp_retx_total", flow_labels(flow), 1);
+                self.trace.instant(at_ns, TrackKind::Flow, flow, "retx");
+            }
+            FlowEvent::EnergySample { milliwatts } => {
+                self.metrics
+                    .observe("flow_power_mw", flow_labels(flow), milliwatts);
+            }
+            FlowEvent::Started => {
+                self.metrics
+                    .counter_add("flows_started_total", Labels::new(), 1);
+                self.started_at.entry(flow).or_insert(at_ns);
+            }
+            FlowEvent::Completed => {
+                self.metrics
+                    .counter_add("flows_completed_total", Labels::new(), 1);
+                self.close_transfer(at_ns, flow, "transfer");
+            }
+            FlowEvent::Aborted => {
+                self.metrics
+                    .counter_add("flows_aborted_total", Labels::new(), 1);
+                self.trace.instant(at_ns, TrackKind::Flow, flow, "aborted");
+                self.close_transfer(at_ns, flow, "transfer (aborted)");
+            }
+        }
+    }
+
+    fn queue_depth(&mut self, at_ns: u64, link: u32, bytes: u64) {
+        self.metrics
+            .observe("queue_depth_bytes", link_labels(link), bytes);
+        self.trace
+            .counter(at_ns, TrackKind::Queue, link, "queue_bytes", bytes as f64);
+    }
+
+    fn queue_drop(&mut self, at_ns: u64, link: u32, flow: u32, injected: bool) {
+        let mut l = link_labels(link);
+        l.insert("injected", if injected { "yes" } else { "no" }.to_string());
+        self.metrics.counter_add("queue_drops_total", l, 1);
+        let _ = flow;
+        self.trace.instant(at_ns, TrackKind::Queue, link, "drop");
+    }
+
+    fn queue_mark(&mut self, at_ns: u64, link: u32, flow: u32) {
+        let _ = flow;
+        self.metrics
+            .counter_add("queue_ce_marks_total", link_labels(link), 1);
+        self.trace.instant(at_ns, TrackKind::Queue, link, "ce_mark");
+    }
+
+    fn link_utilization(&mut self, at_ns: u64, link: u32, fraction: f64) {
+        self.trace
+            .counter(at_ns, TrackKind::Queue, link, "utilization", fraction);
+    }
+
+    fn power_sample(&mut self, at_ns: u64, host: u32, watts: f64) {
+        let mw = (watts * 1_000.0).round().max(0.0) as u64;
+        self.metrics.observe("host_power_mw", host_labels(host), mw);
+        self.trace
+            .counter(at_ns, TrackKind::Host, host, "power_w", watts);
+    }
+}
+
+/// Everything observability produced for one finished run.
+#[derive(Clone, Debug)]
+pub struct ObsReport {
+    /// Metrics frozen at the end of the run.
+    pub metrics: MetricsSnapshot,
+    /// Per-flow flight rings.
+    pub flight: FlightRecorder,
+    trace_json: String,
+}
+
+impl ObsReport {
+    /// The rendered Chrome-trace/Perfetto JSON document.
+    pub fn perfetto_json(&self) -> &str {
+        &self.trace_json
+    }
+
+    /// The metrics snapshot in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        self.metrics.prometheus_text()
+    }
+
+    /// One flow's flight ring, rendered.
+    pub fn flight_dump_flow(&self, flow: u32) -> String {
+        self.flight.dump_flow(flow)
+    }
+
+    /// Every flight ring, rendered.
+    pub fn flight_dump(&self) -> String {
+        self.flight.dump_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let mut r = NoopRecorder;
+        r.flow_event(1, 0, FlowEvent::Started);
+        r.queue_depth(2, 0, 100);
+        r.queue_drop(3, 0, 0, false);
+        r.queue_mark(4, 0, 0);
+        r.link_utilization(5, 0, 0.5);
+        r.power_sample(6, 0, 21.5);
+    }
+
+    #[test]
+    fn obs_recorder_routes_events_to_all_three_sinks() {
+        let mut r = ObsRecorder::with_config(16, 0);
+        r.name_flow(0, "flow f0");
+        r.flow_event(0, 0, FlowEvent::Started);
+        r.flow_event(10, 0, FlowEvent::CwndChange { cwnd_bytes: 14_480 });
+        r.flow_event(20, 0, FlowEvent::RttSample { rtt_ns: 200_000 });
+        r.flow_event(30, 0, FlowEvent::Rto { consecutive: 1 });
+        r.flow_event(40, 0, FlowEvent::Completed);
+        r.queue_drop(15, 2, 0, false);
+        let report = r.finalize(50);
+        assert_eq!(
+            report.metrics.counter("tcp_rto_total", &flow_labels(0)),
+            Some(1)
+        );
+        assert_eq!(report.metrics.counter_total("queue_drops_total"), 1);
+        assert!(report
+            .metrics
+            .histogram("tcp_rtt_ns", &flow_labels(0))
+            .is_some());
+        let json = report.perfetto_json();
+        assert!(json.contains("\"name\":\"rto\""));
+        assert!(json.contains("\"name\":\"transfer\""));
+        assert!(json.contains("cwnd_bytes"));
+        assert!(report.flight_dump_flow(0).contains("rto #1"));
+        assert!(report.prometheus_text().contains("flows_completed_total 1"));
+    }
+
+    #[test]
+    fn recovery_episodes_become_spans() {
+        let mut r = ObsRecorder::with_config(16, 0);
+        r.flow_event(100, 3, FlowEvent::RecoveryEnter);
+        r.flow_event(400, 3, FlowEvent::RecoveryExit);
+        // A second episode left open at finalize closes at end.
+        r.flow_event(500, 3, FlowEvent::RecoveryEnter);
+        let report = r.finalize(900);
+        let json = report.perfetto_json();
+        assert!(json.contains("fast_recovery"));
+        assert!(json.contains("\"dur\":0.300"));
+        assert!(json.contains("\"dur\":0.400"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared time-binned series math.
+//!
+//! One home for the byte-bins → throughput conversion that used to be
+//! duplicated (with slightly different partial-bin behaviour) between
+//! `netsim::trace` and the figure code. The subtlety: the last bin of a
+//! series usually isn't a full bin — the flow finished partway through
+//! it. Dividing its bytes by the full bin width silently under-reports
+//! the closing throughput; these helpers take the series' end instant
+//! and scale the final bin by the width it actually covered.
+
+/// Convert per-bin byte counts into Gbit/s, bin by bin.
+///
+/// `bin_ns` is the bin width; `end_ns` is the instant the series ends
+/// (e.g. the flow's last delivery). Every bin uses the full width
+/// except the last, which uses `end_ns - last_bin_start` when that is
+/// shorter — the partial final bin is scaled by the time it actually
+/// covers instead of being truncated toward zero.
+///
+/// Bits per nanosecond is exactly Gbit/s, so the arithmetic is one
+/// division per bin.
+pub fn throughput_gbps(bins: &[u64], bin_ns: u64, end_ns: u64) -> Vec<f64> {
+    if bin_ns == 0 {
+        return vec![0.0; bins.len()];
+    }
+    let last = bins.len().saturating_sub(1);
+    bins.iter()
+        .enumerate()
+        .map(|(i, &bytes)| {
+            let width_ns = if i == last {
+                let start = i as u64 * bin_ns;
+                // Guard degenerate ends: never below 1 ns, never wider
+                // than the bin itself.
+                end_ns.saturating_sub(start).clamp(1, bin_ns)
+            } else {
+                bin_ns
+            };
+            (bytes * 8) as f64 / width_ns as f64
+        })
+        .collect()
+}
+
+/// Mid-bin time axis in seconds for `n` bins of width `bin_s`:
+/// `[(0.5)·bin, (1.5)·bin, ...]`.
+pub fn bin_centers_s(n: usize, bin_s: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 + 0.5) * bin_s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bins_divide_by_full_width() {
+        // 125 MB per 1 s bin = 1 Gbit/s.
+        let g = throughput_gbps(&[125_000_000, 125_000_000], 1_000_000_000, 2_000_000_000);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_final_bin_uses_covered_width() {
+        // Second bin only covers 0.25 s: same bytes means 4x the rate.
+        let g = throughput_gbps(&[125_000_000, 31_250_000], 1_000_000_000, 1_250_000_000);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 1.0).abs() < 1e-12, "partial bin must not truncate");
+        // The naive full-width division would have said 0.25.
+    }
+
+    #[test]
+    fn final_bin_width_never_exceeds_the_bin() {
+        // end beyond the last bin edge clamps to the full width.
+        let g = throughput_gbps(&[1_000], 1_000, 10_000);
+        assert!((g[0] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert!(throughput_gbps(&[], 1_000, 0).is_empty());
+        assert_eq!(throughput_gbps(&[5], 0, 0), vec![0.0]);
+        // end at (or before) the last bin start: width floors at 1 ns.
+        let g = throughput_gbps(&[1], 1_000, 0);
+        assert!((g[0] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centers_sit_mid_bin() {
+        let c = bin_centers_s(3, 0.5);
+        assert_eq!(c, vec![0.25, 0.75, 1.25]);
+    }
+}

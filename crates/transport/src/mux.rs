@@ -29,6 +29,13 @@ impl MuxSender {
         &self.subs[i]
     }
 
+    /// Attach an observability recorder to every sub-sender.
+    pub fn set_recorder(&mut self, recorder: obs::SharedRecorder) {
+        for sub in &mut self.subs {
+            sub.set_recorder(recorder.clone());
+        }
+    }
+
     /// Number of multiplexed senders.
     pub fn len(&self) -> usize {
         self.subs.len()

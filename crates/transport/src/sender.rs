@@ -15,6 +15,7 @@ use netsim::ids::{FlowId, NodeId};
 use netsim::packet::{EcnCodepoint, Packet, PacketKind};
 use netsim::time::{SimDuration, SimTime};
 use netsim::units::Rate;
+use obs::FlowEvent;
 
 /// Static configuration of a sender.
 #[derive(Clone, Debug)]
@@ -201,6 +202,13 @@ pub struct TcpSender {
     /// Whether the window actually blocked a transmission since the last
     /// ack (RFC 2861 window validation input for the CC).
     cwnd_limited: bool,
+    /// Observability seam (see [`TcpSender::set_recorder`]); `None` keeps
+    /// every hook at a single branch. Purely observational — the recorder
+    /// never feeds back into transport decisions.
+    recorder: Option<obs::SharedRecorder>,
+    /// Last congestion window reported to the recorder, so the flight
+    /// ring records cwnd *changes* rather than one entry per ack.
+    last_cwnd_recorded: u64,
     stats: SenderStats,
 }
 
@@ -247,7 +255,38 @@ impl TcpSender {
             ecn,
             loss_cap: None,
             cwnd_limited: true,
+            recorder: None,
+            last_cwnd_recorded: 0,
             stats: SenderStats::default(),
+        }
+    }
+
+    /// Attach an observability recorder; the sender reports cwnd moves,
+    /// RTT samples, loss/recovery episodes, RTOs, ECN feedback, pacing
+    /// stalls, and retransmissions into it.
+    pub fn set_recorder(&mut self, recorder: obs::SharedRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Report a flow event to the recorder, if one is attached.
+    #[inline]
+    fn record(&self, at: SimTime, event: FlowEvent) {
+        if let Some(rec) = &self.recorder {
+            rec.borrow_mut()
+                .flow_event(at.as_nanos(), self.cfg.flow.index() as u32, event);
+        }
+    }
+
+    /// Report the congestion window if it moved since the last report.
+    #[inline]
+    fn record_cwnd(&mut self, at: SimTime) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let cwnd = self.cc.cwnd();
+        if cwnd != self.last_cwnd_recorded {
+            self.last_cwnd_recorded = cwnd;
+            self.record(at, FlowEvent::CwndChange { cwnd_bytes: cwnd });
         }
     }
 
@@ -333,11 +372,13 @@ impl TcpSender {
         ctx.send(pkt);
         self.gate.on_send(ctx.now(), wire, self.cc.pacing_rate());
         self.stats.segs_sent += 1;
-        if is_retx {
-            self.stats.retx_segs += 1;
-        }
         if self.stats.started_at.is_none() {
             self.stats.started_at = Some(ctx.now());
+            self.record(ctx.now(), FlowEvent::Started);
+        }
+        if is_retx {
+            self.stats.retx_segs += 1;
+            self.record(ctx.now(), FlowEvent::Retransmit { seq });
         }
     }
 
@@ -411,6 +452,12 @@ impl TcpSender {
         self.pace_armed = true;
         self.pace_gen += 1;
         let at = self.gate.earliest(ctx.now());
+        self.record(
+            ctx.now(),
+            FlowEvent::PacingStall {
+                until_ns: at.as_nanos(),
+            },
+        );
         ctx.set_timer_at(at, token(TOKEN_KIND_PACE, self.pace_gen));
     }
 
@@ -515,6 +562,12 @@ impl TcpSender {
         // Genuine timeout.
         self.stats.rto_count += 1;
         self.consecutive_rtos += 1;
+        self.record(
+            now,
+            FlowEvent::Rto {
+                consecutive: self.consecutive_rtos,
+            },
+        );
         if self.consecutive_rtos > self.cfg.max_rto_retries {
             // Retry budget exhausted: the path is dead. Abort cleanly —
             // cancel both deadlines so any timers still in the event queue
@@ -524,11 +577,13 @@ impl TcpSender {
             self.stats.aborted_at = Some(now);
             self.rto_deadline = None;
             self.tlp_deadline = None;
+            self.record(now, FlowEvent::Aborted);
             return;
         }
         self.rtt.backoff();
         self.board.mark_all_lost();
         self.cc.on_rto(now, self.cfg.mss);
+        self.record_cwnd(now);
         self.loss_cap = Some(self.cfg.mss as u64);
         self.in_recovery = false;
         self.recovery_point = self.next_seq;
@@ -556,6 +611,14 @@ impl TcpSender {
         } else {
             None
         };
+        if let Some(sample) = rtt_sample {
+            self.record(
+                now,
+                FlowEvent::RttSample {
+                    rtt_ns: sample.as_nanos(),
+                },
+            );
+        }
 
         // RACK reorder tolerance: a quarter RTT, floored at 20 us.
         let reorder_window = (self.rtt.srtt() / 4).max(SimDuration::from_micros(20));
@@ -607,6 +670,13 @@ impl TcpSender {
             self.recovery_quota = outcome.newly_delivered;
             self.recovery_sent = 0;
             self.stats.fast_recoveries += 1;
+            self.record(
+                now,
+                FlowEvent::Loss {
+                    bytes: outcome.newly_lost,
+                },
+            );
+            self.record(now, FlowEvent::RecoveryEnter);
             self.cc.on_congestion_event(&CongestionEvent {
                 now,
                 bytes_in_flight: self.board.in_flight(),
@@ -615,11 +685,20 @@ impl TcpSender {
         }
         if self.in_recovery && info.cum_ack >= self.recovery_point {
             self.in_recovery = false;
+            self.record(now, FlowEvent::RecoveryExit);
         }
 
         // DCTCP feedback: newly CE-marked bytes.
         let ce_marked_bytes = info.ce_bytes.saturating_sub(self.last_ce_bytes);
         self.last_ce_bytes = info.ce_bytes;
+        if ce_marked_bytes > 0 {
+            self.record(
+                now,
+                FlowEvent::EcnMark {
+                    bytes: ce_marked_bytes,
+                },
+            );
+        }
 
         let cwnd_limited = std::mem::replace(&mut self.cwnd_limited, false);
         self.cc.on_ack(&AckEvent {
@@ -639,12 +718,14 @@ impl TcpSender {
             int: info.int_echo,
             cwnd_limited,
         });
+        self.record_cwnd(now);
 
         // Completion check.
         if self.board.snd_una() >= self.cfg.total_bytes {
             self.completed = true;
             self.stats.completed_at = Some(now);
             self.rto_deadline = None;
+            self.record(now, FlowEvent::Completed);
             return;
         }
         self.pump(ctx);

@@ -21,6 +21,11 @@ use netsim::packet::HEADER_BYTES;
 use netsim::time::{SimDuration, SimTime};
 use netsim::topology::{BottleneckQueue, Dumbbell, DumbbellConfig};
 use netsim::units::Rate;
+use obs::{
+    FlowEvent, Labels, NoopRecorder, ObsRecorder, ObsReport, Recorder, SharedRecorder, TrackKind,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
 use transport::mux::MuxSender;
 use transport::receiver::TcpReceiver;
 use transport::sender::{TcpSender, TcpSenderConfig};
@@ -32,6 +37,27 @@ use transport::sender::{TcpSender, TcpSenderConfig};
 /// penalty in the paper's 8.2-14.2% band (§4.3) — bursty, lossy, but still making progress through SACK
 /// recovery, like the paper's §4.3 runs.
 pub const BASELINE_CWND_FACTOR: f64 = 1.40;
+
+/// How much observability a run carries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Observe {
+    /// No recorder attached: the instrumentation seam costs one
+    /// `Option` check per site (the production default).
+    #[default]
+    Off,
+    /// Hooks attached to a [`NoopRecorder`]: every call site fires but
+    /// records nothing. Exists so `perf_baseline` can price the seam
+    /// itself (`obs_overhead` in `BENCH_netsim.json`).
+    Noop,
+    /// Full pipeline: metrics registry, per-flow flight recorder, and
+    /// Perfetto trace, returned as [`ScenarioOutcome::obs`].
+    Full,
+}
+
+/// At most this many per-flow energy samples enter a flow's flight
+/// ring: power bins arrive every millisecond and would otherwise evict
+/// the cwnd/loss/RTO history the ring exists to keep.
+const MAX_FLIGHT_ENERGY_SAMPLES: usize = 64;
 
 /// One experiment run.
 #[derive(Clone, Debug)]
@@ -83,6 +109,12 @@ pub struct Scenario {
     /// cut off by the host clock and surfaces as
     /// [`ScenarioError::DeadlineExceeded`].
     pub wall_deadline: Option<std::time::Duration>,
+    /// Observability mode (see [`Observe`]).
+    pub observe: Observe,
+    /// Packet-log ring capacity (`None` disables the log). When
+    /// observability is on, the log's eviction count surfaces as the
+    /// `pktlog_dropped_records_total` metric.
+    pub pkt_log_capacity: Option<usize>,
 }
 
 /// Engine stall watchdog budget: abort the run if this many events are
@@ -115,6 +147,8 @@ impl Scenario {
             bottleneck_fault: None,
             max_rto_retries: None,
             wall_deadline: None,
+            observe: Observe::Off,
+            pkt_log_capacity: None,
         }
     }
 
@@ -157,6 +191,27 @@ impl Scenario {
     /// Bound the run by host wall-clock time.
     pub fn with_wall_deadline(mut self, budget: std::time::Duration) -> Self {
         self.wall_deadline = Some(budget);
+        self
+    }
+
+    /// Enable the full observability pipeline (metrics, flight
+    /// recorder, Perfetto trace); the run returns an
+    /// [`ObsReport`] in [`ScenarioOutcome::obs`].
+    pub fn with_observability(mut self) -> Self {
+        self.observe = Observe::Full;
+        self
+    }
+
+    /// Attach a no-op recorder: exercises every instrumentation call
+    /// site without recording, for overhead measurement.
+    pub fn with_noop_observer(mut self) -> Self {
+        self.observe = Observe::Noop;
+        self
+    }
+
+    /// Enable the engine's packet log with the given ring capacity.
+    pub fn with_packet_log(mut self, capacity: usize) -> Self {
+        self.pkt_log_capacity = Some(capacity);
         self
     }
 
@@ -299,6 +354,9 @@ pub struct ScenarioOutcome {
     /// wheel/heap operation counts. Exact, so they double as a
     /// determinism fingerprint in the golden regression tests.
     pub engine: EngineCounters,
+    /// The observability report, when the scenario ran with
+    /// [`Observe::Full`] (`None` otherwise).
+    pub obs: Option<ObsReport>,
 }
 
 impl ScenarioOutcome {
@@ -324,6 +382,23 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
     net.enable_activity(scenario.activity_bin);
     if let Some(bin) = scenario.trace_bin {
         net.enable_flow_trace(bin);
+    }
+    if let Some(capacity) = scenario.pkt_log_capacity {
+        net.enable_packet_log(capacity);
+    }
+
+    // The observability seam. `obs_rec` keeps the concrete type so the
+    // driver can feed post-run series and finalize; `recorder` is the
+    // erased handle shared with the engine and every sender.
+    let obs_rec: Option<Rc<RefCell<ObsRecorder>>> =
+        (scenario.observe == Observe::Full).then(|| Rc::new(RefCell::new(ObsRecorder::new())));
+    let recorder: Option<SharedRecorder> = match scenario.observe {
+        Observe::Off => None,
+        Observe::Noop => Some(Rc::new(RefCell::new(NoopRecorder))),
+        Observe::Full => obs_rec.clone().map(|r| r as Rc<RefCell<dyn obs::Recorder>>),
+    };
+    if let Some(rec) = &recorder {
+        net.set_recorder(rec.clone());
     }
 
     let queue = if scenario.uses_dctcp() {
@@ -355,6 +430,19 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         net.set_link_fault(dumbbell.bottleneck, spec.clone());
     }
     net.set_stall_budget(Some(STALL_BUDGET_EVENTS));
+
+    // Human-readable track names for the trace viewer.
+    if let Some(rec) = &obs_rec {
+        let mut r = rec.borrow_mut();
+        for (i, spec) in scenario.flows.iter().enumerate() {
+            r.name_flow(i as u32, &format!("flow {i} ({})", spec.cca.name()));
+        }
+        for (i, &host) in dumbbell.senders.iter().enumerate() {
+            r.name_host(host.index() as u32, &format!("sender {i}"));
+        }
+        r.name_host(dumbbell.receiver.index() as u32, "receiver");
+        r.name_queue(dumbbell.bottleneck.index() as u32, "bottleneck");
+    }
 
     let baseline_cwnd =
         ((scenario.bdp_bytes() + scenario.buffer_bytes) as f64 * BASELINE_CWND_FACTOR) as u64;
@@ -401,7 +489,11 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         for &(at, rate) in &spec.rate_schedule {
             cfg = cfg.with_rate_change(at, rate);
         }
-        TcpSender::new(cfg, cc)
+        let mut sender = TcpSender::new(cfg, cc);
+        if let Some(rec) = &recorder {
+            sender.set_recorder(rec.clone());
+        }
+        sender
     };
     if scenario.colocate_senders {
         let subs: Vec<TcpSender> = scenario
@@ -551,6 +643,75 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
             .collect()
     });
 
+    // Feed post-run series into the recorder, then finalize the report.
+    // The engine and senders still hold `Rc` clones inside `net`, so the
+    // recorder is cloned out rather than unwrapped.
+    let obs = obs_rec.map(|rec| {
+        let mut r = rec.borrow_mut();
+        let bin_ns = scenario.activity_bin.as_nanos();
+        let sender_hosts: &[netsim::ids::NodeId] = if scenario.colocate_senders {
+            &dumbbell.senders[..1]
+        } else {
+            &dumbbell.senders
+        };
+        for (series, &host) in sender_power_series_w.iter().zip(sender_hosts) {
+            for (b, &w) in series.iter().enumerate() {
+                r.power_sample(b as u64 * bin_ns, host.index() as u32, w);
+            }
+        }
+        let receiver_series = meter.model().power_series(
+            activity.series(dumbbell.receiver),
+            activity.bin(),
+            HostContext::default(),
+        );
+        for (b, &w) in receiver_series.iter().enumerate() {
+            r.power_sample(b as u64 * bin_ns, dumbbell.receiver.index() as u32, w);
+        }
+        // Per-flow energy samples (one sender host per flow), strided so
+        // they don't evict the flight ring's protocol history.
+        if !scenario.colocate_senders {
+            for (i, series) in sender_power_series_w.iter().enumerate() {
+                let stride = (series.len() / MAX_FLIGHT_ENERGY_SAMPLES).max(1);
+                for (b, &w) in series.iter().enumerate().step_by(stride) {
+                    r.flow_event(
+                        b as u64 * bin_ns,
+                        i as u32,
+                        FlowEvent::EnergySample {
+                            milliwatts: (w * 1_000.0).round().max(0.0) as u64,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(log) = net.packet_log() {
+            r.metrics_mut()
+                .counter_add("pktlog_records_total", Labels::new(), log.total_seen());
+            r.metrics_mut().counter_add(
+                "pktlog_dropped_records_total",
+                Labels::new(),
+                log.overflowed(),
+            );
+        }
+        if let Some(trace) = net.flow_trace() {
+            let trace_bin_ns = trace.bin().as_nanos();
+            for i in 0..scenario.flows.len() {
+                let series = trace.throughput_gbps(FlowId::from_raw(i as u32));
+                for (b, &gbps) in series.iter().enumerate() {
+                    r.trace_mut().counter(
+                        b as u64 * trace_bin_ns,
+                        TrackKind::Flow,
+                        i as u32,
+                        "throughput_gbps",
+                        gbps,
+                    );
+                }
+            }
+        }
+        let end_ns = net.now().as_nanos();
+        drop(r);
+        rec.borrow().clone().finalize(end_ns)
+    });
+
     Ok(ScenarioOutcome {
         reports,
         window,
@@ -572,6 +733,7 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         power_bin: scenario.activity_bin,
         sim_end: net.now(),
         engine: net.counters(),
+        obs,
     })
 }
 
@@ -887,6 +1049,75 @@ mod tests {
             out.delivered_pkts,
             out.dropped_pkts
         );
+    }
+
+    #[test]
+    fn observability_does_not_perturb_the_run() {
+        let plain = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)]).with_seed(7);
+        let observed = plain.clone().with_observability().with_packet_log(4096);
+        let a = run(&plain).unwrap();
+        let b = run(&observed).unwrap();
+        assert_eq!(a.engine.events_processed, b.engine.events_processed);
+        assert_eq!(a.sim_end, b.sim_end);
+        assert_eq!(a.sender_energy_j, b.sender_energy_j);
+        assert!(a.obs.is_none());
+        let report = b.obs.expect("full observability returns a report");
+        // The pipeline saw the transfer end-to-end.
+        assert_eq!(report.metrics.counter_total("flows_started_total"), 1);
+        assert_eq!(report.metrics.counter_total("flows_completed_total"), 1);
+        assert!(report.metrics.counter_total("tcp_retx_total") > 0 || a.dropped_pkts == 0);
+        assert!(report.metrics.counter_total("pktlog_records_total") > 0);
+        let json = report.perfetto_json();
+        assert!(json.contains("\"name\":\"transfer\""));
+        assert!(json.contains("cwnd_bytes"));
+        assert!(json.contains("power_w"));
+        assert!(json.contains("queue_bytes"));
+        assert!(report.prometheus_text().contains("host_power_mw"));
+    }
+
+    #[test]
+    fn noop_observer_matches_plain_fingerprint() {
+        let plain = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 50 * MB)]).with_seed(7);
+        let noop = plain.clone().with_noop_observer();
+        let a = run(&plain).unwrap();
+        let b = run(&noop).unwrap();
+        assert_eq!(a.engine.events_processed, b.engine.events_processed);
+        assert_eq!(a.sender_energy_j, b.sender_energy_j);
+        assert!(b.obs.is_none(), "noop mode produces no report");
+    }
+
+    #[test]
+    fn observed_abort_dumps_the_flight_ring() {
+        use transport::stats::FlowOutcome;
+        let out = run(
+            &Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 10 * MB)])
+                .with_fault(FaultSpec::random_loss(1.0))
+                .with_max_rto_retries(3)
+                .with_observability(),
+        )
+        .unwrap();
+        assert!(matches!(out.reports[0].outcome, FlowOutcome::Aborted(_)));
+        let report = out.obs.unwrap();
+        assert_eq!(report.metrics.counter_total("flows_aborted_total"), 1);
+        let dump = report.flight_dump_flow(0);
+        assert!(
+            dump.contains("ABORTED"),
+            "flight ring ends in abort:\n{dump}"
+        );
+        assert!(dump.contains("rto"), "the RTO spiral is in the ring");
+        assert!(report.perfetto_json().contains("transfer (aborted)"));
+    }
+
+    #[test]
+    fn observed_trace_is_byte_reproducible() {
+        let s = Scenario::new(9000, vec![FlowSpec::bulk(CcaKind::Cubic, 25 * MB)])
+            .with_seed(3)
+            .with_trace(SimDuration::from_millis(10))
+            .with_observability();
+        let a = run(&s).unwrap().obs.unwrap();
+        let b = run(&s).unwrap().obs.unwrap();
+        assert_eq!(a.perfetto_json(), b.perfetto_json());
+        assert_eq!(a.prometheus_text(), b.prometheus_text());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 # engine or experiment changes. A pass/fail table for every stage is
 # printed at the end, even when a stage fails.
 #
-# Usage: scripts/verify.sh [--lint] [--chaos] [--resume]
+# Usage: scripts/verify.sh [--lint] [--chaos] [--resume] [--obs]
 #   --lint    additionally run the simlint static-analysis pass over the
 #             whole workspace (determinism, panic-hygiene, durability,
 #             and float-discipline rules). Zero unsuppressed findings
@@ -18,17 +18,24 @@
 #             tiny-scale journaled campaign, SIGTERM it mid-flight, resume
 #             it, and require the merged matrix to be byte-identical to an
 #             uninterrupted run.
+#   --obs     additionally exercise the observability subsystem: the obs
+#             unit tests, the golden obs fingerprint/reproducibility
+#             tests, and a tiny-scale chaos run with --trace-out executed
+#             twice — the exported Perfetto traces must be byte-identical
+#             across the two runs.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 lint=0
 chaos=0
 resume=0
+obs=0
 for arg in "$@"; do
     case "$arg" in
         --lint) lint=1 ;;
         --chaos) chaos=1 ;;
         --resume) resume=1 ;;
+        --obs) obs=1 ;;
         *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -150,6 +157,42 @@ stage_resume() {
     echo "resume drill: resumed matrix is byte-identical to the uninterrupted run"
 }
 
+stage_obs() {
+    cargo test -q --release --offline -p obs &&
+    cargo test -q --release --offline -p greenenvy --test golden_obs || return 1
+
+    # Run the tiny chaos sweep twice with --trace-out: deterministic
+    # observability means every exported artifact is byte-identical
+    # between the runs.
+    local tracedir
+    tracedir=$(mktemp -d)
+    local run
+    for run in a b; do
+        (cd "$tracedir" && mkdir -p "$run" && cd "$run" && GREENENVY_SCALE=tiny \
+            cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
+            -p bench --bin chaos -- --trace-out traces) || { rm -rf "$tracedir"; return 1; }
+    done
+    local n
+    n=$(ls "$tracedir/a/traces"/*.trace.json 2>/dev/null | wc -l)
+    if [[ $n -lt 2 ]]; then
+        echo "verify.sh: expected traces in $tracedir/a/traces, found $n" >&2
+        rm -rf "$tracedir"; return 1
+    fi
+    local f
+    for f in "$tracedir/a/traces"/*; do
+        if ! cmp -s "$f" "$tracedir/b/traces/$(basename "$f")"; then
+            echo "verify.sh: trace artifact $(basename "$f") differs between identical runs" >&2
+            rm -rf "$tracedir"; return 1
+        fi
+    done
+    if ! grep -q '"traceEvents"' "$tracedir/a/traces"/*.trace.json; then
+        echo "verify.sh: exported trace is not Chrome-trace JSON" >&2
+        rm -rf "$tracedir"; return 1
+    fi
+    echo "obs drill: $n trace artifacts byte-identical across two chaos runs"
+    rm -rf "$tracedir"
+}
+
 repo=$PWD
 smoke=$(mktemp -d)
 drill=""
@@ -168,6 +211,9 @@ if [[ $chaos -eq 1 ]]; then
 fi
 if [[ $resume -eq 1 ]]; then
     run_stage "resume (kill/resume drill, GREENENVY_SCALE=tiny)" stage_resume
+fi
+if [[ $obs -eq 1 ]]; then
+    run_stage "obs (trace reproducibility, GREENENVY_SCALE=tiny)" stage_obs
 fi
 
 print_summary
