@@ -174,23 +174,35 @@ fn bench_queues(c: &mut Criterion) {
     );
     g.bench_function("droptail_enq_deq", |b| {
         let mut q = DropTailQueue::new(1_000_000);
+        let mut pool = FramePool::new();
         b.iter(|| {
-            q.enqueue(black_box(pkt), SimTime::ZERO);
-            black_box(q.dequeue(SimTime::ZERO))
+            let frame = pool.alloc(black_box(pkt));
+            if q.enqueue(frame, &mut pool, SimTime::ZERO) == EnqueueOutcome::Dropped {
+                pool.release(frame);
+            }
+            black_box(q.dequeue(SimTime::ZERO).map(|r| pool.take(r)))
         })
     });
     g.bench_function("ecn_threshold_enq_deq", |b| {
         let mut q = EcnThresholdQueue::new(1_000_000, 30_000);
+        let mut pool = FramePool::new();
         b.iter(|| {
-            q.enqueue(black_box(pkt), SimTime::ZERO);
-            black_box(q.dequeue(SimTime::ZERO))
+            let frame = pool.alloc(black_box(pkt));
+            if q.enqueue(frame, &mut pool, SimTime::ZERO) == EnqueueOutcome::Dropped {
+                pool.release(frame);
+            }
+            black_box(q.dequeue(SimTime::ZERO).map(|r| pool.take(r)))
         })
     });
     g.bench_function("red_enq_deq", |b| {
         let mut q = RedQueue::new(1_000_000, 100_000, 500_000, 0.1, 7);
+        let mut pool = FramePool::new();
         b.iter(|| {
-            q.enqueue(black_box(pkt), SimTime::ZERO);
-            black_box(q.dequeue(SimTime::ZERO))
+            let frame = pool.alloc(black_box(pkt));
+            if q.enqueue(frame, &mut pool, SimTime::ZERO) == EnqueueOutcome::Dropped {
+                pool.release(frame);
+            }
+            black_box(q.dequeue(SimTime::ZERO).map(|r| pool.take(r)))
         })
     });
     g.finish();

@@ -29,6 +29,25 @@ pub trait Agent: Any {
     /// value passed when arming; agents use it to distinguish timer kinds
     /// and detect stale timers.
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+
+    /// A batch of packets that arrived at this host in the same dispatch
+    /// round (identical arrival timestamp, consecutive event order). The
+    /// engine hands the whole run to the agent in one call so composite
+    /// agents can amortize per-dispatch setup (one flow-table walk, one
+    /// recorder borrow) across the batch.
+    ///
+    /// The default implementation preserves per-packet semantics exactly:
+    /// it calls [`Agent::on_packet`] once per packet, in delivery order,
+    /// resetting the timer-token namespace before each — precisely what N
+    /// separate engine dispatches would have done. Overrides must keep
+    /// that equivalence: process packets in order, consume all of them,
+    /// and leave `pkts` empty.
+    fn on_packets(&mut self, pkts: &mut Vec<Packet>, ctx: &mut Ctx<'_>) {
+        for pkt in pkts.drain(..) {
+            ctx.set_token_namespace(0);
+            self.on_packet(pkt, ctx);
+        }
+    }
 }
 
 /// Commands an agent issues during a callback; applied by the engine

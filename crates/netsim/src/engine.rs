@@ -12,10 +12,12 @@
 
 use crate::agent::{Agent, AgentCommand, Ctx};
 use crate::fault::{FaultSpec, FaultState, FAULT_STREAM_SALT};
+use crate::flowtab::{FlowKey, FlowTable};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::{LinkSpec, LinkState, LinkStats};
 use crate::packet::Packet;
 use crate::pktlog::{PacketEventKind, PacketLog};
+use crate::pool::{FramePool, FrameRef};
 use crate::queue::{EnqueueOutcome, QueueStats};
 use crate::rng::SimRng;
 use crate::sched::{SchedStats, Scheduler};
@@ -49,9 +51,11 @@ struct Node {
 
 #[derive(Debug)]
 enum Event {
-    /// Packet finished propagation and arrives at `node`.
-    Arrive { node: NodeId, pkt: Packet },
-    /// Link finished serializing its in-flight packet.
+    /// Frame finished propagation and arrives at `node`. The payload is
+    /// a 4-byte ref into the engine's [`FramePool`] — the event wheel
+    /// moves 32-byte entries, not 168-byte packets.
+    Arrive { node: NodeId, pkt: FrameRef },
+    /// Link finished serializing its in-flight frame.
     TxDone { link: LinkId },
     /// Agent timer.
     Timer { node: NodeId, token: u64 },
@@ -128,6 +132,12 @@ impl NetworkStats {
 pub struct EngineCounters {
     /// Events popped and dispatched by the run loop.
     pub events_processed: u64,
+    /// Host dispatches (one agent callback covering ≥1 delivered packets).
+    pub dispatch_batches: u64,
+    /// Packets delivered through those dispatches. `batched_pkts /
+    /// dispatch_batches` is the mean batch size; 1.0 means batching never
+    /// found coalescable arrivals (or is disabled).
+    pub batched_pkts: u64,
     /// Scheduler operation counters (wheel vs heap pushes, migrations).
     pub sched: SchedStats,
 }
@@ -143,7 +153,12 @@ impl EngineCounters {
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<LinkState>,
-    agents: Vec<Option<Box<dyn Agent>>>,
+    /// Flat slab of attached agents: dense storage, generational handles.
+    /// `node_agents` maps a node id to its handle, so the per-event
+    /// dispatch is two indexed loads instead of chasing an `Option<Box>`
+    /// per node, and a detached slot is reused instead of leaking.
+    agents: FlowTable<Box<dyn Agent>>,
+    node_agents: Vec<Option<FlowKey>>,
     sched: Scheduler<Event>,
     now: SimTime,
     rng: SimRng,
@@ -162,8 +177,17 @@ pub struct Network {
     /// one cannot perturb the simulation.
     recorder: Option<SharedRecorder>,
     commands: Vec<AgentCommand>,
+    /// Reusable buffer for same-timestamp delivery batches; drained by
+    /// the agent callback, so it is empty between dispatches.
+    delivery_buf: Vec<Packet>,
+    /// Coalesce consecutive same-timestamp arrivals at one host into a
+    /// single [`Agent::on_packets`] dispatch (see
+    /// [`Network::set_delivery_batching`]). On by default.
+    batch_deliveries: bool,
     stop_requested: bool,
     events_processed: u64,
+    dispatch_batches: u64,
+    batched_pkts: u64,
     /// Stall watchdog: events processed since the last host delivery,
     /// and the budget that trips [`RunOutcome::Stalled`] (`None` = off).
     events_since_progress: u64,
@@ -172,6 +196,9 @@ pub struct Network {
     /// [`DEADLINE_CHECK_MASK`]+1 events so the hot path pays a masked
     /// branch, not a clock read, per event.
     wall_deadline: Option<std::time::Instant>,
+    /// Slab of frames in flight: every packet between `Ctx::send` and
+    /// host delivery lives here, addressed by [`FrameRef`].
+    frames: FramePool,
     /// Network-level frame conservation counters (see [`NetworkStats`]).
     originated_pkts: u64,
     delivered_pkts: u64,
@@ -191,7 +218,8 @@ impl Network {
         Network {
             nodes: Vec::new(),
             links: Vec::new(),
-            agents: Vec::new(),
+            agents: FlowTable::new(),
+            node_agents: Vec::new(),
             sched: Scheduler::new(),
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
@@ -202,11 +230,16 @@ impl Network {
             pkt_log: None,
             recorder: None,
             commands: Vec::new(),
+            delivery_buf: Vec::new(),
+            batch_deliveries: true,
             stop_requested: false,
             events_processed: 0,
+            dispatch_batches: 0,
+            batched_pkts: 0,
             events_since_progress: 0,
             stall_budget: None,
             wall_deadline: None,
+            frames: FramePool::new(),
             originated_pkts: 0,
             delivered_pkts: 0,
             corrupt_discards: 0,
@@ -227,8 +260,21 @@ impl Network {
     pub fn counters(&self) -> EngineCounters {
         EngineCounters {
             events_processed: self.events_processed,
+            dispatch_batches: self.dispatch_batches,
+            batched_pkts: self.batched_pkts,
             sched: self.sched.stats(),
         }
+    }
+
+    /// Enable or disable same-timestamp delivery batching. Batching is
+    /// on by default and bit-identical to per-packet dispatch (the
+    /// equivalence the workload proptests pin): only *consecutive*
+    /// arrivals at the same host with the same timestamp coalesce, the
+    /// per-packet bookkeeping runs per packet either way, and agent
+    /// commands apply in the same global order. The switch exists so
+    /// equivalence tests can run both modes.
+    pub fn set_delivery_batching(&mut self, on: bool) {
+        self.batch_deliveries = on;
     }
 
     /// Enable per-flow delivered-throughput tracing with the given bin.
@@ -288,7 +334,7 @@ impl Network {
             kind,
             routes: Vec::new(),
         });
-        self.agents.push(None);
+        self.node_agents.push(None);
         let stream = self.rng.fork(id.index() as u64);
         self.node_rngs.push(stream);
         id
@@ -327,21 +373,48 @@ impl Network {
             NodeKind::Host,
             "agents attach to hosts"
         );
-        let slot = &mut self.agents[node.index()];
+        let slot = &mut self.node_agents[node.index()];
         assert!(slot.is_none(), "node already has an agent");
-        *slot = Some(agent);
+        *slot = Some(self.agents.insert(agent));
+        self.report_agent_occupancy();
+    }
+
+    /// Detach and return the agent attached to `node`, freeing its flow-
+    /// table slot for reuse. Timers already armed for the node fire into
+    /// the void (or into a replacement agent, which must tolerate stale
+    /// tokens — the standard DES idiom).
+    pub fn detach_agent(&mut self, node: NodeId) -> Option<Box<dyn Agent>> {
+        let key = self.node_agents.get_mut(node.index())?.take()?;
+        let agent = self.agents.remove(key);
+        debug_assert!(agent.is_some(), "node handle pointed at a vacant slot");
+        self.report_agent_occupancy();
+        agent
+    }
+
+    /// Live/capacity occupancy of the agent flow table, reported through
+    /// the recorder whenever an attach/detach changes it.
+    fn report_agent_occupancy(&mut self) {
+        if let Some(rec) = &self.recorder {
+            rec.borrow_mut().flow_table_occupancy(
+                self.now.as_nanos(),
+                self.agents.len() as u64,
+                self.agents.capacity() as u64,
+            );
+        }
     }
 
     /// Borrow an attached agent, downcast to its concrete type.
     pub fn agent<T: Agent>(&self, node: NodeId) -> Option<&T> {
-        let agent = self.agents.get(node.index())?.as_deref()?;
-        (agent as &dyn Any).downcast_ref::<T>()
+        let key = (*self.node_agents.get(node.index())?)?;
+        let agent = self.agents.get(key)?;
+        (agent.as_ref() as &dyn Any).downcast_ref::<T>()
     }
 
     /// Mutably borrow an attached agent, downcast to its concrete type.
     pub fn agent_mut<T: Agent>(&mut self, node: NodeId) -> Option<&mut T> {
-        let agent = self.agents.get_mut(node.index())?.as_deref_mut()?;
-        (agent as &mut dyn Any).downcast_mut::<T>()
+        let key = (*self.node_agents.get(node.index())?)?;
+        let agent = self.agents.get_mut(key)?;
+        (agent.as_mut() as &mut dyn Any).downcast_mut::<T>()
     }
 
     /// Queue statistics of a link's qdisc.
@@ -446,9 +519,9 @@ impl Network {
         }
     }
 
-    /// Route `pkt` out of `node` and enqueue it on the chosen link.
-    fn route_and_transmit(&mut self, node: NodeId, pkt: Packet) {
-        let dst = pkt.dst;
+    /// Route the frame out of `node` and enqueue it on the chosen link.
+    fn route_and_transmit(&mut self, node: NodeId, frame: FrameRef) {
+        let dst = self.frames.get(frame).dst;
         let route = self.nodes[node.index()]
             .routes
             .get_mut(dst.index())
@@ -457,16 +530,19 @@ impl Network {
             .unwrap_or_else(|| panic!("no route from {node} to {dst}"));
         let link = route.links[route.next % route.links.len()];
         route.next = route.next.wrapping_add(1);
-        self.transmit_on(link, pkt);
+        self.transmit_on(link, frame);
     }
 
-    fn transmit_on(&mut self, link_id: LinkId, pkt: Packet) {
+    fn transmit_on(&mut self, link_id: LinkId, frame: FrameRef) {
         let now = self.now;
         let link = &mut self.links[link_id.index()];
-        match link.qdisc.enqueue(pkt, now) {
+        match link.qdisc.enqueue(frame, &mut self.frames, now) {
             EnqueueOutcome::Dropped => {
+                // The qdisc did not store the ref: log the drop, then
+                // free the slot — the frame's life ends here.
+                let pkt = self.frames.get(frame);
                 if let Some(log) = self.pkt_log.as_mut() {
-                    log.record(now, PacketEventKind::Dropped, &pkt, Some(link_id), None);
+                    log.record(now, PacketEventKind::Dropped, pkt, Some(link_id), None);
                 }
                 if let Some(rec) = &self.recorder {
                     rec.borrow_mut().queue_drop(
@@ -476,11 +552,13 @@ impl Network {
                         false,
                     );
                 }
+                self.frames.release(frame);
             }
             outcome @ (EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked) => {
                 if outcome == EnqueueOutcome::EnqueuedMarked {
+                    let pkt = self.frames.get(frame);
                     if let Some(log) = self.pkt_log.as_mut() {
-                        log.record(now, PacketEventKind::Marked, &pkt, Some(link_id), None);
+                        log.record(now, PacketEventKind::Marked, pkt, Some(link_id), None);
                     }
                     if let Some(rec) = &self.recorder {
                         rec.borrow_mut().queue_mark(
@@ -507,27 +585,34 @@ impl Network {
         let now = self.now;
         let link = &mut self.links[link_id.index()];
         debug_assert!(!link.is_busy());
-        let Some(mut pkt) = link.qdisc.dequeue(now) else {
+        let Some(frame) = link.qdisc.dequeue(now) else {
             return;
         };
-        let occupancy = link.occupancy_time(&pkt);
+        let occupancy = link.occupancy_time(self.frames.get(frame));
         link.update_util(now, occupancy);
+        // Read every link-derived value before stamping the frame: the
+        // pool borrow and the link borrow are disjoint fields, but the
+        // stamp wants both, so the link side is snapshotted first.
+        let queue_bytes = link.qdisc.len_bytes().min(u32::MAX as u64) as u32;
+        let util_x1000 = (link.util_ewma * 1000.0).round() as u16;
+        let link_mbps = link.mbps;
+        let src = link.src;
+        link.in_flight = Some(frame);
+        link.tx_started = now;
         // In-band telemetry: every hop is INT-capable (as the paper's
         // Tofino is); the record keeps the most-utilized hop's state.
-        if pkt.is_data() {
-            let util_x1000 = (link.util_ewma * 1000.0).round() as u16;
-            if !pkt.int.is_stamped() || util_x1000 >= pkt.int.util_x1000 {
-                pkt.int = crate::packet::IntRecord {
-                    queue_bytes: link.qdisc.len_bytes().min(u32::MAX as u64) as u32,
-                    util_x1000,
-                    link_mbps: (link.rate.bps() / 1e6).round().max(1.0) as u32,
-                };
-            }
+        // Stamped in place — the frame never leaves the pool for this.
+        let pkt = self.frames.get_mut(frame);
+        if pkt.is_data() && (!pkt.int.is_stamped() || util_x1000 >= pkt.int.util_x1000) {
+            pkt.int = crate::packet::IntRecord {
+                queue_bytes,
+                util_x1000,
+                link_mbps,
+            };
         }
         // Record the host's transmit work when the packet hits the wire.
-        let src = link.src;
-        let is_host = self.nodes[src.index()].kind == NodeKind::Host;
         let (wire, retx) = (pkt.wire_bytes as u64, pkt.is_retx && pkt.is_data());
+        let is_host = self.nodes[src.index()].kind == NodeKind::Host;
         if let Some(rec) = &self.recorder {
             let link = &self.links[link_id.index()];
             let mut rec = rec.borrow_mut();
@@ -538,9 +623,6 @@ impl Network {
                 link.qdisc.len_bytes(),
             );
         }
-        let link = &mut self.links[link_id.index()];
-        link.in_flight = Some(pkt);
-        link.tx_started = now;
         if is_host {
             if let Some(act) = self.activity.as_mut() {
                 act.record_tx(src, now, wire, retx);
@@ -552,14 +634,14 @@ impl Network {
     fn on_tx_done(&mut self, link_id: LinkId) {
         let now = self.now;
         let link = &mut self.links[link_id.index()];
-        let Some(mut pkt) = link.in_flight.take() else {
+        let Some(frame) = link.in_flight.take() else {
             // A TxDone without an in-flight frame would mean the scheduler
             // delivered a stale event; drop it rather than poison the run.
             debug_assert!(false, "TxDone with no in-flight packet on {link_id:?}");
             return;
         };
         link.stats.tx_pkts += 1;
-        link.stats.tx_bytes += pkt.wire_bytes as u64;
+        link.stats.tx_bytes += self.frames.get(frame).wire_bytes as u64;
         link.stats.busy_time += now - link.tx_started;
         let prop = link.prop_delay;
         let dst = link.dst;
@@ -577,7 +659,7 @@ impl Network {
             } else {
                 if fate.corrupt {
                     link.stats.injected_corrupts += 1;
-                    pkt.corrupted = true;
+                    self.frames.get_mut(frame).corrupted = true;
                 }
                 if fate.duplicate {
                     link.stats.injected_dups += 1;
@@ -590,14 +672,9 @@ impl Network {
             }
         }
         if lost {
+            let pkt = self.frames.get(frame);
             if let Some(log) = self.pkt_log.as_mut() {
-                log.record(
-                    now,
-                    PacketEventKind::InjectedDrop,
-                    &pkt,
-                    Some(link_id),
-                    None,
-                );
+                log.record(now, PacketEventKind::InjectedDrop, pkt, Some(link_id), None);
             }
             if let Some(rec) = &self.recorder {
                 rec.borrow_mut().queue_drop(
@@ -607,12 +684,28 @@ impl Network {
                     true,
                 );
             }
+            self.frames.release(frame);
         } else {
-            self.schedule(now + prop + extra, Event::Arrive { node: dst, pkt });
+            self.schedule(
+                now + prop + extra,
+                Event::Arrive {
+                    node: dst,
+                    pkt: frame,
+                },
+            );
             if duplicate {
                 // The copy arrives right behind the original (same
-                // timestamp, later insertion order).
-                self.schedule(now + prop + extra, Event::Arrive { node: dst, pkt });
+                // timestamp, later insertion order). A duplicate is the
+                // one case that clones a pooled frame.
+                let copy = *self.frames.get(frame);
+                let dup = self.frames.alloc(copy);
+                self.schedule(
+                    now + prop + extra,
+                    Event::Arrive {
+                        node: dst,
+                        pkt: dup,
+                    },
+                );
             }
         }
         // Keep the transmitter going.
@@ -621,67 +714,152 @@ impl Network {
         }
     }
 
-    fn on_arrive(&mut self, node: NodeId, pkt: Packet) {
+    fn on_arrive(&mut self, node: NodeId, frame: FrameRef) {
         match self.nodes[node.index()].kind {
             NodeKind::Switch => {
-                self.route_and_transmit(node, pkt);
+                // Switch forwarding never touches the payload: the frame
+                // stays in the pool and only the 4-byte ref moves.
+                self.route_and_transmit(node, frame);
             }
-            NodeKind::Host => {
-                debug_assert_eq!(pkt.dst, node, "host received mis-routed packet");
-                if let Some(act) = self.activity.as_mut() {
-                    act.record_rx(node, self.now, pkt.wire_bytes as u64, !pkt.is_data());
-                }
-                if pkt.corrupted {
-                    // FCS failure: the NIC paid for the receive (activity
-                    // recorded above) but discards the frame before the
-                    // transport ever sees it.
-                    self.corrupt_discards += 1;
-                    if let Some(log) = self.pkt_log.as_mut() {
-                        log.record(
-                            self.now,
-                            PacketEventKind::CorruptDiscard,
-                            &pkt,
-                            None,
-                            Some(node),
-                        );
-                    }
-                    return;
-                }
-                if pkt.is_data() {
-                    if let Some(trace) = self.flow_trace.as_mut() {
-                        trace.record(pkt.flow, self.now, pkt.payload_bytes as u64);
-                    }
-                }
-                if let Some(log) = self.pkt_log.as_mut() {
-                    log.record(self.now, PacketEventKind::Delivered, &pkt, None, Some(node));
-                }
-                // A host delivery is the watchdog's definition of
-                // application progress.
-                self.events_since_progress = 0;
-                self.delivered_pkts += 1;
-                self.dispatch_packet(node, pkt);
-            }
+            NodeKind::Host => self.deliver_to_host(node, frame),
         }
     }
 
+    /// Per-packet host receive bookkeeping: activity, FCS check, traces,
+    /// packet log, conservation counters. Returns `false` when the frame
+    /// is a corrupt discard that must not reach the agent. Runs once per
+    /// packet whether or not the dispatch itself is batched, so batching
+    /// cannot change any counter or trace.
+    fn host_rx_bookkeeping(&mut self, node: NodeId, pkt: &Packet) -> bool {
+        debug_assert_eq!(pkt.dst, node, "host received mis-routed packet");
+        if let Some(act) = self.activity.as_mut() {
+            act.record_rx(node, self.now, pkt.wire_bytes as u64, !pkt.is_data());
+        }
+        if pkt.corrupted {
+            // FCS failure: the NIC paid for the receive (activity
+            // recorded above) but discards the frame before the
+            // transport ever sees it.
+            self.corrupt_discards += 1;
+            if let Some(log) = self.pkt_log.as_mut() {
+                log.record(
+                    self.now,
+                    PacketEventKind::CorruptDiscard,
+                    pkt,
+                    None,
+                    Some(node),
+                );
+            }
+            return false;
+        }
+        if pkt.is_data() {
+            if let Some(trace) = self.flow_trace.as_mut() {
+                trace.record(pkt.flow, self.now, pkt.payload_bytes as u64);
+            }
+        }
+        if let Some(log) = self.pkt_log.as_mut() {
+            log.record(self.now, PacketEventKind::Delivered, pkt, None, Some(node));
+        }
+        // A host delivery is the watchdog's definition of
+        // application progress.
+        self.events_since_progress = 0;
+        self.delivered_pkts += 1;
+        true
+    }
+
+    /// Deliver a host arrival, coalescing any *consecutive* arrivals at
+    /// the same host with the same timestamp into one agent dispatch.
+    ///
+    /// Determinism argument (pinned by the workload equivalence
+    /// proptests): agent callbacks only buffer commands — they never
+    /// mutate engine state directly — so handing the agent packets
+    /// `[p1, p2]` in one call draws the same RNG stream and emits the
+    /// same command sequence as two back-to-back calls; commands then
+    /// apply in the same global order either way. Only *consecutive*
+    /// `(at, seq)` events coalesce, so no event is ever reordered past
+    /// another. Per-packet bookkeeping still runs per packet.
+    fn deliver_to_host(&mut self, node: NodeId, frame: FrameRef) {
+        let mut buf = std::mem::take(&mut self.delivery_buf);
+        debug_assert!(buf.is_empty());
+        // Delivery is the frame's exit from the pool: the one copy-out.
+        let pkt = self.frames.take(frame);
+        if self.host_rx_bookkeeping(node, &pkt) {
+            buf.push(pkt);
+        }
+        if self.batch_deliveries {
+            let now = self.now;
+            while let Some((_, ev)) = self.sched.pop_if(|at, ev| {
+                at == now && matches!(ev, Event::Arrive { node: n, .. } if *n == node)
+            }) {
+                // Each coalesced event is still an event: it counts
+                // toward the totals the golden fingerprints pin. (The
+                // wall-deadline check may slide by one batch length —
+                // bounded by the batch, far below its 2^14 granularity.)
+                self.events_processed += 1;
+                if let Event::Arrive { pkt: coalesced, .. } = ev {
+                    let pkt = self.frames.take(coalesced);
+                    if self.host_rx_bookkeeping(node, &pkt) {
+                        buf.push(pkt);
+                    }
+                }
+            }
+        }
+        if !buf.is_empty() {
+            self.dispatch_batches += 1;
+            self.batched_pkts += buf.len() as u64;
+            if let Some(rec) = &self.recorder {
+                rec.borrow_mut().dispatch_batch(
+                    self.now.as_nanos(),
+                    node.index() as u32,
+                    buf.len() as u32,
+                );
+            }
+            self.with_agent(node, |agent, ctx| agent.on_packets(&mut buf, ctx));
+            buf.clear();
+        }
+        self.delivery_buf = buf;
+    }
+
     /// Run an agent callback and apply the commands it issued.
+    ///
+    /// The agent is borrowed *in place* through split field borrows (the
+    /// flow table, the node's RNG, and the command buffer are disjoint
+    /// fields), so a panicking agent unwinds with the table fully
+    /// intact — there is no take/put-back window that could leave the
+    /// slot empty and turn one cell's panic into a poisoned network.
     fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
-        let Some(mut agent) = self.agents[node.index()].take() else {
+        let Some(Some(key)) = self.node_agents.get(node.index()).copied() else {
             // No agent: packets/timers for this host are silently dropped.
             return;
         };
-        debug_assert!(self.commands.is_empty());
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                node,
-                rng: &mut self.node_rngs[node.index()],
-                commands: &mut self.commands,
-                token_ns: 0,
-            };
-            f(agent.as_mut(), &mut ctx);
+        let Some(agent) = self.agents.get_mut(key) else {
+            debug_assert!(false, "node handle pointed at a vacant slot");
+            return;
+        };
+        let Some(rng) = self.node_rngs.get_mut(node.index()) else {
+            debug_assert!(false, "node without an RNG stream");
+            return;
+        };
+        // No-op normally (the buffer is drained after every callback);
+        // after a *panicking* callback it discards the half-issued
+        // commands so a caught unwind can't leak them into the next
+        // dispatch.
+        self.commands.clear();
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            rng,
+            commands: &mut self.commands,
+            token_ns: 0,
+        };
+        f(agent.as_mut(), &mut ctx);
+        self.apply_commands(node);
+    }
+
+    /// Apply the commands buffered by an agent callback, in issue order.
+    fn apply_commands(&mut self, node: NodeId) {
+        if self.commands.is_empty() {
+            return;
         }
-        self.agents[node.index()] = Some(agent);
         // Drain in place and put the buffer back so its capacity is
         // reused across callbacks: this loop runs once per event, and a
         // fresh allocation per agent callback dominates the dispatch cost.
@@ -690,7 +868,10 @@ impl Network {
             match cmd {
                 AgentCommand::Send(pkt) => {
                     self.originated_pkts += 1;
-                    self.route_and_transmit(node, pkt)
+                    // Origination is the frame's entry into the pool:
+                    // the one copy-in.
+                    let frame = self.frames.alloc(pkt);
+                    self.route_and_transmit(node, frame)
                 }
                 AgentCommand::SetTimer { at, token } => {
                     self.schedule(at.max(self.now), Event::Timer { node, token })
@@ -701,10 +882,6 @@ impl Network {
         self.commands = commands;
     }
 
-    fn dispatch_packet(&mut self, node: NodeId, pkt: Packet) {
-        self.with_agent(node, |agent, ctx| agent.on_packet(pkt, ctx));
-    }
-
     /// Invoke every agent's `on_start`. Called automatically by the run
     /// methods on their first use.
     fn start_agents(&mut self) {
@@ -712,9 +889,10 @@ impl Network {
             return;
         }
         self.autosize_scheduler();
-        for i in 0..self.nodes.len() {
+        self.report_agent_occupancy();
+        for i in 0..self.node_agents.len() {
             let node = NodeId::from_raw(i as u32);
-            if self.agents[i].is_some() {
+            if self.node_agents[i].is_some() {
                 self.with_agent(node, |agent, ctx| agent.on_start(ctx));
             }
         }
@@ -728,18 +906,11 @@ impl Network {
             if self.stop_requested {
                 return RunOutcome::Stopped;
             }
-            let Some(next_at) = self.sched.next_at() else {
-                return RunOutcome::Drained;
-            };
-            if next_at > limit {
+            let (at, event) = match self.sched.pop_due(limit) {
+                crate::sched::Due::Item(at, event) => (at, event),
                 // Leave the event queued so a later run resumes it.
-                return RunOutcome::TimeLimit;
-            }
-            let Some((at, event)) = self.sched.pop() else {
-                // next_at() just saw an event; an empty pop here would be a
-                // scheduler bug. Treat it as a drained queue in release.
-                debug_assert!(false, "peeked event vanished");
-                return RunOutcome::Drained;
+                crate::sched::Due::Later(_) => return RunOutcome::TimeLimit,
+                crate::sched::Due::Empty => return RunOutcome::Drained,
             };
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
@@ -1497,6 +1668,121 @@ mod tests {
             std::time::Instant::now() + std::time::Duration::from_secs(600),
         ));
         assert_eq!(net.run(), RunOutcome::Drained);
+    }
+
+    /// Bonded links deliver back-to-back same-timestamp arrivals — the
+    /// shape delivery batching coalesces.
+    fn bonded_pair(seed: u64, count: u32, batching: bool) -> Network {
+        let mut net = Network::new(seed);
+        net.set_delivery_batching(batching);
+        let a = net.add_host();
+        let b = net.add_host();
+        let spec = || {
+            LinkSpec::droptail(
+                Rate::from_gbps(10.0),
+                SimDuration::from_micros(1),
+                1_000_000,
+            )
+        };
+        let l1 = net.add_link(a, b, spec());
+        let l2 = net.add_link(a, b, spec());
+        let back = net.add_link(b, a, spec());
+        net.add_route(a, b, l1);
+        net.add_route(a, b, l2);
+        net.add_route(b, a, back);
+        net.attach_agent(a, Box::new(Echo::sending(b, count)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        net.run();
+        net
+    }
+
+    #[test]
+    fn batched_delivery_is_bit_identical_to_per_packet() {
+        let batched = bonded_pair(21, 40, true);
+        let plain = bonded_pair(21, 40, false);
+        assert_eq!(batched.now(), plain.now());
+        assert_eq!(batched.events_processed(), plain.events_processed());
+        let (sb, sp) = (batched.network_stats(), plain.network_stats());
+        assert_eq!(sb.delivered_pkts, sp.delivered_pkts);
+        assert_eq!(sb.originated_pkts, sp.originated_pkts);
+        let (rb, rp) = (
+            batched.agent::<Echo>(NodeId::from_raw(1)).unwrap(),
+            plain.agent::<Echo>(NodeId::from_raw(1)).unwrap(),
+        );
+        assert_eq!(rb.received.len(), rp.received.len());
+        for (x, y) in rb.received.iter().zip(rp.received.iter()) {
+            assert_eq!(x.seq, y.seq, "delivery order must not change");
+        }
+        // And batching actually happened: bonded links land pairs at the
+        // same instant, so dispatches < packets.
+        let c = batched.counters();
+        assert!(
+            c.dispatch_batches < c.batched_pkts,
+            "expected coalescing: {} dispatches for {} pkts",
+            c.dispatch_batches,
+            c.batched_pkts
+        );
+        let p = plain.counters();
+        assert_eq!(p.dispatch_batches, p.batched_pkts, "unbatched mode is 1:1");
+    }
+
+    #[test]
+    fn agent_panic_leaves_the_slot_intact() {
+        struct Bomb {
+            fuse: u32,
+            handled: u32,
+        }
+        impl Agent for Bomb {
+            fn on_packet(&mut self, _pkt: Packet, ctx: &mut Ctx<'_>) {
+                self.handled += 1;
+                if self.handled >= self.fuse {
+                    // Issue a command first so the panic leaves the
+                    // buffer dirty — the next dispatch must discard it.
+                    ctx.set_timer_after(SimDuration::from_micros(1), 99);
+                    panic!("boom");
+                }
+            }
+            fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+        }
+        let (mut net, a, b) = two_hosts_direct();
+        net.attach_agent(a, Box::new(Echo::sending(b, 3)));
+        net.attach_agent(
+            b,
+            Box::new(Bomb {
+                fuse: 2,
+                handled: 0,
+            }),
+        );
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.run()));
+        assert!(err.is_err(), "the bomb must go off");
+        // The panic unwound out of with_agent mid-dispatch; both agents
+        // are still attached and inspectable (the matrix runner relies
+        // on this to report per-cell panic context).
+        let bomb = net.agent::<Bomb>(b).expect("slot must not be poisoned");
+        assert_eq!(bomb.handled, 2);
+        assert!(net.agent::<Echo>(a).is_some());
+        // And the network still runs: remaining queued events dispatch
+        // into the (re-armed) agent without tripping over stale state.
+        net.agent_mut::<Bomb>(b).unwrap().fuse = u32::MAX;
+        net.run();
+        assert_eq!(net.agent::<Bomb>(b).unwrap().handled, 3);
+    }
+
+    #[test]
+    fn detach_agent_frees_and_reuses_the_slot() {
+        let (mut net, a, b) = two_hosts_direct();
+        net.attach_agent(a, Box::new(Echo::sending(b, 1)));
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        let taken = net.detach_agent(b).expect("agent was attached");
+        assert!((taken.as_ref() as &dyn Any)
+            .downcast_ref::<Echo>()
+            .is_some());
+        assert!(net.agent::<Echo>(b).is_none());
+        assert!(net.detach_agent(b).is_none(), "second detach is None");
+        // Reattach into the freed slot and run normally.
+        net.attach_agent(b, Box::new(Echo::new(a)));
+        assert_eq!(net.run(), RunOutcome::Drained);
+        assert_eq!(net.agent::<Echo>(b).unwrap().received.len(), 1);
     }
 
     #[test]

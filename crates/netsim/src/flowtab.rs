@@ -1,0 +1,368 @@
+//! Flat, cache-friendly flow tables with generational handles.
+//!
+//! Population-scale runs (10k+ concurrent flows) spend their hot path
+//! looking up per-flow state: the engine maps a node to its agent on
+//! every dispatch, and a multiplexed sender maps a flow id to its
+//! transport state machine on every ack. Scattering that state behind
+//! `Vec<Option<Box<T>>>` plus linear scans is what made a handful of
+//! flows fine and ten thousand unaffordable.
+//!
+//! [`FlowTable`] is a slab: values live in a dense `Vec`, freed slots go
+//! on a free list and are reused, and every handle ([`FlowKey`]) carries
+//! the slot's *generation* so a stale handle to a recycled slot is
+//! detected instead of silently reading the new occupant. Iteration
+//! order is slot order — deterministic and independent of removal
+//! history interleaving, so tables are safe inside the replayed
+//! simulation surface.
+//!
+//! [`DenseIndex`] is the companion lookup structure: a direct-mapped
+//! `raw id -> FlowKey` vector for the id spaces the simulator already
+//! keeps dense (flow ids within a scenario, node ids within a network).
+//! Together they replace both the `Vec<Option<Box<dyn Agent>>>` agent
+//! array and the `O(flows)` per-packet scan in the multiplexed sender.
+
+use core::fmt;
+
+/// Generational handle into a [`FlowTable`].
+///
+/// `FlowKey`s are cheap to copy and remain valid until their entry is
+/// removed; after removal (and any reuse of the slot) every old key is
+/// rejected by the generation check.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowKey {
+    slot: u32,
+    generation: u32,
+}
+
+impl FlowKey {
+    /// The slot index backing this key (stable while the entry lives).
+    #[inline]
+    pub const fn slot(self) -> usize {
+        self.slot as usize
+    }
+
+    /// The generation this key was minted with.
+    #[inline]
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl fmt::Debug for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}g{}", self.slot, self.generation)
+    }
+}
+
+struct Slot<T> {
+    /// Even = vacant, odd = occupied: a removal bumps the generation, so
+    /// keys minted for the previous occupant can never validate again.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A slab of per-flow (or per-agent) state with generational handles.
+pub struct FlowTable<T> {
+    slots: Vec<Slot<T>>,
+    /// LIFO free list of vacant slot indices.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for FlowTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FlowTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlowTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty table with room for `capacity` entries before resizing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlowTable {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots allocated (live + vacant). `len() / capacity()` is
+    /// the table's occupancy, surfaced through the obs hooks.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert a value; returns its handle. Reuses the most recently
+    /// freed slot first (LIFO), which keeps hot tables compact.
+    pub fn insert(&mut self, value: T) -> FlowKey {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.value.is_none(), "free-listed slot was occupied");
+            s.generation = s.generation.wrapping_add(1); // even -> odd
+            s.value = Some(value);
+            return FlowKey {
+                slot,
+                generation: s.generation,
+            };
+        }
+        let slot = self.slots.len() as u32;
+        self.slots.push(Slot {
+            generation: 1,
+            value: Some(value),
+        });
+        FlowKey {
+            slot,
+            generation: 1,
+        }
+    }
+
+    /// Remove and return the entry behind `key`, or `None` if the key is
+    /// stale or was never valid.
+    pub fn remove(&mut self, key: FlowKey) -> Option<T> {
+        let s = self.slots.get_mut(key.slot())?;
+        if s.generation != key.generation {
+            return None;
+        }
+        let value = s.value.take()?;
+        s.generation = s.generation.wrapping_add(1); // odd -> even
+        self.free.push(key.slot);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Borrow the entry behind `key`, if the key is still live.
+    #[inline]
+    pub fn get(&self, key: FlowKey) -> Option<&T> {
+        let s = self.slots.get(key.slot())?;
+        if s.generation != key.generation {
+            return None;
+        }
+        s.value.as_ref()
+    }
+
+    /// Mutably borrow the entry behind `key`, if the key is still live.
+    #[inline]
+    pub fn get_mut(&mut self, key: FlowKey) -> Option<&mut T> {
+        let s = self.slots.get_mut(key.slot())?;
+        if s.generation != key.generation {
+            return None;
+        }
+        s.value.as_mut()
+    }
+
+    /// True if `key` still addresses a live entry.
+    #[inline]
+    pub fn contains(&self, key: FlowKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate live entries in slot order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (FlowKey, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    FlowKey {
+                        slot: i as u32,
+                        generation: s.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Iterate live entries mutably in slot order (deterministic).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (FlowKey, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| {
+            let generation = s.generation;
+            s.value.as_mut().map(move |v| {
+                (
+                    FlowKey {
+                        slot: i as u32,
+                        generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for FlowTable<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// Direct-mapped `raw id -> FlowKey` index for dense id spaces.
+///
+/// The simulator's ids (flows within a scenario, nodes within a
+/// network) are small consecutive integers, so a plain vector beats any
+/// hash or tree map and iterates deterministically for free.
+#[derive(Default)]
+pub struct DenseIndex {
+    keys: Vec<Option<FlowKey>>,
+}
+
+impl DenseIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        DenseIndex::default()
+    }
+
+    /// Associate `raw` with `key`, growing the map as needed. Returns
+    /// the previous association, if any.
+    pub fn set(&mut self, raw: u32, key: FlowKey) -> Option<FlowKey> {
+        let i = raw as usize;
+        if self.keys.len() <= i {
+            self.keys.resize(i + 1, None);
+        }
+        self.keys[i].replace(key)
+    }
+
+    /// The key associated with `raw`, if any.
+    #[inline]
+    pub fn get(&self, raw: u32) -> Option<FlowKey> {
+        self.keys.get(raw as usize).copied().flatten()
+    }
+
+    /// Remove the association for `raw`, returning it.
+    pub fn clear(&mut self, raw: u32) -> Option<FlowKey> {
+        self.keys.get_mut(raw as usize).and_then(Option::take)
+    }
+}
+
+impl fmt::Debug for DenseIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(
+                self.keys
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, k)| k.map(|k| (i, k))),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = FlowTable::new();
+        let a = t.insert("a");
+        let b = t.insert("b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.get(b), Some(&"b"));
+        assert_eq!(t.remove(a), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn stale_keys_are_rejected_after_slot_reuse() {
+        let mut t = FlowTable::new();
+        let a = t.insert(1u32);
+        assert_eq!(t.remove(a), Some(1));
+        let b = t.insert(2u32); // reuses slot 0
+        assert_eq!(b.slot(), a.slot());
+        assert_ne!(b.generation(), a.generation());
+        assert_eq!(t.get(a), None, "stale key must not see the new occupant");
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.get(b), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut t = FlowTable::new();
+        let a = t.insert(7u8);
+        assert_eq!(t.remove(a), Some(7));
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered_and_skips_vacant() {
+        let mut t = FlowTable::new();
+        let a = t.insert(10);
+        let b = t.insert(20);
+        let c = t.insert(30);
+        t.remove(b);
+        let seen: Vec<i32> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, vec![10, 30]);
+        for (k, v) in t.iter_mut() {
+            if k == a {
+                *v += 1;
+            }
+            let _ = c;
+        }
+        assert_eq!(t.get(a), Some(&11));
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut t = FlowTable::new();
+        let keys: Vec<FlowKey> = (0..4).map(|i| t.insert(i)).collect();
+        t.remove(keys[1]);
+        t.remove(keys[3]);
+        let r1 = t.insert(100); // takes slot 3 (last freed)
+        let r2 = t.insert(200); // takes slot 1
+        assert_eq!(r1.slot(), 3);
+        assert_eq!(r2.slot(), 1);
+        assert_eq!(t.capacity(), 4, "no growth while free slots remain");
+    }
+
+    #[test]
+    fn occupancy_reflects_len_over_capacity() {
+        let mut t = FlowTable::with_capacity(8);
+        let keys: Vec<FlowKey> = (0..6).map(|i| t.insert(i)).collect();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.capacity(), 6);
+        t.remove(keys[0]);
+        t.remove(keys[1]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.capacity(), 6, "capacity counts vacant slots too");
+    }
+
+    #[test]
+    fn dense_index_maps_raw_ids() {
+        let mut t = FlowTable::new();
+        let mut ix = DenseIndex::new();
+        let k5 = t.insert("five");
+        let k9 = t.insert("nine");
+        ix.set(5, k5);
+        ix.set(9, k9);
+        assert_eq!(ix.get(5), Some(k5));
+        assert_eq!(ix.get(7), None);
+        assert_eq!(ix.get(100), None);
+        assert_eq!(ix.clear(5), Some(k5));
+        assert_eq!(ix.get(5), None);
+        assert_eq!(t.get(ix.get(9).unwrap()), Some(&"nine"));
+    }
+}

@@ -29,10 +29,12 @@
 pub mod agent;
 pub mod engine;
 pub mod fault;
+pub mod flowtab;
 pub mod ids;
 pub mod link;
 pub mod packet;
 pub mod pktlog;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod sched;
@@ -46,19 +48,24 @@ pub mod prelude {
     pub use crate::agent::{Agent, Ctx, TOKEN_BITS, TOKEN_MASK};
     pub use crate::engine::{EngineCounters, Network, NetworkStats, RunOutcome};
     pub use crate::fault::{FaultSpec, LinkFlap};
+    pub use crate::flowtab::{DenseIndex, FlowKey, FlowTable};
     pub use crate::ids::{FlowId, LinkId, NodeId};
     pub use crate::link::{LinkSpec, LinkStats};
     pub use crate::packet::{
         AckInfo, EcnCodepoint, IntRecord, Packet, PacketKind, SackBlocks, HEADER_BYTES,
     };
     pub use crate::pktlog::{PacketEvent, PacketEventKind, PacketLog};
+    pub use crate::pool::{FramePool, FrameRef};
     pub use crate::queue::{
         DropTailQueue, EcnThresholdQueue, EnqueueOutcome, Qdisc, QueueStats, RedQueue,
     };
     pub use crate::rng::SimRng;
     pub use crate::sched::{SchedStats, Scheduler};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{BottleneckQueue, Dumbbell, DumbbellConfig};
+    pub use crate::topology::{
+        BottleneckQueue, Dumbbell, DumbbellConfig, Incast, IncastConfig, ParkingLot,
+        ParkingLotConfig,
+    };
     pub use crate::trace::{ActivityBin, ActivityTotals, FlowTrace, HostActivity};
     pub use crate::units::{average_rate, Rate, GB, KB, MB};
 }

@@ -15,6 +15,7 @@
 use crate::fault::FaultState;
 use crate::ids::NodeId;
 use crate::packet::Packet;
+use crate::pool::FrameRef;
 use crate::queue::{DropTailQueue, Qdisc};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
@@ -92,8 +93,9 @@ pub(crate) struct LinkState {
     pub(crate) prop_delay: SimDuration,
     pub(crate) qdisc: Box<dyn Qdisc>,
     pub(crate) min_pkt_gap: SimDuration,
-    /// Packet currently being serialized, if any.
-    pub(crate) in_flight: Option<Packet>,
+    /// Frame currently being serialized, if any (a ref into the
+    /// engine's frame pool).
+    pub(crate) in_flight: Option<FrameRef>,
     /// When the current serialization began (valid while `in_flight`).
     pub(crate) tx_started: SimTime,
     /// EWMA of recent utilization (busy fraction between transmission
@@ -105,6 +107,15 @@ pub(crate) struct LinkState {
     /// installed. `None` keeps the fault-free hot path to one branch.
     pub(crate) fault: Option<FaultState>,
     pub(crate) stats: LinkStats,
+    /// The link rate in whole Mb/s, for in-band telemetry stamps.
+    /// Constant per link, so computed once instead of per data frame.
+    pub(crate) mbps: u32,
+    /// One-slot serialization-time memo: a link carries nearly uniform
+    /// frame sizes (full segments one way, acks the other), so the
+    /// float division in [`Rate::serialization_time`] is paid only when
+    /// the size actually changes. Same inputs, same function — the
+    /// cached result is bit-identical to recomputing.
+    ser_memo: (u64, SimDuration),
 }
 
 impl LinkState {
@@ -122,6 +133,8 @@ impl LinkState {
             prev_tx_started: None,
             fault: None,
             stats: LinkStats::default(),
+            mbps: (spec.rate.bps() / 1e6).round().max(1.0) as u32,
+            ser_memo: (u64::MAX, SimDuration::ZERO),
         }
     }
 
@@ -142,9 +155,12 @@ impl LinkState {
 
     /// Time the transmitter occupies for `pkt`: serialization, but never
     /// less than the processing gap.
-    pub(crate) fn occupancy_time(&self, pkt: &Packet) -> SimDuration {
-        let ser = self.rate.serialization_time(pkt.wire_bytes as u64);
-        ser.max(self.min_pkt_gap)
+    pub(crate) fn occupancy_time(&mut self, pkt: &Packet) -> SimDuration {
+        let bytes = pkt.wire_bytes as u64;
+        if self.ser_memo.0 != bytes {
+            self.ser_memo = (bytes, self.rate.serialization_time(bytes));
+        }
+        self.ser_memo.1.max(self.min_pkt_gap)
     }
 
     pub(crate) fn is_busy(&self) -> bool {

@@ -10,7 +10,7 @@
 //! * [`RedQueue`] — classic Random Early Detection with an EWMA of queue
 //!   length, provided for completeness and ablation benchmarks.
 
-use crate::packet::Packet;
+use crate::pool::{FramePool, FrameRef};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use std::collections::VecDeque;
@@ -41,15 +41,21 @@ pub struct QueueStats {
     pub max_bytes: u64,
 }
 
-/// A queue discipline: decides admission/marking and stores packets in
+/// A queue discipline: decides admission/marking and stores frames in
 /// FIFO order until the link can serialize them.
+///
+/// Frames live in the engine's [`FramePool`]; the discipline stores the
+/// 4-byte [`FrameRef`] plus a cached wire size, never the 168-byte
+/// packet. CE marking mutates the pooled frame in place.
 pub trait Qdisc: Send {
-    /// Offer a packet. On `Dropped` the packet is consumed (the caller gets
-    /// the outcome only); otherwise it is stored, possibly CE-marked.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome;
+    /// Offer a frame. On `Dropped` the ref is NOT stored — the caller
+    /// keeps ownership (to log the drop, then release the slot);
+    /// otherwise it is stored, possibly CE-marked in the pool.
+    fn enqueue(&mut self, frame: FrameRef, pool: &mut FramePool, now: SimTime) -> EnqueueOutcome;
 
-    /// Remove the next packet to transmit, if any.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    /// Remove the next frame to transmit, if any. Ownership of the ref
+    /// passes back to the caller.
+    fn dequeue(&mut self, now: SimTime) -> Option<FrameRef>;
 
     /// Current occupancy in bytes.
     fn len_bytes(&self) -> u64;
@@ -64,31 +70,32 @@ pub trait Qdisc: Send {
     fn name(&self) -> &'static str;
 }
 
-/// Shared FIFO storage used by all disciplines.
+/// Shared FIFO storage used by all disciplines: frame refs plus the
+/// cached wire size, so occupancy accounting never dereferences the pool.
 #[derive(Debug, Default)]
 struct Fifo {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<(FrameRef, u32)>,
     bytes: u64,
     stats: QueueStats,
 }
 
 impl Fifo {
-    fn push(&mut self, pkt: Packet) {
-        self.bytes += pkt.wire_bytes as u64;
+    fn push(&mut self, frame: FrameRef, wire_bytes: u32) {
+        self.bytes += wire_bytes as u64;
         self.stats.enqueued_pkts += 1;
         self.stats.max_bytes = self.stats.max_bytes.max(self.bytes);
-        self.queue.push_back(pkt);
+        self.queue.push_back((frame, wire_bytes));
     }
 
-    fn pop(&mut self) -> Option<Packet> {
-        let pkt = self.queue.pop_front()?;
-        self.bytes -= pkt.wire_bytes as u64;
-        Some(pkt)
+    fn pop(&mut self) -> Option<FrameRef> {
+        let (frame, wire_bytes) = self.queue.pop_front()?;
+        self.bytes -= wire_bytes as u64;
+        Some(frame)
     }
 
-    fn drop_pkt(&mut self, pkt: &Packet) {
+    fn drop_pkt(&mut self, wire_bytes: u32) {
         self.stats.dropped_pkts += 1;
-        self.stats.dropped_bytes += pkt.wire_bytes as u64;
+        self.stats.dropped_bytes += wire_bytes as u64;
     }
 }
 
@@ -117,16 +124,17 @@ impl DropTailQueue {
 }
 
 impl Qdisc for DropTailQueue {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> EnqueueOutcome {
-        if self.fifo.bytes + pkt.wire_bytes as u64 > self.capacity_bytes {
-            self.fifo.drop_pkt(&pkt);
+    fn enqueue(&mut self, frame: FrameRef, pool: &mut FramePool, _now: SimTime) -> EnqueueOutcome {
+        let wire_bytes = pool.get(frame).wire_bytes;
+        if self.fifo.bytes + wire_bytes as u64 > self.capacity_bytes {
+            self.fifo.drop_pkt(wire_bytes);
             return EnqueueOutcome::Dropped;
         }
-        self.fifo.push(pkt);
+        self.fifo.push(frame, wire_bytes);
         EnqueueOutcome::Enqueued
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<FrameRef> {
         self.fifo.pop()
     }
 
@@ -181,23 +189,26 @@ impl EcnThresholdQueue {
 }
 
 impl Qdisc for EcnThresholdQueue {
-    fn enqueue(&mut self, mut pkt: Packet, _now: SimTime) -> EnqueueOutcome {
-        let occupancy_after = self.fifo.bytes + pkt.wire_bytes as u64;
+    fn enqueue(&mut self, frame: FrameRef, pool: &mut FramePool, _now: SimTime) -> EnqueueOutcome {
+        let pkt = pool.get(frame);
+        let wire_bytes = pkt.wire_bytes;
+        let capable = pkt.ecn.is_capable();
+        let occupancy_after = self.fifo.bytes + wire_bytes as u64;
         if occupancy_after > self.capacity_bytes {
-            self.fifo.drop_pkt(&pkt);
+            self.fifo.drop_pkt(wire_bytes);
             return EnqueueOutcome::Dropped;
         }
-        if pkt.ecn.is_capable() && occupancy_after > self.mark_threshold_bytes {
-            pkt.ecn = crate::packet::EcnCodepoint::Ce;
+        if capable && occupancy_after > self.mark_threshold_bytes {
+            pool.get_mut(frame).ecn = crate::packet::EcnCodepoint::Ce;
             self.fifo.stats.marked_pkts += 1;
-            self.fifo.push(pkt);
+            self.fifo.push(frame, wire_bytes);
             return EnqueueOutcome::EnqueuedMarked;
         }
-        self.fifo.push(pkt);
+        self.fifo.push(frame, wire_bytes);
         EnqueueOutcome::Enqueued
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<FrameRef> {
         self.fifo.pop()
     }
 
@@ -282,12 +293,15 @@ impl RedQueue {
 }
 
 impl Qdisc for RedQueue {
-    fn enqueue(&mut self, mut pkt: Packet, _now: SimTime) -> EnqueueOutcome {
+    fn enqueue(&mut self, frame: FrameRef, pool: &mut FramePool, _now: SimTime) -> EnqueueOutcome {
+        let pkt = pool.get(frame);
+        let wire_bytes = pkt.wire_bytes;
+        let capable = pkt.ecn.is_capable();
         self.avg_bytes =
             (1.0 - self.weight) * self.avg_bytes + self.weight * self.fifo.bytes as f64;
 
-        if self.fifo.bytes + pkt.wire_bytes as u64 > self.capacity_bytes {
-            self.fifo.drop_pkt(&pkt);
+        if self.fifo.bytes + wire_bytes as u64 > self.capacity_bytes {
+            self.fifo.drop_pkt(wire_bytes);
             self.count = 0;
             return EnqueueOutcome::Dropped;
         }
@@ -307,21 +321,21 @@ impl Qdisc for RedQueue {
 
         if early {
             self.count = 0;
-            if pkt.ecn.is_capable() {
-                pkt.ecn = crate::packet::EcnCodepoint::Ce;
+            if capable {
+                pool.get_mut(frame).ecn = crate::packet::EcnCodepoint::Ce;
                 self.fifo.stats.marked_pkts += 1;
-                self.fifo.push(pkt);
+                self.fifo.push(frame, wire_bytes);
                 return EnqueueOutcome::EnqueuedMarked;
             }
-            self.fifo.drop_pkt(&pkt);
+            self.fifo.drop_pkt(wire_bytes);
             return EnqueueOutcome::Dropped;
         }
 
-        self.fifo.push(pkt);
+        self.fifo.push(frame, wire_bytes);
         EnqueueOutcome::Enqueued
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<FrameRef> {
         self.fifo.pop()
     }
 
@@ -359,19 +373,34 @@ mod tests {
         )
     }
 
+    /// Test shim: the engine's enqueue-or-release contract in one call.
+    fn offer(q: &mut dyn Qdisc, pool: &mut FramePool, p: Packet) -> EnqueueOutcome {
+        let frame = pool.alloc(p);
+        let out = q.enqueue(frame, pool, SimTime::ZERO);
+        if out == EnqueueOutcome::Dropped {
+            pool.release(frame);
+        }
+        out
+    }
+
+    fn drain(q: &mut dyn Qdisc, pool: &mut FramePool) -> Option<Packet> {
+        q.dequeue(SimTime::ZERO).map(|r| pool.take(r))
+    }
+
     #[test]
     fn droptail_accepts_until_capacity() {
+        let mut pool = FramePool::new();
         let mut q = DropTailQueue::new(3000);
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::NotEct)),
             EnqueueOutcome::Enqueued
         );
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::NotEct)),
             EnqueueOutcome::Enqueued
         );
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::NotEct)),
             EnqueueOutcome::Dropped
         );
         assert_eq!(q.len_bytes(), 3000);
@@ -385,56 +414,60 @@ mod tests {
 
     #[test]
     fn droptail_dequeues_fifo() {
+        let mut pool = FramePool::new();
         let mut q = DropTailQueue::new(10_000);
         let mut a = pkt(1500, EcnCodepoint::NotEct);
         a.seq = 1;
         let mut b = pkt(1500, EcnCodepoint::NotEct);
         b.seq = 2;
-        q.enqueue(a, SimTime::ZERO);
-        q.enqueue(b, SimTime::ZERO);
-        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().seq, 1);
-        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().seq, 2);
-        assert!(q.dequeue(SimTime::ZERO).is_none());
+        offer(&mut q, &mut pool, a);
+        offer(&mut q, &mut pool, b);
+        assert_eq!(drain(&mut q, &mut pool).unwrap().seq, 1);
+        assert_eq!(drain(&mut q, &mut pool).unwrap().seq, 2);
+        assert!(drain(&mut q, &mut pool).is_none());
         assert_eq!(q.len_bytes(), 0);
+        assert_eq!(pool.live(), 0, "delivered frames must free their slots");
     }
 
     #[test]
     fn ecn_threshold_marks_capable_packets_above_k() {
+        let mut pool = FramePool::new();
         let mut q = EcnThresholdQueue::new(30_000, 3000);
         // Below K: unmarked.
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::Ect0)),
             EnqueueOutcome::Enqueued
         );
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::Ect0)),
             EnqueueOutcome::Enqueued
         );
         // This one pushes occupancy past K and is marked.
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::Ect0)),
             EnqueueOutcome::EnqueuedMarked
         );
         assert_eq!(q.stats().marked_pkts, 1);
         // Verify the stored packet carries CE.
-        q.dequeue(SimTime::ZERO);
-        q.dequeue(SimTime::ZERO);
-        assert!(q.dequeue(SimTime::ZERO).unwrap().ecn.is_ce());
+        drain(&mut q, &mut pool);
+        drain(&mut q, &mut pool);
+        assert!(drain(&mut q, &mut pool).unwrap().ecn.is_ce());
     }
 
     #[test]
     fn ecn_threshold_drops_non_capable_only_on_overflow() {
+        let mut pool = FramePool::new();
         let mut q = EcnThresholdQueue::new(3000, 1000);
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::NotEct)),
             EnqueueOutcome::Enqueued
         );
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::NotEct)),
             EnqueueOutcome::Enqueued
         );
         assert_eq!(
-            q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::NotEct)),
             EnqueueOutcome::Dropped
         );
         assert_eq!(q.stats().marked_pkts, 0);
@@ -442,10 +475,11 @@ mod tests {
 
     #[test]
     fn red_never_early_drops_below_min_threshold() {
+        let mut pool = FramePool::new();
         let mut q = RedQueue::new(100_000, 50_000, 90_000, 0.1, 42);
         for _ in 0..20 {
             assert_eq!(
-                q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO),
+                offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::NotEct)),
                 EnqueueOutcome::Enqueued
             );
         }
@@ -454,14 +488,15 @@ mod tests {
 
     #[test]
     fn red_drops_or_marks_under_sustained_occupancy() {
+        let mut pool = FramePool::new();
         let mut q = RedQueue::new(100_000, 5_000, 20_000, 0.5, 42);
         // Keep the queue full-ish so the EWMA climbs past max_th.
         let mut outcomes = Vec::new();
         for _ in 0..2000 {
-            let out = q.enqueue(pkt(1500, EcnCodepoint::NotEct), SimTime::ZERO);
+            let out = offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::NotEct));
             outcomes.push(out);
             if q.len_pkts() > 20 {
-                q.dequeue(SimTime::ZERO);
+                drain(&mut q, &mut pool);
             }
         }
         let drops = outcomes
@@ -473,12 +508,13 @@ mod tests {
 
     #[test]
     fn red_marks_ecn_capable_instead_of_dropping() {
+        let mut pool = FramePool::new();
         let mut q = RedQueue::new(1_000_000, 1_000, 2_000, 1.0, 7);
         // Force the average up by holding occupancy high.
         for _ in 0..5000 {
-            q.enqueue(pkt(1500, EcnCodepoint::Ect0), SimTime::ZERO);
+            offer(&mut q, &mut pool, pkt(1500, EcnCodepoint::Ect0));
             if q.len_bytes() > 6_000 {
-                q.dequeue(SimTime::ZERO);
+                drain(&mut q, &mut pool);
             }
         }
         assert!(q.stats().marked_pkts > 0);

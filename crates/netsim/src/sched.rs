@@ -59,6 +59,16 @@ pub const MIN_BUCKET_NS: u64 = 128;
 /// cost.
 pub const MAX_BUCKET_NS: u64 = 32_768;
 
+/// Outcome of [`Scheduler::pop_due`].
+pub enum Due<T> {
+    /// The earliest entry, removed — it was due at or before the limit.
+    Item(SimTime, T),
+    /// The earliest entry is beyond the limit; it remains queued.
+    Later(SimTime),
+    /// The scheduler is empty.
+    Empty,
+}
+
 /// One scheduled entry. Ordering is on `(at, seq)` only — the payload
 /// does not participate.
 struct Entry<T> {
@@ -291,6 +301,51 @@ impl<T> Scheduler<T> {
         }
         let bucket = &self.buckets[(self.base_tick & MASK) as usize];
         bucket.items.last().map(|e| e.at)
+    }
+
+    /// Remove and return the earliest `(at, item)` iff `pred` approves
+    /// it — a peek-then-pop that never exposes references into the wheel.
+    /// The engine uses this to coalesce consecutive same-timestamp
+    /// deliveries to one host into a single agent dispatch.
+    pub fn pop_if(&mut self, pred: impl FnOnce(SimTime, &T) -> bool) -> Option<(SimTime, T)> {
+        if !self.normalize() {
+            return None;
+        }
+        let bucket = &mut self.buckets[(self.base_tick & MASK) as usize];
+        let head = bucket.items.last()?;
+        if !pred(head.at, &head.item) {
+            return None;
+        }
+        let entry = bucket.items.pop()?;
+        self.wheel_len -= 1;
+        self.stats.pops += 1;
+        Some((entry.at, entry.item))
+    }
+
+    /// Pop the earliest entry iff it is due at or before `limit`; an
+    /// entry beyond the limit stays queued. One normalize serves both
+    /// the peek and the pop, so the engine's run loop pays the wheel
+    /// walk once per event instead of twice.
+    pub fn pop_due(&mut self, limit: SimTime) -> Due<T> {
+        if !self.normalize() {
+            return Due::Empty;
+        }
+        let bucket = &mut self.buckets[(self.base_tick & MASK) as usize];
+        let Some(head) = bucket.items.last() else {
+            // normalize() returned true, which guarantees a non-empty
+            // bucket; see the twin guard in `pop`.
+            debug_assert!(false, "normalize returned an empty bucket");
+            return Due::Empty;
+        };
+        if head.at > limit {
+            return Due::Later(head.at);
+        }
+        let Some(entry) = bucket.items.pop() else {
+            return Due::Empty;
+        };
+        self.wheel_len -= 1;
+        self.stats.pops += 1;
+        Due::Item(entry.at, entry.item)
     }
 
     /// Remove and return the earliest `(at, item)`.

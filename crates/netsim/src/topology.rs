@@ -4,7 +4,15 @@
 //! switch (optionally over bonded links, as the paper's sender uses
 //! 2×10 Gb/s round-robin bonding), and a single bottleneck link from the
 //! switch to the receiver host. All experiments in the paper run on this
-//! shape; examples can of course wire arbitrary topologies by hand.
+//! shape.
+//!
+//! Population-scale studies add two more classics: [`Incast`] (N senders
+//! fan into one receiver through a single switch — the many-flows shape
+//! of a CDN edge or a partition/aggregate datacenter job) and
+//! [`ParkingLot`] (a chain of bottlenecks where one long "through" flow
+//! competes with a short local flow on every hop — the standard
+//! multi-bottleneck fairness stressor). Examples can of course wire
+//! arbitrary topologies by hand.
 
 use crate::engine::Network;
 use crate::ids::{LinkId, NodeId};
@@ -181,6 +189,290 @@ impl Dumbbell {
     }
 }
 
+/// Parameters of the incast testbed.
+#[derive(Clone, Debug)]
+pub struct IncastConfig {
+    /// Number of sender hosts fanning into the receiver.
+    pub fan_in: usize,
+    /// Rate of each sender -> switch uplink (per bond member).
+    pub edge_rate: Rate,
+    /// Aggregate bottleneck (switch -> receiver) rate; a bonded
+    /// bottleneck splits it evenly over its members.
+    pub bottleneck_rate: Rate,
+    /// LAG width: every link in the rack is a port-channel of this many
+    /// members, sprayed round-robin (1 = plain links). Edge members each
+    /// run at the full `edge_rate` — the dumbbell's bonded-NIC
+    /// convention, so host NICs are never the bottleneck — while
+    /// bottleneck members split `bottleneck_rate` to preserve the
+    /// aggregate. Equal-size frames sprayed onto an idle bond serialize
+    /// in lockstep and arrive at the far host in the same nanosecond,
+    /// which is what feeds the engine's batched same-timestamp dispatch.
+    pub bond_links: usize,
+    /// One-way propagation delay per hop.
+    pub hop_delay: SimDuration,
+    /// Bottleneck queue discipline, per bond member. Incast collapse
+    /// studies want this shallow; the default is a switch-port-sized
+    /// 256 KB drop-tail.
+    pub bottleneck_queue: BottleneckQueue,
+    /// Buffer on non-bottleneck links, in bytes.
+    pub edge_buffer_bytes: u64,
+}
+
+impl Default for IncastConfig {
+    fn default() -> Self {
+        IncastConfig {
+            fan_in: 32,
+            edge_rate: Rate::from_gbps(10.0),
+            bottleneck_rate: Rate::from_gbps(10.0),
+            bond_links: 1,
+            hop_delay: SimDuration::from_micros(25),
+            bottleneck_queue: BottleneckQueue::DropTail {
+                capacity_bytes: 256_000,
+            },
+            edge_buffer_bytes: 4_000_000,
+        }
+    }
+}
+
+/// A built incast: N senders, one switch, one receiver, one bottleneck
+/// (possibly a bonded group).
+#[derive(Debug)]
+pub struct Incast {
+    /// Sender host ids, one per fan-in slot.
+    pub senders: Vec<NodeId>,
+    /// The switch every sender hangs off.
+    pub switch: NodeId,
+    /// The receiver everything converges on.
+    pub receiver: NodeId,
+    /// The first bottleneck member (the whole bottleneck when
+    /// `bond_links` is 1).
+    pub bottleneck: LinkId,
+    /// All bottleneck members (length = `bond_links`).
+    pub bottlenecks: Vec<LinkId>,
+    /// Per-sender uplink bond (sender -> switch), flattened per sender.
+    pub uplinks: Vec<Vec<LinkId>>,
+}
+
+impl Incast {
+    /// Build the incast inside `net` according to `cfg`.
+    pub fn build(net: &mut Network, cfg: &IncastConfig) -> Incast {
+        assert!(cfg.fan_in >= 1, "need at least one sender");
+        assert!(cfg.bond_links >= 1, "need at least one bond member");
+        let switch = net.add_switch();
+        let receiver = net.add_host();
+        let member_rate = Rate::from_bps(cfg.bottleneck_rate.bps() / cfg.bond_links as f64);
+        let mut bottlenecks = Vec::with_capacity(cfg.bond_links);
+        for _ in 0..cfg.bond_links {
+            let l = net.add_link(
+                switch,
+                receiver,
+                LinkSpec {
+                    rate: member_rate,
+                    prop_delay: cfg.hop_delay,
+                    qdisc: cfg.bottleneck_queue.build(),
+                    min_pkt_gap: SimDuration::ZERO,
+                },
+            );
+            net.add_route(switch, receiver, l);
+            bottlenecks.push(l);
+        }
+        // Reverse path (acks): bonded like everything else, so ack pairs
+        // emitted in the same nanosecond keep their tie through the
+        // switch and reach a multiplexed sender as one batch.
+        let mut rx_ups = Vec::with_capacity(cfg.bond_links);
+        for _ in 0..cfg.bond_links {
+            let l = net.add_link(
+                receiver,
+                switch,
+                LinkSpec::droptail(cfg.bottleneck_rate, cfg.hop_delay, cfg.edge_buffer_bytes),
+            );
+            net.add_route(receiver, switch, l);
+            rx_ups.push(l);
+        }
+
+        let mut senders = Vec::with_capacity(cfg.fan_in);
+        let mut uplinks = Vec::with_capacity(cfg.fan_in);
+        for _ in 0..cfg.fan_in {
+            let host = net.add_host();
+            let mut bond = Vec::with_capacity(cfg.bond_links);
+            for _ in 0..cfg.bond_links {
+                let up = net.add_link(
+                    host,
+                    switch,
+                    LinkSpec::droptail(cfg.edge_rate, cfg.hop_delay, cfg.edge_buffer_bytes),
+                );
+                net.add_route(host, receiver, up);
+                bond.push(up);
+            }
+            for _ in 0..cfg.bond_links {
+                let down = net.add_link(
+                    switch,
+                    host,
+                    LinkSpec::droptail(cfg.edge_rate, cfg.hop_delay, cfg.edge_buffer_bytes),
+                );
+                net.add_route(switch, host, down);
+            }
+            for &ru in &rx_ups {
+                net.add_route(receiver, host, ru);
+            }
+            senders.push(host);
+            uplinks.push(bond);
+        }
+        Incast {
+            senders,
+            switch,
+            receiver,
+            bottleneck: bottlenecks[0],
+            bottlenecks,
+            uplinks,
+        }
+    }
+}
+
+/// Parameters of the parking-lot chain.
+#[derive(Clone, Debug)]
+pub struct ParkingLotConfig {
+    /// Number of bottleneck hops in the chain (and of local flows; ≥ 1).
+    pub hops: usize,
+    /// Rate of every chain (bottleneck) link.
+    pub link_rate: Rate,
+    /// Rate of host access links.
+    pub edge_rate: Rate,
+    /// One-way propagation delay per hop.
+    pub hop_delay: SimDuration,
+    /// Queue discipline on each forward chain link.
+    pub bottleneck_queue: BottleneckQueue,
+    /// Buffer on access and reverse links, in bytes.
+    pub edge_buffer_bytes: u64,
+}
+
+impl Default for ParkingLotConfig {
+    fn default() -> Self {
+        ParkingLotConfig {
+            hops: 3,
+            link_rate: Rate::from_gbps(10.0),
+            edge_rate: Rate::from_gbps(10.0),
+            hop_delay: SimDuration::from_micros(25),
+            bottleneck_queue: BottleneckQueue::DropTail {
+                capacity_bytes: 1_000_000,
+            },
+            edge_buffer_bytes: 4_000_000,
+        }
+    }
+}
+
+/// A built parking lot: switches `S0..=Sh` in a chain, one through
+/// sender/receiver pair spanning the whole chain, and one local
+/// sender/receiver pair straddling each hop.
+#[derive(Debug)]
+pub struct ParkingLot {
+    /// Chain switches, left to right (`hops + 1` of them).
+    pub switches: Vec<NodeId>,
+    /// Sender of the through flow (attached at the left end).
+    pub through_sender: NodeId,
+    /// Receiver of the through flow (attached at the right end).
+    pub through_receiver: NodeId,
+    /// Local sender `i`, attached at switch `i`.
+    pub local_senders: Vec<NodeId>,
+    /// Local receiver `i`, attached at switch `i + 1`.
+    pub local_receivers: Vec<NodeId>,
+    /// Forward chain links `S_i -> S_{i+1}` — the bottlenecks.
+    pub bottlenecks: Vec<LinkId>,
+}
+
+impl ParkingLot {
+    /// Build the parking lot inside `net` according to `cfg`.
+    pub fn build(net: &mut Network, cfg: &ParkingLotConfig) -> ParkingLot {
+        assert!(cfg.hops >= 1, "need at least one hop");
+        let n_sw = cfg.hops + 1;
+        let switches: Vec<NodeId> = (0..n_sw).map(|_| net.add_switch()).collect();
+
+        // Chain links: forward links carry data through the configured
+        // bottleneck qdisc; reverse links carry acks, generously buffered.
+        let mut forward = Vec::with_capacity(cfg.hops);
+        let mut reverse = Vec::with_capacity(cfg.hops);
+        for i in 0..cfg.hops {
+            forward.push(net.add_link(
+                switches[i],
+                switches[i + 1],
+                LinkSpec {
+                    rate: cfg.link_rate,
+                    prop_delay: cfg.hop_delay,
+                    qdisc: cfg.bottleneck_queue.build(),
+                    min_pkt_gap: SimDuration::ZERO,
+                },
+            ));
+            reverse.push(net.add_link(
+                switches[i + 1],
+                switches[i],
+                LinkSpec::droptail(cfg.link_rate, cfg.hop_delay, cfg.edge_buffer_bytes),
+            ));
+        }
+
+        // Hosts: (host id, index of the switch it hangs off).
+        let mut hosts: Vec<(NodeId, usize)> = Vec::new();
+        let attach = |net: &mut Network, sw_idx: usize, hosts: &mut Vec<(NodeId, usize)>| {
+            let host = net.add_host();
+            let up = net.add_link(
+                host,
+                switches[sw_idx],
+                LinkSpec::droptail(cfg.edge_rate, cfg.hop_delay, cfg.edge_buffer_bytes),
+            );
+            let down = net.add_link(
+                switches[sw_idx],
+                host,
+                LinkSpec::droptail(cfg.edge_rate, cfg.hop_delay, cfg.edge_buffer_bytes),
+            );
+            net.add_route(switches[sw_idx], host, down);
+            hosts.push((host, sw_idx));
+            (host, up)
+        };
+
+        let (through_sender, ts_up) = attach(net, 0, &mut hosts);
+        let (through_receiver, tr_up) = attach(net, cfg.hops, &mut hosts);
+        let mut local_senders = Vec::with_capacity(cfg.hops);
+        let mut local_receivers = Vec::with_capacity(cfg.hops);
+        let mut host_uplinks = vec![(through_sender, ts_up), (through_receiver, tr_up)];
+        for i in 0..cfg.hops {
+            let (s, s_up) = attach(net, i, &mut hosts);
+            let (r, r_up) = attach(net, i + 1, &mut hosts);
+            local_senders.push(s);
+            local_receivers.push(r);
+            host_uplinks.push((s, s_up));
+            host_uplinks.push((r, r_up));
+        }
+
+        // Routing. Hosts send everything to their switch; each switch
+        // forwards along the chain toward the switch the destination
+        // hangs off (local destinations were routed at attach time).
+        for &(host, up) in &host_uplinks {
+            for &(dst, _) in &hosts {
+                if dst != host {
+                    net.add_route(host, dst, up);
+                }
+            }
+        }
+        for s in 0..n_sw {
+            for &(dst, at) in &hosts {
+                if at > s {
+                    net.add_route(switches[s], dst, forward[s]);
+                } else if at < s {
+                    net.add_route(switches[s], dst, reverse[s - 1]);
+                }
+            }
+        }
+
+        ParkingLot {
+            switches,
+            through_sender,
+            through_receiver,
+            local_senders,
+            local_receivers,
+            bottlenecks: forward,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +639,102 @@ mod tests {
     fn base_rtt_is_four_hops() {
         let cfg = DumbbellConfig::default();
         assert_eq!(Dumbbell::base_rtt(&cfg), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn incast_converges_all_senders_on_the_receiver() {
+        let mut net = Network::new(15);
+        let cfg = IncastConfig {
+            fan_in: 8,
+            ..IncastConfig::default()
+        };
+        let inc = Incast::build(&mut net, &cfg);
+        assert_eq!(inc.senders.len(), 8);
+        for &s in &inc.senders {
+            net.attach_agent(
+                s,
+                Box::new(Blaster {
+                    dst: inc.receiver,
+                    n: 10,
+                    acked: 0,
+                }),
+            );
+        }
+        net.attach_agent(inc.receiver, Box::new(Sink));
+        net.run();
+        // Every sender's burst crossed the single bottleneck and was acked.
+        assert_eq!(net.link_stats(inc.bottleneck).tx_pkts, 80);
+        for &s in &inc.senders {
+            assert_eq!(net.agent::<Blaster>(s).unwrap().acked, 10);
+        }
+    }
+
+    #[test]
+    fn incast_synchronized_burst_overflows_the_shallow_buffer() {
+        let mut net = Network::new(16);
+        let cfg = IncastConfig {
+            fan_in: 24,
+            bottleneck_queue: BottleneckQueue::DropTail {
+                capacity_bytes: 30_000,
+            },
+            ..IncastConfig::default()
+        };
+        let inc = Incast::build(&mut net, &cfg);
+        for &s in &inc.senders {
+            net.attach_agent(
+                s,
+                Box::new(Blaster {
+                    dst: inc.receiver,
+                    n: 20,
+                    acked: 0,
+                }),
+            );
+        }
+        net.attach_agent(inc.receiver, Box::new(Sink));
+        net.run();
+        assert!(
+            net.queue_stats(inc.bottleneck).dropped_pkts > 0,
+            "a synchronized 24-way burst must overflow a 30 KB port buffer"
+        );
+    }
+
+    #[test]
+    fn parking_lot_routes_through_and_local_flows() {
+        let mut net = Network::new(17);
+        let cfg = ParkingLotConfig {
+            hops: 3,
+            ..ParkingLotConfig::default()
+        };
+        let lot = ParkingLot::build(&mut net, &cfg);
+        assert_eq!(lot.switches.len(), 4);
+        assert_eq!(lot.bottlenecks.len(), 3);
+        net.attach_agent(
+            lot.through_sender,
+            Box::new(Blaster {
+                dst: lot.through_receiver,
+                n: 12,
+                acked: 0,
+            }),
+        );
+        for i in 0..3 {
+            net.attach_agent(
+                lot.local_senders[i],
+                Box::new(Blaster {
+                    dst: lot.local_receivers[i],
+                    n: 7,
+                    acked: 0,
+                }),
+            );
+            net.attach_agent(lot.local_receivers[i], Box::new(Sink));
+        }
+        net.attach_agent(lot.through_receiver, Box::new(Sink));
+        net.run();
+        // The through flow crossed every hop; each local flow only its own.
+        assert_eq!(net.agent::<Blaster>(lot.through_sender).unwrap().acked, 12);
+        for i in 0..3 {
+            assert_eq!(net.agent::<Blaster>(lot.local_senders[i]).unwrap().acked, 7);
+            // Hop i carries the through flow plus local flow i.
+            assert_eq!(net.link_stats(lot.bottlenecks[i]).tx_pkts, 12 + 7);
+        }
     }
 }

@@ -26,21 +26,28 @@ proptest! {
         drain_every in 1usize..8,
     ) {
         let mut q = DropTailQueue::new(capacity);
+        let mut pool = FramePool::new();
         let mut accepted = 0u64;
         let mut dequeued = 0u64;
         for (i, &payload) in sizes.iter().enumerate() {
-            match q.enqueue(data_packet(i as u64, payload), SimTime::ZERO) {
+            let frame = pool.alloc(data_packet(i as u64, payload));
+            match q.enqueue(frame, &mut pool, SimTime::ZERO) {
                 EnqueueOutcome::Enqueued | EnqueueOutcome::EnqueuedMarked => accepted += 1,
-                EnqueueOutcome::Dropped => {}
+                EnqueueOutcome::Dropped => pool.release(frame),
             }
-            if i % drain_every == 0 && q.dequeue(SimTime::ZERO).is_some() {
-                dequeued += 1;
+            if i % drain_every == 0 {
+                if let Some(r) = q.dequeue(SimTime::ZERO) {
+                    pool.release(r);
+                    dequeued += 1;
+                }
             }
             prop_assert!(q.len_bytes() <= capacity, "capacity respected");
         }
-        while q.dequeue(SimTime::ZERO).is_some() {
+        while let Some(r) = q.dequeue(SimTime::ZERO) {
+            pool.release(r);
             dequeued += 1;
         }
+        prop_assert_eq!(pool.live(), 0, "every frame accounted for");
         let stats = q.stats();
         prop_assert_eq!(accepted, dequeued);
         prop_assert_eq!(stats.enqueued_pkts + stats.dropped_pkts, sizes.len() as u64);
@@ -56,11 +63,13 @@ proptest! {
         let capacity = 1_000_000u64;
         let threshold = 10_000u64;
         let mut q = EcnThresholdQueue::new(capacity, threshold);
+        let mut pool = FramePool::new();
         for (i, &payload) in sizes.iter().enumerate() {
             let mut pkt = data_packet(i as u64, payload);
             pkt.ecn = EcnCodepoint::Ect0;
             let below = q.len_bytes() + pkt.wire_bytes as u64 <= threshold;
-            match q.enqueue(pkt, SimTime::ZERO) {
+            let frame = pool.alloc(pkt);
+            match q.enqueue(frame, &mut pool, SimTime::ZERO) {
                 EnqueueOutcome::Dropped => prop_assert!(false, "capacity is ample"),
                 EnqueueOutcome::EnqueuedMarked => prop_assert!(!below, "marked below K"),
                 EnqueueOutcome::Enqueued => prop_assert!(below, "unmarked above K"),

@@ -51,6 +51,21 @@ pub trait Recorder {
     fn power_sample(&mut self, at_ns: u64, host: u32, watts: f64) {
         let _ = (at_ns, host, watts);
     }
+
+    /// The engine dispatched a batch of `pkts` same-timestamp arrivals
+    /// to one host agent in a single callback. Fired once per dispatch
+    /// (a non-coalesced delivery reports `pkts = 1`), so the histogram
+    /// of values is the delivery batch-size distribution.
+    fn dispatch_batch(&mut self, at_ns: u64, node: u32, pkts: u32) {
+        let _ = (at_ns, node, pkts);
+    }
+
+    /// Occupancy of a flow table changed: `live` entries out of
+    /// `capacity` allocated slots. Fired at attach/detach time, not per
+    /// event, so it is off every hot path.
+    fn flow_table_occupancy(&mut self, at_ns: u64, live: u64, capacity: u64) {
+        let _ = (at_ns, live, capacity);
+    }
 }
 
 /// A recorder that records nothing. Useful for measuring the pure cost
@@ -306,6 +321,30 @@ impl Recorder for ObsRecorder {
         self.metrics.observe("host_power_mw", host_labels(host), mw);
         self.trace
             .counter(at_ns, TrackKind::Host, host, "power_w", watts);
+    }
+
+    fn dispatch_batch(&mut self, at_ns: u64, node: u32, pkts: u32) {
+        let _ = (at_ns, node);
+        // One workspace-wide histogram: per-host label cardinality at
+        // population scale (10k hosts) would swamp the registry for a
+        // distribution that is interesting in aggregate.
+        self.metrics
+            .observe("dispatch_batch_pkts", Labels::new(), pkts as u64);
+    }
+
+    fn flow_table_occupancy(&mut self, at_ns: u64, live: u64, capacity: u64) {
+        self.metrics.observe("flow_table_live", Labels::new(), live);
+        self.trace.counter(
+            at_ns,
+            TrackKind::Host,
+            0,
+            "flow_table_occupancy",
+            if capacity == 0 {
+                0.0
+            } else {
+                live as f64 / capacity as f64
+            },
+        );
     }
 }
 

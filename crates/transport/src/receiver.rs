@@ -6,6 +6,7 @@
 
 use crate::stats::ReceiverFlowStats;
 use netsim::agent::{Agent, Ctx};
+use netsim::flowtab::{DenseIndex, FlowKey, FlowTable};
 use netsim::ids::{FlowId, NodeId};
 use netsim::packet::{AckInfo, Packet, PacketKind, SackBlocks};
 use netsim::time::{SimDuration, SimTime};
@@ -145,9 +146,16 @@ impl RxFlow {
 }
 
 /// The receiver agent.
+///
+/// Per-flow state lives in a flat [`FlowTable`] reached through a
+/// [`DenseIndex`] keyed by raw flow id: at population scale one receiver
+/// serves hundreds of flows, and the per-data-segment lookup is two
+/// indexed loads instead of a tree walk. Point lookups only — nothing
+/// ever iterates the table — so storage order is unobservable.
 pub struct TcpReceiver {
     policy: AckPolicy,
-    flows: BTreeMap<FlowId, RxFlow>,
+    flows: FlowTable<RxFlow>,
+    by_flow: DenseIndex,
 }
 
 impl TcpReceiver {
@@ -155,18 +163,29 @@ impl TcpReceiver {
     pub fn new(policy: AckPolicy) -> Self {
         TcpReceiver {
             policy,
-            flows: BTreeMap::new(),
+            flows: FlowTable::new(),
+            by_flow: DenseIndex::new(),
         }
+    }
+
+    fn flow_key(&self, flow: FlowId) -> Option<FlowKey> {
+        self.by_flow.get(flow.index() as u32)
     }
 
     /// In-order bytes received for a flow.
     pub fn bytes_received(&self, flow: FlowId) -> u64 {
-        self.flows.get(&flow).map(|f| f.rcv_nxt).unwrap_or(0)
+        self.flow_key(flow)
+            .and_then(|k| self.flows.get(k))
+            .map(|f| f.rcv_nxt)
+            .unwrap_or(0)
     }
 
     /// Per-flow receive statistics.
     pub fn flow_stats(&self, flow: FlowId) -> ReceiverFlowStats {
-        self.flows.get(&flow).map(|f| f.stats).unwrap_or_default()
+        self.flow_key(flow)
+            .and_then(|k| self.flows.get(k))
+            .map(|f| f.stats)
+            .unwrap_or_default()
     }
 
     fn send_ack(flow_id: FlowId, flow: &mut RxFlow, ctx: &mut Ctx<'_>) {
@@ -190,10 +209,18 @@ impl TcpReceiver {
     }
 
     fn on_data(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
-        let flow = self
-            .flows
-            .entry(pkt.flow)
-            .or_insert_with(|| RxFlow::new(pkt.src));
+        let raw = pkt.flow.index() as u32;
+        let key = match self.by_flow.get(raw) {
+            Some(k) => k,
+            None => {
+                let k = self.flows.insert(RxFlow::new(pkt.src));
+                self.by_flow.set(raw, k);
+                k
+            }
+        };
+        let Some(flow) = self.flows.get_mut(key) else {
+            return; // index and table disagree: treat as unknown flow
+        };
         flow.stats.data_segs += 1;
         flow.echo = (pkt.sent_at, pkt.is_retx);
         flow.int_echo = pkt.int;
@@ -287,7 +314,11 @@ impl Agent for TcpReceiver {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         let (flow_id, gen) = Self::decode_token(token);
-        let Some(flow) = self.flows.get_mut(&flow_id) else {
+        let Some(flow) = self
+            .by_flow
+            .get(flow_id.index() as u32)
+            .and_then(|k| self.flows.get_mut(k))
+        else {
             return;
         };
         if flow.timer_gen != gen || !flow.delack_armed {

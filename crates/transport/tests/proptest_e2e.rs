@@ -111,17 +111,17 @@ impl PeriodicLoss {
 }
 
 impl Qdisc for PeriodicLoss {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
-        if pkt.is_data() {
+    fn enqueue(&mut self, frame: FrameRef, pool: &mut FramePool, now: SimTime) -> EnqueueOutcome {
+        if pool.get(frame).is_data() {
             self.count += 1;
             if self.count.is_multiple_of(self.k) {
                 self.stats_dropped += 1;
                 return EnqueueOutcome::Dropped;
             }
         }
-        self.inner.enqueue(pkt, now)
+        self.inner.enqueue(frame, pool, now)
     }
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<FrameRef> {
         self.inner.dequeue(now)
     }
     fn len_bytes(&self) -> u64 {

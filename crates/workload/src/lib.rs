@@ -21,6 +21,7 @@
 
 pub mod arrivals;
 pub mod iperf;
+pub mod population;
 pub mod scenario;
 pub mod stress;
 
@@ -28,6 +29,10 @@ pub mod stress;
 pub mod prelude {
     pub use crate::arrivals::{PoissonWorkload, SizeMix};
     pub use crate::iperf::{FlowReport, FlowSpec};
+    pub use crate::population::{
+        run_population, run_population_with_threads, PopulationError, PopulationFingerprint,
+        PopulationOutcome, PopulationSpec,
+    };
     pub use crate::scenario::{run, Scenario, ScenarioError, ScenarioOutcome};
     pub use crate::stress::StressLoad;
 }

@@ -1,0 +1,881 @@
+//! Population-scale traffic generation: thousands of flows across
+//! independent rack cells.
+//!
+//! The paper measures a handful of flows; the deployment question is
+//! population-scale — what does the energy bill look like when 10k CUBIC
+//! flows meet 1k BBR flows (the CCA-mix regime of the content-provider
+//! fairness studies in PAPERS.md)? A [`PopulationSpec`] describes N flows
+//! with a CCA mix, staggered arrivals, and a rack grid: `racks`
+//! independent incast cells of `hosts_per_rack` sender hosts, each host
+//! kernel-multiplexing its share of flows behind one
+//! [`transport::mux::MuxSender`].
+//!
+//! ## Determinism under parallelism
+//!
+//! Racks share no links, so each rack is an isolated simulation — a pure
+//! function of its plan (a `Send`-able value type). That is the whole
+//! parallelism story: [`run_population_with_threads`] hands complete
+//! racks to worker threads, each worker builds and runs its own
+//! `Network` locally, and outcomes are merged in rack-index order. The
+//! merged result is therefore bit-identical for *any* thread count,
+//! including 1 — the engine's `(at, seq)` event order inside each rack
+//! is never touched. The golden fingerprint tests pin this.
+
+use crate::iperf::FlowReport;
+use crate::scenario::ScenarioError;
+use cca::{CcaConfig, CcaKind};
+use energy::calibration::{self, PACING_PPS_BONUS};
+use energy::host::HostContext;
+use energy::meter::EnergyMeter;
+use netsim::engine::{Network, RunOutcome};
+use netsim::ids::FlowId;
+use netsim::packet::HEADER_BYTES;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topology::{BottleneckQueue, Incast, IncastConfig};
+use netsim::units::Rate;
+use transport::mux::MuxSender;
+use transport::receiver::TcpReceiver;
+use transport::sender::{TcpSender, TcpSenderConfig};
+
+/// A population of bulk flows over a grid of independent rack cells.
+#[derive(Clone, Debug)]
+pub struct PopulationSpec {
+    /// MTU in bytes (wire size of a full segment).
+    pub mtu: u32,
+    /// Total flows across the whole population.
+    pub total_flows: usize,
+    /// CCA mix as (algorithm, weight) pairs; flows are assigned by
+    /// smooth weighted round-robin over the global flow index, so the
+    /// mix is even across racks and stable under re-sharding.
+    pub mix: Vec<(CcaKind, u32)>,
+    /// Application bytes per flow.
+    pub bytes_per_flow: u64,
+    /// Arrivals ramp linearly over this window (flow `f` starts at
+    /// `spread * f / total`), modelling staggered client arrivals
+    /// rather than a synchronized stampede.
+    pub arrival_spread: SimDuration,
+    /// Per-flow random start jitter on top of the ramp, drawn from the
+    /// owning rack's seeded stream. `ZERO` disables.
+    pub start_jitter: SimDuration,
+    /// Number of independent rack cells.
+    pub racks: usize,
+    /// Sender hosts per rack (the incast fan-in).
+    pub hosts_per_rack: usize,
+    /// Edge and bottleneck rate in Gb/s (the paper's testbed is 10).
+    pub link_gbps: f64,
+    /// One-way propagation delay per hop.
+    pub hop_delay: SimDuration,
+    /// Bottleneck (switch -> receiver) buffer per rack, in bytes.
+    pub buffer_bytes: u64,
+    /// Buffer on non-bottleneck links, in bytes.
+    pub edge_buffer_bytes: u64,
+    /// LAG width for every rack link (see [`IncastConfig::bond_links`]).
+    /// The default of 2 mirrors the dumbbell's bonded sender NICs and
+    /// produces the same-nanosecond delivery ties the engine's batched
+    /// dispatch coalesces.
+    pub bond_links: usize,
+    /// Host packet-processing ceiling in packets/sec (`None` disables).
+    /// Off by default for populations: the ceiling models a single
+    /// iperf socket's host, which a 20-flow multiplexed sender is not,
+    /// and per-sub gaps would serialize the burst emission that feeds
+    /// batched dispatch.
+    pub host_pps_cap: Option<f64>,
+    /// Bin width for energy activity integration.
+    pub activity_bin: SimDuration,
+    /// Master RNG seed; each rack derives an isolated stream from it.
+    pub seed: u64,
+    /// Same-timestamp delivery batching in the engine (on by default;
+    /// the equivalence tests flip it off to pin bit-identity).
+    pub delivery_batching: bool,
+    /// Hard simulated-time limit per rack (`None` = derived default).
+    pub time_limit: Option<SimTime>,
+}
+
+impl PopulationSpec {
+    /// A population with the testbed defaults: MTU 9000, 10 Gb/s links,
+    /// 8 racks of 8 sender hosts, 1 MB per flow, arrivals over 20 ms.
+    pub fn new(total_flows: usize, mix: Vec<(CcaKind, u32)>) -> Self {
+        assert!(total_flows > 0, "need at least one flow");
+        assert!(!mix.is_empty(), "need at least one CCA in the mix");
+        assert!(
+            mix.iter().any(|&(_, w)| w > 0),
+            "mix needs a positive weight"
+        );
+        PopulationSpec {
+            mtu: 9000,
+            total_flows,
+            mix,
+            bytes_per_flow: 1_000_000,
+            arrival_spread: SimDuration::from_millis(20),
+            start_jitter: SimDuration::from_micros(200),
+            racks: 8,
+            hosts_per_rack: 8,
+            link_gbps: 10.0,
+            hop_delay: SimDuration::from_micros(25),
+            buffer_bytes: 1_000_000,
+            edge_buffer_bytes: 4_000_000,
+            bond_links: 2,
+            host_pps_cap: None,
+            activity_bin: SimDuration::from_millis(1),
+            seed: 1,
+            delivery_batching: true,
+            time_limit: None,
+        }
+    }
+
+    /// The tracked `bulk_10k_flows` benchmark population: 10,000 CUBIC
+    /// flows sharing 22 racks with 1,000 BBR flows (the 10:1 CCA mix of
+    /// the content-provider-fairness measurements), 1 MB per flow. This
+    /// is the scenario BENCH_netsim.json pins `events_per_sec` for and
+    /// the one the population golden tests fingerprint at tiny scale.
+    pub fn bulk_10k_flows() -> Self {
+        PopulationSpec::new(11_000, vec![(CcaKind::Cubic, 10), (CcaKind::Bbr, 1)])
+            .with_grid(22, 10)
+            .with_bytes_per_flow(1_000_000)
+            .with_seed(6)
+    }
+
+    /// `bulk_10k_flows` shrunk ~100x (110 flows, 2 racks) with the same
+    /// mix, per-flow size, and seed: small enough for CI to run in
+    /// milliseconds, same shape everywhere else. The golden fingerprint
+    /// test pins this spec's outcome bit-for-bit.
+    pub fn bulk_10k_flows_tiny() -> Self {
+        PopulationSpec::new(110, vec![(CcaKind::Cubic, 10), (CcaKind::Bbr, 1)])
+            .with_grid(2, 10)
+            .with_bytes_per_flow(1_000_000)
+            .with_seed(6)
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the rack grid (racks x sender hosts per rack).
+    pub fn with_grid(mut self, racks: usize, hosts_per_rack: usize) -> Self {
+        assert!(racks > 0 && hosts_per_rack > 0, "grid must be non-empty");
+        self.racks = racks;
+        self.hosts_per_rack = hosts_per_rack;
+        self
+    }
+
+    /// Set the per-flow transfer size.
+    pub fn with_bytes_per_flow(mut self, bytes: u64) -> Self {
+        self.bytes_per_flow = bytes;
+        self
+    }
+
+    /// Set the arrival ramp window.
+    pub fn with_arrival_spread(mut self, spread: SimDuration) -> Self {
+        self.arrival_spread = spread;
+        self
+    }
+
+    /// Toggle same-timestamp delivery batching in the engine.
+    pub fn with_delivery_batching(mut self, on: bool) -> Self {
+        self.delivery_batching = on;
+        self
+    }
+
+    /// The CCA of every flow, in global flow order: smooth weighted
+    /// round-robin over the mix, so any prefix carries (close to) the
+    /// configured ratios and the assignment never depends on the rack
+    /// grid or thread count.
+    pub fn cca_assignment(&self) -> Vec<CcaKind> {
+        let wsum: i64 = self.mix.iter().map(|&(_, w)| w as i64).sum();
+        let mut credit = vec![0i64; self.mix.len()];
+        let mut out = Vec::with_capacity(self.total_flows);
+        for _ in 0..self.total_flows {
+            for (c, &(_, w)) in credit.iter_mut().zip(&self.mix) {
+                *c += w as i64;
+            }
+            let mut best = 0;
+            for k in 1..credit.len() {
+                if credit[k] > credit[best] {
+                    best = k;
+                }
+            }
+            credit[best] -= wsum;
+            out.push(self.mix[best].0);
+        }
+        out
+    }
+
+    /// Derived per-rack time limit: 20x the rack's ideal transfer time
+    /// plus the arrival ramp and a constant for RTO-heavy tails (the
+    /// same shape as the scenario runner's default).
+    fn default_time_limit(&self, rack_bytes: u64) -> SimTime {
+        let ideal = rack_bytes as f64 * 8.0 / (self.link_gbps * 1e9);
+        SimTime::from_secs_f64(20.0 * ideal + self.arrival_spread.as_secs_f64() + 30.0)
+    }
+}
+
+/// One flow inside a rack plan: everything a worker needs to build it.
+#[derive(Clone, Copy, Debug)]
+struct PlanFlow {
+    /// Global flow id (population-wide, sparse within one rack).
+    flow: u32,
+    cca: CcaKind,
+    bytes: u64,
+    /// Deterministic arrival-ramp offset (jitter is added rack-side).
+    start: SimDuration,
+}
+
+/// A complete, `Send`-able description of one rack's simulation. The
+/// rack outcome is a pure function of this value — the contract that
+/// makes worker-thread execution safe.
+#[derive(Clone, Debug)]
+struct RackPlan {
+    rack: usize,
+    seed: u64,
+    mtu: u32,
+    hosts: usize,
+    link_gbps: f64,
+    hop_delay: SimDuration,
+    buffer_bytes: u64,
+    edge_buffer_bytes: u64,
+    bond_links: usize,
+    host_pps_cap: Option<f64>,
+    activity_bin: SimDuration,
+    start_jitter: SimDuration,
+    delivery_batching: bool,
+    time_limit: SimTime,
+    /// Rack-local flow list, in rack-local order.
+    flows: Vec<PlanFlow>,
+}
+
+/// What one rack produced (merged by the population runner).
+struct RackOutcome {
+    reports: Vec<FlowReport>,
+    sender_energy_j: f64,
+    receiver_energy_j: f64,
+    counters: netsim::engine::EngineCounters,
+    sim_end: SimTime,
+}
+
+/// Why a population run failed.
+#[derive(Debug)]
+pub enum PopulationError {
+    /// One rack's simulation failed (stalled, incomplete, ...).
+    Rack {
+        /// Which rack.
+        rack: usize,
+        /// The underlying scenario-level failure.
+        error: ScenarioError,
+    },
+    /// A worker thread died or failed to deliver its rack outcomes.
+    Worker {
+        /// The worker's stripe index.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for PopulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PopulationError::Rack { rack, error } => write!(f, "rack {rack}: {error}"),
+            PopulationError::Worker { worker } => {
+                write!(f, "worker {worker} died without delivering its racks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PopulationError {}
+
+/// Everything a population run produced.
+#[derive(Debug)]
+pub struct PopulationOutcome {
+    /// Per-flow reports in global flow order.
+    pub reports: Vec<FlowReport>,
+    /// Total sender-side energy across all racks (J).
+    pub sender_energy_j: f64,
+    /// Total receiver-side energy across all racks (J).
+    pub receiver_energy_j: f64,
+    /// Events through all rack engines combined.
+    pub events_processed: u64,
+    /// Agent dispatches that carried a coalesced same-timestamp batch.
+    pub dispatch_batches: u64,
+    /// Packets delivered through those batched dispatches.
+    pub batched_pkts: u64,
+    /// Scheduler pushes served by the O(1) wheel, across racks.
+    pub wheel_pushes: u64,
+    /// Scheduler pushes that overflowed to the far-future heap.
+    pub heap_pushes: u64,
+    /// Heap entries later migrated into the wheel.
+    pub migrations: u64,
+    /// Latest simulated end time across racks.
+    pub sim_end: SimTime,
+    /// Wall-clock time for the whole population run (reporting only;
+    /// never feeds back into simulated state).
+    pub wall: std::time::Duration,
+    /// Racks that actually ran (non-empty).
+    pub racks_run: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// The deterministic signature of a population run: compared with `==`
+/// in the golden and equivalence tests, so batching mode, thread count,
+/// and re-runs must all reproduce it bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PopulationFingerprint {
+    /// Events through all rack engines.
+    pub events_processed: u64,
+    /// Latest simulated end time, in nanoseconds.
+    pub sim_end_ns: u64,
+    /// Bit pattern of the total sender energy (exact, not approximate).
+    pub sender_energy_bits: u64,
+    /// Total retransmitted segments across all flows.
+    pub total_retx: u64,
+}
+
+impl PopulationOutcome {
+    /// Events per wall-clock second (the BENCH_netsim.json metric).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.events_processed as f64 / secs
+    }
+
+    /// Fraction of scheduler pushes served by the O(1) wheel path.
+    pub fn wheel_hit_rate(&self) -> f64 {
+        let total = self.wheel_pushes + self.heap_pushes;
+        if total == 0 {
+            return 1.0;
+        }
+        self.wheel_pushes as f64 / total as f64
+    }
+
+    /// Total retransmitted segments across the population.
+    pub fn total_retx(&self) -> u64 {
+        self.reports.iter().map(|r| r.retransmits).sum()
+    }
+
+    /// The deterministic run signature (see [`PopulationFingerprint`]).
+    pub fn fingerprint(&self) -> PopulationFingerprint {
+        PopulationFingerprint {
+            events_processed: self.events_processed,
+            sim_end_ns: self.sim_end.as_nanos(),
+            sender_energy_bits: self.sender_energy_j.to_bits(),
+            total_retx: self.total_retx(),
+        }
+    }
+
+    /// Mean goodput (Gb/s) per CCA, in order of first appearance in the
+    /// report list.
+    pub fn goodput_by_cca(&self) -> Vec<(CcaKind, f64)> {
+        let mut kinds: Vec<CcaKind> = Vec::new();
+        for r in &self.reports {
+            if !kinds.contains(&r.cca) {
+                kinds.push(r.cca);
+            }
+        }
+        kinds
+            .into_iter()
+            .map(|kind| {
+                let mut sum = 0.0;
+                let mut n = 0u64;
+                for r in self.reports.iter().filter(|r| r.cca == kind) {
+                    sum += r.mean_goodput.gbps();
+                    n += 1;
+                }
+                (kind, if n == 0 { 0.0 } else { sum / n as f64 })
+            })
+            .collect()
+    }
+
+    /// Jain fairness index over per-flow mean goodputs.
+    pub fn jain_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self.reports.iter().map(|r| r.mean_goodput.gbps()).collect();
+        let sum: f64 = xs.iter().sum();
+        let sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (xs.len() as f64 * sq)
+    }
+}
+
+/// Derive the isolated per-rack seed: a splitmix-style scramble of the
+/// master seed and rack index, so racks never share RNG streams and
+/// adding a rack never perturbs another's draws.
+fn rack_seed(master: u64, rack: usize) -> u64 {
+    let mut z = master ^ (rack as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Shard the population into per-rack plans. Flow `f` lands on rack
+/// `f % racks` (even CCA mix per rack) and, within the rack, on host
+/// `local_index % hosts` — both pure functions of the spec.
+fn build_plans(spec: &PopulationSpec) -> Vec<RackPlan> {
+    let ccas = spec.cca_assignment();
+    let spread_ns = spec.arrival_spread.as_nanos();
+    let mut plans: Vec<RackPlan> = (0..spec.racks)
+        .map(|rack| RackPlan {
+            rack,
+            seed: rack_seed(spec.seed, rack),
+            mtu: spec.mtu,
+            hosts: spec.hosts_per_rack,
+            link_gbps: spec.link_gbps,
+            hop_delay: spec.hop_delay,
+            buffer_bytes: spec.buffer_bytes,
+            edge_buffer_bytes: spec.edge_buffer_bytes,
+            bond_links: spec.bond_links,
+            host_pps_cap: spec.host_pps_cap,
+            activity_bin: spec.activity_bin,
+            start_jitter: spec.start_jitter,
+            delivery_batching: spec.delivery_batching,
+            time_limit: SimTime::ZERO, // filled below, once rack bytes are known
+            flows: Vec::new(),
+        })
+        .collect();
+    for f in 0..spec.total_flows {
+        let start_ns = spread_ns * f as u64 / spec.total_flows as u64;
+        plans[f % spec.racks].flows.push(PlanFlow {
+            flow: f as u32,
+            cca: ccas[f],
+            bytes: spec.bytes_per_flow,
+            start: SimDuration::from_nanos(start_ns),
+        });
+    }
+    plans.retain(|p| !p.flows.is_empty());
+    for plan in &mut plans {
+        let rack_bytes: u64 = plan.flows.iter().map(|f| f.bytes).sum();
+        plan.time_limit = spec
+            .time_limit
+            .unwrap_or_else(|| spec.default_time_limit(rack_bytes));
+    }
+    plans
+}
+
+/// Build and run one rack cell to completion. Pure in `plan`: no global
+/// state, no host clock, no cross-rack references — the worker-thread
+/// contract.
+fn run_rack(plan: &RackPlan) -> Result<RackOutcome, PopulationError> {
+    let rack = plan.rack;
+    let mss = plan.mtu - HEADER_BYTES;
+    let mut net = Network::new(plan.seed);
+    net.set_delivery_batching(plan.delivery_batching);
+    net.enable_activity(plan.activity_bin);
+    let cfg = IncastConfig {
+        fan_in: plan.hosts,
+        edge_rate: Rate::from_gbps(plan.link_gbps),
+        bottleneck_rate: Rate::from_gbps(plan.link_gbps),
+        hop_delay: plan.hop_delay,
+        bond_links: plan.bond_links,
+        bottleneck_queue: BottleneckQueue::DropTail {
+            capacity_bytes: plan.buffer_bytes,
+        },
+        edge_buffer_bytes: plan.edge_buffer_bytes,
+    };
+    let cell = Incast::build(&mut net, &cfg);
+
+    // simlint::allow(rng-discipline, reason = "named stream: rack seed XOR 'popu' salt; rack-local so jitter draws are identical for any thread count or rack subset")
+    let mut jitter_rng = netsim::rng::SimRng::new(plan.seed ^ 0x706f_7075);
+    let jitters: Vec<SimDuration> = plan
+        .flows
+        .iter()
+        .map(|_| {
+            let ns = if plan.start_jitter.is_zero() {
+                0
+            } else {
+                jitter_rng.next_below(plan.start_jitter.as_nanos())
+            };
+            SimDuration::from_nanos(ns)
+        })
+        .collect();
+
+    // Path capacity for the constant-cwnd baseline module, mirroring the
+    // scenario runner's sizing against BDP + bottleneck buffer.
+    let rtt = plan.hop_delay.as_secs_f64() * 4.0;
+    let bdp = (plan.link_gbps * 1e9 / 8.0 * rtt) as u64;
+    let baseline_cwnd =
+        ((bdp + plan.buffer_bytes) as f64 * crate::scenario::BASELINE_CWND_FACTOR) as u64;
+    let cca_cfg = CcaConfig::new(mss).with_baseline_cwnd(baseline_cwnd);
+
+    // Round-robin flows onto hosts; each host multiplexes its share.
+    let mut host_flows: Vec<Vec<usize>> = vec![Vec::new(); plan.hosts];
+    for (l, _) in plan.flows.iter().enumerate() {
+        host_flows[l % plan.hosts].push(l);
+    }
+    for (h, locals) in host_flows.iter().enumerate() {
+        if locals.is_empty() {
+            continue;
+        }
+        let subs: Vec<TcpSender> = locals
+            .iter()
+            .map(|&l| {
+                let f = &plan.flows[l];
+                let cc = f.cca.build(&cca_cfg);
+                let min_gap = plan
+                    .host_pps_cap
+                    .map(|pps| {
+                        let pps = if cc.uses_pacing() {
+                            pps * PACING_PPS_BONUS
+                        } else {
+                            pps
+                        };
+                        SimDuration::from_secs_f64(1.0 / pps)
+                    })
+                    .unwrap_or(SimDuration::ZERO);
+                let cfg = TcpSenderConfig::bulk(
+                    FlowId::from_raw(f.flow),
+                    cell.receiver,
+                    plan.mtu,
+                    f.bytes,
+                )
+                .with_min_pkt_gap(min_gap)
+                .with_rtt_hint(plan.hop_delay * 4)
+                .with_start_delay(f.start + jitters[l]);
+                TcpSender::new(cfg, cc)
+            })
+            .collect();
+        net.attach_agent(cell.senders[h], Box::new(MuxSender::new(subs)));
+    }
+    let policy = if plan.flows.iter().any(|f| f.cca == CcaKind::Dctcp) {
+        CcaKind::Dctcp.ack_policy()
+    } else {
+        CcaKind::Cubic.ack_policy()
+    };
+    net.attach_agent(cell.receiver, Box::new(TcpReceiver::new(policy)));
+
+    match net.run_until(plan.time_limit) {
+        RunOutcome::Stalled => {
+            return Err(PopulationError::Rack {
+                rack,
+                error: ScenarioError::Stalled { at: net.now() },
+            })
+        }
+        RunOutcome::Drained
+        | RunOutcome::Stopped
+        | RunOutcome::TimeLimit
+        | RunOutcome::DeadlineExceeded => {}
+    }
+
+    // Per-flow reports, in rack-local order (the merger re-sorts).
+    let mut reports = Vec::with_capacity(plan.flows.len());
+    for (h, locals) in host_flows.iter().enumerate() {
+        let Some(mux) = net.agent::<MuxSender>(cell.senders[h]) else {
+            continue; // host had no flows
+        };
+        for (j, &l) in locals.iter().enumerate() {
+            let f = &plan.flows[l];
+            let flow = FlowId::from_raw(f.flow);
+            let stats = mux.sub(j).stats();
+            let terminal_at = match (stats.completed_at, stats.aborted_at) {
+                (Some(done), _) => done,
+                (None, Some(gave_up)) => gave_up,
+                (None, None) => {
+                    return Err(PopulationError::Rack {
+                        rack,
+                        error: ScenarioError::Incomplete {
+                            flow,
+                            limit: plan.time_limit,
+                        },
+                    })
+                }
+            };
+            let Some(started_at) = stats.started_at else {
+                return Err(PopulationError::Rack {
+                    rack,
+                    error: ScenarioError::Incomplete {
+                        flow,
+                        limit: plan.time_limit,
+                    },
+                });
+            };
+            let fct = terminal_at.saturating_since(started_at);
+            reports.push(FlowReport {
+                flow,
+                cca: f.cca,
+                outcome: stats.outcome(),
+                bytes: f.bytes,
+                bytes_acked: stats.bytes_acked,
+                started_at,
+                completed_at: terminal_at,
+                fct,
+                mean_goodput: netsim::units::average_rate(stats.bytes_acked, fct),
+                retransmits: stats.retx_segs,
+                rtos: stats.rto_count,
+                segs_sent: stats.segs_sent,
+                acks_processed: stats.acks_processed,
+                compute_cost_factor: mux.sub(j).compute_cost_factor(),
+            });
+        }
+    }
+
+    // Energy over [0, last terminal time in the rack], per sender host
+    // with the CC cost weighted by each resident flow's ack share (the
+    // scenario runner's colocated-sender accounting).
+    let window_end = reports
+        .iter()
+        .map(|r| r.completed_at)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let window = window_end.saturating_since(SimTime::ZERO);
+    let meter = EnergyMeter::new(calibration::reference_host_model());
+    let ref_cost = calibration::cc_cost_per_ack_ref_j();
+    let mut sender_energy_j = 0.0;
+    let mut receiver_energy_j = 0.0;
+    if let Some(activity) = net.activity() {
+        // Walk hosts in rack order so float summation order is fixed.
+        let mut base = 0usize;
+        for (h, locals) in host_flows.iter().enumerate() {
+            if locals.is_empty() {
+                continue;
+            }
+            let Some(host_reports) = reports.get(base..base + locals.len()) else {
+                debug_assert!(false, "host report slice out of range");
+                continue;
+            };
+            base += locals.len();
+            let total_acks: u64 = host_reports.iter().map(|r| r.acks_processed).sum();
+            let weighted_factor = if total_acks == 0 {
+                0.0
+            } else {
+                host_reports
+                    .iter()
+                    .map(|r| r.compute_cost_factor * r.acks_processed as f64)
+                    .sum::<f64>()
+                    / total_acks as f64
+            };
+            let ctx = HostContext {
+                background_util: 0.0,
+                cc_cost_per_ack_j: ref_cost * weighted_factor,
+            };
+            sender_energy_j += meter
+                .measure_host(activity, cell.senders[h], window, ctx)
+                .joules;
+        }
+        receiver_energy_j = meter
+            .measure_host(activity, cell.receiver, window, HostContext::default())
+            .joules;
+    }
+
+    Ok(RackOutcome {
+        reports,
+        sender_energy_j,
+        receiver_energy_j,
+        counters: net.counters(),
+        sim_end: net.now(),
+    })
+}
+
+/// Run a population single-threaded. Identical result to
+/// [`run_population_with_threads`] with any worker count.
+pub fn run_population(spec: &PopulationSpec) -> Result<PopulationOutcome, PopulationError> {
+    run_population_with_threads(spec, 1)
+}
+
+/// Run a population with `threads` worker threads, whole racks per
+/// worker, merged in rack-index order. Because every rack is a pure
+/// function of its plan, the outcome is bit-identical for any
+/// `threads >= 1`.
+pub fn run_population_with_threads(
+    spec: &PopulationSpec,
+    threads: usize,
+) -> Result<PopulationOutcome, PopulationError> {
+    let plans = build_plans(spec);
+    let threads = threads.clamp(1, plans.len().max(1));
+    // simlint::allow(wall-clock, reason = "events_per_sec reporting only; the reading never feeds back into simulated state")
+    let t0 = std::time::Instant::now();
+    let mut slots: Vec<Option<Result<RackOutcome, PopulationError>>> =
+        (0..plans.len()).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, plan) in plans.iter().enumerate() {
+            slots[i] = Some(run_rack(plan));
+        }
+    } else {
+        // Striped static assignment: worker w runs racks w, w+T, w+2T...
+        // Assignment affects only wall time, never results — each rack
+        // is a pure function of its plan and the merge below is in rack
+        // order regardless of which worker ran it.
+        let joined = std::thread::scope(|s| {
+            let plans = &plans;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < plans.len() {
+                            out.push((i, run_rack(&plans[i])));
+                            i += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join())
+                .collect::<Vec<std::thread::Result<_>>>()
+        });
+        for (w, res) in joined.into_iter().enumerate() {
+            let Ok(list) = res else {
+                return Err(PopulationError::Worker { worker: w });
+            };
+            for (i, r) in list {
+                slots[i] = Some(r);
+            }
+        }
+    }
+    let wall = t0.elapsed();
+
+    // Deterministic merge: rack-index order, then global flow order.
+    let mut reports = Vec::with_capacity(spec.total_flows);
+    let mut sender_energy_j = 0.0;
+    let mut receiver_energy_j = 0.0;
+    let mut events_processed = 0u64;
+    let mut dispatch_batches = 0u64;
+    let mut batched_pkts = 0u64;
+    let mut wheel_pushes = 0u64;
+    let mut heap_pushes = 0u64;
+    let mut migrations = 0u64;
+    let mut sim_end = SimTime::ZERO;
+    let racks_run = slots.len();
+    for (w, slot) in slots.into_iter().enumerate() {
+        let Some(result) = slot else {
+            return Err(PopulationError::Worker { worker: w });
+        };
+        let rack = result?;
+        reports.extend(rack.reports);
+        sender_energy_j += rack.sender_energy_j;
+        receiver_energy_j += rack.receiver_energy_j;
+        events_processed += rack.counters.events_processed;
+        dispatch_batches += rack.counters.dispatch_batches;
+        batched_pkts += rack.counters.batched_pkts;
+        wheel_pushes += rack.counters.sched.wheel_pushes;
+        heap_pushes += rack.counters.sched.heap_pushes;
+        migrations += rack.counters.sched.migrations;
+        sim_end = sim_end.max(rack.sim_end);
+    }
+    reports.sort_by_key(|r| r.flow.index());
+    Ok(PopulationOutcome {
+        reports,
+        sender_energy_j,
+        receiver_energy_j,
+        events_processed,
+        dispatch_batches,
+        batched_pkts,
+        wheel_pushes,
+        heap_pushes,
+        migrations,
+        sim_end,
+        wall,
+        racks_run,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::units::KB;
+
+    fn tiny_spec() -> PopulationSpec {
+        PopulationSpec::new(48, vec![(CcaKind::Cubic, 10), (CcaKind::Bbr, 1)])
+            .with_grid(4, 4)
+            .with_bytes_per_flow(200 * KB)
+            .with_arrival_spread(SimDuration::from_millis(5))
+            .with_seed(42)
+    }
+
+    #[test]
+    fn mix_assignment_matches_ratios() {
+        let spec = PopulationSpec::new(110, vec![(CcaKind::Cubic, 10), (CcaKind::Bbr, 1)]);
+        let ccas = spec.cca_assignment();
+        let cubic = ccas.iter().filter(|&&c| c == CcaKind::Cubic).count();
+        let bbr = ccas.iter().filter(|&&c| c == CcaKind::Bbr).count();
+        assert_eq!(cubic, 100);
+        assert_eq!(bbr, 10);
+        // Smooth: any window of 11 consecutive flows holds exactly 1 BBR.
+        for w in ccas.windows(11) {
+            assert_eq!(w.iter().filter(|&&c| c == CcaKind::Bbr).count(), 1);
+        }
+    }
+
+    #[test]
+    fn all_flows_complete_in_global_order() {
+        let out = run_population(&tiny_spec()).expect("population completes");
+        assert_eq!(out.reports.len(), 48);
+        for (i, r) in out.reports.iter().enumerate() {
+            assert_eq!(r.flow.index(), i, "reports in global flow order");
+            assert!(r.outcome.is_completed(), "flow {i} incomplete");
+            assert_eq!(r.bytes_acked, 200 * KB);
+        }
+        assert!(out.sender_energy_j > 0.0);
+        assert!(out.receiver_energy_j > 0.0);
+        assert!(out.events_processed > 0);
+        assert_eq!(out.racks_run, 4);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_fingerprint() {
+        let spec = tiny_spec();
+        let one = run_population_with_threads(&spec, 1).expect("1 thread");
+        let three = run_population_with_threads(&spec, 3).expect("3 threads");
+        let eight = run_population_with_threads(&spec, 8).expect("8 threads");
+        assert_eq!(one.fingerprint(), three.fingerprint());
+        assert_eq!(one.fingerprint(), eight.fingerprint());
+        // And the full per-flow detail, not just the digest.
+        for (a, b) in one.reports.iter().zip(&three.reports) {
+            assert_eq!(a.flow, b.flow);
+            assert_eq!(a.fct, b.fct);
+            assert_eq!(a.retransmits, b.retransmits);
+            assert_eq!(a.acks_processed, b.acks_processed);
+        }
+    }
+
+    #[test]
+    fn batching_off_matches_batching_on() {
+        let spec = tiny_spec();
+        let on = run_population(&spec).expect("batched");
+        let off = run_population(&spec.clone().with_delivery_batching(false)).expect("unbatched");
+        assert_eq!(on.fingerprint(), off.fingerprint());
+        assert!(
+            on.dispatch_batches < on.batched_pkts,
+            "batched mode must coalesce somewhere: {} dispatches / {} pkts",
+            on.dispatch_batches,
+            on.batched_pkts
+        );
+        assert_eq!(
+            off.dispatch_batches, off.batched_pkts,
+            "unbatched mode must never coalesce"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_bit_for_bit() {
+        let spec = tiny_spec();
+        let a = run_population(&spec).expect("a");
+        let b = run_population(&spec).expect("b");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.sender_energy_j.to_bits(), b.sender_energy_j.to_bits());
+    }
+
+    #[test]
+    fn fairness_helpers_are_sane() {
+        let out = run_population(&tiny_spec()).expect("population completes");
+        let jain = out.jain_fairness();
+        assert!((0.0..=1.0).contains(&jain), "jain={jain}");
+        let by_cca = out.goodput_by_cca();
+        assert_eq!(by_cca.len(), 2);
+        assert!(by_cca.iter().all(|&(_, g)| g > 0.0));
+    }
+
+    #[test]
+    fn sparse_rack_grid_handles_fewer_flows_than_racks() {
+        let spec = PopulationSpec::new(3, vec![(CcaKind::Cubic, 1)])
+            .with_grid(8, 2)
+            .with_bytes_per_flow(100 * KB);
+        let out = run_population(&spec).expect("sparse population");
+        assert_eq!(out.reports.len(), 3);
+        assert_eq!(out.racks_run, 3, "empty racks are skipped");
+    }
+}

@@ -115,6 +115,10 @@ pub struct Scenario {
     /// observability is on, the log's eviction count surfaces as the
     /// `pktlog_dropped_records_total` metric.
     pub pkt_log_capacity: Option<usize>,
+    /// Same-timestamp delivery batching in the engine (on by default).
+    /// The batching-equivalence tests flip it off to pin that coalesced
+    /// dispatch is bit-identical to per-packet dispatch.
+    pub delivery_batching: bool,
 }
 
 /// Engine stall watchdog budget: abort the run if this many events are
@@ -149,6 +153,7 @@ impl Scenario {
             wall_deadline: None,
             observe: Observe::Off,
             pkt_log_capacity: None,
+            delivery_batching: true,
         }
     }
 
@@ -212,6 +217,12 @@ impl Scenario {
     /// Enable the engine's packet log with the given ring capacity.
     pub fn with_packet_log(mut self, capacity: usize) -> Self {
         self.pkt_log_capacity = Some(capacity);
+        self
+    }
+
+    /// Toggle same-timestamp delivery batching in the engine.
+    pub fn with_delivery_batching(mut self, on: bool) -> Self {
+        self.delivery_batching = on;
         self
     }
 
@@ -379,6 +390,7 @@ impl ScenarioOutcome {
 pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
     let mss = scenario.mtu - HEADER_BYTES;
     let mut net = Network::new(scenario.seed);
+    net.set_delivery_batching(scenario.delivery_batching);
     net.enable_activity(scenario.activity_bin);
     if let Some(bin) = scenario.trace_bin {
         net.enable_flow_trace(bin);

@@ -1,0 +1,56 @@
+//! Golden determinism fingerprint for the `bulk_10k_flows` population
+//! at tiny scale (110 flows, 2 racks — the full scenario shrunk ~100x
+//! with the same mix, per-flow size, and seed).
+//!
+//! These constants pin the population path bit-for-bit: event count,
+//! simulated end time, the exact bit pattern of the total sender energy,
+//! and the retransmit total. Any engine, transport, or workload change
+//! that moves one of them is a *behavior* change, not an optimization,
+//! and must be justified (and these constants regenerated) explicitly.
+
+use workload::prelude::*;
+
+/// Regenerate with:
+/// `PopulationSpec::bulk_10k_flows_tiny()` → `run_population(..).fingerprint()`.
+const GOLDEN: workload::population::PopulationFingerprint =
+    workload::population::PopulationFingerprint {
+        events_processed: 95_035,
+        sim_end_ns: 632_312_729,
+        sender_energy_bits: 4_637_053_659_719_401_472,
+        total_retx: 1_989,
+    };
+
+#[test]
+fn bulk_10k_flows_tiny_fingerprint_is_pinned() {
+    let out = run_population(&PopulationSpec::bulk_10k_flows_tiny()).expect("tiny population");
+    assert_eq!(
+        out.fingerprint(),
+        GOLDEN,
+        "bulk_10k_flows_tiny moved: engine/transport behavior changed \
+         (energy was {} J)",
+        out.sender_energy_j
+    );
+    let done = out
+        .reports
+        .iter()
+        .filter(|r| r.outcome.is_completed())
+        .count();
+    assert_eq!(done, 110, "every flow completes at tiny scale");
+}
+
+#[test]
+fn bulk_10k_flows_tiny_fingerprint_holds_across_threads_and_batching() {
+    // The same golden constants must hold with intra-cell parallelism
+    // and with batching disabled: both are pure execution strategies.
+    let threads = workload::population::run_population_with_threads(
+        &PopulationSpec::bulk_10k_flows_tiny(),
+        4,
+    )
+    .expect("threaded tiny population");
+    assert_eq!(threads.fingerprint(), GOLDEN);
+
+    let unbatched =
+        run_population(&PopulationSpec::bulk_10k_flows_tiny().with_delivery_batching(false))
+            .expect("unbatched tiny population");
+    assert_eq!(unbatched.fingerprint(), GOLDEN);
+}

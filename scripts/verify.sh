@@ -5,7 +5,7 @@
 # engine or experiment changes. A pass/fail table for every stage is
 # printed at the end, even when a stage fails.
 #
-# Usage: scripts/verify.sh [--lint] [--chaos] [--resume] [--obs]
+# Usage: scripts/verify.sh [--lint] [--chaos] [--resume] [--obs] [--perf]
 #   --lint    additionally run the simlint static-analysis pass over the
 #             whole workspace (determinism, panic-hygiene, durability,
 #             and float-discipline rules). Zero unsuppressed findings
@@ -23,6 +23,10 @@
 #             tests, and a tiny-scale chaos run with --trace-out executed
 #             twice — the exported Perfetto traces must be byte-identical
 #             across the two runs.
+#   --perf    additionally run the perf-regression gate: re-measure the
+#             perf_baseline scenario suite (including bulk_10k_flows)
+#             and fail if any tracked events_per_sec falls more than 15%
+#             below the committed BENCH_netsim.json.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,12 +34,14 @@ lint=0
 chaos=0
 resume=0
 obs=0
+perf=0
 for arg in "$@"; do
     case "$arg" in
         --lint) lint=1 ;;
         --chaos) chaos=1 ;;
         --resume) resume=1 ;;
         --obs) obs=1 ;;
+        --perf) perf=1 ;;
         *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -99,6 +105,10 @@ stage_smoke() {
     # not clobber the tracked standard-scale results at the repo root.
     (cd "$smoke" && GREENENVY_SCALE=quick \
         cargo run --release --offline --manifest-path "$repo/Cargo.toml" -p bench --bin all)
+}
+
+stage_perf() {
+    cargo run --release --offline -p bench --bin perf_baseline -- --check
 }
 
 stage_lint() {
@@ -203,6 +213,9 @@ run_stage "fmt (cargo fmt --check)" stage_fmt
 run_stage "clippy (workspace, -D warnings)" stage_clippy
 run_stage "tests (offline)" stage_test
 run_stage "figure smoke run (GREENENVY_SCALE=quick)" stage_smoke
+if [[ $perf -eq 1 ]]; then
+    run_stage "perf (baseline regression gate)" stage_perf
+fi
 if [[ $lint -eq 1 ]]; then
     run_stage "lint (simlint --workspace)" stage_lint
 fi
