@@ -5,17 +5,25 @@
 //! congestive. Real links corrupt, drop, and flap. This experiment re-runs
 //! the Figure-1 endpoints — the fair 50/50 split against the "full speed,
 //! then idle" serial schedule — with random loss injected on the
-//! bottleneck ([`netsim::fault::FaultSpec`]), sweeping the rate from 0 to
-//! 1%. If the energy ordering (serial cheaper than fair) survives, the
-//! unfairness argument does not depend on a pristine wire.
+//! bottleneck, sweeping the rate from 0 to 1%.
+//!
+//! Built on the [`scenario`] DSL: each endpoint is a declarative
+//! [`ScenarioBuilder`] composition, and the energy ordering is checked
+//! by a [`Expectation::SavingsOrdering`] expectation per seed — a
+//! structured verdict with the measured savings, not an eyeballed
+//! table. If every ordering check passes under loss, the unfairness
+//! argument does not depend on a pristine wire.
 
 use crate::scale::Scale;
 use analysis::stats::Summary;
-use cca::CcaKind;
-use netsim::fault::FaultSpec;
-use netsim::time::SimTime;
+use scenario::expect;
+use scenario::prelude::*;
 use serde::{Deserialize, Serialize};
-use workload::prelude::*;
+
+/// The savings floor each per-seed ordering check asserts: serial must
+/// undercut fair by at least this much (the paper's clean-wire headline
+/// is ~2x bigger; the floor leaves room for loss-induced noise).
+pub const MIN_SAVINGS_PCT: f64 = 2.0;
 
 /// Configuration.
 #[derive(Clone, Debug)]
@@ -62,6 +70,17 @@ pub struct ChaosRow {
     pub injected_drops: f64,
     /// Mean retransmitted segments per fair run (all flows).
     pub retx: f64,
+    /// The per-seed `savings_ordering` verdicts: each run's serial
+    /// schedule checked against its fair baseline by the expectations
+    /// engine (measured savings, target floor, pass/fail).
+    pub ordering_checks: Vec<ExpectationReport>,
+}
+
+impl ChaosRow {
+    /// Every seed's ordering check passed.
+    pub fn ordering_holds(&self) -> bool {
+        self.ordering_checks.iter().all(|c| c.passed)
+    }
 }
 
 /// The sweep result.
@@ -71,43 +90,11 @@ pub struct Result {
     pub rows: Vec<ChaosRow>,
 }
 
-fn apply_fault(scenario: Scenario, loss: f64) -> Scenario {
-    if loss > 0.0 {
-        scenario.with_fault(FaultSpec::random_loss(loss))
-    } else {
-        scenario
-    }
-}
-
-/// Instrument a sweep scenario when `--trace-out` is active.
-fn observed(scenario: Scenario, cfg: &Config) -> Scenario {
-    if cfg.trace_out.is_some() {
-        scenario
-            .with_observability()
-            .with_trace(netsim::time::SimDuration::from_millis(10))
-    } else {
-        scenario
-    }
-}
-
-/// Persist one sweep run's artifacts (no-op unless `trace_out` is set).
-fn persist_run(
-    cfg: &Config,
-    label: &str,
-    out: &ScenarioOutcome,
-) -> std::result::Result<(), ChaosError> {
-    if let (Some(dir), Some(report)) = (&cfg.trace_out, &out.obs) {
-        let aborted = out.reports.iter().any(|r| !r.outcome.is_completed());
-        crate::campaign::artifacts::persist_cell_obs(dir, label, report, aborted)?;
-    }
-    Ok(())
-}
-
 /// Why the sweep failed.
 #[derive(Debug)]
 pub enum ChaosError {
     /// A scenario run failed (abort, stall, deadline).
-    Scenario(ScenarioError),
+    Scenario(RunError),
     /// An observability artifact could not be persisted.
     Persist(crate::campaign::persist::PersistError),
 }
@@ -123,8 +110,8 @@ impl std::fmt::Display for ChaosError {
 
 impl std::error::Error for ChaosError {}
 
-impl From<ScenarioError> for ChaosError {
-    fn from(e: ScenarioError) -> Self {
+impl From<RunError> for ChaosError {
+    fn from(e: RunError) -> Self {
         ChaosError::Scenario(e)
     }
 }
@@ -135,56 +122,54 @@ impl From<crate::campaign::persist::PersistError> for ChaosError {
     }
 }
 
-fn fair_scenario(cfg: &Config, loss: f64, seed: u64) -> Scenario {
-    apply_fault(
-        Scenario::new(
-            cfg.mtu,
-            vec![
-                FlowSpec::bulk(CcaKind::Cubic, cfg.per_flow_bytes),
-                FlowSpec::bulk(CcaKind::Cubic, cfg.per_flow_bytes),
-            ],
-        )
-        .with_seed(seed),
-        loss,
-    )
-}
-
-/// Serial schedule under the same fault: flow #2 starts when a solo flow
-/// on the *same lossy wire* would have finished (the loss is part of the
-/// schedule being compared, not an external disturbance).
-fn serial_scenario(
+/// Declare one sweep endpoint: bulk CUBIC flows on the dumbbell, the
+/// swept loss rate as a chaos phase, observability when `--trace-out`
+/// is active.
+fn endpoint(
     cfg: &Config,
+    name: &str,
+    flows: Vec<Traffic>,
     loss: f64,
     seed: u64,
-) -> std::result::Result<Scenario, ScenarioError> {
-    let solo = apply_fault(
-        Scenario::new(
-            cfg.mtu,
-            vec![FlowSpec::bulk(CcaKind::Cubic, cfg.per_flow_bytes)],
-        )
-        .with_seed(seed),
-        loss,
-    );
-    let solo_fct = workload::scenario::run(&solo)?.reports[0].completed_at;
-    Ok(apply_fault(
-        Scenario::new(
-            cfg.mtu,
-            vec![
-                FlowSpec::bulk(CcaKind::Cubic, cfg.per_flow_bytes),
-                FlowSpec::bulk(CcaKind::Cubic, cfg.per_flow_bytes)
-                    .with_start_delay(solo_fct.saturating_since(SimTime::ZERO)),
-            ],
-        )
-        .with_seed(seed),
-        loss,
-    ))
+    observed: bool,
+) -> ScenarioSpec {
+    let mut b = ScenarioBuilder::new(name).with_seed(seed).with_mtu(cfg.mtu);
+    for t in flows {
+        b = b.traffic(t);
+    }
+    if loss > 0.0 {
+        b = b.chaos(ChaosPhase::Loss { prob: loss });
+    }
+    if observed && cfg.trace_out.is_some() {
+        b = b
+            .with_observability()
+            .with_trace(SimDuration::from_millis(10));
+    }
+    b.build().expect("chaos endpoints are well-formed")
+}
+
+/// Persist one sweep run's artifacts (no-op unless `trace_out` is set).
+fn persist_run(
+    cfg: &Config,
+    label: &str,
+    run: &ScenarioRun,
+) -> std::result::Result<(), ChaosError> {
+    if let (Some(dir), Some(report)) = (&cfg.trace_out, &run.obs) {
+        let aborted = run
+            .measured
+            .reports
+            .iter()
+            .any(|r| !r.outcome.is_completed());
+        crate::campaign::artifacts::persist_cell_obs(dir, label, report, aborted)?;
+    }
+    Ok(())
 }
 
 /// Run the sweep. An injected fault can kill a path outright (the flow
 /// aborts, the scenario errors); that surfaces as an `Err` naming the
 /// scenario instead of a panic in the middle of a campaign.
 pub fn run(cfg: &Config) -> std::result::Result<Result, ChaosError> {
-    let base_w = energy::calibration::P_IDLE_W + energy::calibration::reference_fan().watts(0.0);
+    let bulk = || Traffic::bulk(CcaKind::Cubic, cfg.per_flow_bytes);
     let mut rows = Vec::with_capacity(cfg.loss_rates.len());
     for (rate_idx, &loss) in cfg.loss_rates.iter().enumerate() {
         let mut fair_e = Vec::new();
@@ -192,22 +177,55 @@ pub fn run(cfg: &Config) -> std::result::Result<Result, ChaosError> {
         let mut savings = Vec::new();
         let mut drops = Vec::new();
         let mut retx = Vec::new();
+        let mut checks = Vec::new();
         for &seed in &cfg.seeds {
-            let fair = workload::scenario::run(&observed(fair_scenario(cfg, loss, seed), cfg))?;
-            let serial =
-                workload::scenario::run(&observed(serial_scenario(cfg, loss, seed)?, cfg))?;
+            // The serial hand-off time: when a solo flow on the *same
+            // lossy wire* finishes (the loss is part of the schedule
+            // being compared, not an external disturbance).
+            let solo = endpoint(cfg, "solo", vec![bulk()], loss, seed, false).run()?;
+            let handoff = solo.measured.reports[0]
+                .completed_at
+                .saturating_since(SimTime::ZERO);
+
+            let fair = endpoint(cfg, "fair", vec![bulk(), bulk()], loss, seed, true).run()?;
+            let serial = endpoint(
+                cfg,
+                "serial",
+                vec![
+                    bulk(),
+                    Traffic::Bulk {
+                        cca: CcaKind::Cubic,
+                        bytes: cfg.per_flow_bytes,
+                        start: handoff,
+                    },
+                ],
+                loss,
+                seed,
+                true,
+            )
+            .run()?;
             persist_run(cfg, &format!("rate{rate_idx}_seed{seed}_fair"), &fair)?;
             persist_run(cfg, &format!("rate{rate_idx}_seed{seed}_serial"), &serial)?;
-            // Equalize the measurement windows analytically (see fig1):
-            // completed hosts idle at base power, two sender hosts each.
-            let common = fair.window.max(serial.window).as_secs_f64();
-            let fe = fair.sender_energy_j + (common - fair.window.as_secs_f64()) * base_w * 2.0;
-            let se = serial.sender_energy_j + (common - serial.window.as_secs_f64()) * base_w * 2.0;
+
+            // The Fig-1 ordering as a checked expectation: serial's
+            // window-equalized energy must undercut fair's.
+            let ordering = Expectation::SavingsOrdering {
+                min_savings_pct: MIN_SAVINGS_PCT,
+            }
+            .evaluate(&serial.measured, Some(&fair.measured));
+            let (se, fe) = expect::equalized_energy_j(&serial.measured, &fair.measured);
             fair_e.push(fe);
             serial_e.push(se);
-            savings.push(100.0 * (fe - se) / fe);
-            drops.push(fair.injected_drops as f64);
-            retx.push(fair.reports.iter().map(|r| r.retransmits).sum::<u64>() as f64);
+            savings.push(ordering.measured);
+            checks.push(ordering);
+            drops.push(fair.measured.injected_drops as f64);
+            retx.push(
+                fair.measured
+                    .reports
+                    .iter()
+                    .map(|r| r.retransmits)
+                    .sum::<u64>() as f64,
+            );
         }
         rows.push(ChaosRow {
             loss_rate: loss,
@@ -216,6 +234,7 @@ pub fn run(cfg: &Config) -> std::result::Result<Result, ChaosError> {
             savings_pct: Summary::of(&savings),
             injected_drops: drops.iter().sum::<f64>() / drops.len() as f64,
             retx: retx.iter().sum::<f64>() / retx.len() as f64,
+            ordering_checks: checks,
         });
     }
     Ok(Result { rows })
@@ -230,8 +249,10 @@ pub fn render(result: &Result) -> String {
         "fair (J)",
         "serial (J)",
         "serial savings (%)",
+        "ordering check",
     ]);
     for row in &result.rows {
+        let passed = row.ordering_checks.iter().filter(|c| c.passed).count();
         t.row([
             format!("{:.2}", row.loss_rate * 100.0),
             format!("{:.0}", row.injected_drops),
@@ -239,12 +260,13 @@ pub fn render(result: &Result) -> String {
             format!("{}", row.fair_energy_j),
             format!("{}", row.serial_energy_j),
             format!("{}", row.savings_pct),
+            format!("{passed}/{} pass", row.ordering_checks.len()),
         ]);
     }
     format!(
         "Chaos — Figure-1 energy ordering under injected random loss\n\
-         (fair 50/50 vs full-speed-then-idle; the ordering must survive\n\
-         an imperfect wire for the unfairness argument to be robust)\n\n{t}"
+         (fair 50/50 vs full-speed-then-idle; every seed's ordering is\n\
+         checked by a savings_ordering expectation, floor {MIN_SAVINGS_PCT}%)\n\n{t}"
     )
 }
 
@@ -273,6 +295,12 @@ mod tests {
                 row.loss_rate,
                 row.savings_pct
             );
+            assert!(
+                row.ordering_holds(),
+                "every seed's savings_ordering check must pass at loss {}: {:?}",
+                row.loss_rate,
+                row.ordering_checks
+            );
         }
         // And the savings stay in the same regime as the clean run.
         let delta = (r.rows[0].savings_pct.mean - r.rows[1].savings_pct.mean).abs();
@@ -280,6 +308,21 @@ mod tests {
             delta < 6.0,
             "0.1% loss must not move the headline by {delta} points"
         );
+    }
+
+    #[test]
+    fn ordering_checks_carry_structured_verdicts() {
+        let r = run(&tiny()).expect("sweep completes");
+        for row in &r.rows {
+            assert_eq!(row.ordering_checks.len(), 1, "one check per seed");
+            let c = &row.ordering_checks[0];
+            assert_eq!(c.name, "savings_ordering");
+            assert_eq!(c.target, MIN_SAVINGS_PCT);
+            assert!(
+                (c.measured - row.savings_pct.mean).abs() < 1e-9,
+                "the summarized savings are the checked savings"
+            );
+        }
     }
 
     #[test]
@@ -300,5 +343,6 @@ mod tests {
         assert!(s.contains("Chaos"));
         assert!(s.contains("0.00"));
         assert!(s.contains("0.10"));
+        assert!(s.contains("1/1 pass"));
     }
 }

@@ -45,6 +45,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod matrix;
+pub mod resilience;
 pub mod savings;
 pub mod scale;
 pub mod theorem;

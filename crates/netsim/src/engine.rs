@@ -436,11 +436,23 @@ impl Network {
     /// derived from the master seed and the link id — deliberately *not*
     /// forked from the engine's live RNG — so congestion randomness and
     /// the golden fingerprints of fault-free runs are untouched.
-    pub fn set_link_fault(&mut self, link: LinkId, spec: FaultSpec) {
-        spec.validate();
+    ///
+    /// The spec is validated against the target link's geometry before
+    /// anything is installed ([`FaultSpec::validate_for_link`]): a NaN
+    /// probability, an empty or overlapping flap window, or jitter at or
+    /// above the link's propagation delay is a typed
+    /// [`crate::fault::FaultSpecError`] here instead of silently biased
+    /// behaviour a million events later.
+    pub fn set_link_fault(
+        &mut self,
+        link: LinkId,
+        spec: FaultSpec,
+    ) -> Result<(), crate::fault::FaultSpecError> {
+        spec.validate_for_link(self.links[link.index()].prop_delay)?;
         let stream =
             SimRng::new(self.master_seed ^ FAULT_STREAM_SALT).fork(link.index() as u64 + 1);
         self.links[link.index()].fault = Some(FaultState::new(spec, stream));
+        Ok(())
     }
 
     /// Remove a link's fault spec, restoring the clean wire.
@@ -1370,7 +1382,8 @@ mod tests {
         net.set_link_fault(
             LinkId::from_raw(0),
             crate::fault::FaultSpec::random_loss(1.0),
-        );
+        )
+        .expect("valid fault spec");
         net.attach_agent(a, Box::new(Echo::sending(b, 5)));
         net.attach_agent(b, Box::new(Echo::new(a)));
         assert_eq!(net.run(), RunOutcome::Drained);
@@ -1391,7 +1404,8 @@ mod tests {
         net.set_link_fault(
             LinkId::from_raw(0),
             crate::fault::FaultSpec::random_loss(1.0),
-        );
+        )
+        .expect("valid fault spec");
         net.attach_agent(a, Box::new(Echo::sending(b, 5)));
         net.attach_agent(b, Box::new(Echo::new(a)));
         assert_eq!(net.run(), RunOutcome::Drained);
@@ -1417,7 +1431,8 @@ mod tests {
         let (mut net, a, b) = two_hosts_direct();
         net.enable_packet_log(64);
         let spec = crate::fault::FaultSpec::default().with_corruption(1.0);
-        net.set_link_fault(LinkId::from_raw(0), spec);
+        net.set_link_fault(LinkId::from_raw(0), spec)
+            .expect("valid fault spec");
         net.attach_agent(a, Box::new(Echo::sending(b, 4)));
         net.attach_agent(b, Box::new(Echo::new(a)));
         assert_eq!(net.run(), RunOutcome::Drained);
@@ -1439,7 +1454,8 @@ mod tests {
     fn duplicated_frames_arrive_twice() {
         let (mut net, a, b) = two_hosts_direct();
         let spec = crate::fault::FaultSpec::default().with_duplication(1.0);
-        net.set_link_fault(LinkId::from_raw(0), spec);
+        net.set_link_fault(LinkId::from_raw(0), spec)
+            .expect("valid fault spec");
         net.attach_agent(a, Box::new(Echo::sending(b, 3)));
         net.attach_agent(b, Box::new(Echo::new(a)));
         assert_eq!(net.run(), RunOutcome::Drained);
@@ -1453,7 +1469,8 @@ mod tests {
         // Outage covers the whole run: everything sent at t=0 is lost.
         let spec =
             crate::fault::FaultSpec::default().with_flap(SimTime::ZERO, SimTime::from_secs(1));
-        net.set_link_fault(LinkId::from_raw(0), spec);
+        net.set_link_fault(LinkId::from_raw(0), spec)
+            .expect("valid fault spec");
         net.attach_agent(a, Box::new(Echo::sending(b, 4)));
         net.attach_agent(b, Box::new(Echo::new(a)));
         net.run();
@@ -1485,7 +1502,7 @@ mod tests {
             let spec = crate::fault::FaultSpec::random_loss(0.2)
                 .with_duplication(0.1)
                 .with_jitter(SimDuration::from_micros(2));
-            net.set_link_fault(ab, spec);
+            net.set_link_fault(ab, spec).expect("valid fault spec");
             net.attach_agent(a, Box::new(Echo::sending(b, 60)));
             net.attach_agent(b, Box::new(Echo::new(a)));
             net.run();
@@ -1511,7 +1528,8 @@ mod tests {
         let run = |fault: bool| {
             let (mut net, a, b) = two_hosts_direct();
             if fault {
-                net.set_link_fault(LinkId::from_raw(0), crate::fault::FaultSpec::default());
+                net.set_link_fault(LinkId::from_raw(0), crate::fault::FaultSpec::default())
+                    .expect("valid fault spec");
             }
             net.attach_agent(a, Box::new(Echo::sending(b, 20)));
             net.attach_agent(b, Box::new(Echo::new(a)));
@@ -1574,7 +1592,8 @@ mod tests {
         let spec = crate::fault::FaultSpec::random_loss(0.3)
             .with_corruption(0.2)
             .with_duplication(0.2);
-        net.set_link_fault(LinkId::from_raw(0), spec);
+        net.set_link_fault(LinkId::from_raw(0), spec)
+            .expect("valid fault spec");
         net.attach_agent(a, Box::new(Echo::sending(b, 200)));
         net.attach_agent(b, Box::new(Echo::new(a)));
         assert_eq!(net.run(), RunOutcome::Drained);

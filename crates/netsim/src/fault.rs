@@ -31,6 +31,72 @@ use crate::time::{SimDuration, SimTime};
 /// Chosen once; changing it re-randomizes every faulted golden run.
 pub(crate) const FAULT_STREAM_SALT: u64 = 0xFA17_1A7E_D00D_5EED;
 
+/// Why a [`FaultSpec`] was rejected at install time. Every variant names
+/// the offending knob and value, so a mistyped probability fails the run
+/// *before* the first event instead of silently biasing a campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpecError {
+    /// A probability knob is NaN/infinite or outside `[0, 1]`.
+    BadProbability {
+        /// Which knob (`drop_prob`, `corrupt_prob`, ...).
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A flap window is empty or inverted (`up <= down`): it would never
+    /// cover any instant, which is always a schedule typo.
+    EmptyFlap {
+        /// The window's start.
+        down: SimTime,
+        /// The window's (non-)end.
+        up: SimTime,
+    },
+    /// Two flap windows overlap. Overlaps are redundant at best and
+    /// usually mean two phases were scheduled against the wrong clock.
+    OverlappingFlaps {
+        /// End of the earlier window.
+        first_up: SimTime,
+        /// Start of the later window that begins before `first_up`.
+        second_down: SimTime,
+    },
+    /// Per-frame jitter meets or exceeds the link's propagation delay:
+    /// the fault layer would silently reorder *every* frame pair instead
+    /// of the configured `reorder_prob` fraction.
+    JitterExceedsDelay {
+        /// The configured jitter bound.
+        jitter: SimDuration,
+        /// The link's one-way propagation delay.
+        link_delay: SimDuration,
+    },
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::BadProbability { knob, value } => {
+                write!(f, "fault spec: {knob} = {value} outside [0, 1]")
+            }
+            FaultSpecError::EmptyFlap { down, up } => {
+                write!(f, "fault spec: flap window [{down}, {up}) is empty")
+            }
+            FaultSpecError::OverlappingFlaps {
+                first_up,
+                second_down,
+            } => write!(
+                f,
+                "fault spec: flap starting at {second_down} overlaps one ending at {first_up}"
+            ),
+            FaultSpecError::JitterExceedsDelay { jitter, link_delay } => write!(
+                f,
+                "fault spec: jitter {jitter} >= link propagation delay {link_delay} \
+                 (would reorder every frame; use reorder_prob for that)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// One scheduled outage: the link loses every frame whose transmission
 /// completes in `[down, up)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,9 +173,10 @@ impl FaultSpec {
         self
     }
 
-    /// Schedule an outage from `down` until `up`.
+    /// Schedule an outage from `down` until `up`. The window is checked
+    /// by [`Self::validate`] when the spec is installed on a link, so
+    /// builders stay infallible.
     pub fn with_flap(mut self, down: SimTime, up: SimTime) -> Self {
-        assert!(down < up, "flap must end after it starts");
         self.flaps.push(LinkFlap { down, up });
         self
     }
@@ -125,23 +192,58 @@ impl FaultSpec {
             && self.flaps.is_empty()
     }
 
-    /// Panic on out-of-range parameters; called when the spec is
-    /// installed so misconfiguration fails at setup, not mid-run.
-    pub(crate) fn validate(&self) {
-        for (name, p) in [
+    /// Check the spec's internal consistency: probabilities finite and in
+    /// `[0, 1]`, flap windows non-empty and non-overlapping. Called when
+    /// the spec is installed on a link so misconfiguration fails at
+    /// setup, not mid-run; callers composing specs by hand can run it
+    /// early themselves.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        for (knob, p) in [
             ("drop_prob", self.drop_prob),
             ("corrupt_prob", self.corrupt_prob),
             ("duplicate_prob", self.duplicate_prob),
             ("reorder_prob", self.reorder_prob),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&p) && p.is_finite(),
-                "{name} = {p} outside [0, 1]"
-            );
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FaultSpecError::BadProbability { knob, value: p });
+            }
         }
         for f in &self.flaps {
-            assert!(f.down < f.up, "flap must end after it starts");
+            if f.down >= f.up {
+                return Err(FaultSpecError::EmptyFlap {
+                    down: f.down,
+                    up: f.up,
+                });
+            }
         }
+        // Overlap check over a sorted copy: the spec itself keeps author
+        // order (it is part of the run's identity), validation does not.
+        let mut sorted = self.flaps.clone();
+        sorted.sort_by_key(|f| (f.down, f.up));
+        for pair in sorted.windows(2) {
+            if pair[1].down < pair[0].up {
+                return Err(FaultSpecError::OverlappingFlaps {
+                    first_up: pair[0].up,
+                    second_down: pair[1].down,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::validate`] plus the link-relative checks that need the
+    /// target link's geometry: jitter must stay strictly below the
+    /// propagation delay, otherwise the jitter knob degenerates into an
+    /// unconfigured full-stream reorderer.
+    pub fn validate_for_link(&self, link_delay: SimDuration) -> Result<(), FaultSpecError> {
+        self.validate()?;
+        if !self.jitter.is_zero() && self.jitter >= link_delay {
+            return Err(FaultSpecError::JitterExceedsDelay {
+                jitter: self.jitter,
+                link_delay,
+            });
+        }
+        Ok(())
     }
 
     /// True if a scheduled outage covers `at`.
@@ -240,7 +342,9 @@ mod tests {
             .with_reordering(0.05, SimDuration::from_micros(80))
             .with_jitter(SimDuration::from_micros(5))
             .with_flap(SimTime::from_millis(10), SimTime::from_millis(12));
-        spec.validate();
+        spec.validate().expect("well-formed spec");
+        spec.validate_for_link(SimDuration::from_micros(25))
+            .expect("jitter below delay");
         assert!(!spec.is_noop());
         assert_eq!(spec.drop_prob, 0.01);
         assert_eq!(spec.flaps.len(), 1);
@@ -280,8 +384,77 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside [0, 1]")]
-    fn validate_rejects_bad_probability() {
-        FaultSpec::random_loss(1.5).validate();
+    fn validate_rejects_bad_probabilities() {
+        for bad in [1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = FaultSpec::random_loss(bad).validate().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    FaultSpecError::BadProbability {
+                        knob: "drop_prob",
+                        ..
+                    }
+                ),
+                "{bad}: {err}"
+            );
+            assert!(err.to_string().contains("drop_prob"), "{err}");
+        }
+        let err = FaultSpec::default()
+            .with_corruption(f64::NAN)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultSpecError::BadProbability {
+                knob: "corrupt_prob",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_overlapping_flaps() {
+        let t = SimTime::from_millis;
+        let empty = FaultSpec::default().with_flap(t(5), t(5));
+        assert!(matches!(
+            empty.validate().unwrap_err(),
+            FaultSpecError::EmptyFlap { .. }
+        ));
+        let inverted = FaultSpec::default().with_flap(t(7), t(3));
+        assert!(matches!(
+            inverted.validate().unwrap_err(),
+            FaultSpecError::EmptyFlap { .. }
+        ));
+        // Overlap is detected regardless of author order.
+        let overlapping = FaultSpec::default()
+            .with_flap(t(10), t(20))
+            .with_flap(t(15), t(30));
+        let err = overlapping.validate().unwrap_err();
+        assert!(
+            matches!(err, FaultSpecError::OverlappingFlaps { .. }),
+            "{err}"
+        );
+        let reversed = FaultSpec::default()
+            .with_flap(t(15), t(30))
+            .with_flap(t(10), t(20));
+        assert!(reversed.validate().is_err());
+        // Touching windows are fine: [10,20) then [20,30).
+        let adjacent = FaultSpec::default()
+            .with_flap(t(10), t(20))
+            .with_flap(t(20), t(30));
+        adjacent.validate().expect("adjacent windows are disjoint");
+    }
+
+    #[test]
+    fn validate_for_link_rejects_oversized_jitter() {
+        let delay = SimDuration::from_micros(25);
+        let spec = FaultSpec::default().with_jitter(SimDuration::from_micros(25));
+        let err = spec.validate_for_link(delay).unwrap_err();
+        assert!(matches!(err, FaultSpecError::JitterExceedsDelay { .. }));
+        assert!(err.to_string().contains("jitter"), "{err}");
+        FaultSpec::default()
+            .with_jitter(SimDuration::from_micros(24))
+            .validate_for_link(delay)
+            .expect("jitter strictly below delay is fine");
     }
 }

@@ -47,7 +47,7 @@ pub mod units;
 pub mod prelude {
     pub use crate::agent::{Agent, Ctx, TOKEN_BITS, TOKEN_MASK};
     pub use crate::engine::{EngineCounters, Network, NetworkStats, RunOutcome};
-    pub use crate::fault::{FaultSpec, LinkFlap};
+    pub use crate::fault::{FaultSpec, FaultSpecError, LinkFlap};
     pub use crate::flowtab::{DenseIndex, FlowKey, FlowTable};
     pub use crate::ids::{FlowId, LinkId, NodeId};
     pub use crate::link::{LinkSpec, LinkStats};

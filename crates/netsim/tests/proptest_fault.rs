@@ -41,12 +41,14 @@ impl Agent for Count {
     fn on_timer(&mut self, _t: u64, _ctx: &mut Ctx<'_>) {}
 }
 
-/// A random (but always valid) fault spec. (The vendored proptest only
-/// implements `Strategy` for tuples up to arity 5, hence the nesting.)
+/// A random (but always valid) fault spec: probabilities inside [0, 1],
+/// non-empty flap windows, and jitter below the 25 us link delay the
+/// harness uses. (The vendored proptest only implements `Strategy` for
+/// tuples up to arity 5, hence the nesting.)
 fn arb_spec() -> impl Strategy<Value = FaultSpec> {
     (
         (0.0f64..0.5, 0.0f64..0.3, 0.0f64..0.3),
-        (0.0f64..0.5, 0u64..200_000, 0u64..50_000),
+        (0.0f64..0.5, 0u64..200_000, 0u64..25_000),
         proptest::option::of((0u64..5_000_000, 1u64..5_000_000)),
     )
         .prop_map(
@@ -80,7 +82,8 @@ fn faulted_run(spec: &FaultSpec, n: u32, seed: u64) -> (u64, LinkStats, u64, u64
         LinkSpec::droptail(Rate::from_gbps(10.0), SimDuration::from_micros(25), 64 * MB),
     );
     net.add_route(a, b, ab);
-    net.set_link_fault(ab, spec.clone());
+    net.set_link_fault(ab, spec.clone())
+        .expect("valid fault spec");
     net.enable_packet_log(200_000);
     net.attach_agent(a, Box::new(Blast { dst: b, n }));
     net.attach_agent(b, Box::new(Count { seen: 0 }));
@@ -145,7 +148,8 @@ proptest! {
             LinkSpec::droptail(Rate::from_gbps(1.0), SimDuration::from_micros(25), 10_000),
         );
         net.add_route(a, b, ab);
-        net.set_link_fault(ab, FaultSpec::random_loss(drop_prob));
+        net.set_link_fault(ab, FaultSpec::random_loss(drop_prob))
+            .expect("valid fault spec");
         net.attach_agent(a, Box::new(Blast { dst: b, n }));
         net.attach_agent(b, Box::new(Count { seen: 0 }));
         net.run();

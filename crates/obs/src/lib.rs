@@ -33,6 +33,7 @@ pub mod hist;
 pub mod metrics;
 pub mod perfetto;
 pub mod recorder;
+pub mod recovery;
 pub mod series;
 
 pub use flight::{FlightEntry, FlightRecorder, FlightRing, FlowEvent};

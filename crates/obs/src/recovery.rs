@@ -1,0 +1,134 @@
+//! Time-to-recover math for fault experiments.
+//!
+//! When a scheduled fault (a link flap, a loss burst) clears, a healthy
+//! transport should pull its throughput back inside the expected band.
+//! The scenario expectation engine asks "how long did that take?" per
+//! flow and folds the answers into a histogram exported through the
+//! usual Prometheus/Perfetto paths. The measurement itself is pure
+//! series math and lives here, next to [`crate::series`], so it can be
+//! unit-tested against hand-built series and reused by any evaluator.
+//!
+//! Definition: given a binned throughput series, a fault-clear instant,
+//! and a floor (the bottom of the expectation band), the recovery time
+//! is the span from the clear instant to the end of the first bin — at
+//! or after the first *full* bin following the clear — that meets the
+//! floor and stays there for `sustain_bins` consecutive bins. The bin
+//! containing the clear instant is skipped because it averages outage
+//! and recovery together. `None` means the series ended without the
+//! flow ever re-entering the band.
+
+/// Histogram metric name the `RecoveryWithin` evaluator reports under.
+pub const RECOVERY_TIME_MS_METRIC: &str = "scenario_recovery_time_ms";
+
+/// Sim-nanoseconds from `clear_ns` until `series` re-enters the band.
+///
+/// * `series` — per-bin throughput (any unit; compared against
+///   `floor` in the same unit), bins of width `bin_ns` starting at 0.
+/// * `clear_ns` — the instant the fault cleared.
+/// * `floor` — the bottom of the recovery band.
+/// * `sustain_bins` — how many consecutive bins must hold the floor
+///   before the first of them counts as the recovery point (0 is
+///   treated as 1).
+///
+/// Returns `Some(end_of_first_sustained_bin - clear_ns)`, or `None` if
+/// the series ends before any sustained re-entry.
+pub fn time_to_recover(
+    series: &[f64],
+    bin_ns: u64,
+    clear_ns: u64,
+    floor: f64,
+    sustain_bins: usize,
+) -> Option<u64> {
+    if bin_ns == 0 {
+        return None;
+    }
+    let sustain = sustain_bins.max(1);
+    // First bin that starts at or after the clear: the bin straddling
+    // the clear instant mixes outage and recovery, so it never counts.
+    let first = usize::try_from(clear_ns.div_ceil(bin_ns)).ok()?;
+    if first >= series.len() {
+        return None;
+    }
+    let mut run = 0usize;
+    for (i, &v) in series.iter().enumerate().skip(first) {
+        if v >= floor {
+            run += 1;
+            if run >= sustain {
+                let start_of_run = i + 1 - sustain;
+                let end_ns = (start_of_run as u64 + 1) * bin_ns;
+                return Some(end_ns.saturating_sub(clear_ns));
+            }
+        } else {
+            run = 0;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIN: u64 = 1_000; // 1 us bins for readable arithmetic
+
+    #[test]
+    fn immediate_recovery_reports_one_bin() {
+        // Clear at t=0, first bin already above the floor.
+        let t = time_to_recover(&[5.0, 5.0, 5.0], BIN, 0, 1.0, 1);
+        assert_eq!(t, Some(BIN));
+    }
+
+    #[test]
+    fn recovery_measured_from_the_clear_instant() {
+        // Clear mid-bin-1; bin 1 is skipped (it straddles the clear),
+        // bin 2 is below the floor, bin 3 recovers. End of bin 3 is
+        // 4000 ns, clear was 1500 ns.
+        let series = [0.0, 0.3, 0.4, 2.0, 2.0];
+        let t = time_to_recover(&series, BIN, 1_500, 1.0, 1);
+        assert_eq!(t, Some(4_000 - 1_500));
+    }
+
+    #[test]
+    fn straddling_bin_never_counts_even_if_above_floor() {
+        // Bin 1 averages outage+burst and lands above the floor, but the
+        // clear happened inside it: recovery is credited to bin 2.
+        let series = [0.0, 3.0, 3.0];
+        let t = time_to_recover(&series, BIN, 1_200, 1.0, 1);
+        assert_eq!(t, Some(3_000 - 1_200));
+    }
+
+    #[test]
+    fn sustain_requires_consecutive_bins() {
+        // One good bin followed by a relapse doesn't count with
+        // sustain=2; the sustained run starts at bin 4.
+        let series = [0.0, 2.0, 0.1, 0.1, 2.0, 2.0];
+        let t = time_to_recover(&series, BIN, 0, 1.0, 2);
+        // Run [4,5] sustains; recovery point is the end of bin 4.
+        assert_eq!(t, Some(5_000));
+    }
+
+    #[test]
+    fn never_recovering_is_none() {
+        assert_eq!(time_to_recover(&[0.0, 0.1, 0.2], BIN, 0, 1.0, 1), None);
+        // Clear beyond the series end: nothing to measure.
+        assert_eq!(time_to_recover(&[5.0, 5.0], BIN, 10_000, 1.0, 1), None);
+        // Degenerate bin width.
+        assert_eq!(time_to_recover(&[5.0], 0, 0, 1.0, 1), None);
+        // Empty series.
+        assert_eq!(time_to_recover(&[], BIN, 0, 1.0, 1), None);
+    }
+
+    #[test]
+    fn boundary_value_meets_the_floor() {
+        // Exactly at the floor counts as recovered (>=, not >).
+        let t = time_to_recover(&[1.0], BIN, 0, 1.0, 1);
+        assert_eq!(t, Some(BIN));
+    }
+
+    #[test]
+    fn sustain_zero_behaves_like_one() {
+        let a = time_to_recover(&[0.0, 2.0], BIN, 0, 1.0, 0);
+        let b = time_to_recover(&[0.0, 2.0], BIN, 0, 1.0, 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Named chaos phases: the fault layer with operator-readable labels.
+//!
+//! A [`ChaosPhase`] is one named disturbance — `loss(0.001)`,
+//! `flap(at 30ms, for 20ms)` — that compiles onto a
+//! [`netsim::fault::FaultSpec`]. Keeping phases as a list (rather than
+//! a pre-composed spec) lets scenario definitions read like an incident
+//! timeline, lets verdicts name the phase that was active, and lets the
+//! builder validate the composed spec once with
+//! [`FaultSpec::validate`] before anything runs.
+
+use netsim::fault::{FaultSpec, FaultSpecError};
+use netsim::time::{SimDuration, SimTime};
+
+/// One named disturbance on the scenario's bottleneck link.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChaosPhase {
+    /// Bernoulli frame loss at probability `prob`.
+    Loss {
+        /// Per-frame drop probability.
+        prob: f64,
+    },
+    /// Bernoulli bit corruption (frame discarded at the receiving NIC).
+    Corrupt {
+        /// Per-frame corruption probability.
+        prob: f64,
+    },
+    /// Bernoulli frame duplication.
+    Duplicate {
+        /// Per-frame duplication probability.
+        prob: f64,
+    },
+    /// Bernoulli reordering: held-back frames re-injected after `hold`.
+    Reorder {
+        /// Per-frame hold-back probability.
+        prob: f64,
+        /// How long a held frame is delayed.
+        hold: SimDuration,
+    },
+    /// Uniform random extra propagation delay in `[0, sigma)`.
+    Jitter {
+        /// Upper bound of the added delay.
+        sigma: SimDuration,
+    },
+    /// A scheduled outage: the link is down during `[at, at + for_)`.
+    Flap {
+        /// When the link goes down.
+        at: SimTime,
+        /// How long it stays down.
+        for_: SimDuration,
+    },
+}
+
+impl ChaosPhase {
+    /// A scheduled outage of `for_` starting at `at`.
+    pub fn flap(at: SimTime, for_: SimDuration) -> ChaosPhase {
+        ChaosPhase::Flap { at, for_ }
+    }
+
+    /// Human-readable label, used in scenario names and verdicts.
+    pub fn label(&self) -> String {
+        match self {
+            ChaosPhase::Loss { prob } => format!("loss({prob})"),
+            ChaosPhase::Corrupt { prob } => format!("corrupt({prob})"),
+            ChaosPhase::Duplicate { prob } => format!("duplicate({prob})"),
+            ChaosPhase::Reorder { prob, hold } => format!("reorder({prob}, hold {hold})"),
+            ChaosPhase::Jitter { sigma } => format!("jitter({sigma})"),
+            ChaosPhase::Flap { at, for_ } => format!("flap(at {at}, for {for_})"),
+        }
+    }
+
+    /// The instant this phase's disturbance ends, if it is scheduled
+    /// (only flaps are; probabilistic phases run for the whole
+    /// scenario). The `RecoveryWithin` expectation measures from here.
+    pub fn clears_at(&self) -> Option<SimTime> {
+        match self {
+            ChaosPhase::Flap { at, for_ } => at.checked_add(*for_),
+            _ => None,
+        }
+    }
+
+    fn apply(&self, spec: FaultSpec) -> FaultSpec {
+        match *self {
+            ChaosPhase::Loss { prob } => {
+                let mut s = spec;
+                s.drop_prob = prob;
+                s
+            }
+            ChaosPhase::Corrupt { prob } => spec.with_corruption(prob),
+            ChaosPhase::Duplicate { prob } => spec.with_duplication(prob),
+            ChaosPhase::Reorder { prob, hold } => spec.with_reordering(prob, hold),
+            ChaosPhase::Jitter { sigma } => spec.with_jitter(sigma),
+            ChaosPhase::Flap { at, for_ } => {
+                spec.with_flap(at, at.checked_add(for_).unwrap_or(SimTime::MAX))
+            }
+        }
+    }
+}
+
+/// Compose phases into one validated fault spec. `Ok(None)` when the
+/// phase list is empty (a clean wire installs no fault at all, keeping
+/// the run bit-identical to an un-instrumented one).
+pub fn compile(phases: &[ChaosPhase]) -> Result<Option<FaultSpec>, FaultSpecError> {
+    if phases.is_empty() {
+        return Ok(None);
+    }
+    let spec = phases
+        .iter()
+        .fold(FaultSpec::default(), |acc, p| p.apply(acc));
+    spec.validate()?;
+    Ok(Some(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_compose_onto_one_spec() {
+        let spec = compile(&[
+            ChaosPhase::Loss { prob: 0.01 },
+            ChaosPhase::Duplicate { prob: 0.02 },
+            ChaosPhase::flap(SimTime::from_millis(10), SimDuration::from_millis(5)),
+        ])
+        .expect("valid phases")
+        .expect("non-empty");
+        assert_eq!(spec.drop_prob, 0.01);
+        assert_eq!(spec.duplicate_prob, 0.02);
+        assert_eq!(spec.flaps.len(), 1);
+        assert_eq!(spec.flaps[0].up, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn empty_phase_list_is_a_clean_wire() {
+        assert!(compile(&[]).expect("valid").is_none());
+    }
+
+    #[test]
+    fn invalid_phases_are_rejected_at_compile() {
+        let err = compile(&[ChaosPhase::Loss { prob: 1.5 }]);
+        assert!(err.is_err(), "out-of-range probability must not compile");
+    }
+
+    #[test]
+    fn only_flaps_have_a_clear_instant() {
+        assert_eq!(ChaosPhase::Loss { prob: 0.1 }.clears_at(), None);
+        assert_eq!(
+            ChaosPhase::flap(SimTime::from_millis(2), SimDuration::from_millis(3)).clears_at(),
+            Some(SimTime::from_millis(5))
+        );
+    }
+
+    #[test]
+    fn labels_read_like_an_incident_timeline() {
+        assert_eq!(ChaosPhase::Loss { prob: 0.001 }.label(), "loss(0.001)");
+        assert!(ChaosPhase::flap(SimTime::ZERO, SimDuration::from_millis(1))
+            .label()
+            .starts_with("flap(at "));
+    }
+}

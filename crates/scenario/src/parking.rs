@@ -1,0 +1,299 @@
+//! The parking-lot runner: one long flow against per-hop cross traffic.
+//!
+//! [`netsim::topology::ParkingLot`] builds the classic chain — switches
+//! `S0..=Sh`, one "through" flow spanning every bottleneck, one local
+//! flow straddling each hop — but until now nothing in the workspace
+//! ran transports over it. This runner mirrors the dumbbell runner's
+//! conventions (one sender host per flow, per-socket energy accounting,
+//! optional throughput traces, fault injection on the **first** chain
+//! link — the one every through-path packet crosses) and reports the
+//! same [`Measured`] summary the expectations engine consumes.
+//!
+//! Flow order: flow 0 is the through flow; flow `1 + i` is the local
+//! flow over hop `i`.
+
+use crate::expect::Measured;
+use cca::{CcaConfig, CcaKind};
+use energy::calibration;
+use energy::host::HostContext;
+use energy::meter::EnergyMeter;
+use netsim::engine::{Network, RunOutcome};
+use netsim::fault::FaultSpec;
+use netsim::ids::FlowId;
+use netsim::packet::HEADER_BYTES;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topology::{BottleneckQueue, ParkingLot, ParkingLotConfig};
+use netsim::units::Rate;
+use transport::receiver::TcpReceiver;
+use transport::sender::{TcpSender, TcpSenderConfig};
+use workload::iperf::{FlowReport, FlowSpec};
+use workload::scenario::{ScenarioError, BASELINE_CWND_FACTOR};
+
+/// Everything the parking-lot runner needs for one run.
+#[derive(Clone, Debug)]
+pub struct ParkingRun {
+    /// Bottleneck hops (and local flows). Flow specs must number
+    /// `hops + 1`: the through flow first, then one local flow per hop.
+    pub hops: usize,
+    /// MTU in bytes.
+    pub mtu: u32,
+    /// Chain and edge link rate in Gb/s.
+    pub link_gbps: f64,
+    /// One-way propagation delay per hop.
+    pub hop_delay: SimDuration,
+    /// Bottleneck buffer per chain link, in bytes.
+    pub buffer_bytes: u64,
+    /// The flows: `[through, local_0, ..., local_{hops-1}]`.
+    pub flows: Vec<FlowSpec>,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Per-flow throughput tracing bin (`None` = no traces).
+    pub trace_bin: Option<SimDuration>,
+    /// Fault installed on the first chain link (`None` = clean wire).
+    pub fault: Option<FaultSpec>,
+    /// Consecutive-RTO retry budget override.
+    pub max_rto_retries: Option<u32>,
+}
+
+/// Engine stall watchdog budget, matching the dumbbell runner's.
+const STALL_BUDGET_EVENTS: u64 = 2_000_000;
+
+impl ParkingRun {
+    fn time_limit(&self) -> SimTime {
+        let total: u64 = self.flows.iter().map(|f| f.bytes).sum();
+        let ideal = total as f64 * 8.0 / (self.link_gbps * 1e9);
+        SimTime::from_secs_f64(20.0 * ideal + 30.0)
+    }
+
+    /// Build, run, and measure. The through flow's path capacity (one
+    /// chain link's rate) is the capacity expectations divide by.
+    pub fn run(&self) -> Result<Measured, ScenarioError> {
+        debug_assert_eq!(self.flows.len(), self.hops + 1, "through + one per hop");
+        let mss = self.mtu - HEADER_BYTES;
+        let mut net = Network::new(self.seed);
+        net.enable_activity(SimDuration::from_millis(1));
+        if let Some(bin) = self.trace_bin {
+            net.enable_flow_trace(bin);
+        }
+        let cfg = ParkingLotConfig {
+            hops: self.hops,
+            link_rate: Rate::from_gbps(self.link_gbps),
+            edge_rate: Rate::from_gbps(self.link_gbps),
+            hop_delay: self.hop_delay,
+            bottleneck_queue: BottleneckQueue::DropTail {
+                capacity_bytes: self.buffer_bytes,
+            },
+            edge_buffer_bytes: 4_000_000,
+        };
+        let lot = ParkingLot::build(&mut net, &cfg);
+        if let Some(spec) = &self.fault {
+            net.set_link_fault(lot.bottlenecks[0], spec.clone())
+                .map_err(ScenarioError::Fault)?;
+        }
+        net.set_stall_budget(Some(STALL_BUDGET_EVENTS));
+
+        // Constant-cwnd baseline sizing against the longest path: the
+        // through flow crosses every hop.
+        let rtt = self.hop_delay.as_secs_f64() * 2.0 * (self.hops + 1) as f64;
+        let bdp = (self.link_gbps * 1e9 / 8.0 * rtt) as u64;
+        let baseline_cwnd = ((bdp + self.buffer_bytes) as f64 * BASELINE_CWND_FACTOR) as u64;
+        let cca_cfg = CcaConfig::new(mss).with_baseline_cwnd(baseline_cwnd);
+
+        // Sender host i drives flow i; the through pair spans the chain,
+        // local pair i straddles hop i.
+        let sender_hosts: Vec<netsim::ids::NodeId> = std::iter::once(lot.through_sender)
+            .chain(lot.local_senders.iter().copied())
+            .collect();
+        let receiver_hosts: Vec<netsim::ids::NodeId> = std::iter::once(lot.through_receiver)
+            .chain(lot.local_receivers.iter().copied())
+            .collect();
+        for (i, spec) in self.flows.iter().enumerate() {
+            let flow = FlowId::from_raw(i as u32);
+            // Seed the RTT estimator with each flow's own base RTT.
+            let path_hops = if i == 0 { self.hops + 1 } else { 2 } as u64;
+            let base_rtt = self.hop_delay.saturating_mul(2 * path_hops);
+            let mut cfg = TcpSenderConfig::bulk(flow, receiver_hosts[i], self.mtu, spec.bytes)
+                .with_rtt_hint(base_rtt)
+                .with_start_delay(spec.start_delay);
+            if let Some(retries) = self.max_rto_retries {
+                cfg = cfg.with_max_rto_retries(retries);
+            }
+            if let Some(rate) = spec.rate_limit {
+                cfg = cfg.with_rate_limit(rate);
+            }
+            for &(at, rate) in &spec.rate_schedule {
+                cfg = cfg.with_rate_change(at, rate);
+            }
+            let cc = spec.cca.build(&cca_cfg);
+            net.attach_agent(sender_hosts[i], Box::new(TcpSender::new(cfg, cc)));
+        }
+        let policy = if self.flows.iter().any(|f| f.cca == CcaKind::Dctcp) {
+            CcaKind::Dctcp.ack_policy()
+        } else {
+            CcaKind::Cubic.ack_policy()
+        };
+        for &r in &receiver_hosts {
+            net.attach_agent(r, Box::new(TcpReceiver::new(policy)));
+        }
+
+        let limit = self.time_limit();
+        match net.run_until(limit) {
+            RunOutcome::Stalled => return Err(ScenarioError::Stalled { at: net.now() }),
+            RunOutcome::Drained
+            | RunOutcome::Stopped
+            | RunOutcome::TimeLimit
+            | RunOutcome::DeadlineExceeded => {}
+        }
+
+        // Reports, in flow order (terminal state required, like the
+        // dumbbell runner).
+        let mut reports = Vec::with_capacity(self.flows.len());
+        for (i, spec) in self.flows.iter().enumerate() {
+            let flow = FlowId::from_raw(i as u32);
+            let sender = net
+                .agent::<TcpSender>(sender_hosts[i])
+                .expect("sender agent present");
+            let stats = sender.stats();
+            let terminal_at = match (stats.completed_at, stats.aborted_at) {
+                (Some(done), _) => done,
+                (None, Some(gave_up)) => gave_up,
+                (None, None) => return Err(ScenarioError::Incomplete { flow, limit }),
+            };
+            let started_at = stats
+                .started_at
+                .ok_or(ScenarioError::Incomplete { flow, limit })?;
+            let fct = terminal_at.saturating_since(started_at);
+            reports.push(FlowReport {
+                flow,
+                cca: spec.cca,
+                outcome: stats.outcome(),
+                bytes: spec.bytes,
+                bytes_acked: stats.bytes_acked,
+                started_at,
+                completed_at: terminal_at,
+                fct,
+                mean_goodput: netsim::units::average_rate(stats.bytes_acked, fct),
+                retransmits: stats.retx_segs,
+                rtos: stats.rto_count,
+                segs_sent: stats.segs_sent,
+                acks_processed: stats.acks_processed,
+                compute_cost_factor: sender.compute_cost_factor(),
+            });
+        }
+
+        // Energy over [0, last terminal time], one sender host per flow
+        // (the dumbbell runner's per-socket accounting).
+        let window_end = reports
+            .iter()
+            .map(|r| r.completed_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let window = window_end.saturating_since(SimTime::ZERO);
+        let meter = EnergyMeter::new(calibration::reference_host_model());
+        let ref_cost = calibration::cc_cost_per_ack_ref_j();
+        let mut sender_energy_j = 0.0;
+        if let Some(activity) = net.activity() {
+            for (i, report) in reports.iter().enumerate() {
+                let ctx = HostContext {
+                    background_util: 0.0,
+                    cc_cost_per_ack_j: ref_cost * report.compute_cost_factor,
+                };
+                sender_energy_j += meter
+                    .measure_host(activity, sender_hosts[i], window, ctx)
+                    .joules;
+            }
+        }
+
+        let traces = net.flow_trace().map(|trace| {
+            let series = (0..self.flows.len())
+                .map(|i| trace.throughput_gbps(FlowId::from_raw(i as u32)))
+                .collect();
+            (trace.bin(), series)
+        });
+        let injected_drops = net.network_stats().injected_drops;
+        let sim_end = net.now();
+        Ok(Measured {
+            reports,
+            window,
+            sender_energy_j,
+            n_sender_hosts: self.flows.len(),
+            capacity_gbps: self.link_gbps,
+            traces,
+            injected_drops,
+            sim_end,
+            fault_clear: None, // the builder fills this from its flap phase
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_hop(bytes: u64) -> ParkingRun {
+        ParkingRun {
+            hops: 3,
+            mtu: 1500,
+            link_gbps: 10.0,
+            hop_delay: SimDuration::from_micros(25),
+            buffer_bytes: 500_000,
+            flows: vec![
+                FlowSpec::bulk(CcaKind::Cubic, bytes),
+                FlowSpec::bulk(CcaKind::Cubic, bytes),
+                FlowSpec::bulk(CcaKind::Cubic, bytes),
+                FlowSpec::bulk(CcaKind::Cubic, bytes),
+            ],
+            seed: 7,
+            trace_bin: None,
+            fault: None,
+            max_rto_retries: None,
+        }
+    }
+
+    #[test]
+    fn through_flow_completes_against_cross_traffic() {
+        let m = three_hop(2_000_000).run().expect("run completes");
+        assert_eq!(m.reports.len(), 4);
+        assert!(m.reports.iter().all(|r| r.outcome.is_completed()));
+        assert!(m.sender_energy_j > 0.0);
+        // The through flow crosses every contended hop; each local flow
+        // contends at exactly one. The through flow cannot beat the
+        // best local flow.
+        let through = m.reports[0].mean_goodput.gbps();
+        let best_local = m.reports[1..]
+            .iter()
+            .map(|r| r.mean_goodput.gbps())
+            .fold(0.0, f64::max);
+        assert!(
+            through <= best_local + 1e-9,
+            "through {through} vs best local {best_local}"
+        );
+    }
+
+    #[test]
+    fn runs_replay_bit_identically() {
+        let a = three_hop(1_000_000).run().expect("first run");
+        let b = three_hop(1_000_000).run().expect("second run");
+        assert_eq!(a.sim_end, b.sim_end);
+        assert_eq!(a.sender_energy_j.to_bits(), b.sender_energy_j.to_bits());
+    }
+
+    #[test]
+    fn fault_on_the_first_hop_hits_the_through_flow() {
+        let mut run = three_hop(1_000_000);
+        run.fault = Some(FaultSpec::random_loss(0.02));
+        let m = run.run().expect("survives 2% loss");
+        assert!(m.injected_drops > 0);
+        assert!(m.reports[0].retransmits > 0, "through flow crosses hop 0");
+    }
+
+    #[test]
+    fn invalid_fault_surfaces_as_scenario_error() {
+        let mut run = three_hop(100_000);
+        run.fault = Some(FaultSpec::random_loss(2.0));
+        match run.run() {
+            Err(ScenarioError::Fault(_)) => {}
+            other => panic!("expected Fault error, got {other:?}"),
+        }
+    }
+}

@@ -1077,7 +1077,8 @@ mod tests {
         // Kill the forward direction entirely: no data ever arrives, no
         // ack ever comes back, every RTO is genuine.
         let fwd = netsim::ids::LinkId::from_raw(0);
-        net.set_link_fault(fwd, FaultSpec::random_loss(1.0));
+        net.set_link_fault(fwd, FaultSpec::random_loss(1.0))
+            .expect("valid fault spec");
         let cfg = TcpSenderConfig::bulk(FLOW, b, 1500, 1_000_000)
             .with_rto_bounds(SimDuration::from_millis(10), SimDuration::from_secs(1))
             .with_rtt_hint(SimDuration::from_micros(60))
@@ -1115,7 +1116,8 @@ mod tests {
         // instead of aborting.
         let (mut net, a, b) = simple_net(10.0, 4 * MB);
         let fwd = netsim::ids::LinkId::from_raw(0);
-        net.set_link_fault(fwd, FaultSpec::random_loss(0.3));
+        net.set_link_fault(fwd, FaultSpec::random_loss(0.3))
+            .expect("valid fault spec");
         let cfg = TcpSenderConfig::bulk(FLOW, b, 1500, 100_000)
             .with_rto_bounds(SimDuration::from_millis(10), SimDuration::from_secs(1))
             .with_rtt_hint(SimDuration::from_micros(60))

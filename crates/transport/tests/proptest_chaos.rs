@@ -40,7 +40,7 @@ fn chaos_transfer(spec: FaultSpec, total: u64, seed: u64, max_retries: u32) -> N
     );
     net.add_route(a, b, ab);
     net.add_route(b, a, ba);
-    net.set_link_fault(ab, spec);
+    net.set_link_fault(ab, spec).expect("valid fault spec");
     let cfg = TcpSenderConfig::bulk(FLOW, b, 1500, total)
         .with_rtt_hint(SimDuration::from_micros(100))
         .with_rto_bounds(SimDuration::from_millis(10), SimDuration::from_millis(200))

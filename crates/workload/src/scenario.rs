@@ -288,6 +288,9 @@ pub enum ScenarioError {
         /// The budget that was exceeded.
         budget: std::time::Duration,
     },
+    /// The scenario's fault spec was rejected at install time (bad
+    /// probability, empty/overlapping flap window, oversized jitter).
+    Fault(netsim::fault::FaultSpecError),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -306,6 +309,7 @@ impl std::fmt::Display for ScenarioError {
                     budget.as_secs_f64()
                 )
             }
+            ScenarioError::Fault(err) => write!(f, "{err}"),
         }
     }
 }
@@ -439,7 +443,8 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
     };
     let dumbbell = Dumbbell::build(&mut net, &cfg);
     if let Some(spec) = &scenario.bottleneck_fault {
-        net.set_link_fault(dumbbell.bottleneck, spec.clone());
+        net.set_link_fault(dumbbell.bottleneck, spec.clone())
+            .map_err(ScenarioError::Fault)?;
     }
     net.set_stall_budget(Some(STALL_BUDGET_EVENTS));
 

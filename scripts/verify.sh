@@ -5,7 +5,7 @@
 # engine or experiment changes. A pass/fail table for every stage is
 # printed at the end, even when a stage fails.
 #
-# Usage: scripts/verify.sh [--lint] [--chaos] [--resume] [--obs] [--perf]
+# Usage: scripts/verify.sh [--lint] [--chaos] [--resume] [--obs] [--perf] [--scenarios]
 #   --lint    additionally run the simlint static-analysis pass over the
 #             whole workspace (determinism, panic-hygiene, durability,
 #             and float-discipline rules). Zero unsuppressed findings
@@ -27,6 +27,12 @@
 #             perf_baseline scenario suite (including bulk_10k_flows)
 #             and fail if any tracked events_per_sec falls more than 15%
 #             below the committed BENCH_netsim.json.
+#   --scenarios
+#             additionally run the declarative resilience suite twice at
+#             tiny scale: every scenario must behave (positives pass
+#             their expectations, the negative entry fails its
+#             RecoveryWithin check as designed) and the two verdict JSON
+#             artifacts must be byte-identical.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +41,7 @@ chaos=0
 resume=0
 obs=0
 perf=0
+scenarios=0
 for arg in "$@"; do
     case "$arg" in
         --lint) lint=1 ;;
@@ -42,6 +49,7 @@ for arg in "$@"; do
         --resume) resume=1 ;;
         --obs) obs=1 ;;
         --perf) perf=1 ;;
+        --scenarios) scenarios=1 ;;
         *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -203,6 +211,35 @@ stage_obs() {
     rm -rf "$tracedir"
 }
 
+stage_scenarios() {
+    # The suite verdict is documented as a pure function of its specs:
+    # two tiny-scale runs must behave AND emit byte-identical JSON.
+    local scndir
+    scndir=$(mktemp -d)
+    local run
+    for run in a b; do
+        (cd "$scndir" && mkdir -p "$run" && cd "$run" && GREENENVY_SCALE=tiny \
+            cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
+            -p bench --bin scenarios -- --out verdict.json --trace-out obs) \
+            || { rm -rf "$scndir"; return 1; }
+    done
+    if ! cmp -s "$scndir/a/verdict.json" "$scndir/b/verdict.json"; then
+        echo "verify.sh: scenario verdicts differ between identical runs" >&2
+        diff "$scndir/a/verdict.json" "$scndir/b/verdict.json" | head >&2 || true
+        rm -rf "$scndir"; return 1
+    fi
+    if ! grep -q '"all_behaved": true' "$scndir/a/verdict.json"; then
+        echo "verify.sh: resilience suite misbehaved" >&2
+        rm -rf "$scndir"; return 1
+    fi
+    if ! grep -q 'scenario_recovery_time_ms' "$scndir/a/obs/resilience.prom"; then
+        echo "verify.sh: recovery histogram missing from the obs export" >&2
+        rm -rf "$scndir"; return 1
+    fi
+    echo "scenario drill: suite behaved, verdicts byte-identical across two runs"
+    rm -rf "$scndir"
+}
+
 repo=$PWD
 smoke=$(mktemp -d)
 drill=""
@@ -227,6 +264,9 @@ if [[ $resume -eq 1 ]]; then
 fi
 if [[ $obs -eq 1 ]]; then
     run_stage "obs (trace reproducibility, GREENENVY_SCALE=tiny)" stage_obs
+fi
+if [[ $scenarios -eq 1 ]]; then
+    run_stage "scenarios (resilience suite, GREENENVY_SCALE=tiny)" stage_scenarios
 fi
 
 print_summary
