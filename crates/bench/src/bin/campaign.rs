@@ -1,14 +1,16 @@
-//! Durable CCA × MTU campaign runner.
+//! Durable, supervised CCA × MTU campaign runner.
 //!
 //! Runs the Figures 5-8 measurement campaign with the durability layer
-//! switched on: an fsynced per-cell checkpoint journal, graceful
-//! SIGINT/SIGTERM shutdown (finish the in-flight cells, keep the
-//! journal, emit a partial matrix), and optional per-cell deadlines and
-//! paranoid-mode physics audits.
+//! switched on: fsynced per-cell checkpoint journaling (single-file or
+//! sharded per worker), supervised retry with exponential backoff,
+//! poison-cell quarantine, graceful SIGINT/SIGTERM shutdown, and
+//! optional per-cell deadlines and paranoid-mode physics audits.
 //!
 //! ```text
 //! campaign [--resume] [--paranoid] [--deadline <secs>]
-//!          [--threads <n>] [--journal <path>] [--trace-out <dir>]
+//!          [--threads <n>] [--journal <path> | --journal-dir <dir>]
+//!          [--max-attempts <n>] [--backoff <n>]
+//!          [--cells-out <path>] [--trace-out <dir>]
 //! ```
 //!
 //! * `--resume` — reuse journaled cells; only missing/failed ones run.
@@ -16,29 +18,50 @@
 //!   conservation laws (energy floor, frame accounting, byte bounds,
 //!   monotone clocks).
 //! * `--deadline` — wall-clock budget per cell, in seconds; a cell that
-//!   blows it fails (and is retried) instead of hanging the campaign.
+//!   blows it fails (and re-enters the retry schedule) instead of
+//!   hanging the campaign.
 //! * `--threads` — worker count (default: all cores).
-//! * `--journal` — journal path (default: `results/campaign_<scale>.jsonl`).
+//! * `--journal` — single-file journal path (default:
+//!   `results/campaign_<scale>.jsonl`).
+//! * `--journal-dir` — sharded journal directory (one fsynced JSONL per
+//!   worker plus `quarantine.jsonl`); overrides `--journal`.
+//! * `--max-attempts` — retry budget per cell per campaign life
+//!   (default 2: the classic one-salted-retry).
+//! * `--backoff` — exponential backoff base in claim counts (default 0:
+//!   immediate re-eligibility).
+//! * `--cells-out` — additionally write a cells-only projection of the
+//!   matrix (schema, sizes, seeds, cells — no failure records) to this
+//!   exact path; used by drills that compare runs whose *failure
+//!   bookkeeping* legitimately differs (attempt counters reset per
+//!   life) but whose measured cells must be byte-identical.
 //! * `--trace-out` — persist per-repetition observability artifacts
-//!   (Perfetto trace + Prometheus snapshot; flight-ring dumps on
-//!   failure) into the given directory.
+//!   plus the supervisor's Prometheus snapshot into the directory.
 //!
 //! `GREENENVY_SCALE=paper|standard|quick|tiny` picks the workload.
+//! `GREENENVY_POISON=<cca>@<mtu>` makes that cell panic on every
+//! attempt — the supervision drill's fault injection.
 //!
-//! Exit status: 0 — complete matrix; 3 — finished with failed cells;
-//! 130 — cancelled by a signal (journal intact, resume to continue);
-//! 1 — durability machinery failed (e.g. unwritable journal);
-//! 2 — usage error.
+//! Exit status: 0 — complete matrix; 3 — finished with failed cells
+//! (no quarantine record, e.g. journal-free run); 4 — finished with
+//! quarantined poison cells (matrix partial but supervised: see
+//! `quarantine.jsonl`); 5 — degraded (journal I/O died mid-run; results
+//! are valid but no longer crash-durable); 130 — cancelled by a signal
+//! (journal intact, resume to continue); 1 — campaign machinery failed
+//! (e.g. journal cannot be created); 2 — usage error.
 
 use greenenvy::campaign::{self, CampaignOptions};
+use greenenvy::matrix::{run_cell_with, Cell, CellPolicy};
 use greenenvy::Scale;
+use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--resume] [--paranoid] [--deadline <secs>] \
-         [--threads <n>] [--journal <path>] [--trace-out <dir>]"
+         [--threads <n>] [--journal <path> | --journal-dir <dir>] \
+         [--max-attempts <n>] [--backoff <n>] [--cells-out <path>] \
+         [--trace-out <dir>]"
     );
     std::process::exit(2);
 }
@@ -54,6 +77,26 @@ fn parse_arg<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
     })
 }
 
+/// `GREENENVY_POISON=<cca>@<mtu>` — the injected always-panicking cell.
+fn poison_from_env() -> Option<(cca::CcaKind, u32)> {
+    let spec = std::env::var("GREENENVY_POISON").ok()?;
+    let (name, mtu) = spec.split_once('@')?;
+    let kind = cca::CcaKind::from_name(name)?;
+    let mtu = mtu.parse().ok()?;
+    Some((kind, mtu))
+}
+
+/// The matrix minus its failure bookkeeping: what two supervised runs
+/// must agree on byte-for-byte even when their retry histories differ.
+#[derive(Serialize)]
+struct CellsProjection {
+    schema_version: u32,
+    transfer_bytes: u64,
+    repetitions: usize,
+    seeds: Vec<u64>,
+    cells: Vec<Cell>,
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mut opts = CampaignOptions {
@@ -61,6 +104,7 @@ fn main() {
         ..Default::default()
     };
     let mut journal: Option<PathBuf> = None;
+    let mut cells_out: Option<PathBuf> = None;
 
     let mut args = std::env::args();
     args.next(); // program name
@@ -75,6 +119,19 @@ fn main() {
             "--journal" => {
                 journal = Some(PathBuf::from(parse_arg::<String>(&mut args, "--journal")))
             }
+            "--journal-dir" => {
+                opts.journal_dir = Some(PathBuf::from(parse_arg::<String>(
+                    &mut args,
+                    "--journal-dir",
+                )))
+            }
+            "--max-attempts" => {
+                opts.retry.max_attempts = parse_arg::<u32>(&mut args, "--max-attempts").max(1)
+            }
+            "--backoff" => opts.retry.backoff_base = parse_arg(&mut args, "--backoff"),
+            "--cells-out" => {
+                cells_out = Some(PathBuf::from(parse_arg::<String>(&mut args, "--cells-out")))
+            }
             "--trace-out" => {
                 opts.trace_out = Some(PathBuf::from(parse_arg::<String>(&mut args, "--trace-out")))
             }
@@ -84,15 +141,19 @@ fn main() {
             }
         }
     }
-    opts.journal = Some(journal.unwrap_or_else(|| {
-        PathBuf::from("results").join(format!("campaign_{}.jsonl", scale.name))
-    }));
+    if opts.journal_dir.is_none() {
+        opts.journal = Some(journal.unwrap_or_else(|| {
+            PathBuf::from("results").join(format!("campaign_{}.jsonl", scale.name))
+        }));
+    }
 
     bench::announce("Durable campaign", &scale);
     println!(
-        "journal: {} | resume: {} | paranoid: {} | deadline: {} | threads: {} | trace-out: {}\n",
-        opts.journal
+        "journal: {} | resume: {} | paranoid: {} | deadline: {} | threads: {} | \
+         retry: {} | trace-out: {}\n",
+        opts.journal_dir
             .as_deref()
+            .or(opts.journal.as_deref())
             .unwrap_or(std::path::Path::new("-"))
             .display(),
         opts.resume,
@@ -100,18 +161,42 @@ fn main() {
         opts.deadline
             .map_or("none".to_string(), |d| format!("{}s/cell", d.as_secs_f64())),
         opts.threads,
+        opts.retry.spec(),
         opts.trace_out
             .as_deref()
             .map_or("off".to_string(), |p| p.display().to_string()),
     );
 
-    let report = match campaign::run_campaign(scale, opts) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+    let poison = poison_from_env();
+    if let Some((cca, mtu)) = poison {
+        println!(
+            "poison: {} @ mtu {mtu} will panic on every attempt (GREENENVY_POISON)\n",
+            cca.name()
+        );
+    }
+
+    let cell_policy = CellPolicy {
+        wall_deadline: opts.deadline,
+        paranoid: opts.paranoid,
+        trace_out: opts.trace_out.clone(),
     };
+    let trace_out = opts.trace_out.clone();
+    let report =
+        match campaign::run_campaign_with_runner(scale, opts, move |cca, mtu, bytes, seeds| {
+            if poison == Some((cca, mtu)) {
+                panic!(
+                    "injected poison cell {} @ mtu {mtu} (GREENENVY_POISON)",
+                    cca.name()
+                );
+            }
+            run_cell_with(cca, mtu, bytes, seeds, cell_policy.clone())
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
 
     // The matrix artifact is emitted even when partial: resumed runs
     // overwrite it, and the figure binaries' cache check refuses to
@@ -119,24 +204,72 @@ fn main() {
     if let Some(p) = bench::save_json(&format!("matrix_{}", scale.name), &report.matrix) {
         println!("matrix: {}", p.display());
     }
+    if let Some(path) = &cells_out {
+        let projection = CellsProjection {
+            schema_version: report.matrix.schema_version,
+            transfer_bytes: report.matrix.transfer_bytes,
+            repetitions: report.matrix.repetitions,
+            seeds: report.matrix.seeds.clone(),
+            cells: report.matrix.cells.clone(),
+        };
+        match campaign::save_json_atomic(path, &projection) {
+            Ok(()) => println!("cells: {}", path.display()),
+            Err(e) => eprintln!("warning: --cells-out failed: {e}"),
+        }
+    }
+    if let Some(dir) = &trace_out {
+        let prom = report.supervision.metrics.prometheus_text();
+        let path = dir.join("campaign_supervisor.prom");
+        if let Err(e) = campaign::write_atomic(&path, prom.as_bytes()) {
+            eprintln!("warning: supervisor metrics persist failed: {e}");
+        } else {
+            println!("supervisor metrics: {}", path.display());
+        }
+    }
     println!(
-        "cells: {} reused, {} executed, {} skipped, {} failed",
+        "cells: {} reused, {} executed, {} skipped, {} failed | retries: {} | quarantined: {}",
         report.reused,
         report.executed,
         report.skipped,
-        report.matrix.failed.len()
+        report.matrix.failed.len(),
+        report.supervision.retries,
+        report.supervision.quarantined.len(),
     );
+    for q in &report.supervision.quarantined {
+        eprintln!(
+            "quarantined: {} @ mtu {} after attempt {}: {}",
+            q.cca,
+            q.mtu,
+            q.last_attempt(),
+            q.attempts.last().map_or("", |a| a.error.as_str()),
+        );
+    }
     for f in &report.matrix.failed {
         eprintln!(
-            "failed: {} @ mtu {}: {} / retry: {}",
-            f.cca, f.mtu, f.error, f.retry_error
+            "failed: {} @ mtu {} ({} attempts): {} / last: {}",
+            f.cca, f.mtu, f.attempts, f.error, f.retry_error
         );
+    }
+
+    if let Some(reason) = &report.supervision.degraded {
+        eprintln!(
+            "DEGRADED: {reason}\nresults above are valid but NOT crash-durable — \
+             re-run with a healthy journal before trusting --resume"
+        );
+        std::process::exit(5);
     }
     if report.cancelled {
         println!("cancelled — journal is intact; rerun with --resume to continue");
         std::process::exit(130);
     }
     if !report.matrix.is_complete() {
+        if !report.supervision.quarantined.is_empty() {
+            println!(
+                "complete minus {} quarantined poison cell(s) — see quarantine.jsonl",
+                report.supervision.quarantined.len()
+            );
+            std::process::exit(4);
+        }
         std::process::exit(3);
     }
 }

@@ -8,6 +8,10 @@
 //! * `--trace-out` — persist per-run observability artifacts (Perfetto
 //!   trace + Prometheus snapshot; flight-ring dumps on abort) into the
 //!   given directory, one trio per `rate<i>_seed<s>_{fair,serial}` run.
+//!
+//! Exit status: 0 — sweep complete; 5 — degraded (measurements complete
+//! but one or more trace artifacts failed to persist); 1 — the sweep
+//! itself failed; 2 — usage error.
 use greenenvy::{chaos, Scale};
 use std::path::PathBuf;
 
@@ -47,5 +51,15 @@ fn main() {
     println!("{}", chaos::render(&result));
     if let Some(p) = bench::save_json("chaos", &result) {
         println!("json: {}", p.display());
+    }
+    if !result.persist_failures.is_empty() {
+        eprintln!(
+            "DEGRADED: {} trace artifact(s) failed to persist:",
+            result.persist_failures.len()
+        );
+        for f in &result.persist_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(5);
     }
 }

@@ -13,6 +13,12 @@
 //! exits non-zero if any tracked scenario's `events_per_sec` regressed
 //! by more than [`CHECK_TOLERANCE`]. This is the `scripts/verify.sh
 //! --perf` gate.
+//!
+//! With `--check-journal`, only the checkpoint-journal throughput probe
+//! runs: the sharded writer pool must hold at least `1 -
+//! CHECK_TOLERANCE` of both the freshly measured and the committed
+//! single-journal baseline. This is the `scripts/verify.sh --supervise`
+//! throughput gate.
 
 use cca::CcaKind;
 use netsim::fault::FaultSpec;
@@ -94,6 +100,25 @@ struct ObsOverhead {
     overhead_frac: f64,
 }
 
+/// Throughput of the fsynced campaign checkpoint journal, single-file
+/// vs sharded-per-worker. Sharding exists so checkpoint appends from a
+/// wide worker pool don't serialize on one file lock + fsync queue; the
+/// `--check-journal` gate holds the sharded path to at least the
+/// single-journal baseline (within [`CHECK_TOLERANCE`]).
+#[derive(Serialize)]
+struct JournalThroughput {
+    /// Cell records appended per measured run.
+    records: usize,
+    /// Worker shards in the sharded run.
+    shards: usize,
+    /// Records/second through one sequential fsynced writer.
+    single_rec_per_s: f64,
+    /// Records/second through `shards` concurrent fsynced writers.
+    sharded_rec_per_s: f64,
+    /// sharded / single.
+    speedup: f64,
+}
+
 /// Cost and findings of the full-workspace static-analysis pass, so the
 /// perf trajectory tracks analysis cost alongside engine throughput. The
 /// budget is 2 s for the whole workspace.
@@ -127,6 +152,8 @@ struct Baseline {
     paranoid_overhead: ParanoidOverhead,
     /// Observability-hook cost with a no-op recorder attached.
     obs_overhead: ObsOverhead,
+    /// Checkpoint-journal throughput, single vs sharded.
+    journal: JournalThroughput,
     /// Whole-workspace simlint cost and findings.
     simlint: LintPerf,
 }
@@ -302,6 +329,130 @@ fn measure_obs_overhead() -> ObsOverhead {
     overhead
 }
 
+/// One synthetic journal cell record; payload shaped like a real one.
+fn journal_entries(n: usize) -> Vec<greenenvy::campaign::journal::Entry> {
+    use analysis::stats::Summary;
+    (0..n)
+        .map(|i| {
+            let xs = [i as f64, i as f64 * 0.5 + 1.0, i as f64 * 0.25 + 2.0];
+            let s = Summary::of(&xs);
+            greenenvy::campaign::journal::Entry::Cell(greenenvy::matrix::Cell {
+                cca: format!("probe{i}"),
+                mtu: 1500 + (i as u32 % 4) * 1500,
+                energy_j: s,
+                power_w: s,
+                fct_s: s,
+                retx: s,
+                goodput_gbps: s,
+            })
+        })
+        .collect()
+}
+
+/// Checkpoint-journal throughput: one fsynced writer taking every
+/// record sequentially vs one writer per shard fed concurrently, the
+/// way a supervised campaign's worker pool actually appends.
+fn measure_journal_throughput() -> JournalThroughput {
+    use greenenvy::campaign::journal::{self, Fingerprint, Writer};
+    const RECORDS: usize = 2048;
+    const SHARDS: usize = 4;
+    let fp = Fingerprint::of(&greenenvy::Scale::quick());
+    let tmp = std::env::temp_dir().join(format!("greenenvy-journal-perf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap_or_else(|e| panic!("journal probe scratch dir: {e}"));
+    let entries = journal_entries(RECORDS);
+    let chunk = RECORDS.div_ceil(SHARDS);
+
+    let mut single_wall = f64::INFINITY;
+    let mut sharded_wall = f64::INFINITY;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let mut w = Writer::create(&tmp.join("single.jsonl"), &fp, &[])
+            .unwrap_or_else(|e| panic!("journal probe: {e}"));
+        for e in &entries {
+            w.append(e).unwrap_or_else(|e| panic!("journal probe: {e}"));
+        }
+        single_wall = single_wall.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let writers = journal::create_sharded(&tmp.join("sharded"), &fp, &[], SHARDS)
+            .unwrap_or_else(|e| panic!("journal probe: {e}"));
+        std::thread::scope(|s| {
+            for (mut w, slice) in writers.into_iter().zip(entries.chunks(chunk)) {
+                s.spawn(move || {
+                    for e in slice {
+                        w.append(e).unwrap_or_else(|e| panic!("journal probe: {e}"));
+                    }
+                });
+            }
+        });
+        sharded_wall = sharded_wall.min(start.elapsed().as_secs_f64());
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let jt = JournalThroughput {
+        records: RECORDS,
+        shards: SHARDS,
+        single_rec_per_s: RECORDS as f64 / single_wall,
+        sharded_rec_per_s: RECORDS as f64 / sharded_wall,
+        speedup: single_wall / sharded_wall,
+    };
+    println!(
+        "journal throughput ({} fsynced records): single {:.0} rec/s, \
+         {}-shard {:.0} rec/s ({:.2}x)",
+        jt.records, jt.single_rec_per_s, jt.shards, jt.sharded_rec_per_s, jt.speedup
+    );
+    jt
+}
+
+/// The `--check-journal` gate: the sharded journal path must not lose
+/// throughput against the sequential single-file writer measured in the
+/// same process, nor against the committed baseline (when one exists).
+/// Returns the number of violations.
+fn check_journal_against(path: &std::path::Path, fresh: &JournalThroughput) -> usize {
+    let mut violations = 0;
+    let fresh_floor = fresh.single_rec_per_s * (1.0 - CHECK_TOLERANCE);
+    println!(
+        "\n=== journal check (sharded must hold {}% of single) ===",
+        (1.0 - CHECK_TOLERANCE) * 100.0
+    );
+    if fresh.sharded_rec_per_s < fresh_floor {
+        violations += 1;
+        eprintln!(
+            "sharded {:.0} rec/s REGRESSED below fresh single {:.0} rec/s floor {:.0}",
+            fresh.sharded_rec_per_s, fresh.single_rec_per_s, fresh_floor
+        );
+    } else {
+        println!(
+            "vs fresh single:    {:.0} >= {:.0} rec/s  ok",
+            fresh.sharded_rec_per_s, fresh_floor
+        );
+    }
+    let committed = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| serde_json::from_str::<serde_json::Value>(&t).ok())
+        .and_then(|v| v["journal"]["single_rec_per_s"].as_f64());
+    match committed {
+        Some(base) => {
+            let floor = base * (1.0 - CHECK_TOLERANCE);
+            if fresh.sharded_rec_per_s < floor {
+                violations += 1;
+                eprintln!(
+                    "sharded {:.0} rec/s REGRESSED below committed single {base:.0} floor {floor:.0}",
+                    fresh.sharded_rec_per_s
+                );
+            } else {
+                println!(
+                    "vs committed single: {:.0} >= {:.0} rec/s  ok",
+                    fresh.sharded_rec_per_s, floor
+                );
+            }
+        }
+        None => println!("(no journal entry in committed baseline — skipped)"),
+    }
+    violations
+}
+
 /// Time the full-workspace lint (best of RUNS) and report its findings.
 fn measure_simlint(repo_root: &std::path::Path) -> LintPerf {
     let mut best = f64::INFINITY;
@@ -381,6 +532,19 @@ fn check_against(path: &std::path::Path, fresh: &[ScenarioPerf]) -> usize {
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    let check_journal = std::env::args().any(|a| a == "--check-journal");
+    if check_journal {
+        // Journal-only mode: the supervision drill's throughput gate.
+        let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let fresh = measure_journal_throughput();
+        let violations = check_journal_against(&repo_root.join("BENCH_netsim.json"), &fresh);
+        if violations > 0 {
+            eprintln!("journal check: {violations} violation(s)");
+            std::process::exit(1);
+        }
+        println!("journal check: sharded throughput within tolerance");
+        return;
+    }
     println!("=== simulator perf baseline ({RUNS} runs per scenario, best reported) ===\n");
     let suite = [
         (
@@ -445,6 +609,7 @@ fn main() {
         chaos_overhead: measure_chaos_overhead(),
         paranoid_overhead: measure_paranoid_overhead(),
         obs_overhead: measure_obs_overhead(),
+        journal: measure_journal_throughput(),
         simlint: measure_simlint(&repo_root),
     };
     println!(

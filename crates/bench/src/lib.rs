@@ -120,6 +120,7 @@ mod tests {
             mtu: 1500,
             error: "x".into(),
             retry_error: "y".into(),
+            attempts: 2,
         });
         assert!(
             !matrix_matches(&failed, &scale),

@@ -1,16 +1,29 @@
-//! The append-only per-cell checkpoint journal.
+//! The append-only per-cell checkpoint journal — single-file and sharded.
 //!
-//! One JSONL file per campaign. Line 1 is a header carrying a
-//! *fingerprint* — a hash over everything that determines cell results:
-//! code revision, matrix schema, transfer size, repetition count, the
-//! exact seed schedule, and the CCA × MTU job list. Every following line
-//! is one completed (or terminally failed) cell, stored as an escaped
-//! JSON string plus a content hash over `fingerprint + record bytes`.
+//! **Single-file layout**: one JSONL file per campaign. Line 1 is a
+//! header carrying a *fingerprint* — a hash over everything that
+//! determines cell results: code revision, matrix schema, transfer size,
+//! repetition count, the exact seed schedule, the CCA × MTU job list,
+//! and the retry policy (whose human-readable spec the header also
+//! records, so resume provably replays the same schedule). Every
+//! following line is one completed (or terminally failed) cell, stored
+//! as an escaped JSON string plus a content hash over `fingerprint +
+//! record bytes`.
+//!
+//! **Sharded layout** ([`create_sharded`] / [`load_sharded`]): a
+//! directory holding one such JSONL per worker (`shard-000.jsonl`,
+//! `shard-001.jsonl`, …) plus `quarantine.jsonl` for poison cells. Each
+//! worker owns its shard exclusively, so appends never contend on a
+//! lock or serialize their fsyncs behind another worker's — the write
+//! path scales with the pool instead of bottlenecking on one file.
+//! Every shard carries the full header discipline independently, which
+//! shrinks the failure domain: a stale or garbled shard invalidates
+//! *its* records, not the campaign.
 //!
 //! The paranoia is deliberate and layered:
 //! * a **fingerprint mismatch** (code changed, scale changed, seeds
-//!   changed) invalidates the whole journal — stale cells are never
-//!   merged into a fresh campaign;
+//!   changed, retry policy changed) invalidates that file — stale cells
+//!   are never merged into a fresh campaign;
 //! * a **bad content hash** invalidates just that record — bit rot or a
 //!   partial overwrite costs one cell, not the run;
 //! * a **torn final line** (the classic crash-mid-append) is silently
@@ -21,21 +34,25 @@
 //! Loading therefore returns only records that are provably from this
 //! exact campaign configuration; everything else is re-run.
 
+use super::supervisor::{QuarantineRecord, RetryPolicy};
 use crate::matrix::{Cell, CellFailure, MATRIX_SCHEMA_VERSION};
 use crate::scale::Scale;
 use cca::CcaKind;
 use serde::Value;
-use std::fs::{File, OpenOptions};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Bump when the meaning of a cell result changes without the matrix
 /// schema moving (e.g. a simulator behaviour fix that shifts numbers):
 /// journaled cells from before the bump must not satisfy `--resume`.
-pub const JOURNAL_CODE_REV: u32 = 1;
+pub const JOURNAL_CODE_REV: u32 = 2;
 
-/// Journal line-format version.
-const JOURNAL_SCHEMA: u32 = 1;
+/// Journal line-format version. v2 added the retry-policy header field,
+/// per-shard headers, cumulative attempt counters on failure records,
+/// and quarantine records.
+const JOURNAL_SCHEMA: u32 = 2;
 
 /// 64-bit FNV-1a. Not cryptographic — the threat model is bit rot, torn
 /// writes, and stale files, not an adversary forging cells.
@@ -48,14 +65,26 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The campaign configuration fingerprint carried by the journal header
-/// and mixed into every record hash.
+/// The campaign configuration fingerprint carried by every journal (and
+/// shard) header and mixed into every record hash. Covers the retry
+/// policy: changing `max_attempts` or the backoff changes which seed
+/// trajectories failures explore, so journals from another policy are
+/// another campaign.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Fingerprint(String);
+pub struct Fingerprint {
+    hash: String,
+    policy: String,
+}
 
 impl Fingerprint {
-    /// Fingerprint of a campaign at `scale` under the current code.
+    /// Fingerprint of a campaign at `scale` under the current code and
+    /// the default retry policy.
     pub fn of(scale: &Scale) -> Fingerprint {
+        Fingerprint::for_policy(scale, &RetryPolicy::default())
+    }
+
+    /// Fingerprint of a campaign at `scale` under an explicit policy.
+    pub fn for_policy(scale: &Scale, policy: &RetryPolicy) -> Fingerprint {
         let mut spec = format!(
             "pkg={};schema={};rev={};bytes={};reps={};seeds=",
             env!("CARGO_PKG_VERSION"),
@@ -73,16 +102,29 @@ impl Fingerprint {
                 spec.push_str(&format!("{}@{mtu},", cca.name()));
             }
         }
-        Fingerprint(format!("{:016x}", fnv64(spec.as_bytes())))
+        let policy_spec = policy.spec();
+        spec.push_str(&format!(";policy={policy_spec}"));
+        Fingerprint {
+            hash: format!("{:016x}", fnv64(spec.as_bytes())),
+            policy: policy_spec,
+        }
     }
 
     /// The hex digest (what the header stores).
     pub fn hex(&self) -> &str {
-        &self.0
+        &self.hash
+    }
+
+    /// The human-readable retry-policy spec recorded next to the hash.
+    pub fn policy_spec(&self) -> &str {
+        &self.policy
     }
 
     fn record_hash(&self, record: &str) -> String {
-        format!("{:016x}", fnv64(format!("{}\n{record}", self.0).as_bytes()))
+        format!(
+            "{:016x}",
+            fnv64(format!("{}\n{record}", self.hash).as_bytes())
+        )
     }
 }
 
@@ -91,8 +133,23 @@ impl Fingerprint {
 pub enum Entry {
     /// A completed cell.
     Cell(Cell),
-    /// A cell that failed its run and the salted-seed retry.
+    /// A cell that failed every attempt of a campaign life. Carries the
+    /// cumulative attempt counter so a later resume keeps the seed
+    /// salting monotone instead of re-exploring spent trajectories.
     Failed(CellFailure),
+    /// A quarantined poison cell with its full attempt history.
+    Quarantine(QuarantineRecord),
+}
+
+impl Entry {
+    /// The `(cca, mtu)` cell coordinates this entry describes.
+    pub fn key(&self) -> (String, u32) {
+        match self {
+            Entry::Cell(c) => (c.cca.clone(), c.mtu),
+            Entry::Failed(f) => (f.cca.clone(), f.mtu),
+            Entry::Quarantine(q) => (q.cca.clone(), q.mtu),
+        }
+    }
 }
 
 /// What loading a journal produced.
@@ -106,6 +163,21 @@ pub struct Loaded {
     /// True when the whole journal was discarded: missing/garbled header
     /// or a fingerprint from a different campaign configuration.
     pub stale: bool,
+}
+
+/// What loading a sharded journal directory produced. Validation is
+/// per shard: one stale or torn shard costs its own records only.
+#[derive(Debug, Default)]
+pub struct LoadedShards {
+    /// Validated entries merged across shards ([`dedupe`]d, so each cell
+    /// key appears at most once), in shard-name-then-line order.
+    pub entries: Vec<Entry>,
+    /// Corrupt records dropped across all non-stale shards.
+    pub dropped: usize,
+    /// Shards discarded whole (garbled header / foreign fingerprint).
+    pub stale_shards: usize,
+    /// Shard files found.
+    pub shards: usize,
 }
 
 /// A journal I/O failure, annotated with the journal path.
@@ -177,6 +249,91 @@ pub fn load(path: &Path, fingerprint: &Fingerprint) -> Result<Loaded, JournalErr
     Ok(out)
 }
 
+/// The per-worker shard file inside a sharded journal directory.
+pub fn shard_path(dir: &Path, worker: usize) -> PathBuf {
+    dir.join(format!("shard-{worker:03}.jsonl"))
+}
+
+/// The poison-cell quarantine shard inside a sharded journal directory.
+pub fn quarantine_path(dir: &Path) -> PathBuf {
+    dir.join("quarantine.jsonl")
+}
+
+/// Load every `shard-*.jsonl` under `dir`, validating each shard
+/// independently, and merge the survivors. A missing directory is an
+/// empty journal. Merge order is deterministic — shards sorted by file
+/// name, lines in append order — and duplicate cell keys across shards
+/// collapse via [`dedupe`].
+pub fn load_sharded(dir: &Path, fingerprint: &Fingerprint) -> Result<LoadedShards, JournalError> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(iter) => {
+            for entry in iter.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("shard-") && name.ends_with(".jsonl") {
+                    files.push(entry.path());
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LoadedShards::default()),
+        Err(source) => {
+            return Err(JournalError {
+                path: dir.to_path_buf(),
+                source,
+            })
+        }
+    }
+    files.sort();
+    let mut out = LoadedShards {
+        shards: files.len(),
+        ..Default::default()
+    };
+    let mut all = Vec::new();
+    for file in &files {
+        let loaded = load(file, fingerprint)?;
+        if loaded.stale {
+            out.stale_shards += 1;
+        } else {
+            all.extend(loaded.entries);
+            out.dropped += loaded.dropped;
+        }
+    }
+    out.entries = dedupe(all);
+    Ok(out)
+}
+
+/// Collapse duplicate cell keys from a merged entry stream into one
+/// entry each, deterministically: a completed cell always beats a
+/// failure for the same key, a failure with more cumulative attempts
+/// beats one with fewer, and otherwise the later entry wins. First-seen
+/// key order is preserved.
+pub fn dedupe(entries: Vec<Entry>) -> Vec<Entry> {
+    let mut order: Vec<(String, u32)> = Vec::new();
+    let mut best: BTreeMap<(String, u32), Entry> = BTreeMap::new();
+    for entry in entries {
+        let key = entry.key();
+        match best.get(&key) {
+            None => {
+                order.push(key.clone());
+                best.insert(key, entry);
+            }
+            Some(old) => {
+                let replace = match (old, &entry) {
+                    (_, Entry::Cell(_)) => true,
+                    (Entry::Cell(_), _) => false,
+                    (Entry::Failed(a), Entry::Failed(b)) => b.attempts >= a.attempts,
+                    _ => true,
+                };
+                if replace {
+                    best.insert(key, entry);
+                }
+            }
+        }
+    }
+    order.into_iter().filter_map(|k| best.remove(&k)).collect()
+}
+
 fn parse_record(line: &str, fingerprint: &Fingerprint) -> Option<Entry> {
     let v: Value = serde_json::from_str(line).ok()?;
     let kind = v["kind"].as_str()?;
@@ -190,11 +347,14 @@ fn parse_record(line: &str, fingerprint: &Fingerprint) -> Option<Entry> {
         "failed" => serde_json::from_str::<CellFailure>(record)
             .ok()
             .map(Entry::Failed),
+        "quarantine" => serde_json::from_str::<QuarantineRecord>(record)
+            .ok()
+            .map(Entry::Quarantine),
         _ => None,
     }
 }
 
-/// An open journal being appended to.
+/// An open journal (or shard) being appended to.
 pub struct Writer {
     path: PathBuf,
     file: File,
@@ -212,11 +372,30 @@ impl Writer {
         fingerprint: &Fingerprint,
         entries: &[Entry],
     ) -> Result<Writer, JournalError> {
-        let header = serde_json::json!({
-            "journal": "greenenvy-campaign",
-            "schema": JOURNAL_SCHEMA,
-            "fingerprint": (fingerprint.hex())
-        });
+        Writer::create_with_shard(path, fingerprint, entries, None)
+    }
+
+    fn create_with_shard(
+        path: &Path,
+        fingerprint: &Fingerprint,
+        entries: &[Entry],
+        shard: Option<usize>,
+    ) -> Result<Writer, JournalError> {
+        let header = match shard {
+            Some(i) => serde_json::json!({
+                "journal": "greenenvy-campaign",
+                "schema": JOURNAL_SCHEMA,
+                "fingerprint": (fingerprint.hex()),
+                "policy": (fingerprint.policy_spec()),
+                "shard": i
+            }),
+            None => serde_json::json!({
+                "journal": "greenenvy-campaign",
+                "schema": JOURNAL_SCHEMA,
+                "fingerprint": (fingerprint.hex()),
+                "policy": (fingerprint.policy_spec())
+            }),
+        };
         let mut body = format!(
             "{}\n",
             serde_json::to_string(&header).expect("journal header serializes")
@@ -246,6 +425,7 @@ impl Writer {
         let (kind, record) = match entry {
             Entry::Cell(c) => ("cell", serde_json::to_string(c)),
             Entry::Failed(f) => ("failed", serde_json::to_string(f)),
+            Entry::Quarantine(q) => ("quarantine", serde_json::to_string(q)),
         };
         let record = record.expect("journal records serialize");
         let hash = fingerprint.record_hash(&record);
@@ -274,6 +454,49 @@ impl Writer {
     }
 }
 
+/// Create a fresh sharded journal under `dir`: one shard per worker,
+/// all previous shard and quarantine files wiped first (so shards from
+/// a wider previous pool cannot resurrect stale records on the *next*
+/// resume). The compacted survivors `keep` land in shard 0; the other
+/// shards start empty. Returns one open writer per worker, in index
+/// order.
+pub fn create_sharded(
+    dir: &Path,
+    fingerprint: &Fingerprint,
+    keep: &[Entry],
+    shards: usize,
+) -> Result<Vec<Writer>, JournalError> {
+    let at = |source| JournalError {
+        path: dir.to_path_buf(),
+        source,
+    };
+    fs::create_dir_all(dir).map_err(at)?;
+    for entry in fs::read_dir(dir).map_err(at)?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ours =
+            (name.starts_with("shard-") && name.ends_with(".jsonl")) || name == "quarantine.jsonl";
+        if ours {
+            fs::remove_file(entry.path()).map_err(|source| JournalError {
+                path: entry.path(),
+                source,
+            })?;
+        }
+    }
+    let shards = shards.max(1);
+    let mut writers = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let entries: &[Entry] = if i == 0 { keep } else { &[] };
+        writers.push(Writer::create_with_shard(
+            &shard_path(dir, i),
+            fingerprint,
+            entries,
+            Some(i),
+        )?);
+    }
+    Ok(writers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +512,16 @@ mod tests {
             fct_s: Summary::of(&xs),
             retx: Summary::of(&xs),
             goodput_gbps: Summary::of(&xs),
+        }
+    }
+
+    fn stub_failure(cca: CcaKind, mtu: u32, attempts: u32) -> CellFailure {
+        CellFailure {
+            cca: cca.name().to_string(),
+            mtu,
+            error: "boom".into(),
+            retry_error: "boom again".into(),
+            attempts,
         }
     }
 
@@ -313,13 +546,8 @@ mod tests {
         for c in &cells {
             w.append(&Entry::Cell(c.clone())).unwrap();
         }
-        w.append(&Entry::Failed(CellFailure {
-            cca: "bbr".into(),
-            mtu: 3000,
-            error: "boom".into(),
-            retry_error: "boom again".into(),
-        }))
-        .unwrap();
+        w.append(&Entry::Failed(stub_failure(CcaKind::Bbr, 3000, 2)))
+            .unwrap();
         let loaded = load(&path, &fp).unwrap();
         assert!(!loaded.stale);
         assert_eq!(loaded.dropped, 0);
@@ -334,7 +562,9 @@ mod tests {
                 serde_json::to_string(original).unwrap()
             );
         }
-        assert!(matches!(&loaded.entries[2], Entry::Failed(f) if f.cca == "bbr"));
+        assert!(
+            matches!(&loaded.entries[2], Entry::Failed(f) if f.cca == "bbr" && f.attempts == 2)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -360,6 +590,29 @@ mod tests {
         let loaded = load(&path, &fp_std).unwrap();
         assert!(loaded.stale);
         assert!(loaded.entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_change_discards_the_journal() {
+        // Same scale, different retry policy: the seed trajectories a
+        // failure explores differ, so the journal must read as stale.
+        let dir = scratch("policy");
+        let path = dir.join("j.jsonl");
+        let fp_default = Fingerprint::of(&Scale::quick());
+        let mut w = Writer::create(&path, &fp_default, &[]).unwrap();
+        w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0)))
+            .unwrap();
+        let fp_patient = Fingerprint::for_policy(
+            &Scale::quick(),
+            &RetryPolicy {
+                max_attempts: 5,
+                backoff_base: 2,
+            },
+        );
+        assert_ne!(fp_default, fp_patient);
+        let loaded = load(&path, &fp_patient).unwrap();
+        assert!(loaded.stale);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -447,5 +700,134 @@ mod tests {
         };
         assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
         assert_eq!(Fingerprint::of(&a), Fingerprint::of(&a));
+    }
+
+    #[test]
+    fn sharded_roundtrip_merges_in_shard_order() {
+        let dir = scratch("sharded");
+        let fp = Fingerprint::of(&Scale::quick());
+        let mut writers = create_sharded(&dir, &fp, &[], 3).unwrap();
+        assert_eq!(writers.len(), 3);
+        writers[0]
+            .append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0)))
+            .unwrap();
+        writers[2]
+            .append(&Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0)))
+            .unwrap();
+        writers[1]
+            .append(&Entry::Failed(stub_failure(CcaKind::Bbr, 9000, 2)))
+            .unwrap();
+        let loaded = load_sharded(&dir, &fp).unwrap();
+        assert_eq!(loaded.shards, 3);
+        assert_eq!(loaded.stale_shards, 0);
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.entries.len(), 3);
+        // Merge order: shard 0's record, then shard 1's, then shard 2's.
+        assert!(matches!(&loaded.entries[0], Entry::Cell(c) if c.cca == "cubic"));
+        assert!(matches!(&loaded.entries[1], Entry::Failed(f) if f.cca == "bbr"));
+        assert!(matches!(&loaded.entries[2], Entry::Cell(c) if c.cca == "reno"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_shard_costs_only_its_own_records() {
+        let dir = scratch("shard-stale");
+        let fp = Fingerprint::of(&Scale::quick());
+        let mut writers = create_sharded(&dir, &fp, &[], 2).unwrap();
+        writers[0]
+            .append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0)))
+            .unwrap();
+        writers[1]
+            .append(&Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0)))
+            .unwrap();
+        drop(writers);
+        // Garble shard 1's header: that shard is from another campaign
+        // now, but shard 0 must still be merged.
+        let shard1 = shard_path(&dir, 1);
+        let body = std::fs::read_to_string(&shard1).unwrap();
+        std::fs::write(&shard1, body.replacen("greenenvy-campaign", "foreign", 1)).unwrap();
+        let loaded = load_sharded(&dir, &fp).unwrap();
+        assert_eq!(loaded.stale_shards, 1);
+        assert_eq!(loaded.entries.len(), 1);
+        assert!(matches!(&loaded.entries[0], Entry::Cell(c) if c.cca == "cubic"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_sharded_wipes_previous_wider_pools() {
+        let dir = scratch("shard-wipe");
+        let fp = Fingerprint::of(&Scale::quick());
+        let mut writers = create_sharded(&dir, &fp, &[], 4).unwrap();
+        for w in writers.iter_mut() {
+            w.append(&Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0)))
+                .unwrap();
+        }
+        drop(writers);
+        // Recreate with a narrower pool: shard 003 must be gone, not
+        // lingering to resurrect stale records on a later resume.
+        let _ = create_sharded(&dir, &fp, &[], 2).unwrap();
+        assert!(shard_path(&dir, 0).exists());
+        assert!(shard_path(&dir, 1).exists());
+        assert!(!shard_path(&dir, 2).exists());
+        assert!(!shard_path(&dir, 3).exists());
+        let loaded = load_sharded(&dir, &fp).unwrap();
+        assert_eq!(loaded.shards, 2);
+        assert!(loaded.entries.is_empty(), "fresh shards start empty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dedupe_prefers_cells_then_higher_attempt_counts() {
+        let cell = Entry::Cell(stub_cell(CcaKind::Cubic, 1500, 1.0));
+        let f2 = Entry::Failed(stub_failure(CcaKind::Cubic, 1500, 2));
+        let f5 = Entry::Failed(stub_failure(CcaKind::Cubic, 1500, 5));
+        let other = Entry::Cell(stub_cell(CcaKind::Reno, 3000, 2.0));
+        // A cell beats any failure, regardless of order.
+        let out = dedupe(vec![f5.clone(), cell.clone(), f2.clone()]);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], Entry::Cell(_)));
+        // Among failures the higher cumulative attempt count survives.
+        let out = dedupe(vec![f5.clone(), f2.clone(), other.clone()]);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], Entry::Failed(f) if f.attempts == 5));
+        // First-seen key order is preserved.
+        assert!(matches!(&out[1], Entry::Cell(c) if c.cca == "reno"));
+        let _ = (cell, f2, f5, other);
+    }
+
+    #[test]
+    fn quarantine_records_roundtrip() {
+        use super::super::supervisor::AttemptRecord;
+        let dir = scratch("quarantine");
+        let path = quarantine_path(&dir);
+        let fp = Fingerprint::of(&Scale::quick());
+        let mut w = Writer::create(&path, &fp, &[]).unwrap();
+        let rec = QuarantineRecord {
+            cca: "cubic".into(),
+            mtu: 1500,
+            attempts: vec![
+                AttemptRecord {
+                    attempt: 1,
+                    class: "panic".into(),
+                    error: "poison".into(),
+                },
+                AttemptRecord {
+                    attempt: 2,
+                    class: "panic".into(),
+                    error: "poison again".into(),
+                },
+            ],
+        };
+        w.append(&Entry::Quarantine(rec.clone())).unwrap();
+        let loaded = load(&path, &fp).unwrap();
+        assert_eq!(loaded.entries.len(), 1);
+        let Entry::Quarantine(q) = &loaded.entries[0] else {
+            panic!("expected quarantine entry");
+        };
+        assert_eq!(q.cca, "cubic");
+        assert_eq!(q.mtu, 1500);
+        assert_eq!(q.attempts.len(), 2);
+        assert_eq!(q.attempts[1].error, "poison again");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

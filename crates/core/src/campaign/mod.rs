@@ -1,17 +1,26 @@
-//! Durable campaign execution.
+//! Durable, supervised campaign execution.
 //!
 //! The CCA × MTU measurement campaign behind Figures 5-8 is hours of
 //! simulation at paper scale, which makes it exactly the kind of job
 //! that dies at 90%: an OOM kill, a preempted node, a Ctrl-C. This
-//! module makes the campaign *restartable and auditable* without
-//! touching what it computes:
+//! module makes the campaign *restartable, supervised, and auditable*
+//! without touching what it computes:
 //!
 //! * [`journal`] — an append-only, fsynced, hash-verified checkpoint
-//!   journal; one record per completed cell.
+//!   journal; one record per completed cell. Fleet runs shard it one
+//!   file per worker ([`CampaignOptions::journal_dir`]), so appends
+//!   don't serialize behind a single fsync and a torn shard invalidates
+//!   its own records, not the campaign.
 //! * resume — [`CampaignOptions::resume`] re-runs only cells the
 //!   journal cannot vouch for. Because cell results are bit-exact
 //!   through JSON (shortest-roundtrip floats), a resumed campaign's
 //!   matrix is byte-identical to an uninterrupted one.
+//! * [`supervisor`] — the worker pool: typed [`RetryPolicy`] with
+//!   claim-count exponential backoff, monotone seed salting across
+//!   campaign lives, per-cell panic containment, poison-cell
+//!   quarantine (`quarantine.jsonl` + [`SupervisionReport`]), and
+//!   graceful degradation to in-memory checkpoints when the journal's
+//!   disk gives out mid-run.
 //! * [`cancel`] — SIGINT/SIGTERM turn into a graceful drain: workers
 //!   stop claiming cells, the journal is already flushed, and a partial
 //!   matrix comes back.
@@ -30,38 +39,51 @@ pub mod cancel;
 pub mod invariant;
 pub mod journal;
 pub mod persist;
+pub mod supervisor;
 
 pub use cancel::{install_signal_handlers, CancelToken};
 pub use journal::{Fingerprint, JournalError};
 pub use persist::{save_json_atomic, write_atomic, PersistError};
+pub use supervisor::{
+    attempt_salt, seeds_for_attempt, AttemptRecord, QuarantineRecord, RetryPolicy,
+    SupervisionReport,
+};
 
 use crate::matrix::{
     run_cell_with, Cell, CellError, CellFailure, CellPolicy, Matrix, MATRIX_SCHEMA_VERSION, MTUS,
-    RETRY_SEED_SALT,
 };
 use crate::scale::Scale;
 use cca::CcaKind;
-use std::collections::HashMap;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Duration;
 
 /// How a campaign should run. [`Default`] is exactly the historical
 /// [`crate::matrix::run_matrix`] behaviour: all cores, no journal, no
-/// deadline, no paranoia.
+/// deadline, no paranoia, the classic one-salted-retry policy.
 #[derive(Clone, Debug)]
 pub struct CampaignOptions {
     /// Worker threads (work-stealing; the result is schedule-invariant).
     pub threads: usize,
-    /// Checkpoint journal path. `None` disables durability.
+    /// Single-file checkpoint journal path. `None` disables durability.
+    /// Ignored when `journal_dir` is set.
     pub journal: Option<PathBuf>,
+    /// Sharded checkpoint journal directory: one fsynced JSONL per
+    /// worker (`shard-000.jsonl`, …) plus `quarantine.jsonl`. Wins over
+    /// `journal`. Prefer this for wide pools — per-worker shards keep
+    /// fsyncs off each other's critical path and shrink the corruption
+    /// blast radius to one shard.
+    pub journal_dir: Option<PathBuf>,
     /// Reuse journaled cells instead of re-running them. Only cells
     /// whose journal records pass fingerprint + hash validation count.
     pub resume: bool,
+    /// The retry schedule failing cells run under (journaled via the
+    /// config fingerprint, so a resume replays the same schedule).
+    pub retry: RetryPolicy,
     /// Per-cell wall-clock budget (covers all repetitions of the cell).
     /// A cell that blows it fails with [`CellError::DeadlineExceeded`]
-    /// and gets the standard salted-seed retry.
+    /// and re-enters the retry schedule like any other failure.
     pub deadline: Option<Duration>,
     /// Run the [`invariant`] physics audit after every repetition.
     pub paranoid: bool,
@@ -80,7 +102,9 @@ impl Default for CampaignOptions {
                 .map(|n| n.get())
                 .unwrap_or(1),
             journal: None,
+            journal_dir: None,
             resume: false,
+            retry: RetryPolicy::default(),
             deadline: None,
             paranoid: false,
             cancel: CancelToken::new(),
@@ -98,24 +122,33 @@ pub struct CampaignReport {
     pub cancelled: bool,
     /// Cells reused from the journal without re-running.
     pub reused: usize,
-    /// Cells executed (successfully or not) by this invocation.
+    /// Cells that reached a terminal outcome (success or quarantine)
+    /// in this invocation.
     pub executed: usize,
-    /// Cells never attempted because cancellation arrived first.
+    /// Cells never finished because cancellation arrived first.
     pub skipped: usize,
+    /// The supervision story: retry counts, quarantined poison cells,
+    /// degradation, and the supervisor metrics snapshot.
+    pub supervision: SupervisionReport,
 }
 
 /// A campaign-level failure. Cell failures don't land here (they're
-/// carried in the matrix); this is for the durability machinery itself.
+/// carried in the matrix); this is for the campaign machinery itself.
 #[derive(Debug)]
 pub enum CampaignError {
-    /// The checkpoint journal could not be read or written.
+    /// The checkpoint journal could not be created or read. (Append
+    /// failures mid-run degrade instead — see
+    /// [`SupervisionReport::degraded`].)
     Journal(JournalError),
+    /// A worker *thread* died outside the per-cell panic containment.
+    Worker(String),
 }
 
 impl std::fmt::Display for CampaignError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CampaignError::Journal(e) => write!(f, "campaign journal failure: {e}"),
+            CampaignError::Worker(e) => write!(f, "campaign worker failure: {e}"),
         }
     }
 }
@@ -124,6 +157,7 @@ impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CampaignError::Journal(e) => Some(e),
+            CampaignError::Worker(_) => None,
         }
     }
 }
@@ -132,6 +166,17 @@ impl From<JournalError> for CampaignError {
     fn from(e: JournalError) -> Self {
         CampaignError::Journal(e)
     }
+}
+
+/// The quarantine sibling of a single-file journal
+/// (`campaign.jsonl` → `campaign.quarantine.jsonl`). Sharded journals
+/// keep theirs inside the directory instead.
+fn quarantine_sibling(journal: &Path) -> PathBuf {
+    let stem = journal
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("campaign");
+    journal.with_file_name(format!("{stem}.quarantine.jsonl"))
 }
 
 /// Run the measurement campaign durably with the production cell runner.
@@ -149,7 +194,8 @@ pub fn run_campaign(scale: Scale, opts: CampaignOptions) -> Result<CampaignRepor
 /// [`run_campaign`] with a pluggable cell runner — the testing seam. The
 /// deadline/paranoid options act inside the *production* runner; a
 /// custom runner receives only `(cca, mtu, bytes, seeds)` and applies
-/// whatever policy it likes.
+/// whatever policy it likes. A runner that panics is contained by the
+/// supervisor and treated as a failed attempt.
 pub fn run_campaign_with_runner<F>(
     scale: Scale,
     opts: CampaignOptions,
@@ -164,48 +210,55 @@ where
         .flat_map(|&cca| MTUS.iter().map(move |&mtu| (cca, mtu)))
         .collect();
 
-    // Resume: harvest validated cells from the journal, keyed by job.
-    // Failed records are deliberately *not* reused — a resume is the
-    // natural moment to give a failed cell another chance.
-    let fingerprint = Fingerprint::of(&scale);
+    let policy = opts.retry;
+    let fingerprint = Fingerprint::for_policy(&scale, &policy);
+    let sharded_dir = opts.journal_dir.clone();
+    let single = if sharded_dir.is_some() {
+        None
+    } else {
+        opts.journal.clone()
+    };
+
+    // Resume: harvest validated entries, keyed by job. Completed cells
+    // are reused; failure records are *not* (a resume is the natural
+    // moment to give a failed cell another chance) but their cumulative
+    // attempt counters thread through, so the re-attempt continues the
+    // monotone seed-salt sequence instead of restarting it.
     let mut reused: Vec<(usize, Cell)> = Vec::new();
+    let mut prior_attempts: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut keep: Vec<journal::Entry> = Vec::new();
     if opts.resume {
-        if let Some(path) = &opts.journal {
-            let loaded = journal::load(path, &fingerprint)?;
-            let mut by_key: HashMap<(&str, u32), Cell> = HashMap::new();
-            for entry in loaded.entries {
-                if let journal::Entry::Cell(c) = entry {
-                    let cca = CcaKind::from_name(&c.cca);
-                    if let Some(cca) = cca {
-                        by_key.insert((cca.name(), c.mtu), c);
-                    }
+        let entries = if let Some(dir) = &sharded_dir {
+            journal::load_sharded(dir, &fingerprint)?.entries
+        } else if let Some(path) = &single {
+            journal::dedupe(journal::load(path, &fingerprint)?.entries)
+        } else {
+            Vec::new()
+        };
+        let mut cells: HashMap<(String, u32), Cell> = HashMap::new();
+        let mut fails: HashMap<(String, u32), CellFailure> = HashMap::new();
+        for entry in entries {
+            match entry {
+                journal::Entry::Cell(c) => {
+                    cells.insert((c.cca.clone(), c.mtu), c);
                 }
+                journal::Entry::Failed(f) => {
+                    fails.insert((f.cca.clone(), f.mtu), f);
+                }
+                journal::Entry::Quarantine(_) => {}
             }
-            for (i, &(cca, mtu)) in jobs.iter().enumerate() {
-                if let Some(c) = by_key.remove(&(cca.name(), mtu)) {
-                    reused.push((i, c));
-                }
+        }
+        for (i, &(cca, mtu)) in jobs.iter().enumerate() {
+            let key = (cca.name().to_string(), mtu);
+            if let Some(c) = cells.remove(&key) {
+                keep.push(journal::Entry::Cell(c.clone()));
+                reused.push((i, c));
+            } else if let Some(f) = fails.remove(&key) {
+                prior_attempts.insert(i, f.attempts);
+                keep.push(journal::Entry::Failed(f));
             }
         }
     }
-
-    // (Re)create the journal: header + the reused records, atomically.
-    // This compacts away torn/corrupt lines from a previous life and
-    // stamps the current fingerprint.
-    let writer: Option<Mutex<journal::Writer>> = match &opts.journal {
-        Some(path) => {
-            let keep: Vec<journal::Entry> = reused
-                .iter()
-                .map(|(_, c)| journal::Entry::Cell(c.clone()))
-                .collect();
-            Some(Mutex::new(journal::Writer::create(
-                path,
-                &fingerprint,
-                &keep,
-            )?))
-        }
-        None => None,
-    };
 
     let have: Vec<bool> = {
         let mut have = vec![false; jobs.len()];
@@ -214,112 +267,77 @@ where
         }
         have
     };
-    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| !have[i]).collect();
+    let pending = jobs.len() - reused.len();
+    let threads = opts.threads.max(1).min(pending.max(1));
 
-    let threads = opts.threads.max(1).min(pending.len().max(1));
-    let next = AtomicUsize::new(0);
-    // First journal-append failure; trips cancellation so workers stop
-    // burning CPU on cells whose completion can no longer be recorded.
-    let journal_failure: Mutex<Option<JournalError>> = Mutex::new(None);
+    // (Re)create the journal(s): header + the surviving records,
+    // atomically. This compacts away torn/corrupt lines from a previous
+    // life and stamps the current fingerprint. Creation failures are
+    // fatal — a campaign that never had durability is a configuration
+    // error; only *append* failures later degrade.
+    let journals = if let Some(dir) = &sharded_dir {
+        let writers = journal::create_sharded(dir, &fingerprint, &keep, threads)?;
+        supervisor::Journals::Sharded(writers.into_iter().map(Mutex::new).collect())
+    } else if let Some(path) = &single {
+        // The quarantine sibling describes the previous life; wipe it so
+        // this life's (possibly empty) quarantine story is the only one.
+        let _ = std::fs::remove_file(quarantine_sibling(path));
+        supervisor::Journals::Single(Mutex::new(journal::Writer::create(
+            path,
+            &fingerprint,
+            &keep,
+        )?))
+    } else {
+        supervisor::Journals::None
+    };
+    let quarantine_file = if let Some(dir) = &sharded_dir {
+        Some(journal::quarantine_path(dir))
+    } else {
+        single.as_deref().map(quarantine_sibling)
+    };
+    let quarantine = supervisor::QuarantineSink::new(quarantine_file, fingerprint.clone());
 
-    let executed: Vec<(usize, Result<Cell, CellFailure>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let jobs = &jobs;
-                let pending = &pending;
-                let seeds = &seeds;
-                let next = &next;
-                let runner = &runner;
-                let writer = &writer;
-                let journal_failure = &journal_failure;
-                let cancel = &opts.cancel;
-                scope.spawn(move || {
-                    let mut done = Vec::new();
-                    loop {
-                        // The graceful-shutdown point: between cells, never
-                        // inside one.
-                        if cancel.is_cancelled() {
-                            break;
-                        }
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= pending.len() {
-                            break;
-                        }
-                        let i = pending[k];
-                        let (cca, mtu) = jobs[i];
-                        let outcome = match runner(cca, mtu, scale.transfer_bytes, seeds) {
-                            Ok(cell) => Ok(cell),
-                            Err(first) => {
-                                let retry_seeds: Vec<u64> =
-                                    seeds.iter().map(|&s| s ^ RETRY_SEED_SALT).collect();
-                                match runner(cca, mtu, scale.transfer_bytes, &retry_seeds) {
-                                    Ok(cell) => Ok(cell),
-                                    Err(second) => Err(CellFailure {
-                                        cca: cca.name().to_string(),
-                                        mtu,
-                                        error: first.to_string(),
-                                        retry_error: second.to_string(),
-                                    }),
-                                }
-                            }
-                        };
-                        if let Some(w) = writer {
-                            let entry = match &outcome {
-                                Ok(cell) => journal::Entry::Cell(cell.clone()),
-                                Err(failure) => journal::Entry::Failed(failure.clone()),
-                            };
-                            let result = w.lock().expect("journal lock").append(&entry);
-                            if let Err(e) = result {
-                                journal_failure
-                                    .lock()
-                                    .expect("journal failure lock")
-                                    .get_or_insert(e);
-                                cancel.cancel();
-                            }
-                        }
-                        done.push((i, outcome));
-                    }
-                    done
-                })
-            })
-            .collect();
-        // Drain every worker before deciding the campaign's fate: a panic
-        // in one must not hide the results (or failures) of the others.
-        let mut collected = Vec::new();
-        let mut worker_panics = Vec::new();
-        for h in handles {
-            match h.join() {
-                Ok(part) => collected.extend(part),
-                Err(payload) => worker_panics.push(panic_text(payload.as_ref()).to_string()),
-            }
-        }
-        if !worker_panics.is_empty() {
-            panic!(
-                "{} campaign worker(s) panicked: {}",
-                worker_panics.len(),
-                worker_panics.join(" | ")
-            );
-        }
-        collected
-    });
+    let fresh: Vec<(usize, u32)> = (0..jobs.len())
+        .filter(|&i| !have[i])
+        .map(|i| (i, prior_attempts.get(&i).copied().unwrap_or(0) + 1))
+        .collect();
 
-    if let Some(e) = journal_failure.into_inner().expect("journal failure lock") {
-        return Err(e.into());
+    let outcome = supervisor::Supervisor {
+        jobs: &jobs,
+        fresh,
+        prior_attempts,
+        seeds: &seeds,
+        transfer_bytes: scale.transfer_bytes,
+        threads,
+        policy,
+        cancel: opts.cancel.clone(),
+        journals,
+        quarantine,
+        reused: reused.len(),
+    }
+    .run(&runner);
+
+    if !outcome.worker_panics.is_empty() {
+        return Err(CampaignError::Worker(format!(
+            "{} campaign worker(s) panicked: {}",
+            outcome.worker_panics.len(),
+            outcome.worker_panics.join(" | ")
+        )));
     }
 
     let reused_count = reused.len();
-    let executed_count = executed.len();
+    let executed_count = outcome.executed.len();
     let mut indexed: Vec<(usize, Result<Cell, CellFailure>)> = reused
         .into_iter()
         .map(|(i, c)| (i, Ok(c)))
-        .chain(executed)
+        .chain(outcome.executed)
         .collect();
     indexed.sort_by_key(|(i, _)| *i);
 
     let mut cells = Vec::new();
     let mut failed = Vec::new();
-    for (_, outcome) in indexed {
-        match outcome {
+    for (_, cell_outcome) in indexed {
+        match cell_outcome {
             Ok(cell) => cells.push(cell),
             Err(failure) => failed.push(failure),
         }
@@ -337,23 +355,43 @@ where
         reused: reused_count,
         executed: executed_count,
         skipped: jobs.len() - reused_count - executed_count,
+        supervision: SupervisionReport {
+            policy,
+            retries: outcome.retries,
+            quarantined: outcome.quarantined,
+            degraded: outcome.degraded,
+            metrics: outcome.metrics,
+        },
     })
 }
 
-/// Best-effort text of a caught panic payload.
-pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
-    payload
-        .downcast_ref::<&str>()
-        .copied()
-        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("non-string panic payload")
+/// Best-effort text of a caught panic payload. String payloads (the
+/// overwhelmingly common case) come through verbatim; common scalar
+/// payloads are rendered via `Display`; anything else at least says so
+/// explicitly instead of silently flattening to one constant.
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! display_payloads {
+        ($($ty:ty),*) => {
+            $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!("{v} (panic payload type {})", stringify!($ty));
+            })*
+        };
+    }
+    display_payloads!(i32, u32, i64, u64, usize, isize, f64, bool, char);
+    "non-string panic payload".to_string()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use analysis::stats::Summary;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn stub_cell(cca: CcaKind, mtu: u32) -> Cell {
         let xs = [mtu as f64, mtu as f64 * 0.5];
@@ -397,6 +435,9 @@ mod tests {
         assert_eq!(report.reused, 0);
         assert_eq!(report.skipped, 0);
         assert!(!report.cancelled);
+        assert_eq!(report.supervision.retries, 0);
+        assert!(report.supervision.quarantined.is_empty());
+        assert!(report.supervision.degraded.is_none());
         let plain = crate::matrix::run_matrix_with_runner(Scale::quick(), 3, |cca, mtu, _b, _s| {
             Ok(stub_cell(cca, mtu))
         });
@@ -553,6 +594,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(first.matrix.failed.len(), 1);
+        assert_eq!(first.matrix.failed[0].attempts, 2);
+        assert_eq!(first.supervision.quarantined.len(), 1);
         // Second life: the failure is re-attempted (and now succeeds);
         // the 39 healthy cells are reused.
         let second = run_campaign_with_runner(
@@ -569,6 +612,218 @@ mod tests {
         assert_eq!(second.reused, TOTAL - 1);
         assert_eq!(second.executed, 1);
         assert!(second.matrix.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_failures_continue_the_monotone_salt_sequence() {
+        // A cell that burned attempts 1-2 in life 1 must run attempts
+        // 3-4 (fresh salts) in life 2 — not re-run salts it already
+        // failed on. The journaled attempt counter threads this through.
+        let dir = scratch("monotone");
+        let journal = dir.join("campaign.jsonl");
+        let base = Scale::quick().seeds();
+        let observed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let poison = (CcaKind::Bbr, 3000);
+        let runner = |cca: CcaKind, mtu: u32, _b: u64, seeds: &[u64]| {
+            if (cca, mtu) == poison {
+                observed.lock().unwrap().push(seeds[0]);
+                Err(CellError::Failed {
+                    cca,
+                    mtu,
+                    seed: seeds[0],
+                    message: "always".into(),
+                })
+            } else {
+                Ok(stub_cell(cca, mtu))
+            }
+        };
+        let opts = |resume| CampaignOptions {
+            threads: 2,
+            journal: Some(journal.clone()),
+            resume,
+            ..Default::default()
+        };
+        run_campaign_with_runner(Scale::quick(), opts(false), runner).unwrap();
+        run_campaign_with_runner(Scale::quick(), opts(true), runner).unwrap();
+        let seen = observed.lock().unwrap().clone();
+        let want: Vec<u64> = (1..=4).map(|n| base[0] ^ attempt_salt(n)).collect();
+        assert_eq!(seen, want, "4 attempts across 2 lives, each salt fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_cells_are_contained_and_quarantined() {
+        // A runner that panics outright must not take down the campaign:
+        // the supervisor catches it per-cell, burns the retry budget,
+        // and quarantines the poison cell with its coordinates.
+        let report = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 3,
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| {
+                if (cca, mtu) == (CcaKind::Cubic, 1500) {
+                    panic!("poison cell detonated");
+                }
+                Ok(stub_cell(cca, mtu))
+            },
+        )
+        .unwrap();
+        assert_eq!(report.matrix.failed.len(), 1);
+        assert_eq!(report.matrix.cells.len(), TOTAL - 1);
+        let q = &report.supervision.quarantined[0];
+        assert_eq!((q.cca.as_str(), q.mtu), ("cubic", 1500));
+        assert_eq!(q.attempts.len(), 2, "both budgeted attempts recorded");
+        for a in &q.attempts {
+            assert_eq!(a.class, "panic");
+            assert!(a.error.contains("poison cell detonated"), "{}", a.error);
+            assert!(a.error.contains("cubic @ mtu 1500"), "{}", a.error);
+        }
+        assert_eq!(report.supervision.retries, 1);
+    }
+
+    #[test]
+    fn non_string_panic_payloads_keep_their_display() {
+        let report = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 2,
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| {
+                if (cca, mtu) == (CcaKind::Reno, 9000) {
+                    std::panic::panic_any(42_i32);
+                }
+                Ok(stub_cell(cca, mtu))
+            },
+        )
+        .unwrap();
+        let q = &report.supervision.quarantined[0];
+        assert!(
+            q.attempts[0].error.contains("42"),
+            "integer payload rendered: {}",
+            q.attempts[0].error
+        );
+        assert!(q.attempts[0].error.contains("reno @ mtu 9000"));
+    }
+
+    #[test]
+    fn retry_policy_budget_is_respected() {
+        let calls = AtomicUsize::new(0);
+        let report = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 2,
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    backoff_base: 1,
+                },
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| {
+                if (cca, mtu) == (CcaKind::Vegas, 6000) {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Err(CellError::Failed {
+                        cca,
+                        mtu,
+                        seed: 0,
+                        message: "always".into(),
+                    })
+                } else {
+                    Ok(stub_cell(cca, mtu))
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 4, "exactly max_attempts");
+        assert_eq!(report.supervision.retries, 3);
+        assert_eq!(report.matrix.failed[0].attempts, 4);
+        let q = &report.supervision.quarantined[0];
+        assert_eq!(
+            q.attempts.iter().map(|a| a.attempt).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn sharded_campaign_matches_single_journal_byte_for_byte() {
+        let dir = scratch("sharded-match");
+        let run = |opts: CampaignOptions| {
+            run_campaign_with_runner(Scale::quick(), opts, |cca, mtu, _b, _s| {
+                Ok(stub_cell(cca, mtu))
+            })
+            .unwrap()
+        };
+        let single = run(CampaignOptions {
+            threads: 3,
+            journal: Some(dir.join("single.jsonl")),
+            ..Default::default()
+        });
+        let sharded = run(CampaignOptions {
+            threads: 3,
+            journal_dir: Some(dir.join("shards")),
+            ..Default::default()
+        });
+        assert_eq!(
+            serde_json::to_string(&single.matrix).unwrap(),
+            serde_json::to_string(&sharded.matrix).unwrap()
+        );
+        assert!(journal::shard_path(&dir.join("shards"), 0).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_resume_reuses_across_shards() {
+        let dir = scratch("sharded-resume");
+        let shards = dir.join("journal");
+        let cancel = CancelToken::new();
+        let first_calls = AtomicUsize::new(0);
+        let first = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 3,
+                journal_dir: Some(shards.clone()),
+                cancel: cancel.clone(),
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| {
+                if first_calls.fetch_add(1, Ordering::SeqCst) + 1 >= 9 {
+                    cancel.cancel();
+                }
+                Ok(stub_cell(cca, mtu))
+            },
+        )
+        .unwrap();
+        assert!(first.cancelled);
+        assert!(first.executed >= 9);
+        let second = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 4,
+                journal_dir: Some(shards.clone()),
+                resume: true,
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
+        )
+        .unwrap();
+        assert_eq!(second.reused, first.executed);
+        assert_eq!(second.executed, TOTAL - first.executed);
+        let uninterrupted = run_campaign_with_runner(
+            Scale::quick(),
+            CampaignOptions {
+                threads: 2,
+                ..Default::default()
+            },
+            |cca, mtu, _b, _s| Ok(stub_cell(cca, mtu)),
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&second.matrix).unwrap(),
+            serde_json::to_string(&uninterrupted.matrix).unwrap()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

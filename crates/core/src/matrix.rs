@@ -84,6 +84,16 @@ impl CellError {
             | CellError::InvariantViolation { mtu, .. } => *mtu,
         }
     }
+
+    /// Stable failure-class tag, as recorded in quarantine attempt
+    /// history (caught panics use `"panic"`).
+    pub fn class(&self) -> &'static str {
+        match self {
+            CellError::Failed { .. } => "failed",
+            CellError::DeadlineExceeded { .. } => "deadline",
+            CellError::InvariantViolation { .. } => "invariant",
+        }
+    }
 }
 
 impl std::fmt::Display for CellError {
@@ -121,9 +131,9 @@ impl std::fmt::Display for CellError {
 
 impl std::error::Error for CellError {}
 
-/// A cell that failed even after its retry, as recorded in the emitted
-/// (partial) matrix. A plain struct because the vendored serde derive
-/// only handles structs.
+/// A cell that exhausted its retry budget, as recorded in the emitted
+/// (partial) matrix and in journal `failed` records. A plain struct
+/// because the vendored serde derive only handles structs.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CellFailure {
     /// Algorithm name.
@@ -132,8 +142,13 @@ pub struct CellFailure {
     pub mtu: u32,
     /// The first failure's description (includes the seed).
     pub error: String,
-    /// The retry failure's description.
+    /// The last attempt's failure description.
     pub retry_error: String,
+    /// Cumulative attempts spent on this cell, across campaign lives.
+    /// Journaled so a resume continues the monotone seed-salt sequence
+    /// (attempt `n` runs on `seed ^ attempt_salt(n)`) instead of
+    /// re-running salts that already failed.
+    pub attempts: u32,
 }
 
 /// One (CCA, MTU) cell, summarized over repetitions.
@@ -274,7 +289,7 @@ pub fn run_cell_with(
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             workload::scenario::run(&scenario)
         }))
-        .map_err(|payload| cell_err(crate::campaign::panic_text(payload.as_ref()).to_string()))?
+        .map_err(|payload| cell_err(crate::campaign::panic_text(payload.as_ref())))?
         .map_err(|e| match e {
             ScenarioError::DeadlineExceeded { budget: _, .. } => CellError::DeadlineExceeded {
                 cca,
@@ -354,10 +369,12 @@ pub fn run_matrix_with_threads(scale: Scale, threads: usize) -> Matrix {
 /// testing seam the failure-handling tests poison individual cells
 /// through. Production paths always pass [`run_cell`].
 ///
-/// A cell whose run fails is retried ONCE on a perturbed seed schedule
-/// (`seed ^ RETRY_SEED_SALT`); if the retry also fails, the campaign
-/// carries on and the cell is recorded in [`Matrix::failed`], so one
-/// poisoned configuration costs its own cell and nothing else.
+/// A cell whose run fails is retried under the default
+/// [`crate::campaign::RetryPolicy`] — one more attempt, on a perturbed
+/// seed schedule (`seed ^ RETRY_SEED_SALT`); if the budget runs out,
+/// the campaign carries on and the cell is recorded in
+/// [`Matrix::failed`], so one poisoned configuration costs its own cell
+/// and nothing else.
 pub fn run_matrix_with_runner<F>(scale: Scale, threads: usize, runner: F) -> Matrix
 where
     F: Fn(CcaKind, u32, u64, &[u64]) -> Result<Cell, CellError> + Sync,
@@ -367,7 +384,7 @@ where
         ..Default::default()
     };
     crate::campaign::run_campaign_with_runner(scale, opts, runner)
-        .expect("no journal configured, so no journal I/O can fail")
+        .expect("no journal configured and cell panics are contained, so the campaign machinery cannot fail")
         .matrix
 }
 

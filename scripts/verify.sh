@@ -5,7 +5,7 @@
 # engine or experiment changes. A pass/fail table for every stage is
 # printed at the end, even when a stage fails.
 #
-# Usage: scripts/verify.sh [--lint] [--chaos] [--resume] [--obs] [--perf] [--scenarios]
+# Usage: scripts/verify.sh [--lint] [--chaos] [--resume] [--obs] [--perf] [--scenarios] [--supervise]
 #   --lint    additionally run the simlint static-analysis pass over the
 #             whole workspace (determinism, panic-hygiene, durability,
 #             and float-discipline rules). Zero unsuppressed findings
@@ -33,6 +33,15 @@
 #             their expectations, the negative entry fails its
 #             RecoveryWithin check as designed) and the two verdict JSON
 #             artifacts must be byte-identical.
+#   --supervise
+#             additionally drill fleet supervision end to end: a sharded
+#             tiny-scale campaign with an injected always-panicking cell
+#             must finish with the poison cell quarantined (exit 4,
+#             quarantine.jsonl carrying the attempt history); the same
+#             campaign kill -9'd mid-flight and resumed on a narrower
+#             pool must produce a byte-identical cells projection; and
+#             the sharded journal must hold the single-journal
+#             throughput baseline (perf_baseline --check-journal).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +51,7 @@ resume=0
 obs=0
 perf=0
 scenarios=0
+supervise=0
 for arg in "$@"; do
     case "$arg" in
         --lint) lint=1 ;;
@@ -50,6 +60,7 @@ for arg in "$@"; do
         --obs) obs=1 ;;
         --perf) perf=1 ;;
         --scenarios) scenarios=1 ;;
+        --supervise) supervise=1 ;;
         *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -240,10 +251,91 @@ stage_scenarios() {
     rm -rf "$scndir"
 }
 
+stage_supervise() {
+    supdir=$(mktemp -d)
+
+    # Gate 1: sharding must not cost checkpoint throughput.
+    cargo run --release --offline -p bench --bin perf_baseline -- --check-journal || return 1
+
+    # Gate 2: golden poisoned run. The injected cubic@1500 cell panics on
+    # every attempt; the campaign must quarantine it and finish the other
+    # 39 cells (exit 4), with the attempt history in quarantine.jsonl.
+    mkdir -p "$supdir/golden"
+    local status=0
+    (cd "$supdir/golden" && GREENENVY_SCALE=tiny GREENENVY_POISON=cubic@1500 \
+        cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
+        -p bench --bin campaign -- --threads 3 --journal-dir journal \
+        --max-attempts 2 --backoff 1 --cells-out cells.json 2>/dev/null) || status=$?
+    if [[ $status -ne 4 ]]; then
+        echo "verify.sh: poisoned campaign exited $status (wanted 4: quarantined)" >&2
+        return 1
+    fi
+    local quarantine="$supdir/golden/journal/quarantine.jsonl"
+    if ! grep -q 'cubic' "$quarantine" || ! grep -q 'injected poison cell' "$quarantine"; then
+        echo "verify.sh: quarantine.jsonl does not name the poison cell" >&2
+        return 1
+    fi
+    if ! grep -q 'attempt' "$quarantine"; then
+        echo "verify.sh: quarantine.jsonl carries no attempt history" >&2
+        return 1
+    fi
+
+    # Gate 3: the same poisoned campaign kill -9'd mid-flight, then
+    # resumed on a narrower pool. No graceful handler runs on SIGKILL —
+    # durability comes purely from the fsynced shard appends. The cells
+    # projection (measurements minus retry bookkeeping, which
+    # legitimately differs across lives) must be byte-identical.
+    mkdir -p "$supdir/drill"
+    # exec so $pid IS the campaign binary: a kill -9 must hit the worker
+    # pool itself, not a cargo/subshell wrapper that would leave the
+    # campaign running as an orphan (and the drill testing nothing).
+    (cd "$supdir/drill" && GREENENVY_SCALE=tiny GREENENVY_POISON=cubic@1500 \
+        exec "$repo/target/release/campaign" --threads 3 --journal-dir journal \
+        --max-attempts 2 --backoff 1 2>/dev/null) &
+    local pid=$!
+    local shards="$supdir/drill/journal"
+    for _ in $(seq 1 600); do
+        # >6 lines = 3 shard headers + some journaled cells: mid-flight.
+        if [[ $(cat "$shards"/shard-*.jsonl 2>/dev/null | wc -l) -gt 6 ]]; then break; fi
+        if ! kill -0 "$pid" 2>/dev/null; then break; fi
+        sleep 0.1
+    done
+    if kill -9 "$pid" 2>/dev/null; then
+        status=0
+        wait "$pid" || status=$?
+        if [[ $status -ne 137 && $status -ne 4 ]]; then
+            echo "verify.sh: killed campaign exited $status (wanted 137 SIGKILL or 4 completed)" >&2
+            return 1
+        fi
+    else
+        wait "$pid" || { echo "verify.sh: campaign died before the kill" >&2; return 1; }
+    fi
+    status=0
+    (cd "$supdir/drill" && GREENENVY_SCALE=tiny GREENENVY_POISON=cubic@1500 \
+        cargo run --release --offline --manifest-path "$repo/Cargo.toml" \
+        -p bench --bin campaign -- --threads 2 --journal-dir journal \
+        --max-attempts 2 --backoff 1 --cells-out cells.json --resume 2>/dev/null) || status=$?
+    if [[ $status -ne 4 ]]; then
+        echo "verify.sh: resumed poisoned campaign exited $status (wanted 4: quarantined)" >&2
+        return 1
+    fi
+    if ! grep -q 'cubic' "$supdir/drill/journal/quarantine.jsonl"; then
+        echo "verify.sh: resumed quarantine.jsonl does not name the poison cell" >&2
+        return 1
+    fi
+    if ! cmp -s "$supdir/golden/cells.json" "$supdir/drill/cells.json"; then
+        echo "verify.sh: resumed cells projection differs from the uninterrupted poisoned run" >&2
+        diff "$supdir/golden/cells.json" "$supdir/drill/cells.json" | head >&2 || true
+        return 1
+    fi
+    echo "supervise drill: poison cell quarantined (exit 4) and kill -9 resume is byte-identical"
+}
+
 repo=$PWD
 smoke=$(mktemp -d)
 drill=""
-trap 'rm -rf "$smoke" ${drill:+"$drill"}' EXIT
+supdir=""
+trap 'rm -rf "$smoke" ${drill:+"$drill"} ${supdir:+"$supdir"}' EXIT
 
 run_stage "build (release, offline)" stage_build
 run_stage "fmt (cargo fmt --check)" stage_fmt
@@ -267,6 +359,9 @@ if [[ $obs -eq 1 ]]; then
 fi
 if [[ $scenarios -eq 1 ]]; then
     run_stage "scenarios (resilience suite, GREENENVY_SCALE=tiny)" stage_scenarios
+fi
+if [[ $supervise -eq 1 ]]; then
+    run_stage "supervise (poison/quarantine/kill -9 drill, GREENENVY_SCALE=tiny)" stage_supervise
 fi
 
 print_summary
