@@ -50,6 +50,7 @@
 //! (e.g. journal cannot be created); 2 — usage error.
 
 use greenenvy::campaign::{self, CampaignOptions};
+use greenenvy::exitcode;
 use greenenvy::matrix::{run_cell_with, Cell, CellPolicy};
 use greenenvy::Scale;
 use serde::Serialize;
@@ -63,7 +64,7 @@ fn usage() -> ! {
          [--max-attempts <n>] [--backoff <n>] [--cells-out <path>] \
          [--trace-out <dir>]"
     );
-    std::process::exit(2);
+    std::process::exit(exitcode::USAGE);
 }
 
 fn parse_arg<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
@@ -194,7 +195,7 @@ fn main() {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(exitcode::FAILURE);
             }
         };
 
@@ -256,11 +257,11 @@ fn main() {
             "DEGRADED: {reason}\nresults above are valid but NOT crash-durable — \
              re-run with a healthy journal before trusting --resume"
         );
-        std::process::exit(5);
+        std::process::exit(exitcode::DEGRADED);
     }
     if report.cancelled {
         println!("cancelled — journal is intact; rerun with --resume to continue");
-        std::process::exit(130);
+        std::process::exit(exitcode::INTERRUPTED);
     }
     if !report.matrix.is_complete() {
         if !report.supervision.quarantined.is_empty() {
@@ -268,8 +269,8 @@ fn main() {
                 "complete minus {} quarantined poison cell(s) — see quarantine.jsonl",
                 report.supervision.quarantined.len()
             );
-            std::process::exit(4);
+            std::process::exit(exitcode::QUARANTINED);
         }
-        std::process::exit(3);
+        std::process::exit(exitcode::INCOMPLETE);
     }
 }

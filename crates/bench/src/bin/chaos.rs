@@ -12,6 +12,7 @@
 //! Exit status: 0 — sweep complete; 5 — degraded (measurements complete
 //! but one or more trace artifacts failed to persist); 1 — the sweep
 //! itself failed; 2 — usage error.
+use greenenvy::exitcode;
 use greenenvy::{chaos, Scale};
 use std::path::PathBuf;
 
@@ -27,12 +28,12 @@ fn main() {
                 Some(dir) => cfg.trace_out = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("error: --trace-out needs a directory");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 }
             },
             _ => {
                 eprintln!("error: unknown flag {arg:?}\nusage: chaos [--trace-out <dir>]");
-                std::process::exit(2);
+                std::process::exit(exitcode::USAGE);
             }
         }
     }
@@ -45,7 +46,7 @@ fn main() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: chaos sweep failed: {e}");
-            std::process::exit(1);
+            std::process::exit(exitcode::FAILURE);
         }
     };
     println!("{}", chaos::render(&result));
@@ -60,6 +61,6 @@ fn main() {
         for f in &result.persist_failures {
             eprintln!("  {f}");
         }
-        std::process::exit(5);
+        std::process::exit(exitcode::DEGRADED);
     }
 }

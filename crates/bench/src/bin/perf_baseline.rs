@@ -21,6 +21,7 @@
 //! throughput gate.
 
 use cca::CcaKind;
+use greenenvy::exitcode;
 use netsim::fault::FaultSpec;
 use netsim::units::MB;
 use serde::Serialize;
@@ -119,9 +120,11 @@ struct JournalThroughput {
     speedup: f64,
 }
 
-/// Cost and findings of the full-workspace static-analysis pass, so the
-/// perf trajectory tracks analysis cost alongside engine throughput. The
-/// budget is 2 s for the whole workspace.
+/// Cost and findings of a whole-workspace static-analysis pass, so the
+/// perf trajectory tracks analysis cost alongside engine throughput.
+/// Tracked twice: the token pass alone (`simlint`, 2 s budget) and the
+/// full run with call-graph taint and registry rules
+/// (`simlint_semantic`, 5 s budget).
 #[derive(Serialize)]
 struct LintPerf {
     /// Source files scanned.
@@ -154,8 +157,11 @@ struct Baseline {
     obs_overhead: ObsOverhead,
     /// Checkpoint-journal throughput, single vs sharded.
     journal: JournalThroughput,
-    /// Whole-workspace simlint cost and findings.
+    /// Whole-workspace simlint token-pass cost and findings.
     simlint: LintPerf,
+    /// Full simlint run: token pass plus item/call parse, call-graph
+    /// build, nondeterminism taint, and the registry rules.
+    simlint_semantic: LintPerf,
 }
 
 fn measure(name: &str, scenario: &Scenario) -> ScenarioPerf {
@@ -453,14 +459,18 @@ fn check_journal_against(path: &std::path::Path, fresh: &JournalThroughput) -> u
     violations
 }
 
-/// Time the full-workspace lint (best of RUNS) and report its findings.
-fn measure_simlint(repo_root: &std::path::Path) -> LintPerf {
+/// Time a whole-workspace lint pass (best of RUNS), report findings.
+fn measure_lint(
+    label: &str,
+    budget_s: f64,
+    repo_root: &std::path::Path,
+    pass: fn(&std::path::Path) -> Result<simlint::Report, String>,
+) -> LintPerf {
     let mut best = f64::INFINITY;
     let mut report = None;
     for _ in 0..RUNS {
         let start = Instant::now();
-        let r = simlint::lint_workspace_with_config_file(repo_root)
-            .unwrap_or_else(|e| panic!("simlint pass: {e}"));
+        let r = pass(repo_root).unwrap_or_else(|e| panic!("{label} pass: {e}"));
         best = best.min(start.elapsed().as_secs_f64());
         report = Some(r);
     }
@@ -470,15 +480,15 @@ fn measure_simlint(repo_root: &std::path::Path) -> LintPerf {
         findings: report.count_gating(),
         suppressed: report.count_suppressed(),
         wall_s: best,
-        budget_s: 2.0,
+        budget_s,
     };
     println!(
-        "\nsimlint: {} files, {} findings, {} suppressed, {:.4} s wall (budget {:.1} s)",
+        "\n{label}: {} files, {} findings, {} suppressed, {:.4} s wall (budget {:.1} s)",
         perf.files, perf.findings, perf.suppressed, perf.wall_s, perf.budget_s
     );
     if perf.wall_s > perf.budget_s {
         eprintln!(
-            "warning: simlint wall time {:.3} s exceeds the {:.1} s budget",
+            "warning: {label} wall time {:.3} s exceeds the {:.1} s budget",
             perf.wall_s, perf.budget_s
         );
     }
@@ -540,7 +550,7 @@ fn main() {
         let violations = check_journal_against(&repo_root.join("BENCH_netsim.json"), &fresh);
         if violations > 0 {
             eprintln!("journal check: {violations} violation(s)");
-            std::process::exit(1);
+            std::process::exit(exitcode::FAILURE);
         }
         println!("journal check: sharded throughput within tolerance");
         return;
@@ -593,7 +603,7 @@ fn main() {
                 "perf check: {regressions} scenario(s) regressed more than {:.0}%",
                 CHECK_TOLERANCE * 100.0
             );
-            std::process::exit(1);
+            std::process::exit(exitcode::FAILURE);
         }
         println!("perf check: all scenarios within tolerance");
         return;
@@ -610,7 +620,18 @@ fn main() {
         paranoid_overhead: measure_paranoid_overhead(),
         obs_overhead: measure_obs_overhead(),
         journal: measure_journal_throughput(),
-        simlint: measure_simlint(&repo_root),
+        simlint: measure_lint(
+            "simlint",
+            2.0,
+            &repo_root,
+            simlint::lint_workspace_tokens_with_config_file,
+        ),
+        simlint_semantic: measure_lint(
+            "simlint_semantic",
+            5.0,
+            &repo_root,
+            simlint::lint_workspace_with_config_file,
+        ),
     };
     println!(
         "\ntotal: {:.3} s wall, {:.2} M events/s",
@@ -624,7 +645,7 @@ fn main() {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(exitcode::FAILURE);
         }
     }
 }

@@ -2,6 +2,7 @@
 //! `results/` — a machine-regenerated companion to the hand-annotated
 //! `EXPERIMENTS.md`.
 
+use greenenvy::exitcode;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -126,7 +127,7 @@ fn main() {
     let path = Path::new("results/REPORT.md");
     if let Err(e) = greenenvy::campaign::persist::write_atomic(path, md.as_bytes()) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(exitcode::FAILURE);
     }
     println!("wrote {} ({} bytes)", path.display(), md.len());
 }

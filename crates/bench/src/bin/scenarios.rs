@@ -16,6 +16,7 @@
 //! passed all expectations, negative entries failed as designed.
 
 use greenenvy::campaign::persist;
+use greenenvy::exitcode;
 use greenenvy::{resilience, Scale};
 use std::path::PathBuf;
 
@@ -32,21 +33,21 @@ fn main() {
                 Some(p) => out_path = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("error: --out needs a file path");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 }
             },
             "--trace-out" => match args.next() {
                 Some(dir) => trace_out = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("error: --trace-out needs a directory");
-                    std::process::exit(2);
+                    std::process::exit(exitcode::USAGE);
                 }
             },
             _ => {
                 eprintln!(
                     "error: unknown flag {arg:?}\nusage: scenarios [--out <file>] [--trace-out <dir>]"
                 );
-                std::process::exit(2);
+                std::process::exit(exitcode::USAGE);
             }
         }
     }
@@ -56,7 +57,7 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: resilience suite failed to run: {e}");
-            std::process::exit(1);
+            std::process::exit(exitcode::FAILURE);
         }
     };
     println!("{}", resilience::render(&out.verdict));
@@ -83,6 +84,6 @@ fn main() {
 
     if !out.verdict.all_behaved {
         eprintln!("error: suite misbehaved (see verdict above)");
-        std::process::exit(1);
+        std::process::exit(exitcode::FAILURE);
     }
 }

@@ -35,6 +35,7 @@
 
 pub mod campaign;
 pub mod chaos;
+pub mod exitcode;
 pub mod extensions;
 pub mod fig1;
 pub mod fig2;

@@ -425,6 +425,7 @@ mod tests {
         }
     }
 
+    //= DESIGN.md#inv-UtilizationFloor
     #[test]
     fn utilization_floor_pass_fail_boundary() {
         let m = two_flow_measured(); // 8 Gb/s of 10 => 0.8
@@ -445,6 +446,7 @@ mod tests {
         assert!(edge.passed);
     }
 
+    //= DESIGN.md#inv-JainFairnessBand
     #[test]
     fn jain_band_pass_fail() {
         let m = two_flow_measured(); // equal rates => jain == 1
@@ -464,6 +466,7 @@ mod tests {
         assert!(!j.passed, "skewed rates must fail a tight band: {j:?}");
     }
 
+    //= DESIGN.md#inv-EnergyBudget
     #[test]
     fn energy_budget_pass_fail_and_empty() {
         let m = two_flow_measured(); // 60 J over 1 GB => 60 J/GB
@@ -489,6 +492,7 @@ mod tests {
         assert!(!und.passed, "zero acked bytes can never satisfy a budget");
     }
 
+    //= DESIGN.md#inv-AbortFree
     #[test]
     fn abort_free_counts_aborts() {
         let m = two_flow_measured();
@@ -500,6 +504,7 @@ mod tests {
         assert_eq!(r.measured, 1.0);
     }
 
+    //= DESIGN.md#inv-RecoveryWithin
     #[test]
     fn recovery_within_measures_from_the_clear() {
         let mut m = two_flow_measured();
@@ -563,6 +568,7 @@ mod tests {
         assert!(r.detail.contains("needs throughput traces"));
     }
 
+    //= DESIGN.md#inv-SavingsOrdering
     #[test]
     fn savings_ordering_equalizes_windows() {
         // Baseline: 100 J over 2 s. Self: 80 J over 1 s, padded by

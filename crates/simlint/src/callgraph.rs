@@ -1,0 +1,356 @@
+//! Cross-file symbol table and call graph over [`crate::parse`] output.
+//!
+//! Resolution is deliberately name-based and over-approximate: a method
+//! call `.tick()` edges to *every* workspace method named `tick` (the
+//! trait-dispatch fallback — we cannot know the receiver type), and a
+//! path call falls back to suffix matching so `greenenvy::fig1::run`
+//! resolves even though the `greenenvy` lib lives in the `core` crate
+//! directory. Over-approximation is the right failure mode for a taint
+//! analysis: a spurious edge can at worst demand one reasoned
+//! suppression; a missing edge hides a real nondeterminism leak.
+//!
+//! All containers are `BTreeMap`/`BTreeSet` and node ids are assigned
+//! in sorted-qual order, so the graph — and everything derived from it —
+//! is a pure function of the file *set*, independent of walk order.
+
+use crate::parse::ParsedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a function node in [`Graph::fns`].
+pub type FnId = usize;
+
+/// One resolved function node.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// `crate::module::Type::name` (see [`crate::parse::FnItem::qual`]).
+    pub qual: String,
+    pub name: String,
+    pub crate_name: String,
+    pub rel_path: String,
+    pub line: u32,
+    pub is_pub: bool,
+    pub is_method: bool,
+    pub in_test: bool,
+}
+
+/// One call edge kept with the *expanded* callee path (use-aliases and
+/// `crate`/`self`/`super`/`Self` resolved) even when it resolves to no
+/// workspace function — sink matching runs on the expanded path.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    pub caller: FnId,
+    /// Workspace callees (empty for external calls like `Vec::push`).
+    pub callees: Vec<FnId>,
+    /// Expanded path segments as resolved against the caller's file.
+    pub expanded: Vec<String>,
+    pub method: bool,
+    pub line: u32,
+    pub int_arg: Option<String>,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// Nodes in sorted-qual order (ids are stable across walk orders).
+    pub fns: Vec<FnNode>,
+    pub edges: Vec<Edge>,
+    /// qual → ids (duplicate quals possible: `#[cfg]`-twinned fns,
+    /// same-named methods of a type across files).
+    pub by_qual: BTreeMap<String, Vec<FnId>>,
+    /// method name → ids, the trait-dispatch fallback table.
+    pub methods_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Watched-ident mentions per function, with lines.
+    pub mentions: BTreeMap<FnId, Vec<(String, u32)>>,
+}
+
+impl Graph {
+    /// Reverse adjacency: callee id → caller ids (deduplicated, sorted).
+    pub fn reverse_edges(&self) -> BTreeMap<FnId, BTreeSet<FnId>> {
+        let mut rev: BTreeMap<FnId, BTreeSet<FnId>> = BTreeMap::new();
+        for e in &self.edges {
+            for c in &e.callees {
+                rev.entry(*c).or_default().insert(e.caller);
+            }
+        }
+        rev
+    }
+}
+
+/// Build the workspace graph. `files` may arrive in any order.
+pub fn build(files: &[ParsedFile]) -> Graph {
+    // Sort file references by path so node ids never depend on the
+    // caller's walk order.
+    let mut sorted: Vec<&ParsedFile> = files.iter().collect();
+    sorted.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+
+    let mut g = Graph::default();
+    // Pass 1: nodes. (fn_locs[i][j] = FnId of sorted[i].fns[j].)
+    let mut fn_locs: Vec<Vec<FnId>> = Vec::with_capacity(sorted.len());
+    for pf in &sorted {
+        let mut ids = Vec::with_capacity(pf.fns.len());
+        for f in &pf.fns {
+            let id = g.fns.len();
+            g.fns.push(FnNode {
+                qual: f.qual.clone(),
+                name: f.name.clone(),
+                crate_name: pf.crate_name.clone(),
+                rel_path: pf.rel_path.clone(),
+                line: f.line,
+                is_pub: f.is_pub,
+                is_method: f.is_method,
+                in_test: f.in_test,
+            });
+            g.by_qual.entry(f.qual.clone()).or_default().push(id);
+            if f.is_method {
+                g.methods_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(id);
+            }
+            ids.push(id);
+        }
+        fn_locs.push(ids);
+    }
+
+    // Pass 2: edges and mentions.
+    for (fi, pf) in sorted.iter().enumerate() {
+        for (fj, f) in pf.fns.iter().enumerate() {
+            let caller = fn_locs[fi][fj];
+            if !f.mentions.is_empty() {
+                g.mentions.insert(
+                    caller,
+                    f.mentions
+                        .iter()
+                        .map(|m| (m.ident.clone(), m.line))
+                        .collect(),
+                );
+            }
+            for call in &f.calls {
+                let (expanded, callees) = resolve(&g, pf, f.type_ctx.as_deref(), call);
+                g.edges.push(Edge {
+                    caller,
+                    callees,
+                    expanded,
+                    method: call.method,
+                    line: call.line,
+                    int_arg: call.int_arg.clone(),
+                });
+            }
+        }
+    }
+    g
+}
+
+/// Expand and resolve one call against its file context.
+fn resolve(
+    g: &Graph,
+    pf: &ParsedFile,
+    type_ctx: Option<&str>,
+    call: &crate::parse::Call,
+) -> (Vec<String>, Vec<FnId>) {
+    if call.method {
+        // Trait-dispatch fallback: all workspace methods of this name.
+        let name = call.path[0].clone();
+        let callees = g.methods_by_name.get(&name).cloned().unwrap_or_default();
+        return (vec![name], callees);
+    }
+
+    // Expand the head segment: Self, crate/self/super, then use-aliases.
+    let mut segs: Vec<String> = Vec::new();
+    let mut rest: &[String] = &call.path;
+    match call.path[0].as_str() {
+        "Self" => {
+            segs.push(pf.crate_name.clone());
+            segs.extend(pf.module.iter().cloned());
+            if let Some(ty) = type_ctx {
+                segs.push(ty.to_string());
+            }
+            rest = &call.path[1..];
+        }
+        "crate" => {
+            segs.push(pf.crate_name.clone());
+            rest = &call.path[1..];
+        }
+        "self" => {
+            segs.push(pf.crate_name.clone());
+            segs.extend(pf.module.iter().cloned());
+            rest = &call.path[1..];
+        }
+        "super" => {
+            segs.push(pf.crate_name.clone());
+            let mut m = pf.module.clone();
+            while rest.first().map(String::as_str) == Some("super") {
+                m.pop();
+                rest = &rest[1..];
+            }
+            segs.extend(m);
+        }
+        head => {
+            if let Some(abs) = pf.uses.get(head) {
+                segs.extend(abs.iter().cloned());
+                rest = &call.path[1..];
+            }
+        }
+    }
+    segs.extend(rest.iter().cloned());
+
+    let mut callees: BTreeSet<FnId> = BTreeSet::new();
+    let joined = segs.join("::");
+
+    // Exact lookups: as-expanded, then relative to the caller's module,
+    // then relative to the caller's crate root.
+    let exact = |g: &Graph, q: &str, out: &mut BTreeSet<FnId>| {
+        if let Some(ids) = g.by_qual.get(q) {
+            out.extend(ids.iter().copied());
+        }
+    };
+    exact(g, &joined, &mut callees);
+    if callees.is_empty() {
+        let mut m = vec![pf.crate_name.clone()];
+        m.extend(pf.module.iter().cloned());
+        m.extend(segs.iter().cloned());
+        exact(g, &m.join("::"), &mut callees);
+    }
+    if callees.is_empty() {
+        let mut m = vec![pf.crate_name.clone()];
+        m.extend(segs.iter().cloned());
+        exact(g, &m.join("::"), &mut callees);
+    }
+
+    // Suffix fallback for multi-segment paths only (a bare `helper()`
+    // must not edge to every `helper` in the workspace): match any qual
+    // ending in `::<joined>`, or with the head segment dropped — which
+    // covers lib-name/dir-name mismatches (`greenenvy::…` vs `core/…`)
+    // and associated-type paths.
+    if callees.is_empty() && segs.len() >= 2 {
+        let suffixes: Vec<String> = {
+            let mut s = vec![format!("::{joined}")];
+            if segs.len() >= 3 {
+                s.push(format!("::{}", segs[1..].join("::")));
+            }
+            s
+        };
+        for (qual, ids) in &g.by_qual {
+            if suffixes.iter().any(|s| qual.ends_with(s.as_str())) {
+                callees.extend(ids.iter().copied());
+            }
+        }
+    }
+
+    (segs, callees.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::rules::FileInput;
+
+    fn pf(rel_path: &str, crate_name: &str, src: &str) -> ParsedFile {
+        parse_file(
+            &FileInput {
+                rel_path,
+                crate_name,
+                is_test_file: false,
+                src,
+            },
+            &[],
+        )
+    }
+
+    fn edge_targets(g: &Graph, caller: &str) -> Vec<String> {
+        let caller_ids: Vec<FnId> = g.by_qual.get(caller).cloned().unwrap_or_default();
+        let mut out = Vec::new();
+        for e in &g.edges {
+            if caller_ids.contains(&e.caller) {
+                for c in &e.callees {
+                    out.push(g.fns[*c].qual.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn cross_crate_resolution_via_use() {
+        let a = pf(
+            "crates/a/src/lib.rs",
+            "a",
+            "use b::util::stamp;\npub fn go() { stamp(); }\n",
+        );
+        let b = pf("crates/b/src/util.rs", "b", "pub fn stamp() {}\n");
+        let g = build(&[a, b]);
+        assert_eq!(edge_targets(&g, "a::go"), ["b::util::stamp"]);
+    }
+
+    #[test]
+    fn suffix_fallback_covers_lib_dir_mismatch() {
+        // Lib name `greenenvy`, directory `core`: the call names the lib.
+        let a = pf(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub fn go() { greenenvy::fig1::run(); }\n",
+        );
+        let core = pf("crates/core/src/fig1.rs", "core", "pub fn run() {}\n");
+        let g = build(&[a, core]);
+        assert_eq!(edge_targets(&g, "a::go"), ["core::fig1::run"]);
+    }
+
+    #[test]
+    fn method_fallback_edges_to_all_methods() {
+        let a = pf(
+            "crates/a/src/lib.rs",
+            "a",
+            "struct X; impl X { pub fn tick(&self) {} }\npub fn go(x: X) { x.tick(); }\n",
+        );
+        let b = pf(
+            "crates/b/src/lib.rs",
+            "b",
+            "struct Y; impl Y { pub fn tick(&self) {} }\n",
+        );
+        let g = build(&[a, b]);
+        assert_eq!(edge_targets(&g, "a::go"), ["a::X::tick", "b::Y::tick"]);
+    }
+
+    #[test]
+    fn bare_call_does_not_global_match() {
+        let a = pf("crates/a/src/lib.rs", "a", "pub fn go() { helper(); }\n");
+        let b = pf("crates/b/src/lib.rs", "b", "pub fn helper() {}\n");
+        let g = build(&[a, b]);
+        assert!(edge_targets(&g, "a::go").is_empty());
+    }
+
+    #[test]
+    fn same_module_and_self_calls() {
+        let a = pf(
+            "crates/a/src/m.rs",
+            "a",
+            "pub fn go() { helper(); Self::also(); }\npub fn helper() {}\n\
+             struct T; impl T { pub fn m(&self) { Self::assoc(); } pub fn assoc() {} }\n",
+        );
+        let g = build(&[a]);
+        assert_eq!(edge_targets(&g, "a::m::go"), ["a::m::helper"]);
+        assert_eq!(edge_targets(&g, "a::m::T::m"), ["a::m::T::assoc"]);
+    }
+
+    #[test]
+    fn node_ids_independent_of_file_order() {
+        let mk = || {
+            vec![
+                pf(
+                    "crates/a/src/lib.rs",
+                    "a",
+                    "pub fn one() { two(); } pub fn two() {}",
+                ),
+                pf("crates/b/src/lib.rs", "b", "pub fn three() {}"),
+            ]
+        };
+        let fwd = build(&mk());
+        let mut files = mk();
+        files.reverse();
+        let rev = build(&files);
+        let quals = |g: &Graph| g.fns.iter().map(|f| f.qual.clone()).collect::<Vec<_>>();
+        assert_eq!(quals(&fwd), quals(&rev));
+        assert_eq!(fwd.edges.len(), rev.edges.len());
+    }
+}

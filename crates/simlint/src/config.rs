@@ -26,6 +26,9 @@ pub struct RuleConfig {
     pub allow_paths: Vec<String>,
     /// Lint test code too (default: test modules/files are skipped).
     pub include_tests: bool,
+    /// Registered name prefixes (used by `metric-name-registry`; empty
+    /// means any prefix is accepted).
+    pub prefixes: Vec<String>,
 }
 
 impl Default for RuleConfig {
@@ -37,6 +40,7 @@ impl Default for RuleConfig {
             paths: Vec::new(),
             allow_paths: Vec::new(),
             include_tests: false,
+            prefixes: Vec::new(),
         }
     }
 }
@@ -138,6 +142,7 @@ pub fn parse(text: &str, source: &str) -> Result<Config, String> {
                     "paths" => rc.paths = value.into_strings(key)?,
                     "allow_paths" => rc.allow_paths = value.into_strings(key)?,
                     "include_tests" => rc.include_tests = value.into_bool(key)?,
+                    "prefixes" => rc.prefixes = value.into_strings(key)?,
                     _ => {
                         return Err(format!(
                             "{source}:{lineno}: unknown rule key `{key}` for [rules.{rule}]"

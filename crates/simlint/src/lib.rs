@@ -6,9 +6,21 @@
 //! properties for the paths they exercise; `simlint` keeps future PRs
 //! from silently reintroducing the classic regressions (a `HashMap`
 //! iteration, a wall-clock read, an ad-hoc RNG stream, a raw
-//! `fs::write`) anywhere in the workspace. Rules are token-stream
-//! patterns over a comment/string-aware lexer — no rustc plumbing, no
-//! external dependencies, fast enough to run on every verify.
+//! `fs::write`) anywhere in the workspace. Two layers, no rustc
+//! plumbing, no external dependencies:
+//!
+//! * **token rules** — patterns over a comment/string-aware lexer,
+//!   scoped per crate/path via `simlint.toml`;
+//! * **semantic rules** — a lightweight item/call parser feeding a
+//!   cross-crate call graph: nondeterminism *taint* (a sink anywhere is
+//!   an error on every public sim-surface function that transitively
+//!   reaches it, full call path printed) plus registry rules
+//!   (exit codes, schema-version bumps via `schema.lock`, metric
+//!   names).
+//!
+//! A third mode, `simlint compliance`, cross-checks `//= DESIGN.md#…` /
+//! `//= rfc9002#…` citations in source against the documented invariant
+//! and spec anchor registries (see [`compliance`]).
 //!
 //! Findings can be suppressed inline where the flagged construct is
 //! genuinely intentional, but only with a reason:
@@ -21,38 +33,106 @@
 //! DESIGN.md ("Static analysis & enforced invariants") for the mapping
 //! from each rule to the design invariant it protects.
 
+pub mod callgraph;
+pub mod compliance;
 pub mod config;
 pub mod diag;
 pub mod lexer;
+pub mod parse;
+pub mod registry;
 pub mod rules;
+pub mod semantic;
+pub mod taint;
 pub mod walk;
 
 pub use config::Config;
 pub use diag::{Diagnostic, Report, Severity};
 
+use rules::Suppression;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Name of the config file looked up at the workspace root.
 pub const CONFIG_FILE: &str = "simlint.toml";
 
-/// Lint every source file under `root` using `cfg`.
-pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+/// One source file read into memory, with its workspace classification.
+pub struct LoadedFile {
+    pub rel_path: String,
+    pub crate_name: String,
+    pub is_test_file: bool,
+    pub src: String,
+}
+
+/// Walk `root` and read every lintable file.
+pub fn load_workspace(root: &Path, cfg: &Config) -> Result<Vec<LoadedFile>, String> {
     let files = walk::collect(root, cfg).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let mut report = Report::default();
-    for f in &files {
-        let src = std::fs::read_to_string(&f.abs_path)
-            .map_err(|e| format!("reading {}: {e}", f.abs_path.display()))?;
+    files
+        .into_iter()
+        .map(|f| {
+            let src = std::fs::read_to_string(&f.abs_path)
+                .map_err(|e| format!("reading {}: {e}", f.abs_path.display()))?;
+            Ok(LoadedFile {
+                rel_path: f.rel_path,
+                crate_name: f.crate_name,
+                is_test_file: f.is_test_file,
+                src,
+            })
+        })
+        .collect()
+}
+
+/// Token pass over loaded files. Appends findings and returns each
+/// file's suppressions (usage marked for token rules only) for the
+/// semantic pass to extend.
+pub fn token_pass(
+    files: &[LoadedFile],
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) -> BTreeMap<String, Vec<Suppression>> {
+    let mut sups = BTreeMap::new();
+    for f in files {
         let input = rules::FileInput {
             rel_path: &f.rel_path,
             crate_name: &f.crate_name,
             is_test_file: f.is_test_file,
-            src: &src,
+            src: &f.src,
         };
-        rules::lint_file(&input, cfg, &mut report.diags);
-        report.files_scanned += 1;
+        let s = rules::lint_file_deferred(&input, cfg, out);
+        if !s.is_empty() {
+            sups.insert(f.rel_path.clone(), s);
+        }
+    }
+    sups
+}
+
+/// Lint already-loaded files: token pass, semantic pass, then
+/// unused-suppression settlement. The result is a pure function of the
+/// file *set* — callers may pass `files` in any order (pinned by the
+/// walk-order proptest).
+pub fn lint_loaded(files: &[LoadedFile], cfg: &Config, lock_text: Option<&str>) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+
+    let mut sups = token_pass(files, cfg, &mut report.diags);
+
+    let analysis = semantic::analyze(files);
+    semantic::run(&analysis, cfg, lock_text, &mut sups, &mut report.diags);
+
+    for (path, file_sups) in &sups {
+        rules::report_unused(file_sups, path, false, &mut report.diags);
     }
     report.sort();
-    Ok(report)
+    report
+}
+
+/// Lint every source file under `root` using `cfg`: token pass,
+/// semantic pass, then unused-suppression settlement.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let files = load_workspace(root, cfg)?;
+    let lock_text = std::fs::read_to_string(root.join(registry::SCHEMA_LOCK)).ok();
+    Ok(lint_loaded(&files, cfg, lock_text.as_deref()))
 }
 
 /// Load `simlint.toml` from `root` and lint the workspace with it.
@@ -62,4 +142,26 @@ pub fn lint_workspace_with_config_file(root: &Path) -> Result<Report, String> {
         .map_err(|e| format!("reading {}: {e}", cfg_path.display()))?;
     let cfg = config::parse(&text, &cfg_path.to_string_lossy())?;
     lint_workspace(root, &cfg)
+}
+
+/// Token pass only — no parse, call graph, taint, or registry rules.
+/// The cheap per-file layer, measured separately from the full run in
+/// the perf baseline. Suppressions that exist for semantic rules are
+/// not reported unused here (the pass that would use them didn't run).
+pub fn lint_workspace_tokens_with_config_file(root: &Path) -> Result<Report, String> {
+    let cfg_path = root.join(CONFIG_FILE);
+    let text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("reading {}: {e}", cfg_path.display()))?;
+    let cfg = config::parse(&text, &cfg_path.to_string_lossy())?;
+    let files = load_workspace(root, &cfg)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let sups = token_pass(&files, &cfg, &mut report.diags);
+    for (path, file_sups) in &sups {
+        rules::report_unused(file_sups, path, true, &mut report.diags);
+    }
+    report.sort();
+    Ok(report)
 }

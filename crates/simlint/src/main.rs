@@ -1,21 +1,41 @@
 //! CLI for [`simlint`]. See `simlint --help`.
 
-use simlint::{config, lexer, rules, Report};
+use simlint::{compliance, config, lexer, registry, rules, semantic, Report};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// The binary's own exit-code registry (simlint depends on no workspace
+/// crate, so it keeps a local table; sim binaries use
+/// `greenenvy::exitcode`).
+mod exit {
+    /// Clean: no unsuppressed findings / no compliance violations.
+    pub const OK: i32 = 0;
+    /// Findings or violations.
+    pub const FINDINGS: i32 = 1;
+    /// Usage or configuration error.
+    pub const USAGE: i32 = 2;
+}
 
 const USAGE: &str = "\
 simlint — workspace static analysis for determinism, panic-hygiene, and durability
 
 USAGE:
     simlint [--workspace] [--root <dir>] [--config <file>] [--json]
-            [--show-suppressed] [--list-rules] [files...]
+            [--show-suppressed] [--list-rules] [--update-schema-lock] [files...]
+    simlint compliance [--root <dir>] [--config <file>] [--json]
 
 MODES:
-    --workspace          lint every .rs file under the workspace root (default
-                         when no files are given)
-    files...             lint just these files (paths are reported relative to
-                         the workspace root when possible)
+    --workspace          lint every .rs file under the workspace root: token
+                         rules plus the semantic pass (nondeterminism taint,
+                         exit-code/schema/metric registries). Default when no
+                         files are given.
+    files...             token-lint just these files (no semantic pass; paths
+                         are reported relative to the workspace root when
+                         possible)
+    compliance           cross-check //= DESIGN.md#anchor and //= <spec>#anchor
+                         citations against the documented invariant registry;
+                         report coverage (markdown table, or --json schema v1).
+                         Exit 1 on uncovered invariants or stale anchors.
 
 OPTIONS:
     --root <dir>         workspace root (default: nearest ancestor of the cwd
@@ -24,47 +44,60 @@ OPTIONS:
     --json               emit the machine-readable report on stdout
     --show-suppressed    include suppressed findings in human output
     --list-rules         print every rule id, default severity, and description
+    --update-schema-lock rewrite schema.lock from the current record-struct
+                         shapes and *_SCHEMA consts, then exit
 
 EXIT CODES:
-    0  no unsuppressed error-severity findings
-    1  findings
+    0  no unsuppressed error-severity findings / no compliance violations
+    1  findings / violations
     2  usage or configuration error
 ";
 
 struct Args {
+    compliance: bool,
     root: Option<PathBuf>,
     config: Option<PathBuf>,
     json: bool,
     show_suppressed: bool,
     list_rules: bool,
+    update_schema_lock: bool,
     files: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        compliance: false,
         root: None,
         config: None,
         json: false,
         show_suppressed: false,
         list_rules: false,
+        update_schema_lock: false,
         files: Vec::new(),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
+            // Subcommand; conventionally first, but accepted anywhere
+            // so `--root <dir> compliance` also works.
+            "compliance" => args.compliance = true,
             "--workspace" => {} // the default; accepted for explicitness
             "--root" => args.root = Some(next_path(&mut it, "--root")?),
             "--config" => args.config = Some(next_path(&mut it, "--config")?),
             "--json" => args.json = true,
             "--show-suppressed" => args.show_suppressed = true,
             "--list-rules" => args.list_rules = true,
+            "--update-schema-lock" => args.update_schema_lock = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
-                std::process::exit(0);
+                std::process::exit(exit::OK);
             }
             f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
             other => return Err(format!("unknown flag {other} (see --help)")),
         }
+    }
+    if args.compliance && (!args.files.is_empty() || args.update_schema_lock) {
+        return Err("`simlint compliance` takes no file arguments".into());
     }
     Ok(args)
 }
@@ -107,7 +140,7 @@ fn run() -> Result<i32, String> {
                 r.description
             );
         }
-        return Ok(0);
+        return Ok(exit::OK);
     }
 
     let root = match &args.root {
@@ -121,6 +154,36 @@ fn run() -> Result<i32, String> {
     let cfg_text = std::fs::read_to_string(&cfg_path)
         .map_err(|e| format!("reading {}: {e}", cfg_path.display()))?;
     let cfg = config::parse(&cfg_text, &cfg_path.to_string_lossy())?;
+
+    if args.compliance {
+        let report = compliance::run(&root, &cfg)?;
+        if args.json {
+            println!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_markdown());
+        }
+        return Ok(if report.ok() {
+            exit::OK
+        } else {
+            exit::FINDINGS
+        });
+    }
+
+    if args.update_schema_lock {
+        let files = simlint::load_workspace(&root, &cfg)?;
+        let analysis = semantic::analyze(&files);
+        let state = registry::schema_state(&analysis.parsed, &cfg.rule("schema-version-bump"));
+        let lock_path = root.join(registry::SCHEMA_LOCK);
+        // simlint::allow(raw-write, reason = "schema.lock is a dev-tool artifact regenerated on demand, not a result; simlint depends on no workspace crate so it cannot use core::campaign::persist")
+        std::fs::write(&lock_path, registry::render_lock(&state))
+            .map_err(|e| format!("writing {}: {e}", lock_path.display()))?;
+        eprintln!(
+            "simlint: wrote {} ({} tracked file(s))",
+            lock_path.display(),
+            state.len()
+        );
+        return Ok(exit::OK);
+    }
 
     let start = Instant::now();
     let mut report = if args.files.is_empty() {
@@ -137,7 +200,11 @@ fn run() -> Result<i32, String> {
         print!("{}", report.render_human(args.show_suppressed));
         eprintln!("simlint: finished in {:.3}s", elapsed.as_secs_f64());
     }
-    Ok(if report.count_gating() == 0 { 0 } else { 1 })
+    Ok(if report.count_gating() == 0 {
+        exit::OK
+    } else {
+        exit::FINDINGS
+    })
 }
 
 fn lint_files(root: &Path, cfg: &config::Config, files: &[PathBuf]) -> Result<Report, String> {
@@ -191,7 +258,7 @@ fn main() {
         Ok(code) => std::process::exit(code),
         Err(e) => {
             eprintln!("simlint: error: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
     }
 }

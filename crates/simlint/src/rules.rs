@@ -72,7 +72,45 @@ pub const RULES: &[RuleDef] = &[
         default_severity: Severity::Warn,
         description: "a simlint::allow that suppressed nothing is stale; remove it",
     },
+    // -- Semantic (call-graph) rules: matched by crate::semantic, not by
+    //    the per-file token matchers. Registered here so --list-rules
+    //    shows them and allow annotations accept their ids.
+    RuleDef {
+        id: "nondet-taint",
+        default_severity: Severity::Error,
+        description: "public sim-surface fn transitively reaches a nondeterminism sink (wall clock, thread id, RandomState, env, OS entropy)",
+    },
+    RuleDef {
+        id: "exit-code-registry",
+        default_severity: Severity::Error,
+        description: "process::exit must take a named constant from the exit-code registry, not an integer literal",
+    },
+    RuleDef {
+        id: "schema-version-bump",
+        default_severity: Severity::Error,
+        description: "persisted record structs changed without a *_SCHEMA const bump (tracked in schema.lock)",
+    },
+    RuleDef {
+        id: "metric-name-registry",
+        default_severity: Severity::Error,
+        description: "metric names must be snake_case with a registered prefix and owned by exactly one crate",
+    },
 ];
+
+/// Rule ids owned by the semantic pass ([`crate::semantic`]). The token
+/// pass never emits them and must not flag their suppressions as unused.
+pub const SEMANTIC_RULES: &[&str] = &[
+    "nondet-taint",
+    "exit-code-registry",
+    "schema-version-bump",
+    "metric-name-registry",
+];
+
+/// True when `id` is matched by the semantic pass rather than the
+/// per-file token matchers.
+pub fn is_semantic(id: &str) -> bool {
+    SEMANTIC_RULES.contains(&id)
+}
 
 pub fn rule_def(id: &str) -> Option<&'static RuleDef> {
     RULES.iter().find(|r| r.id == id)
@@ -92,7 +130,57 @@ pub struct FileInput<'a> {
 }
 
 /// Lint one file, appending findings (suppressed ones included, marked).
+///
+/// Suppressions that name only semantic rules are *not* flagged as
+/// unused here — single-file token linting cannot know whether the
+/// workspace-wide semantic pass will consume them. The workspace driver
+/// uses [`lint_file_deferred`] and settles unused-suppression warnings
+/// after the semantic pass has run.
 pub fn lint_file(input: &FileInput<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let sups = lint_file_deferred(input, cfg, out);
+    report_unused(&sups, input.rel_path, true, out);
+}
+
+/// Emit an unused-suppression warning for every suppression in `sups`
+/// still unused. With `skip_semantic_only`, suppressions naming only
+/// semantic rules are exempt (their usage is settled by the semantic
+/// pass).
+pub fn report_unused(
+    sups: &[Suppression],
+    rel_path: &str,
+    skip_semantic_only: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for sup in sups {
+        if sup.used {
+            continue;
+        }
+        if skip_semantic_only && sup.rules.iter().all(|r| is_semantic(r)) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "unused-suppression",
+            severity: Severity::Warn,
+            path: rel_path.to_string(),
+            line: sup.comment_line,
+            col: 1,
+            message: format!(
+                "simlint::allow({}) suppressed nothing; remove it",
+                sup.rules.join(", ")
+            ),
+            suppressed: None,
+        });
+    }
+}
+
+/// Token-pass body of [`lint_file`]: appends findings and returns the
+/// file's suppressions with token-rule usage marked, leaving
+/// unused-suppression reporting to the caller.
+pub fn lint_file_deferred(
+    input: &FileInput<'_>,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
     let lexed = lex(input.src);
     let toks = &lexed.tokens;
     let test_mask = test_region_mask(toks);
@@ -124,6 +212,8 @@ pub fn lint_file(input: &FileInput<'_>, cfg: &Config, out: &mut Vec<Diagnostic>)
             "float-unordered-acc" => ctx.rule_float_unordered(severity, skip_tests),
             // Pseudo-rules run in collect_suppressions / below.
             "suppression" | "unused-suppression" => {}
+            // Semantic rules run workspace-wide in crate::semantic.
+            id if is_semantic(id) => {}
             other => unreachable!("unregistered rule {other}"),
         }
     }
@@ -139,27 +229,11 @@ pub fn lint_file(input: &FileInput<'_>, cfg: &Config, out: &mut Vec<Diagnostic>)
         }
     }
     out.append(&mut raw);
-
-    for sup in &suppressions {
-        if !sup.used {
-            out.push(Diagnostic {
-                rule: "unused-suppression",
-                severity: Severity::Warn,
-                path: input.rel_path.to_string(),
-                line: sup.comment_line,
-                col: 1,
-                message: format!(
-                    "simlint::allow({}) suppressed nothing; remove it",
-                    sup.rules.join(", ")
-                ),
-                suppressed: None,
-            });
-        }
-    }
+    suppressions
 }
 
 /// Does `rc` apply to this file at all?
-fn rule_applies(rc: &RuleConfig, input: &FileInput<'_>) -> bool {
+pub fn rule_applies(rc: &RuleConfig, input: &FileInput<'_>) -> bool {
     if !rc.enabled {
         return false;
     }
@@ -190,7 +264,7 @@ fn rule_applies(rc: &RuleConfig, input: &FileInput<'_>) -> bool {
 
 /// Per-token "is test code" mask: true inside items annotated
 /// `#[cfg(test)]` / `#[test]` / `#[bench]` (including `#[cfg(any(test,..))]`).
-fn test_region_mask(toks: &[Tok<'_>]) -> Vec<bool> {
+pub fn test_region_mask(toks: &[Tok<'_>]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -291,15 +365,18 @@ fn matching_brace(toks: &[Tok<'_>], open: usize) -> usize {
 // Suppressions
 // ---------------------------------------------------------------------
 
-struct Suppression {
-    rules: Vec<String>,
-    reason: String,
+/// One parsed `// simlint::allow(...)` marker. Public so the semantic
+/// pass can honor and mark-used the same suppressions the token pass
+/// collected.
+pub struct Suppression {
+    pub rules: Vec<String>,
+    pub reason: String,
     /// Line the allow applies to: the comment's own line for trailing
     /// comments, else the line of the next code token. `None` if the
     /// comment dangles at end of file.
-    target_line: Option<u32>,
-    comment_line: u32,
-    used: bool,
+    pub target_line: Option<u32>,
+    pub comment_line: u32,
+    pub used: bool,
 }
 
 /// Parse `// simlint::allow(rule, ..., reason = "...")` comments.

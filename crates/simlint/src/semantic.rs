@@ -1,0 +1,73 @@
+//! Driver for the workspace-wide semantic pass: parse every file, build
+//! the call graph, then run the taint and registry rules.
+//!
+//! The token pass ([`crate::rules::lint_file_deferred`]) and this pass
+//! share one suppression namespace: the driver collects each file's
+//! `simlint::allow` markers during the token pass, hands them here to be
+//! honored/marked-used, and only afterwards settles unused-suppression
+//! warnings. Results are a pure function of the file *set* — node ids,
+//! seed order, and propagation order are all sorted — which the
+//! walk-order proptest pins.
+
+use crate::callgraph::{self, Graph};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::parse::{parse_file, ParsedFile};
+use crate::registry;
+use crate::rules::{FileInput, Suppression};
+use crate::taint;
+use crate::LoadedFile;
+use std::collections::BTreeMap;
+
+/// Parsed view of the workspace.
+pub struct Analysis {
+    pub parsed: Vec<ParsedFile>,
+    pub graph: Graph,
+}
+
+/// Parse all files and build the graph. Input order does not matter.
+pub fn analyze(files: &[LoadedFile]) -> Analysis {
+    let watch = taint::watched_idents();
+    let parsed: Vec<ParsedFile> = files
+        .iter()
+        .map(|f| {
+            parse_file(
+                &FileInput {
+                    rel_path: &f.rel_path,
+                    crate_name: &f.crate_name,
+                    is_test_file: f.is_test_file,
+                    src: &f.src,
+                },
+                &watch,
+            )
+        })
+        .collect();
+    let graph = callgraph::build(&parsed);
+    Analysis { parsed, graph }
+}
+
+/// Run every semantic rule over an [`Analysis`]. `lock_text` is the
+/// current `schema.lock` content (None: file absent).
+pub fn run(
+    analysis: &Analysis,
+    cfg: &Config,
+    lock_text: Option<&str>,
+    sups: &mut BTreeMap<String, Vec<Suppression>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    taint::run(&analysis.graph, &cfg.rule("nondet-taint"), sups, out);
+    registry::exit_codes(&analysis.graph, &cfg.rule("exit-code-registry"), sups, out);
+    registry::schema_bump(
+        &analysis.parsed,
+        &cfg.rule("schema-version-bump"),
+        lock_text,
+        sups,
+        out,
+    );
+    registry::metric_names(
+        &analysis.parsed,
+        &cfg.rule("metric-name-registry"),
+        sups,
+        out,
+    );
+}

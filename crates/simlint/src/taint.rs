@@ -1,0 +1,480 @@
+//! Nondeterminism taint: seed at primitive sinks, propagate through the
+//! call graph, report every tainted `pub` function on the replayed
+//! surface with the full call path down to the primitive.
+//!
+//! The token rules (`wall-clock`, `thread-id`, ...) catch a sink written
+//! *in* a scoped crate; this pass catches laundering — a helper in an
+//! unscoped crate that reads `SystemTime::now()` and is called from
+//! `netsim::engine` sails through the token rules but not through here.
+//!
+//! Suppression points, both with the usual mandatory reason:
+//!
+//! * at the **sink line**, naming the sink's family rule (`wall-clock`,
+//!   `thread-id`, `hash-container`, `rng-discipline`) or `nondet-taint`:
+//!   the sink stops seeding, so nothing upstream is tainted by it. An
+//!   allow that already justifies the token finding covers the taint
+//!   seed too — one annotation, both passes.
+//! * at the **reported function's definition line**, naming
+//!   `nondet-taint`: that one surface function is accepted as tainted.
+
+use crate::callgraph::{FnId, Graph};
+use crate::config::RuleConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::Suppression;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a sink is recognized.
+pub enum SinkKind {
+    /// Expanded call path ends with these segments.
+    CallSuffix(&'static [&'static str]),
+    /// A watched identifier appears in the body (type or value
+    /// position — `HashMap`, `RandomState`, ... are sinks by presence).
+    Ident(&'static str),
+}
+
+pub struct SinkDef {
+    /// Existing token-rule id whose `simlint::allow` also cuts this
+    /// seed (the "family").
+    pub family: &'static str,
+    /// Human name of the primitive, printed at the end of taint paths.
+    pub primitive: &'static str,
+    pub kind: SinkKind,
+}
+
+/// The primitive nondeterminism sinks.
+pub const SINKS: &[SinkDef] = &[
+    SinkDef {
+        family: "wall-clock",
+        primitive: "std::time::Instant::now",
+        kind: SinkKind::CallSuffix(&["Instant", "now"]),
+    },
+    SinkDef {
+        family: "wall-clock",
+        primitive: "std::time::SystemTime::now",
+        kind: SinkKind::CallSuffix(&["SystemTime", "now"]),
+    },
+    SinkDef {
+        family: "wall-clock",
+        primitive: "std::time::SystemTime",
+        kind: SinkKind::Ident("SystemTime"),
+    },
+    SinkDef {
+        family: "thread-id",
+        primitive: "std::thread::current",
+        kind: SinkKind::CallSuffix(&["thread", "current"]),
+    },
+    SinkDef {
+        family: "thread-id",
+        primitive: "std::thread::ThreadId",
+        kind: SinkKind::Ident("ThreadId"),
+    },
+    SinkDef {
+        family: "hash-container",
+        primitive: "std::collections::HashMap",
+        kind: SinkKind::Ident("HashMap"),
+    },
+    SinkDef {
+        family: "hash-container",
+        primitive: "std::collections::HashSet",
+        kind: SinkKind::Ident("HashSet"),
+    },
+    SinkDef {
+        family: "thread-id",
+        primitive: "std::collections::hash_map::RandomState",
+        kind: SinkKind::Ident("RandomState"),
+    },
+    SinkDef {
+        family: "thread-id",
+        primitive: "std::hash::DefaultHasher",
+        kind: SinkKind::Ident("DefaultHasher"),
+    },
+    SinkDef {
+        family: "nondet-taint",
+        primitive: "std::env::var",
+        kind: SinkKind::CallSuffix(&["env", "var"]),
+    },
+    SinkDef {
+        family: "nondet-taint",
+        primitive: "std::env::var_os",
+        kind: SinkKind::CallSuffix(&["env", "var_os"]),
+    },
+    SinkDef {
+        family: "nondet-taint",
+        primitive: "std::env::vars",
+        kind: SinkKind::CallSuffix(&["env", "vars"]),
+    },
+    SinkDef {
+        family: "nondet-taint",
+        primitive: "std::env::vars_os",
+        kind: SinkKind::CallSuffix(&["env", "vars_os"]),
+    },
+    SinkDef {
+        family: "rng-discipline",
+        primitive: "OS entropy (OsRng)",
+        kind: SinkKind::Ident("OsRng"),
+    },
+    SinkDef {
+        family: "rng-discipline",
+        primitive: "OS entropy (getrandom)",
+        kind: SinkKind::CallSuffix(&["getrandom"]),
+    },
+    SinkDef {
+        family: "rng-discipline",
+        primitive: "OS entropy (from_entropy)",
+        kind: SinkKind::CallSuffix(&["from_entropy"]),
+    },
+];
+
+/// The ident watch-list [`crate::parse::parse_file`] must record for
+/// this pass to see its `Ident` sinks.
+pub fn watched_idents() -> Vec<&'static str> {
+    SINKS
+        .iter()
+        .filter_map(|s| match &s.kind {
+            SinkKind::Ident(i) => Some(*i),
+            SinkKind::CallSuffix(_) => None,
+        })
+        .collect()
+}
+
+/// Crates whose public API is the replayed surface when the config does
+/// not scope `[rules.nondet-taint]` explicitly.
+pub const DEFAULT_SURFACE: &[&str] = &[
+    "netsim",
+    "transport",
+    "cca",
+    "energy",
+    "workload",
+    "obs",
+    "scenario",
+];
+
+/// Why a function is tainted: either it contains a seed, or it calls a
+/// tainted function.
+#[derive(Clone, Debug)]
+enum Cause {
+    Seed { primitive: &'static str, line: u32 },
+    Call { next: FnId },
+}
+
+/// Run the taint pass. `sups` maps rel_path → that file's suppressions
+/// (usage is marked in place so the driver can settle unused warnings).
+pub fn run(
+    g: &Graph,
+    rc: &RuleConfig,
+    sups: &mut BTreeMap<String, Vec<Suppression>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !rc.enabled {
+        return;
+    }
+    let severity = rc.severity.unwrap_or(Severity::Error);
+    let surface: Vec<&str> = if rc.crates.is_empty() {
+        DEFAULT_SURFACE.to_vec()
+    } else {
+        rc.crates.iter().map(String::as_str).collect()
+    };
+
+    // -- Seeds. A sink in test code never seeds; a sink cut by an allow
+    //    naming its family (or nondet-taint) never seeds.
+    let mut cause: BTreeMap<FnId, (u32, Cause)> = BTreeMap::new();
+    let mut frontier: BTreeSet<(u32, FnId)> = BTreeSet::new();
+    let seed = |id: FnId,
+                primitive: &'static str,
+                family: &'static str,
+                line: u32,
+                cause: &mut BTreeMap<FnId, (u32, Cause)>,
+                frontier: &mut BTreeSet<(u32, FnId)>,
+                sups: &mut BTreeMap<String, Vec<Suppression>>| {
+        let node = &g.fns[id];
+        if node.in_test {
+            return;
+        }
+        if cut_at_sink(sups, &node.rel_path, line, family) {
+            return;
+        }
+        // Keep the first (lowest-line) seed per fn for stable paths.
+        let entry = cause
+            .entry(id)
+            .or_insert((0, Cause::Seed { primitive, line }));
+        if let (_, Cause::Seed { line: l, .. }) = entry {
+            if line < *l {
+                *entry = (0, Cause::Seed { primitive, line });
+            }
+        }
+        frontier.insert((0, id));
+    };
+
+    for e in &g.edges {
+        if e.method {
+            continue; // method sinks are covered by the ident watch
+        }
+        for s in SINKS {
+            let SinkKind::CallSuffix(suffix) = &s.kind else {
+                continue;
+            };
+            if ends_with(&e.expanded, suffix) {
+                seed(
+                    e.caller,
+                    s.primitive,
+                    s.family,
+                    e.line,
+                    &mut cause,
+                    &mut frontier,
+                    sups,
+                );
+            }
+        }
+    }
+    for (id, mentions) in &g.mentions {
+        for (ident, line) in mentions {
+            for s in SINKS {
+                let SinkKind::Ident(name) = &s.kind else {
+                    continue;
+                };
+                if ident == name {
+                    seed(
+                        *id,
+                        s.primitive,
+                        s.family,
+                        *line,
+                        &mut cause,
+                        &mut frontier,
+                        sups,
+                    );
+                }
+            }
+        }
+    }
+
+    // -- Propagate up the reverse edges, breadth-first in (distance,
+    //    FnId) order so every derived artifact is deterministic. Test
+    //    nodes never become tainted: a compiled non-test function
+    //    cannot call test code, so flowing taint through a test node
+    //    could only manufacture false paths via the method fallback.
+    let rev = g.reverse_edges();
+    while let Some((dist, id)) = frontier.pop_first() {
+        let Some(callers) = rev.get(&id) else {
+            continue;
+        };
+        for r in callers {
+            if g.fns[*r].in_test || cause.contains_key(r) {
+                continue;
+            }
+            cause.insert(*r, (dist + 1, Cause::Call { next: id }));
+            frontier.insert((dist + 1, *r));
+        }
+    }
+
+    // -- Report tainted public surface functions.
+    for id in cause.keys() {
+        let node = &g.fns[*id];
+        if !node.is_pub || !surface.iter().any(|c| *c == node.crate_name) {
+            continue;
+        }
+        if rc
+            .allow_paths
+            .iter()
+            .any(|p| node.rel_path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let chain = render_chain(g, &cause, *id);
+        let suppressed = suppress_at(sups, &node.rel_path, node.line);
+        out.push(Diagnostic {
+            rule: "nondet-taint",
+            severity,
+            path: node.rel_path.clone(),
+            line: node.line,
+            col: 1,
+            message: format!(
+                "public fn `{}` reaches a nondeterminism sink: {}",
+                node.qual, chain
+            ),
+            suppressed,
+        });
+    }
+}
+
+/// `full` ends with `suffix`?
+fn ends_with(full: &[String], suffix: &[&str]) -> bool {
+    full.len() >= suffix.len()
+        && full[full.len() - suffix.len()..]
+            .iter()
+            .zip(suffix)
+            .all(|(a, b)| a == b)
+}
+
+/// Is there an allow at `line` naming `family` or `nondet-taint`? Marks
+/// it used.
+fn cut_at_sink(
+    sups: &mut BTreeMap<String, Vec<Suppression>>,
+    rel_path: &str,
+    line: u32,
+    family: &'static str,
+) -> bool {
+    let Some(file_sups) = sups.get_mut(rel_path) else {
+        return false;
+    };
+    let mut cut = false;
+    for s in file_sups {
+        if s.target_line == Some(line) && s.rules.iter().any(|r| r == family || r == "nondet-taint")
+        {
+            s.used = true;
+            cut = true;
+        }
+    }
+    cut
+}
+
+/// Reason of an allow(nondet-taint) at `line`, marking it used.
+fn suppress_at(
+    sups: &mut BTreeMap<String, Vec<Suppression>>,
+    rel_path: &str,
+    line: u32,
+) -> Option<String> {
+    let file_sups = sups.get_mut(rel_path)?;
+    for s in file_sups {
+        if s.target_line == Some(line) && s.rules.iter().any(|r| r == "nondet-taint") {
+            s.used = true;
+            return Some(s.reason.clone());
+        }
+    }
+    None
+}
+
+/// `a::b → c::d → std::time::SystemTime::now (sink at path:line)`.
+fn render_chain(g: &Graph, cause: &BTreeMap<FnId, (u32, Cause)>, start: FnId) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = start;
+    loop {
+        parts.push(g.fns[cur].qual.clone());
+        match cause.get(&cur) {
+            Some((_, Cause::Call { next })) => {
+                // The graph is over-approximate, not acyclic; `cause`
+                // entries always point strictly toward a seed, so this
+                // terminates, but guard against pathological lengths.
+                if parts.len() > 64 {
+                    parts.push("…".into());
+                    break;
+                }
+                cur = *next;
+            }
+            Some((_, Cause::Seed { primitive, line })) => {
+                parts.push(format!(
+                    "{primitive} (sink at {}:{line})",
+                    g.fns[cur].rel_path
+                ));
+                break;
+            }
+            None => break,
+        }
+    }
+    parts.join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::parse::parse_file;
+    use crate::rules::FileInput;
+
+    fn pf(rel_path: &str, crate_name: &str, src: &str) -> crate::parse::ParsedFile {
+        parse_file(
+            &FileInput {
+                rel_path,
+                crate_name,
+                is_test_file: false,
+                src,
+            },
+            &watched_idents(),
+        )
+    }
+
+    fn run_taint(files: Vec<crate::parse::ParsedFile>) -> Vec<Diagnostic> {
+        let g = build(&files);
+        let mut out = Vec::new();
+        run(&g, &RuleConfig::default(), &mut BTreeMap::new(), &mut out);
+        out
+    }
+
+    //= DESIGN.md#inv-nondet-taint
+    #[test]
+    fn laundering_through_helper_crate_is_caught_with_full_path() {
+        let diags = run_taint(vec![
+            pf(
+                "crates/scenario/src/lib.rs",
+                "scenario",
+                "use helper::stamp;\npub fn build() { stamp(); }\n",
+            ),
+            pf(
+                "crates/helper/src/lib.rs",
+                "helper",
+                "pub fn stamp() { std::time::SystemTime::now(); }\n",
+            ),
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = &diags[0];
+        assert_eq!(d.rule, "nondet-taint");
+        assert_eq!(d.path, "crates/scenario/src/lib.rs");
+        assert!(
+            d.message
+                .contains("scenario::build → helper::stamp → std::time::SystemTime::now"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn sink_level_allow_cuts_the_seed() {
+        let files = vec![
+            pf(
+                "crates/scenario/src/lib.rs",
+                "scenario",
+                "use helper::stamp;\npub fn build() { stamp(); }\n",
+            ),
+            pf(
+                "crates/helper/src/lib.rs",
+                "helper",
+                "pub fn stamp() { std::time::SystemTime::now(); }\n",
+            ),
+        ];
+        let g = build(&files);
+        let mut sups = BTreeMap::new();
+        sups.insert(
+            "crates/helper/src/lib.rs".to_string(),
+            vec![Suppression {
+                rules: vec!["wall-clock".into()],
+                reason: "test".into(),
+                target_line: Some(1),
+                comment_line: 1,
+                used: false,
+            }],
+        );
+        let mut out = Vec::new();
+        run(&g, &RuleConfig::default(), &mut sups, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert!(sups["crates/helper/src/lib.rs"][0].used);
+    }
+
+    #[test]
+    fn non_surface_crates_are_not_reported() {
+        let diags = run_taint(vec![pf(
+            "crates/bench/src/lib.rs",
+            "bench",
+            "pub fn ts() { std::time::Instant::now(); }\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_sinks_do_not_seed() {
+        let diags = run_taint(vec![pf(
+            "crates/netsim/src/lib.rs",
+            "netsim",
+            "#[cfg(test)]\nmod tests {\n pub fn t() { std::time::Instant::now(); }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

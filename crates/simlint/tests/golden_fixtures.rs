@@ -55,21 +55,30 @@ fn check_golden(name: &str) {
     );
 }
 
+//= DESIGN.md#inv-hash-container
+//= DESIGN.md#inv-wall-clock
+//# Simulation state must be a pure function of config + seed.
+//= DESIGN.md#inv-thread-id
+//= DESIGN.md#inv-rng-discipline
 #[test]
 fn determinism_fixture() {
     check_golden("determinism.rs");
 }
 
+//= DESIGN.md#inv-panic-hygiene
+//= DESIGN.md#inv-range-index
 #[test]
 fn panic_fixture() {
     check_golden("panic.rs");
 }
 
+//= DESIGN.md#inv-raw-write
 #[test]
 fn durability_fixture() {
     check_golden("durability.rs");
 }
 
+//= DESIGN.md#inv-float-unordered-acc
 #[test]
 fn float_fixture() {
     check_golden("float.rs");
@@ -85,6 +94,8 @@ fn strings_comments_fixture() {
     check_golden("strings_comments.rs");
 }
 
+//= DESIGN.md#inv-suppression
+//= DESIGN.md#inv-unused-suppression
 #[test]
 fn suppressions_do_not_gate_but_malformed_ones_do() {
     let report = lint_fixture("suppress.rs");

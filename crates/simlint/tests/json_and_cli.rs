@@ -182,6 +182,74 @@ fn clean_and_suppressed_code_exits_zero() {
     assert!(stdout.contains("1 suppressed"), "{stdout}");
 }
 
+const SCRATCH_DESIGN: &str = "\
+# Design
+
+## Rules
+
+| rule | protected invariant |
+|---|---|
+| `no-frob` | frobs are forbidden |
+";
+
+#[test]
+fn compliance_end_to_end_json_round_trip() {
+    let scratch = Scratch::new("compliance");
+    scratch.write("simlint.toml", SCRATCH_CONFIG);
+    scratch.write("DESIGN.md", SCRATCH_DESIGN);
+    scratch.write(
+        "crates/badcrate/src/lib.rs",
+        "//= DESIGN.md#rules\nfn covered() {}\n\
+         #[cfg(test)]\nmod tests {\n    //= DESIGN.md#inv-no-frob\n    #[test]\n    fn enforces() {}\n}\n",
+    );
+    let (code, stdout, stderr) = run_simlint(&scratch.root, &["compliance"]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("No violations"), "{stdout}");
+
+    let (code, stdout, _) = run_simlint(&scratch.root, &["compliance", "--json"]);
+    assert_eq!(code, 0);
+    let parsed = parse_json(stdout.trim()).expect("valid compliance JSON");
+    assert_eq!(parsed.get("version").and_then(Json::as_num), Some(1.0));
+    assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+    let regs = parsed.get("registries").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        regs[0].get("name").and_then(Json::as_str),
+        Some("DESIGN.md")
+    );
+    let anchors = regs[0].get("anchors").and_then(Json::as_arr).unwrap();
+    let inv = anchors
+        .iter()
+        .find(|a| a.get("anchor").and_then(Json::as_str) == Some("inv-no-frob"))
+        .expect("rule-table anchor present");
+    assert_eq!(inv.get("required"), Some(&Json::Bool(true)));
+    assert_eq!(inv.get("test_citations").and_then(Json::as_num), Some(1.0));
+    assert_eq!(
+        parsed
+            .get("violations")
+            .and_then(Json::as_arr)
+            .map(|v| v.len()),
+        Some(0)
+    );
+}
+
+#[test]
+fn compliance_stale_anchor_and_uncovered_invariant_gate() {
+    let scratch = Scratch::new("stale");
+    scratch.write("simlint.toml", SCRATCH_CONFIG);
+    scratch.write("DESIGN.md", SCRATCH_DESIGN);
+    // Cites an anchor that does not exist, and never cites inv-no-frob.
+    scratch.write(
+        "crates/badcrate/src/lib.rs",
+        "//= DESIGN.md#renamed-away\nfn f() {}\n",
+    );
+    let (code, stdout, _) = run_simlint(&scratch.root, &["compliance"]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("stale-anchor"), "{stdout}");
+    assert!(stdout.contains("renamed-away"), "{stdout}");
+    assert!(stdout.contains("uncovered-invariant"), "{stdout}");
+    assert!(stdout.contains("inv-no-frob"), "{stdout}");
+}
+
 #[test]
 fn unknown_flag_is_a_usage_error() {
     let scratch = Scratch::new("usage");

@@ -182,6 +182,7 @@ mod tests {
         assert_eq!(cc.compute_cost_factor(), 0.0);
     }
 
+    //= rfc9002#section-7
     #[test]
     fn default_initial_window_is_ten_segments() {
         struct Dummy;

@@ -134,6 +134,7 @@ mod tests {
         assert!(est.has_sample());
     }
 
+    //= rfc9002#section-5
     #[test]
     fn ewma_converges_to_constant_rtt() {
         let mut est = RttEstimator::new();
@@ -176,6 +177,7 @@ mod tests {
         assert_eq!(est.rto(), SimDuration::from_secs(1));
     }
 
+    //= rfc9002#section-6-2
     #[test]
     fn backoff_doubles_and_sample_resets() {
         let mut est = RttEstimator::new();

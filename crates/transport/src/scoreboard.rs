@@ -458,6 +458,7 @@ mod tests {
         assert_eq!(b.in_flight(), 3000);
     }
 
+    //= rfc9002#section-6-1
     #[test]
     fn loss_declared_after_dupthresh_worth_of_sack() {
         let mut b = board_with(8);
@@ -523,6 +524,7 @@ mod tests {
         assert!(b.take_retransmit(SimTime::ZERO, 0, false).is_none());
     }
 
+    //= rfc9002#section-7-6
     #[test]
     fn rto_marks_everything_outstanding_lost() {
         let mut b = board_with(5);

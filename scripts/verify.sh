@@ -7,9 +7,11 @@
 #
 # Usage: scripts/verify.sh [--lint] [--chaos] [--resume] [--obs] [--perf] [--scenarios] [--supervise]
 #   --lint    additionally run the simlint static-analysis pass over the
-#             whole workspace (determinism, panic-hygiene, durability,
-#             and float-discipline rules). Zero unsuppressed findings
-#             required.
+#             whole workspace: token rules (determinism, panic-hygiene,
+#             durability, float discipline) plus the semantic pass
+#             (nondeterminism taint, exit-code/schema/metric registries),
+#             and the spec/invariant compliance tracker. Zero
+#             unsuppressed findings and full invariant coverage required.
 #   --chaos   additionally run the fault-injection suite: the netsim and
 #             transport chaos property tests, the golden determinism
 #             fingerprints (clean + faulted), and a quick-scale run of the
@@ -131,7 +133,8 @@ stage_perf() {
 }
 
 stage_lint() {
-    cargo run --release --offline -p simlint -- --workspace
+    cargo run --release --offline -p simlint -- --workspace &&
+    cargo run --release --offline -p simlint -- compliance
 }
 
 stage_chaos() {
@@ -346,7 +349,7 @@ if [[ $perf -eq 1 ]]; then
     run_stage "perf (baseline regression gate)" stage_perf
 fi
 if [[ $lint -eq 1 ]]; then
-    run_stage "lint (simlint --workspace)" stage_lint
+    run_stage "lint (simlint --workspace + compliance)" stage_lint
 fi
 if [[ $chaos -eq 1 ]]; then
     run_stage "chaos (fault injection + fingerprints)" stage_chaos
